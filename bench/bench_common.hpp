@@ -1,0 +1,65 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "cbrain/common/strings.hpp"
+#include "cbrain/core/cbrain.hpp"
+#include "cbrain/nn/zoo.hpp"
+#include "cbrain/report/experiment.hpp"
+#include "cbrain/report/table.hpp"
+
+namespace cbrain::bench {
+
+// The paper's short network labels, in its order.
+inline const char* net_label(const std::string& name) {
+  if (name == "alexnet") return "Anet";
+  if (name == "googlenet") return "Gnet";
+  if (name == "vgg16") return "Vgg";
+  if (name == "nin") return "Nin";
+  return name.c_str();
+}
+
+// Conv1 of a network wrapped as a standalone single-layer network (the
+// Fig. 7 / Fig. 9 subject).
+inline Network conv1_network(const Network& net) {
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    return zoo::single_conv(l.in_dims, l.conv(), net.name() + "_conv1");
+  }
+  CBRAIN_CHECK(false, "network has no conv layer");
+  return net;
+}
+
+inline std::string sci(i64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", static_cast<double>(v));
+  return buf;
+}
+
+inline double geomean(const std::vector<double>& vs) {
+  double acc = 1.0;
+  for (double v : vs) acc *= v;
+  return vs.empty() ? 0.0 : std::pow(acc, 1.0 / static_cast<double>(vs.size()));
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n############ %s — %s ############\n\n", id, title);
+}
+
+// When CBRAIN_CSV_DIR is set, also write the table as <name>.csv there so
+// figures can be re-plotted outside the harness.
+inline void export_csv(const Table& t, const std::string& name) {
+  const char* dir = std::getenv("CBRAIN_CSV_DIR");
+  if (dir == nullptr) return;
+  std::ofstream f(std::string(dir) + "/" + name + ".csv");
+  if (f) f << t.to_csv();
+}
+
+}  // namespace cbrain::bench

@@ -1,0 +1,65 @@
+// Extension — C-Brain's adaptive 1-D datapath vs a ShiDianNao-style 2D-PE
+// mesh at equal multiplier count (256). The paper argues (§4.1.2(3)) that
+// the 2D mesh is "very effective when dealing with specific network
+// topology" but degrades on "networks with varied size of kernels and
+// stride"; this bench quantifies both halves of that claim.
+#include "bench_common.hpp"
+#include "cbrain/baseline/shidiannao_2dpe.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+int main() {
+  print_header("Extension", "adaptive vs 2D-PE mesh (256 PEs each)");
+
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const TwoDPEConfig mesh;  // 16x16 mesh
+  CBrain brain(config);
+
+  std::printf("conv1 layers (the diverse-geometry case):\n");
+  Table t1({"net (conv1)", "k,s", "2D-PE cycles", "2D-PE util",
+            "adap cycles", "adap wins by"});
+  for (const Network& full : zoo::paper_benchmarks()) {
+    const Network c1net = conv1_network(full);
+    const Layer& c1 = c1net.layer(1);
+    const i64 mesh_cycles = twodpe_conv_cycles(c1, mesh);
+    const i64 adap = brain.evaluate(c1net, Policy::kAdaptive2).cycles();
+    t1.add_row({net_label(full.name()),
+                std::to_string(c1.conv().k) + "," +
+                    std::to_string(c1.conv().stride),
+                sci(mesh_cycles), fmt_double(twodpe_utilization(c1, mesh), 2),
+                sci(adap),
+                fmt_speedup(static_cast<double>(mesh_cycles) /
+                            static_cast<double>(adap))});
+  }
+  std::printf("%s\n", t1.to_string().c_str());
+
+  std::printf("whole networks:\n");
+  Table t2({"net", "2D-PE cycles", "adap cycles", "ratio"});
+  for (const Network& net : zoo::paper_benchmarks()) {
+    const i64 mesh_cycles = twodpe_network_cycles(net, mesh);
+    ModelOptions conv_only;
+    conv_only.include_host_ops = false;
+    CBrain cb(config, conv_only);
+    i64 adap = 0;
+    for (const auto& lr : cb.evaluate(net, Policy::kAdaptive2).layers)
+      if (lr.kind == LayerKind::kConv) adap += lr.counters.total_cycles;
+    t2.add_row({net_label(net.name()), sci(mesh_cycles), sci(adap),
+                fmt_speedup(static_cast<double>(mesh_cycles) /
+                            static_cast<double>(adap))});
+  }
+  std::printf("%s\n", t2.to_string().c_str());
+
+  ExperimentLog log("Ext-2DPE", "the §4.1.2(3) qualitative claim");
+  log.point("2D-PE on stride-1 small-kernel layers",
+            "\"very high data reusability ... very effective\"",
+            "VGG conv1 (k=3,s=1): near-parity with adaptive",
+            "mesh step cost 1, full tiles");
+  log.point("2D-PE on strided/odd-size layers",
+            "\"performance degradation or underutilization\"",
+            "AlexNet conv1 (k=11,s=4): ~4x stride penalty + 55/64 tile "
+            "edge waste",
+            "quantified by the model");
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

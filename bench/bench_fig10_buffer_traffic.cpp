@@ -1,0 +1,70 @@
+// Fig. 10 — on-chip buffer access counts (bits) of the five policies over
+// whole networks, both PE widths. Paper headlines: adap-2 cuts buffer
+// traffic 90.13% vs adap-1, 73.7% vs intra, 93.8% vs inter on average;
+// partition's add-and-store makes it the heaviest on VGG's top layers.
+#include "bench_common.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+int main() {
+  print_header("Fig.10", "buffer access bits per policy, whole networks");
+
+  std::vector<double> save_vs_adap1, save_vs_intra, save_vs_inter;
+  bool partition_heaviest_vgg = true;
+
+  for (const AcceleratorConfig& config :
+       {AcceleratorConfig::paper_16_16(), AcceleratorConfig::paper_32_32()}) {
+    CBrain brain(config);
+    Table t({"net", "inter", "intra", "partition", "adap-1", "adap-2",
+             "adap-2 saving vs adap-1"});
+    for (const Network& net : zoo::paper_benchmarks()) {
+      const PolicyComparison cmp = brain.compare_policies(net);
+      auto bits = [&](Policy p) {
+        return cmp.by_policy(p).totals.buffer_access_bits();
+      };
+      const double a1 = static_cast<double>(bits(Policy::kAdaptive1));
+      const double a2 = static_cast<double>(bits(Policy::kAdaptive2));
+      const double vs_a1 = 1.0 - a2 / a1;
+      save_vs_adap1.push_back(vs_a1);
+      save_vs_intra.push_back(
+          1.0 - a2 / static_cast<double>(bits(Policy::kFixedIntra)));
+      save_vs_inter.push_back(
+          1.0 - a2 / static_cast<double>(bits(Policy::kFixedInter)));
+      if (net.name() == "vgg16") {
+        const i64 part = bits(Policy::kFixedPartition);
+        for (Policy p : paper_policies())
+          if (p != Policy::kFixedPartition && bits(p) > part)
+            partition_heaviest_vgg = false;
+      }
+      t.add_row({net_label(net.name()), sci(bits(Policy::kFixedInter)),
+                 sci(bits(Policy::kFixedIntra)),
+                 sci(bits(Policy::kFixedPartition)),
+                 sci(bits(Policy::kAdaptive1)),
+                 sci(bits(Policy::kAdaptive2)), fmt_percent(vs_a1)});
+    }
+    std::printf("PE %lld-%lld:\n%s\n", static_cast<long long>(config.tin),
+                static_cast<long long>(config.tout), t.to_string().c_str());
+    export_csv(t, "fig10_buffer_traffic_" + std::to_string(config.tin) +
+                      "x" + std::to_string(config.tout));
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  ExperimentLog log("Fig.10", "buffer traffic reduction of adap-2");
+  log.point("adap-2 saving vs adap-1 (avg)", "90.13%",
+            fmt_percent(mean(save_vs_adap1)),
+            "weight streaming -> weight residency + add-and-store");
+  log.point("adap-2 saving vs intra (avg)", "73.7%",
+            fmt_percent(mean(save_vs_intra)));
+  log.point("adap-2 saving vs inter (avg)", "93.8%",
+            fmt_percent(mean(save_vs_inter)));
+  log.point("partition has the most accesses on VGG", "yes",
+            partition_heaviest_vgg ? "yes" : "no",
+            "add-and-store on deep small-kernel layers");
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 3 — data-unrolling blow-up: raw vs unrolled bits for the first
+// conv layers of AlexNet and GoogLeNet (Equation 1). The paper reports
+// the unrolled size reaching 9x-18.9x of the raw input.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cbrain/tensor/unroll.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+namespace {
+
+struct Row {
+  std::string net;
+  std::string layer;
+  ConvGeometry geom;
+  i64 din;
+};
+
+// The layers plotted in Fig. 3: AlexNet c1-c5 and GoogLeNet's c1 plus the
+// 3x3/5x5 convs of the first inception stages.
+std::vector<Row> fig3_layers() {
+  std::vector<Row> rows;
+  auto collect = [&rows](const Network& net,
+                         const std::vector<std::string>& names,
+                         const std::vector<std::string>& labels) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      for (const Layer& l : net.layers()) {
+        if (l.name != names[i]) continue;
+        const ConvParams& p = l.conv();
+        rows.push_back({net.name(), labels[i],
+                        {l.in_dims.h, l.in_dims.w, p.k, p.stride, p.pad},
+                        l.in_dims.d});
+      }
+    }
+  };
+  collect(zoo::alexnet(), {"conv1", "conv2", "conv3", "conv4", "conv5"},
+          {"c1", "c2", "c3", "c4", "c5"});
+  collect(zoo::googlenet(),
+          {"conv1/7x7_s2", "conv2/3x3", "inception_3a/3x3",
+           "inception_3a/5x5", "inception_3b/3x3"},
+          {"c1", "c2_2", "c3a_3", "c3a_5", "c3b_3"});
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig.3", "data unrolling scheme (raw vs unrolled bits)");
+
+  Table t({"net", "layer", "k", "s", "raw bits", "unrolled bits", "T (Eq.1)"});
+  double min_t = 1e30, max_t = 0.0;
+  for (const Row& r : fig3_layers()) {
+    const i64 raw_bits = raw_map_words(r.geom) * r.din * 16;
+    const i64 unrolled_bits = unrolled_map_words(r.geom) * r.din * 16;
+    const double T = unroll_duplication_factor(r.geom);
+    min_t = std::min(min_t, T);
+    max_t = std::max(max_t, T);
+    t.add_row({r.net, r.layer, std::to_string(r.geom.k),
+               std::to_string(r.geom.stride), sci(raw_bits),
+               sci(unrolled_bits), fmt_double(T, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  ExperimentLog log("Fig.3", "unrolled data size vs raw input");
+  log.point("unroll factor range over plotted layers", "9x to 18.9x",
+            fmt_double(min_t, 1) + "x to " + fmt_double(max_t, 1) + "x",
+            "Equation 1 duplication factor");
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 8 — whole-network execution cycles under the five policies (inter,
+// intra, partition, adap-1, adap-2) at both PE widths. Paper headlines:
+// the adaptive scheme wins overall (1.83x over inter on AlexNet, 1.43x on
+// average), adap-1 and adap-2 perform identically, VGG's headroom is
+// marginal (homogeneous layers + forced off-chip exchange).
+#include "bench_common.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+int main() {
+  print_header("Fig.8", "whole-network cycles per policy");
+  std::printf("scope: all conv+pool+LRN layers (the paper's kernel-level "
+              "pipeline; see DESIGN.md)\n\n");
+
+  double anet_speedup_16 = 0.0;
+  std::vector<double> adap_vs_inter;
+  double adap1_vs_adap2_worst = 1.0;
+
+  for (const AcceleratorConfig& config :
+       {AcceleratorConfig::paper_16_16(), AcceleratorConfig::paper_32_32()}) {
+    CBrain brain(config);
+    Table t({"net", "inter", "intra", "partition", "adap-1", "adap-2",
+             "adap-2 vs inter"});
+    for (const Network& net : zoo::paper_benchmarks()) {
+      const PolicyComparison cmp = brain.compare_policies(net);
+      const double sp = cmp.speedup(Policy::kAdaptive2, Policy::kFixedInter);
+      adap_vs_inter.push_back(sp);
+      if (net.name() == "alexnet" && config.tin == 16) anet_speedup_16 = sp;
+      const double a1 =
+          static_cast<double>(cmp.by_policy(Policy::kAdaptive1).cycles());
+      const double a2 =
+          static_cast<double>(cmp.by_policy(Policy::kAdaptive2).cycles());
+      adap1_vs_adap2_worst =
+          std::max(adap1_vs_adap2_worst, std::max(a1 / a2, a2 / a1));
+      t.add_row({net_label(net.name()),
+                 sci(cmp.by_policy(Policy::kFixedInter).cycles()),
+                 sci(cmp.by_policy(Policy::kFixedIntra).cycles()),
+                 sci(cmp.by_policy(Policy::kFixedPartition).cycles()),
+                 sci(cmp.by_policy(Policy::kAdaptive1).cycles()),
+                 sci(cmp.by_policy(Policy::kAdaptive2).cycles()),
+                 fmt_speedup(sp)});
+    }
+    std::printf("PE %lld-%lld:\n%s\n", static_cast<long long>(config.tin),
+                static_cast<long long>(config.tout), t.to_string().c_str());
+    export_csv(t, "fig8_wholenet_" + std::to_string(config.tin) + "x" +
+                      std::to_string(config.tout));
+  }
+
+  ExperimentLog log("Fig.8", "adaptive vs fixed policies, whole networks");
+  log.point("adap speedup over inter, AlexNet @16-16", "1.83x",
+            fmt_speedup(anet_speedup_16));
+  log.point("adap speedup over inter, average", "1.43x",
+            fmt_speedup(geomean(adap_vs_inter)),
+            "geomean over 4 nets x 2 widths");
+  log.point("adap-1 vs adap-2 performance", "the same",
+            "within " +
+                fmt_percent(adap1_vs_adap2_worst - 1.0, 2) +
+                " of each other",
+            "adap-2 adds one register-load cycle per pass");
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 9 — comparison against Zhang et al. FPGA'15 [14] on AlexNet at
+// 100 MHz: zhang-7-64 vs adap-16-24 / adap-16-28 / adap-16-32 (Tin-Tout;
+// 16-28 matches [14]'s multiplier count of 448). Paper bars (ms):
+//   zhang-7,64: whole 21.6, conv1 7.4     adpa-16-24: whole 20.4, conv1 3.3
+//   adpa-16-28: whole 18.1, conv1 3.3     adpa-16-32: whole 14.9, conv1 2.5
+#include "bench_common.hpp"
+#include "cbrain/baseline/zhang_fpga.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+namespace {
+
+// An adap configuration down-scaled to [14]'s 100 MHz clock. The DRAM is
+// the same physical DDR, so its per-cycle word rate scales up by the
+// clock ratio.
+AcceleratorConfig adap_at_100mhz(i64 tin, i64 tout) {
+  AcceleratorConfig c = AcceleratorConfig::with_pe(tin, tout);
+  const double base_clock = c.clock_ghz;  // 1 GHz
+  c.clock_ghz = 0.1;
+  c.dram.words_per_cycle *= base_clock / c.clock_ghz;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig.9", "AlexNet vs Zhang FPGA'15 at 100 MHz");
+
+  const Network net = zoo::alexnet();
+  const Network c1 = conv1_network(net);
+  const ZhangConfig zhang;
+
+  Table t({"design", "multipliers", "whole NN (ms)", "conv1 (ms)"});
+  const i64 z_whole = zhang_network_cycles(net, zhang);
+  i64 z_conv1 = 0;
+  for (const Layer& l : net.layers())
+    if (l.is_conv()) {
+      z_conv1 = zhang_conv_cycles(l, zhang);
+      break;
+    }
+  t.add_row({"zhang-7,64", std::to_string(zhang.tm * zhang.tn),
+             fmt_double(zhang.cycles_to_ms(z_whole), 2),
+             fmt_double(zhang.cycles_to_ms(z_conv1), 2)});
+  t.add_rule();
+
+  double adap28_whole = 0.0, adap28_conv1 = 0.0;
+  for (const i64 tout : {24, 28, 32}) {
+    const AcceleratorConfig config = adap_at_100mhz(16, tout);
+    CBrain brain(config);
+    // [14] reports conv layers only; match that scope here.
+    ModelOptions opt;
+    opt.include_host_ops = false;
+    CBrain conv_brain(config, opt);
+    i64 whole = 0;
+    const NetworkModelResult r = conv_brain.evaluate(net, Policy::kAdaptive2);
+    for (const auto& lr : r.layers)
+      if (lr.kind == LayerKind::kConv) whole += lr.counters.total_cycles;
+    const i64 conv1 =
+        conv_brain.evaluate(c1, Policy::kAdaptive2).cycles();
+    const double whole_ms = config.cycles_to_ms(whole);
+    const double conv1_ms = config.cycles_to_ms(conv1);
+    if (tout == 28) {
+      adap28_whole = whole_ms;
+      adap28_conv1 = conv1_ms;
+    }
+    t.add_row({"adap-16-" + std::to_string(tout),
+               std::to_string(16 * tout), fmt_double(whole_ms, 2),
+               fmt_double(conv1_ms, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  ExperimentLog log("Fig.9", "adap vs Zhang-7-64 (equal-resource: 16-28)");
+  log.point("zhang whole-NN ms", "21.6",
+            fmt_double(zhang.cycles_to_ms(z_whole), 2),
+            "[14]'s own model; gap = their pipeline overhead");
+  log.point("zhang conv1 ms", "7.4",
+            fmt_double(zhang.cycles_to_ms(z_conv1), 2));
+  log.point("adap-16-28 conv1 ms", "3.3", fmt_double(adap28_conv1, 2));
+  log.point("adap-16-28 conv1 speedup", "2.22x",
+            fmt_speedup(zhang.cycles_to_ms(z_conv1) / adap28_conv1));
+  log.point("adap-16-28 whole-NN speedup", "1.20x",
+            fmt_speedup(zhang.cycles_to_ms(z_whole) / adap28_whole));
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

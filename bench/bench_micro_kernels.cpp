@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks —
+// the blocked GEMM behind the Table-4 CPU baseline, the fixed-point
+// primitives, the im2col transform, and the cycle-level simulator itself
+// (simulated MACs per host-second), so regressions in the infrastructure
+// are visible independently of the paper tables.
+#include <benchmark/benchmark.h>
+
+#include "cbrain/compiler/compiler.hpp"
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/nn/zoo.hpp"
+#include "cbrain/ref/im2col_gemm.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/sim/executor.hpp"
+#include "cbrain/tensor/unroll.hpp"
+
+namespace {
+
+using namespace cbrain;
+
+void BM_Sgemm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  std::vector<float> a(static_cast<std::size_t>(n * n), 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(n * n), 2.0f);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    sgemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fixed16Mac(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Fixed16> xs(4096), ws(4096);
+  for (auto& v : xs) v = Fixed16::from_double(rng.next_double(-1, 1));
+  for (auto& v : ws) v = Fixed16::from_double(rng.next_double(-1, 1));
+  for (auto _ : state) {
+    Fixed16::acc_t acc = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc += xs[i].mul_to_acc(ws[i]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["MAC/s"] = benchmark::Counter(
+      static_cast<double>(xs.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fixed16Mac);
+
+void BM_Im2col(benchmark::State& state) {
+  const Tensor3<float> in = random_input<float>({16, 56, 56}, 3);
+  const ConvParams p{.dout = 1, .k = 3, .stride = 1, .pad = 1};
+  std::vector<float> col;
+  for (auto _ : state) {
+    im2col(in, 0, 16, p, col);
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_CycleSimulator(benchmark::State& state) {
+  const Network net = zoo::tiny_cnn();
+  const AcceleratorConfig config = AcceleratorConfig::with_pe(8, 8);
+  const auto compiled = compile_network(net, Policy::kAdaptive2, config);
+  const auto params = init_net_params<Fixed16>(net, 5);
+  const auto input = random_input<Fixed16>(net.layer(0).out_dims, 6);
+  i64 macs = 0;
+  for (const Layer& l : net.layers()) macs += l.macs();
+  for (auto _ : state) {
+    SimExecutor sim(net, compiled.value(), config);
+    benchmark::DoNotOptimize(sim.run(input, params).final_output);
+  }
+  state.counters["simulated MAC/s"] = benchmark::Counter(
+      static_cast<double>(macs) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CycleSimulator);
+
+void BM_AnalyticalModel(benchmark::State& state) {
+  const Network net = zoo::googlenet();
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model_network(net, Policy::kAdaptive2, config).cycles());
+  }
+}
+BENCHMARK(BM_AnalyticalModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

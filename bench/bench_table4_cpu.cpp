@@ -1,0 +1,60 @@
+// Table 4 — accelerator vs CPU (Caffe-style single-thread im2col+GEMM).
+// Paper: Xeon 2.20 GHz vs the accelerator at 1 GHz; adap-16-16 and
+// adap-32-32 reach 139x and 469x average speedup. Host CPU times here are
+// wall-clock on this machine, frequency-normalized to 2.2 GHz; the
+// reproduced claim is the order of magnitude of the speedups, not the
+// exact ms (see DESIGN.md §2).
+#include "bench_common.hpp"
+#include "cbrain/baseline/cpu_executor.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+int main() {
+  print_header("Table 4", "performance compared to CPU (ms)");
+
+  CBrain brain16(AcceleratorConfig::paper_16_16());
+  CBrain brain32(AcceleratorConfig::paper_32_32());
+
+  // Paper's CPU column (ms) for the note field.
+  const char* paper_cpu[] = {"376.50", "1418.8", "10071.71", "553.43"};
+  const char* paper_sp16[] = {"133.02x", "212.11x", "129.94x", "82.35x"};
+  const char* paper_sp32[] = {"414.58x", "696.88x", "493.44x", "269.77x"};
+
+  Table t({"net", "CPU (ms)", "adap-16-16 (ms)", "speedup",
+           "adap-32-32 (ms)", "speedup"});
+  ExperimentLog log("Table 4", "accelerator vs CPU speedups");
+  std::vector<double> sp16s, sp32s;
+  int i = 0;
+  for (const Network& net : zoo::paper_benchmarks()) {
+    std::fprintf(stderr, "[table4] timing CPU forward of %s...\n",
+                 net.name().c_str());
+    const CpuTimingResult cpu = time_cpu_forward(net);
+    const double cpu_ms = cpu.normalized_kernel_ms(2.2);
+    const double ms16 = brain16.evaluate(net, Policy::kAdaptive2)
+                            .milliseconds();
+    const double ms32 = brain32.evaluate(net, Policy::kAdaptive2)
+                            .milliseconds();
+    const double sp16 = cpu_ms / ms16;
+    const double sp32 = cpu_ms / ms32;
+    sp16s.push_back(sp16);
+    sp32s.push_back(sp32);
+    t.add_row({net_label(net.name()), fmt_double(cpu_ms, 2),
+               fmt_double(ms16, 2), fmt_speedup(sp16), fmt_double(ms32, 2),
+               fmt_speedup(sp32)});
+    log.point(std::string(net_label(net.name())) + " speedup @16-16",
+              paper_sp16[i], fmt_speedup(sp16),
+              std::string("paper CPU ms: ") + paper_cpu[i]);
+    log.point(std::string(net_label(net.name())) + " speedup @32-32",
+              paper_sp32[i], fmt_speedup(sp32));
+    ++i;
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  export_csv(t, "table4_cpu");
+
+  log.point("average speedup @16-16", "139.35x",
+            fmt_speedup(geomean(sp16s)), "paper avg is arithmetic");
+  log.point("average speedup @32-32", "468.67x", fmt_speedup(geomean(sp32s)));
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

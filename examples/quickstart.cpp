@@ -1,0 +1,56 @@
+// Quickstart: model AlexNet on the C-Brain accelerator under every
+// parallelization policy and print the per-policy cycle counts — a
+// miniature of the paper's Fig. 8 experiment for one network.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+int main() {
+  using namespace cbrain;
+
+  const Network net = zoo::alexnet();
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  std::printf("network: %s\naccelerator: %s\n\n", net.name().c_str(),
+              config.to_string().c_str());
+
+  const Policy policies[] = {Policy::kFixedInter, Policy::kFixedIntra,
+                             Policy::kFixedPartition, Policy::kAdaptive1,
+                             Policy::kAdaptive2};
+
+  std::printf("%-10s %14s %14s %12s %16s\n", "policy", "cycles", "ms@1GHz",
+              "PE util", "buffer words");
+  const i64 ideal = ideal_network_cycles(net, config);
+  std::printf("%-10s %14lld %14.3f %12s %16s\n", "ideal",
+              static_cast<long long>(ideal), config.cycles_to_ms(ideal),
+              "1.00", "-");
+  for (Policy p : policies) {
+    const NetworkModelResult r = model_network(net, p, config);
+    double util_num = 0.0, util_den = 0.0;
+    for (const auto& l : r.layers) {
+      if (!l.counted) continue;
+      util_num += static_cast<double>(l.counters.mul_ops);
+      util_den += static_cast<double>(l.counters.mul_ops +
+                                      l.counters.idle_mul_slots);
+    }
+    std::printf("%-10s %14lld %14.3f %12.2f %16lld\n", policy_name(p),
+                static_cast<long long>(r.cycles()),
+                r.milliseconds(),
+                util_den > 0 ? util_num / util_den : 0.0,
+                static_cast<long long>(r.totals.buffer_accesses()));
+  }
+
+  std::printf("\nper-layer schemes under adap-2:\n");
+  const NetworkModelResult adap =
+      model_network(net, Policy::kAdaptive2, config);
+  for (const auto& l : adap.layers) {
+    if (l.kind != LayerKind::kConv) continue;
+    std::printf("  %-8s %-13s %12lld cycles  util %.2f\n", l.name.c_str(),
+                scheme_name(l.scheme),
+                static_cast<long long>(l.counters.total_cycles),
+                l.utilization());
+  }
+  return 0;
+}

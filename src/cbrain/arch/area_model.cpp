@@ -1,0 +1,29 @@
+#include "cbrain/arch/area_model.hpp"
+
+namespace cbrain {
+
+AreaBreakdown estimate_area(const AcceleratorConfig& config,
+                            const AreaParams& params) {
+  AreaBreakdown a;
+  const double muls = static_cast<double>(config.multipliers());
+  const double adds = static_cast<double>(config.adders());
+  a.datapath_mm2 = (muls * params.mul16_um2 + adds * params.add16_um2) * 1e-6;
+  const double total_bits =
+      8.0 * static_cast<double>(config.inout_buf.size_bytes +
+                                config.weight_buf.size_bytes +
+                                config.bias_buf.size_bytes);
+  a.sram_mm2 = total_bits / 1e6 * params.sram_mm2_per_mb *
+               params.sram_periphery_factor;
+  a.control_mm2 = (a.datapath_mm2 + a.sram_mm2) * params.control_overhead;
+  return a;
+}
+
+double peak_gops_per_mm2(const AcceleratorConfig& config,
+                         const AreaParams& params) {
+  const double gops = 2.0 * static_cast<double>(config.multipliers()) *
+                      config.clock_ghz;  // MAC = 2 ops
+  const double mm2 = estimate_area(config, params).total_mm2();
+  return mm2 > 0.0 ? gops / mm2 : 0.0;
+}
+
+}  // namespace cbrain

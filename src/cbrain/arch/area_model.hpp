@@ -1,0 +1,38 @@
+// First-order 45 nm area model — enough to rank configurations by
+// compute density (GOPS/mm²) in design-space exploration. Constants are
+// representative published 45 nm figures (a 16-bit multiplier ≈ 1600 µm²,
+// an adder ≈ 300 µm², dense SRAM ≈ 0.35 mm²/Mb plus periphery); like the
+// energy model, absolute mm² are not the claim — ratios between
+// configurations are.
+#pragma once
+
+#include <string>
+
+#include "cbrain/arch/config.hpp"
+
+namespace cbrain {
+
+struct AreaParams {
+  double mul16_um2 = 1600.0;
+  double add16_um2 = 300.0;
+  double sram_mm2_per_mb = 0.35;
+  double sram_periphery_factor = 1.35;  // decoders, sense amps, ports
+  double control_overhead = 0.10;       // CU, DMA engines, wiring
+};
+
+struct AreaBreakdown {
+  double datapath_mm2 = 0.0;
+  double sram_mm2 = 0.0;
+  double control_mm2 = 0.0;
+  double total_mm2() const { return datapath_mm2 + sram_mm2 + control_mm2; }
+};
+
+AreaBreakdown estimate_area(const AcceleratorConfig& config,
+                            const AreaParams& params = {});
+
+// Peak compute density: 2*Tin*Tout MAC-ops per cycle at the config clock,
+// per mm².
+double peak_gops_per_mm2(const AcceleratorConfig& config,
+                         const AreaParams& params = {});
+
+}  // namespace cbrain

@@ -1,0 +1,65 @@
+#include "cbrain/arch/counters.hpp"
+
+#include <sstream>
+
+#include "cbrain/common/strings.hpp"
+
+namespace cbrain {
+
+TrafficCounters& TrafficCounters::operator+=(const TrafficCounters& o) {
+  input_reads += o.input_reads;
+  input_writes += o.input_writes;
+  output_reads += o.output_reads;
+  output_writes += o.output_writes;
+  weight_reads += o.weight_reads;
+  weight_writes += o.weight_writes;
+  bias_reads += o.bias_reads;
+  bias_writes += o.bias_writes;
+  dram_reads += o.dram_reads;
+  dram_writes += o.dram_writes;
+  mul_ops += o.mul_ops;
+  idle_mul_slots += o.idle_mul_slots;
+  add_ops += o.add_ops;
+  compute_cycles += o.compute_cycles;
+  total_cycles += o.total_cycles;
+  return *this;
+}
+
+TrafficCounters operator+(TrafficCounters a, const TrafficCounters& b) {
+  a += b;
+  return a;
+}
+
+TrafficCounters& TrafficCounters::scale(i64 n) {
+  input_reads *= n;
+  input_writes *= n;
+  output_reads *= n;
+  output_writes *= n;
+  weight_reads *= n;
+  weight_writes *= n;
+  bias_reads *= n;
+  bias_writes *= n;
+  dram_reads *= n;
+  dram_writes *= n;
+  mul_ops *= n;
+  idle_mul_slots *= n;
+  add_ops *= n;
+  compute_cycles *= n;
+  total_cycles *= n;
+  return *this;
+}
+
+std::string TrafficCounters::to_string() const {
+  std::ostringstream os;
+  os << "cycles=" << with_commas(static_cast<u64>(total_cycles))
+     << " (compute=" << with_commas(static_cast<u64>(compute_cycles))
+     << ") muls=" << with_commas(static_cast<u64>(mul_ops))
+     << " idle=" << with_commas(static_cast<u64>(idle_mul_slots))
+     << " buf[r=" << with_commas(static_cast<u64>(buffer_reads()))
+     << " w=" << with_commas(static_cast<u64>(buffer_writes()))
+     << "] dram[r=" << with_commas(static_cast<u64>(dram_reads))
+     << " w=" << with_commas(static_cast<u64>(dram_writes)) << "]";
+  return os.str();
+}
+
+}  // namespace cbrain

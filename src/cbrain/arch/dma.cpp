@@ -1,0 +1,31 @@
+#include "cbrain/arch/dma.hpp"
+
+namespace cbrain {
+
+i64 DmaEngine::load(const Dram& dram, DramAddr src, Sram16& dst,
+                    i64 dst_addr, i64 words) {
+  if (words <= 0) return 0;
+  bounce_.resize(static_cast<std::size_t>(words));
+  dram.read_block(src, words, bounce_.data());
+  dst.write_block(dst_addr, words, bounce_.data());
+  const i64 cycles = config_.transfer_cycles(words);
+  ++stats_.transfers;
+  stats_.words_in += words;
+  stats_.busy_cycles += cycles;
+  return cycles;
+}
+
+i64 DmaEngine::store(Sram16& src, i64 src_addr, Dram& dram, DramAddr dst,
+                     i64 words) {
+  if (words <= 0) return 0;
+  bounce_.resize(static_cast<std::size_t>(words));
+  src.read_block(src_addr, words, bounce_.data());
+  dram.write_block(dst, words, bounce_.data());
+  const i64 cycles = config_.transfer_cycles(words);
+  ++stats_.transfers;
+  stats_.words_out += words;
+  stats_.busy_cycles += cycles;
+  return cycles;
+}
+
+}  // namespace cbrain

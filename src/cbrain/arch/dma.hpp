@@ -1,0 +1,47 @@
+// DMA engine: moves blocks between DRAM and an on-chip buffer, accounting
+// transfer cycles from the DramConfig bandwidth/latency model. The control
+// unit overlaps DMA with compute via double buffering; the timing
+// reconciliation (max(compute, dma) per tile) happens in sim/timing and
+// model/, this class just meters each transfer.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/arch/config.hpp"
+#include "cbrain/arch/dram.hpp"
+#include "cbrain/arch/sram.hpp"
+
+namespace cbrain {
+
+struct DmaStats {
+  i64 transfers = 0;
+  i64 words_in = 0;   // DRAM -> buffer
+  i64 words_out = 0;  // buffer -> DRAM
+  i64 busy_cycles = 0;
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(DramConfig config) : config_(config) {}
+
+  // DRAM -> SRAM. Counts SRAM writes and DRAM words; returns cycles spent.
+  i64 load(const Dram& dram, DramAddr src, Sram16& dst, i64 dst_addr,
+           i64 words);
+  // SRAM -> DRAM.
+  i64 store(Sram16& src, i64 src_addr, Dram& dram, DramAddr dst, i64 words);
+
+  // Pure timing query (used by the analytical model).
+  i64 transfer_cycles(i64 words) const {
+    return config_.transfer_cycles(words);
+  }
+
+  const DmaStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  DramConfig config_;
+  DmaStats stats_;
+  std::vector<std::int16_t> bounce_;  // staging for block moves
+};
+
+}  // namespace cbrain

@@ -1,0 +1,52 @@
+#include "cbrain/arch/dram.hpp"
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+Dram::Dram(i64 capacity_words)
+    : mem_(static_cast<std::size_t>(capacity_words), 0) {
+  CBRAIN_CHECK(capacity_words > 0, "DRAM capacity must be positive");
+}
+
+DramAddr Dram::alloc(i64 words, const std::string& tag) {
+  CBRAIN_CHECK(words >= 0, "negative allocation");
+  CBRAIN_CHECK(next_free_ + words <= capacity_words(),
+               "DRAM exhausted: need " << words << " words beyond "
+                                       << next_free_ << "/"
+                                       << capacity_words());
+  const DramAddr addr = next_free_;
+  next_free_ += words;
+  regions_.push_back({addr, words, tag});
+  return addr;
+}
+
+void Dram::bounds(DramAddr addr, i64 words) const {
+  CBRAIN_CHECK(addr >= 0 && words >= 0 && addr + words <= capacity_words(),
+               "DRAM access [" << addr << ", " << addr + words
+                               << ") out of range");
+}
+
+std::int16_t Dram::read(DramAddr addr) const {
+  bounds(addr, 1);
+  return mem_[static_cast<std::size_t>(addr)];
+}
+
+void Dram::write(DramAddr addr, std::int16_t value) {
+  bounds(addr, 1);
+  mem_[static_cast<std::size_t>(addr)] = value;
+}
+
+void Dram::read_block(DramAddr addr, i64 words, std::int16_t* out) const {
+  bounds(addr, words);
+  for (i64 i = 0; i < words; ++i)
+    out[i] = mem_[static_cast<std::size_t>(addr + i)];
+}
+
+void Dram::write_block(DramAddr addr, i64 words, const std::int16_t* in) {
+  bounds(addr, words);
+  for (i64 i = 0; i < words; ++i)
+    mem_[static_cast<std::size_t>(addr + i)] = in[i];
+}
+
+}  // namespace cbrain

@@ -1,0 +1,37 @@
+#include "cbrain/arch/energy_model.hpp"
+
+#include <sstream>
+
+namespace cbrain {
+
+std::string EnergyParams::to_string() const {
+  std::ostringstream os;
+  os << "mul=" << mul_pj << "pJ idle=" << mul_idle_pj << "pJ add=" << add_pj
+     << "pJ inout=" << inout_buf_pj << "pJ/w weight=" << weight_buf_pj
+     << "pJ/w bias=" << bias_buf_pj << "pJ/w dram=" << dram_pj << "pJ/w";
+  return os.str();
+}
+
+EnergyBreakdown compute_energy(const TrafficCounters& c,
+                               const EnergyParams& p) {
+  EnergyBreakdown e;
+  e.pe_pj = static_cast<double>(c.mul_ops) * p.mul_pj +
+            static_cast<double>(c.idle_mul_slots) * p.mul_idle_pj +
+            static_cast<double>(c.add_ops) * p.add_pj;
+  e.buffer_pj =
+      static_cast<double>(c.input_reads + c.input_writes + c.output_reads +
+                          c.output_writes) *
+          p.inout_buf_pj +
+      static_cast<double>(c.weight_reads + c.weight_writes) *
+          p.weight_buf_pj +
+      static_cast<double>(c.bias_reads + c.bias_writes) * p.bias_buf_pj;
+  e.dram_pj = static_cast<double>(c.dram_words()) * p.dram_pj;
+  return e;
+}
+
+double energy_saving(double base_pj, double candidate_pj) {
+  if (base_pj <= 0.0) return 0.0;
+  return (base_pj - candidate_pj) / base_pj;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,27 @@
+#include "cbrain/arch/pe_array.hpp"
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+void PEArray::begin_op(i64 active_muls) {
+  CBRAIN_DCHECK(active_muls >= 0 && active_muls <= config_.multipliers(),
+                "op uses " << active_muls << " of " << config_.multipliers()
+                           << " multipliers");
+  ++stats_.ops;
+  stats_.idle_mul_slots += config_.multipliers() - active_muls;
+}
+
+Fixed16::acc_t PEArray::dot(const std::int16_t* data,
+                            const std::int16_t* weights, i64 n) {
+  Fixed16::acc_t acc = 0;
+  for (i64 i = 0; i < n; ++i) {
+    acc += static_cast<Fixed16::acc_t>(data[i]) *
+           static_cast<Fixed16::acc_t>(weights[i]);
+  }
+  stats_.mul_ops += n;
+  stats_.add_ops += n > 0 ? n - 1 : 0;
+  return acc;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,45 @@
+// PE array model: Tout adder trees fed by Tin multipliers each ("16-16
+// stands for ... 256 multipliers and 16 adder trees, each with 16
+// adders"). The functional simulator drives it op by op; this class owns
+// the datapath arithmetic and the utilization accounting that §4.1.1's
+// under-utilization argument rests on.
+#pragma once
+
+#include "cbrain/arch/config.hpp"
+#include "cbrain/fixed/fixed16.hpp"
+
+namespace cbrain {
+
+struct PEStats {
+  i64 ops = 0;             // issued PE operations (1 busy cycle each)
+  i64 mul_ops = 0;         // multiplier slots doing useful work
+  i64 idle_mul_slots = 0;  // slots idle during busy cycles
+  i64 add_ops = 0;         // adder-tree + accumulate additions
+};
+
+class PEArray {
+ public:
+  explicit PEArray(const AcceleratorConfig& config) : config_(config) {}
+
+  // Announce one PE operation using `active_muls` multiplier slots; the
+  // remaining (Tin*Tout - active_muls) slots burn idle energy this cycle.
+  void begin_op(i64 active_muls);
+
+  // Dot product of n <data, weight> pairs at accumulator precision: one
+  // lane of one adder tree. Counts n muls and n-1 tree adds (callers
+  // account the final accumulate-into-partial as an extra add).
+  Fixed16::acc_t dot(const std::int16_t* data, const std::int16_t* weights,
+                     i64 n);
+
+  // One extra addition (e.g. the §4.2.2 "add-and-store" accumulate).
+  void count_add(i64 n = 1) { stats_.add_ops += n; }
+
+  const PEStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  const AcceleratorConfig& config_;
+  PEStats stats_;
+};
+
+}  // namespace cbrain

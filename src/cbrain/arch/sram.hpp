@@ -1,0 +1,72 @@
+// On-chip SRAM models with access accounting.
+//
+// Sram16 backs the input, weight and bias buffers (16-bit words).
+// AccumSram backs the output buffer: partial sums are held at extended
+// precision (as DianNao's NBout does) so accumulation order never loses
+// bits; capacity and traffic are accounted as 32-bit partials = 2 words.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/common/math_util.hpp"
+#include "cbrain/fixed/fixed16.hpp"
+
+namespace cbrain {
+
+struct SramStats {
+  i64 reads = 0;   // words read
+  i64 writes = 0;  // words written
+};
+
+class Sram16 {
+ public:
+  Sram16(std::string name, i64 size_bytes);
+
+  const std::string& name() const { return name_; }
+  i64 size_words() const { return static_cast<i64>(mem_.size()); }
+
+  std::int16_t read(i64 addr);
+  void write(i64 addr, std::int16_t value);
+  // Bulk accessors count one access per word (a wide port moves many words
+  // in one cycle; energy scales with words, timing with cycles elsewhere).
+  void read_block(i64 addr, i64 words, std::int16_t* out);
+  void write_block(i64 addr, i64 words, const std::int16_t* in);
+
+  const SramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void bounds(i64 addr, i64 words) const;
+
+  std::string name_;
+  std::vector<std::int16_t> mem_;
+  SramStats stats_;
+};
+
+class AccumSram {
+ public:
+  // size_bytes of the physical buffer; each partial occupies 4 bytes.
+  AccumSram(std::string name, i64 size_bytes);
+
+  const std::string& name() const { return name_; }
+  i64 size_partials() const { return static_cast<i64>(mem_.size()); }
+
+  Fixed16::acc_t read(i64 index);
+  void write(i64 index, Fixed16::acc_t value);
+  // Read-modify-write accumulate: the §4.2.2 "add-and-store" operation.
+  void accumulate(i64 index, Fixed16::acc_t addend);
+
+  // Traffic in 16-bit words (2 per partial access).
+  const SramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void bounds(i64 index) const;
+
+  std::string name_;
+  std::vector<Fixed16::acc_t> mem_;
+  SramStats stats_;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,119 @@
+#include "cbrain/baseline/cpu_executor.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cbrain/ref/im2col_gemm.hpp"
+#include "cbrain/ref/lrn_ref.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/ref/pool_ref.hpp"
+
+namespace cbrain {
+namespace {
+
+double detect_host_ghz() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto pos = line.find(':');
+      if (pos != std::string::npos) {
+        const double mhz = std::atof(line.c_str() + pos + 1);
+        if (mhz > 100.0) return mhz / 1000.0;
+      }
+    }
+  }
+  return 2.2;  // assume the paper's clock when undetectable
+}
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CpuTimingResult time_cpu_forward(const Network& net,
+                                 const CpuRunOptions& options) {
+  CpuTimingResult result;
+  result.host_ghz_assumed =
+      options.host_ghz > 0.0 ? options.host_ghz : detect_host_ghz();
+
+  const auto params = init_net_params<float>(net, options.seed);
+  std::vector<Tensor3<float>> outputs(static_cast<std::size_t>(net.size()));
+
+  for (const Layer& l : net.layers()) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const auto& pd = params.per_layer[idx];
+    const double t0 = now_ms();
+    switch (l.kind) {
+      case LayerKind::kInput:
+        outputs[idx] =
+            random_input<float>(l.out_dims, options.seed ^ 0x1234);
+        break;
+      case LayerKind::kConv:
+        outputs[idx] = conv2d_im2col(outputs[static_cast<std::size_t>(
+                                         l.inputs[0])],
+                                     pd.weights, pd.bias, l.conv());
+        break;
+      case LayerKind::kPool:
+        outputs[idx] = pool2d_ref(
+            outputs[static_cast<std::size_t>(l.inputs[0])], l.pool());
+        break;
+      case LayerKind::kLRN:
+        outputs[idx] = lrn_ref(
+            outputs[static_cast<std::size_t>(l.inputs[0])], l.lrn());
+        break;
+      case LayerKind::kFC: {
+        if (!options.include_fc) {
+          // Shape-only placeholder so downstream layers keep running.
+          outputs[idx] = Tensor3<float>(l.out_dims);
+          break;
+        }
+        const Tensor3<float>& in =
+            outputs[static_cast<std::size_t>(l.inputs[0])];
+        Tensor3<float> out(l.out_dims);
+        sgemm(pd.weights.raw_data(), in.raw_data(), out.raw_data(),
+              l.fc().dout, 1, l.in_dims.count());
+        for (i64 o = 0; o < l.fc().dout; ++o) {
+          float v = out.at(o, 0, 0) + pd.bias[static_cast<std::size_t>(o)];
+          if (l.fc().relu && v < 0.0f) v = 0.0f;
+          out.at(o, 0, 0) = v;
+        }
+        outputs[idx] = std::move(out);
+        break;
+      }
+      case LayerKind::kConcat: {
+        Tensor3<float> out(l.out_dims);
+        i64 dbase = 0;
+        for (LayerId src : l.inputs) {
+          const Tensor3<float>& t = outputs[static_cast<std::size_t>(src)];
+          for (i64 d = 0; d < t.dims().d; ++d)
+            for (i64 y = 0; y < t.dims().h; ++y)
+              for (i64 x = 0; x < t.dims().w; ++x)
+                out.at(dbase + d, y, x) = t.at(d, y, x);
+          dbase += t.dims().d;
+        }
+        outputs[idx] = std::move(out);
+        break;
+      }
+      case LayerKind::kSoftmax:
+        outputs[idx] = outputs[static_cast<std::size_t>(l.inputs[0])];
+        break;
+    }
+    const double ms = now_ms() - t0;
+    if (l.kind == LayerKind::kInput) continue;
+    result.layers.push_back({l.name, l.kind, ms});
+    result.total_ms += ms;
+    if (l.kind == LayerKind::kConv || l.kind == LayerKind::kPool ||
+        l.kind == LayerKind::kLRN)
+      result.kernel_ms += ms;
+  }
+  return result;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,45 @@
+// The Table-4 baseline: a Caffe-style single-threaded CPU forward pass
+// (im2col + GEMM convolutions), wall-clock timed on the host and
+// frequency-normalized to the paper's 2.20 GHz Xeon. Absolute times track
+// the host machine; the accelerator-vs-CPU speedup magnitude (10^2-10^3x)
+// is the reproduced quantity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+struct CpuLayerTiming {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  double ms = 0.0;
+};
+
+struct CpuTimingResult {
+  std::vector<CpuLayerTiming> layers;
+  double total_ms = 0.0;      // all layers
+  double kernel_ms = 0.0;     // conv + pool (+lrn): the accelerator scope
+  double host_ghz_assumed = 0.0;
+
+  // Normalizes a measured time to what the paper's 2.2 GHz Xeon would
+  // take, given this host's clock (simple frequency scaling).
+  double normalized_kernel_ms(double target_ghz = 2.2) const {
+    if (host_ghz_assumed <= 0.0) return kernel_ms;
+    return kernel_ms * host_ghz_assumed / target_ghz;
+  }
+};
+
+struct CpuRunOptions {
+  bool include_fc = false;  // match the accelerator benches' scope
+  std::uint64_t seed = 42;
+  // Detected from /proc/cpuinfo when 0 (falls back to 2.2 GHz).
+  double host_ghz = 0.0;
+};
+
+CpuTimingResult time_cpu_forward(const Network& net,
+                                 const CpuRunOptions& options = {});
+
+}  // namespace cbrain

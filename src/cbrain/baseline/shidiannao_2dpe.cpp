@@ -1,0 +1,35 @@
+#include "cbrain/baseline/shidiannao_2dpe.hpp"
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+i64 twodpe_conv_cycles(const Layer& conv, const TwoDPEConfig& config) {
+  CBRAIN_CHECK(conv.is_conv(), "2D-PE model applies to conv layers");
+  const ConvParams& p = conv.conv();
+  const i64 din_g = p.din_per_group(conv.in_dims.d);
+  const i64 dout_g = p.dout_per_group();
+  const i64 tiles = ceil_div(conv.out_dims.w, config.px) *
+                    ceil_div(conv.out_dims.h, config.py);
+  // k*k*Din steps per (tile, output map); each step costs `stride` cycles
+  // (1 when neighbour propagation covers the shift).
+  const i64 per_group =
+      tiles * dout_g * din_g * p.k * p.k * p.stride;
+  return per_group * p.groups;
+}
+
+i64 twodpe_network_cycles(const Network& net, const TwoDPEConfig& config) {
+  i64 cycles = 0;
+  for (const Layer& l : net.layers())
+    if (l.is_conv()) cycles += twodpe_conv_cycles(l, config);
+  return cycles;
+}
+
+double twodpe_utilization(const Layer& conv, const TwoDPEConfig& config) {
+  const i64 cycles = twodpe_conv_cycles(conv, config);
+  const double slots =
+      static_cast<double>(cycles) * static_cast<double>(config.pes());
+  return slots > 0 ? static_cast<double>(conv.macs()) / slots : 0.0;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,51 @@
+// Analytical model of a ShiDianNao-style 2D-PE array [15] — the third
+// realization of intra-kernel parallelism the paper surveys (§4.1.2(3)):
+// "a 2D mesh PE similar to systolic array ... exhibits very high data
+// reusability ... However [it] will encounter performance degradation or
+// underutilization when it encounters networks with varied size of
+// kernels and stride."
+//
+// Model (output-stationary Px x Py mesh):
+//  * The array holds a Px x Py tile of one output map; each of the k*k*Din
+//    kernel steps broadcasts one weight while input pixels propagate
+//    between neighbouring PEs.
+//  * stride 1: every step costs 1 cycle (neighbour propagation covers the
+//    window shift — the case the design excels at).
+//  * stride s > 1: neighbour reuse covers only one of every s positions;
+//    the remaining (s-1) input fetches serialize, so a step costs s
+//    cycles (the degradation the paper alludes to).
+//  * Edge tiles waste PEs when the output extent is not a multiple of
+//    Px/Py (underutilization on diverse layer shapes).
+//
+// This is deliberately a first-order model of the published dataflow, not
+// of ShiDianNao's full controller; it exists so the C-Brain adaptive
+// scheme can be compared against the strongest fixed intra-kernel design
+// point (bench_ext_2dpe).
+#pragma once
+
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+struct TwoDPEConfig {
+  i64 px = 16;  // mesh width  (16x16 = 256 PEs: DianNao-equal resources)
+  i64 py = 16;  // mesh height
+  double clock_ghz = 1.0;
+
+  i64 pes() const { return px * py; }
+  double cycles_to_ms(i64 cycles) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+// Cycles for one conv layer on the 2D mesh (grouped conv sums per group).
+i64 twodpe_conv_cycles(const Layer& conv, const TwoDPEConfig& config = {});
+
+// All conv layers of a network.
+i64 twodpe_network_cycles(const Network& net,
+                          const TwoDPEConfig& config = {});
+
+// Fraction of PE-cycles doing useful MACs (edge-tile and stride losses).
+double twodpe_utilization(const Layer& conv, const TwoDPEConfig& config = {});
+
+}  // namespace cbrain

@@ -1,0 +1,25 @@
+#include "cbrain/baseline/zhang_fpga.hpp"
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+i64 zhang_conv_cycles(const Layer& conv, const ZhangConfig& config) {
+  CBRAIN_CHECK(conv.is_conv(), "zhang model applies to conv layers");
+  const ConvParams& p = conv.conv();
+  const i64 din_g = p.din_per_group(conv.in_dims.d);
+  const i64 dout_g = p.dout_per_group();
+  const i64 per_group = conv.out_dims.pixels_per_map() * p.k * p.k *
+                        ceil_div(dout_g, config.tm) *
+                        ceil_div(din_g, config.tn);
+  return per_group * p.groups;
+}
+
+i64 zhang_network_cycles(const Network& net, const ZhangConfig& config) {
+  i64 cycles = 0;
+  for (const Layer& l : net.layers())
+    if (l.is_conv()) cycles += zhang_conv_cycles(l, config);
+  return cycles;
+}
+
+}  // namespace cbrain

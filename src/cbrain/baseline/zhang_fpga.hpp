@@ -1,0 +1,33 @@
+// Analytical model of Zhang et al., FPGA'15 [14] — the external baseline
+// of the paper's Fig. 9. That design is an inter-kernel (loop-unrolled)
+// accelerator with unroll factors <Tm=64 output maps, Tn=7 input maps> at
+// 100 MHz; its published performance model is
+//   cycles(layer) = R*C*K*K * ceil(M/Tm) * ceil(N/Tn)
+// which reconstructs its reported AlexNet numbers (conv1 7.3 ms vs the
+// 7.4 ms bar; whole-net 20.1 ms vs the reported 21.61 ms — the difference
+// is their pipeline-fill/memory overhead, which we deliberately do not
+// invent constants for).
+#pragma once
+
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+struct ZhangConfig {
+  i64 tm = 64;  // output-map unroll
+  i64 tn = 7;   // input-map unroll
+  double clock_ghz = 0.1;
+
+  double cycles_to_ms(i64 cycles) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+// Cycles for one conv layer (grouped convs sum their per-group cost;
+// unroll factors never straddle a group boundary).
+i64 zhang_conv_cycles(const Layer& conv, const ZhangConfig& config = {});
+
+// All conv layers of a network (the scope [14] reports).
+i64 zhang_network_cycles(const Network& net, const ZhangConfig& config = {});
+
+}  // namespace cbrain

@@ -1,0 +1,44 @@
+#include "cbrain/common/csv.hpp"
+
+#include <cstdio>
+
+namespace cbrain {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(const std::string& v) {
+  pending_.push_back(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return cell(std::string(buf));
+}
+
+void CsvWriter::end_row() {
+  write_row(pending_);
+  pending_.clear();
+}
+
+}  // namespace cbrain

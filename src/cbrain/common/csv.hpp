@@ -1,0 +1,35 @@
+// CSV emission for bench results so figures can be re-plotted outside the
+// harness. Quoting follows RFC 4180 (quote when a field contains comma,
+// quote or newline; embedded quotes doubled).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cbrain {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  // Convenience: stream heterogeneous cells then end_row().
+  CsvWriter& cell(const std::string& v);
+  CsvWriter& cell(const char* v) { return cell(std::string(v)); }
+  CsvWriter& cell(std::uint64_t v) { return cell(std::to_string(v)); }
+  CsvWriter& cell(std::int64_t v) { return cell(std::to_string(v)); }
+  CsvWriter& cell(int v) { return cell(std::to_string(v)); }
+  CsvWriter& cell(double v);
+  void end_row();
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace cbrain

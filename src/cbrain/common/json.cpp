@@ -1,0 +1,147 @@
+#include "cbrain/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cbrain {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Ctx::kObjectKey)
+    CBRAIN_CHECK(false, "JSON: value emitted where a key is required");
+  if (need_comma_) os_ << ',';
+  if (!stack_.empty() && stack_.back() == Ctx::kObjectValue)
+    stack_.back() = Ctx::kObjectKey;  // next item must be a key
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Ctx::kObjectKey);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CBRAIN_CHECK(!stack_.empty() && stack_.back() == Ctx::kObjectKey,
+               "JSON: unbalanced end_object");
+  stack_.pop_back();
+  os_ << '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CBRAIN_CHECK(!stack_.empty() && stack_.back() == Ctx::kArray,
+               "JSON: unbalanced end_array");
+  stack_.pop_back();
+  os_ << ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  CBRAIN_CHECK(!stack_.empty() && stack_.back() == Ctx::kObjectKey,
+               "JSON: key outside an object");
+  if (need_comma_) os_ << ',';
+  os_ << '"' << escape(k) << "\":";
+  stack_.back() = Ctx::kObjectValue;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  os_ << '"' << escape(v) << '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    os_ << buf;
+  } else {
+    os_ << "null";  // JSON has no NaN/Inf
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  CBRAIN_CHECK(stack_.empty(), "JSON: unclosed containers at str()");
+  return os_.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,55 @@
+// Minimal JSON writer (no DOM, no parsing): streaming emission with
+// correct escaping and nesting checks. Used to export model results for
+// external tooling (plotting, CI dashboards) via report/json_export.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: emit "key": then expect a value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // Finalized text; CHECKs that all containers are closed.
+  std::string str() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Ctx { kObjectKey, kObjectValue, kArray };
+  void before_value();
+
+  std::ostringstream os_;
+  std::vector<Ctx> stack_;
+  bool need_comma_ = false;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,40 @@
+#include "cbrain/common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cbrain {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[cbrain %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace cbrain

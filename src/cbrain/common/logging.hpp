@@ -1,0 +1,45 @@
+// Minimal leveled logger. The simulator and compiler log at kDebug for
+// per-tile decisions and kInfo for per-layer summaries; benches run at
+// kWarn so tables stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cbrain {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace cbrain
+
+#define CBRAIN_LOG(level)                                 \
+  if (::cbrain::LogLevel::level < ::cbrain::log_level()) { \
+  } else                                                  \
+    ::cbrain::detail::LogLine(::cbrain::LogLevel::level)

@@ -1,0 +1,38 @@
+// Integer helpers used throughout the tiling and cycle models. All take and
+// return signed 64-bit: layer dimension products (e.g. VGG buffer traffic)
+// overflow 32 bits, and signed arithmetic keeps -fsanitize=undefined useful.
+#pragma once
+
+#include <cstdint>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+constexpr i64 ceil_div(i64 a, i64 b) {
+  CBRAIN_CHECK(b > 0, "ceil_div by non-positive divisor");
+  return (a + b - 1) / b;
+}
+
+constexpr i64 round_up(i64 a, i64 multiple) {
+  return ceil_div(a, multiple) * multiple;
+}
+
+constexpr bool is_pow2(i64 v) { return v > 0 && (v & (v - 1)) == 0; }
+
+constexpr i64 clamp_i64(i64 v, i64 lo, i64 hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// Number of sliding-window output positions for input extent `in`, window
+// `k`, stride `s`, symmetric padding `pad` per side.
+constexpr i64 conv_out_extent(i64 in, i64 k, i64 s, i64 pad) {
+  CBRAIN_CHECK(s > 0, "stride must be positive");
+  CBRAIN_CHECK(in + 2 * pad >= k, "window larger than padded input");
+  return (in + 2 * pad - k) / s + 1;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,97 @@
+// Status / Result<T>: recoverable-error channel for API boundaries where
+// failure is an expected outcome (e.g. a layer that no scheme can map, a
+// network spec that fails shape inference). Internal invariant violations
+// use CBRAIN_CHECK instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kUnsupported,
+  kResourceExhausted,  // e.g. tile does not fit in any legal buffer split
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status unsupported(std::string msg) {
+    return {StatusCode::kUnsupported, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-error. `value()` CHECKs that the result is OK, so call sites
+// that cannot handle failure fail loudly with the original message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {
+    CBRAIN_CHECK(!status_.is_ok(), "Result constructed from OK status");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CBRAIN_CHECK(is_ok(), "Result::value() on error: " << status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    CBRAIN_CHECK(is_ok(), "Result::value() on error: " << status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    CBRAIN_CHECK(is_ok(), "Result::value() on error: " << status_.to_string());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return is_ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,33 @@
+// Small string utilities shared by the report printers and the
+// disassembler. Nothing here allocates beyond the returned value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbrain {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+std::string trim(const std::string& s);
+std::string to_lower(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+
+// 12345678 -> "12,345,678" (thousands separators for cycle counts).
+std::string with_commas(std::uint64_t v);
+
+// 2.5 MiB / 13.2 KiB style rendering of byte counts.
+std::string human_bytes(std::uint64_t bytes);
+
+// Fixed-precision double ("%.*f").
+std::string fmt_double(double v, int precision);
+
+// "1.43x" style speedup rendering.
+std::string fmt_speedup(double v);
+
+// "12.3%" with sign preserved ("-8.6%").
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace cbrain

@@ -1,0 +1,24 @@
+#include "cbrain/compiler/adaptive.hpp"
+
+namespace cbrain {
+
+Scheme scheme_for_layer(const Layer& conv, Policy policy,
+                        const AcceleratorConfig& config) {
+  const ConvParams& p = conv.conv();
+  const i64 din_g = p.din_per_group(conv.in_dims.d);
+  return scheme_for_policy(policy, p.k, p.stride, din_g, config.tin);
+}
+
+std::vector<Scheme> assign_schemes(const Network& net, Policy policy,
+                                   const AcceleratorConfig& config) {
+  std::vector<Scheme> schemes(static_cast<std::size_t>(net.size()),
+                              Scheme::kInter);
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    schemes[static_cast<std::size_t>(l.id)] =
+        scheme_for_layer(l, policy, config);
+  }
+  return schemes;
+}
+
+}  // namespace cbrain

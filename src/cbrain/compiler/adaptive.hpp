@@ -1,0 +1,22 @@
+// Per-layer scheme assignment for a whole network under a policy —
+// Algorithm 2 applied layer by layer, or the fixed-scheme policies the
+// paper compares against.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/arch/config.hpp"
+#include "cbrain/compiler/scheme.hpp"
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+// Indexed by LayerId; entries for non-conv layers are kInter and unused.
+std::vector<Scheme> assign_schemes(const Network& net, Policy policy,
+                                   const AcceleratorConfig& config);
+
+// Scheme for one conv layer under a policy (per-group Din, as in Table 2).
+Scheme scheme_for_layer(const Layer& conv, Policy policy,
+                        const AcceleratorConfig& config);
+
+}  // namespace cbrain

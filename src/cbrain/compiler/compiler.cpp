@@ -1,0 +1,350 @@
+#include "cbrain/compiler/compiler.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "cbrain/common/logging.hpp"
+
+namespace cbrain {
+namespace {
+
+std::string tile_tag(const Layer& l, const ConvTileSpec& t) {
+  std::ostringstream os;
+  os << l.name << " g" << t.group << " r" << t.row0 << "+" << t.rows << " o"
+     << t.dout0 << "+" << t.douts << " i" << t.din0 << "+" << t.dins;
+  return os.str();
+}
+
+class CodeGen {
+ public:
+  CodeGen(const Network& net, const AcceleratorConfig& config,
+          CompiledNetwork& out)
+      : net_(net), config_(config), out_(out) {}
+
+  Status run() {
+    out_.conv_plans.resize(static_cast<std::size_t>(net_.size()));
+    for (const Layer& l : net_.layers()) {
+      out_.program.begin_layer(l.id);
+      switch (l.kind) {
+        case LayerKind::kInput:
+        case LayerKind::kConcat:
+          break;  // host injection / pure bookkeeping
+        case LayerKind::kConv: {
+          const Status s = emit_conv(l);
+          if (!s.is_ok()) return s;
+          break;
+        }
+        case LayerKind::kPool:
+          emit_pool(l);
+          break;
+        case LayerKind::kFC:
+          emit_fc(l);
+          break;
+        case LayerKind::kLRN:
+          emit_host(l, HostOpKind::kLrn);
+          break;
+        case LayerKind::kSoftmax:
+          emit_host(l, HostOpKind::kSoftmax);
+          break;
+      }
+      out_.program.end_layer(l.id);
+    }
+    return Status::ok();
+  }
+
+ private:
+  void push(Instruction instr) { out_.program.push(std::move(instr)); }
+
+  // Emits a (possibly strided) load; collapses to contiguous when the
+  // stride equals the chunk size.
+  void load(BufferId dst, i64 dst_addr, DramAddr src, i64 chunks,
+            i64 chunk_words, i64 src_stride, std::string tag) {
+    LoadInstr li;
+    li.dst = dst;
+    li.dst_addr = dst_addr;
+    li.src = src;
+    if (chunks > 1 && src_stride == chunk_words) {
+      chunk_words *= chunks;
+      chunks = 1;
+    }
+    li.chunks = chunks;
+    li.chunk_words = chunk_words;
+    li.words = chunks * chunk_words;
+    li.src_stride = src_stride;
+    li.tag = std::move(tag);
+    if (li.words > 0) push(std::move(li));
+  }
+
+  Status emit_conv(const Layer& l) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const Scheme scheme = out_.layout.scheme_of(l.id);
+    auto plan_r = plan_conv_tiles(l, scheme, config_);
+    if (!plan_r.is_ok()) return plan_r.status();
+    const ConvTilePlan& plan = (out_.conv_plans[idx] =
+                                    std::move(plan_r).value());
+    const ConvGeom& g = plan.geom;
+    const LayoutPlan& lay = out_.layout;
+    const CubeSpec& cube = (scheme == Scheme::kIntraUnroll)
+                               ? lay.unroll_cube[idx]
+                               : lay.in_cube[idx];
+
+    // Host-side im2col staging for the unroll scheme.
+    if (scheme == Scheme::kIntraUnroll) {
+      HostOpInstr h;
+      h.layer = l.id;
+      h.kind = HostOpKind::kUnroll;
+      h.words = cube.words();
+      h.tag = l.name + " im2col";
+      push(h);
+    }
+
+    const i64 kw = g.kw_eff();
+    const i64 kk_img = kw * kw;  // weight-image kernel footprint
+
+    struct WeightKey {
+      i64 group, dout0, din0;
+      bool operator==(const WeightKey&) const = default;
+    };
+    struct BandKey {
+      i64 group, row0, din0, dins;
+      bool operator==(const BandKey&) const = default;
+    };
+    std::optional<WeightKey> loaded_w;
+    std::optional<BandKey> loaded_b;
+
+    for (const ConvTileSpec& t : plan.tiles) {
+      const i64 dout_abs0 = t.group * g.dout_g + t.dout0;
+      const i64 din_abs0 = t.group * g.din_g + t.din0;
+      bool queued = false;
+
+      // Weight tile: (douts x dins x kw x kw), row-major relative layout.
+      const WeightKey wk{t.group, t.dout0, t.din0};
+      if (!loaded_w || !(*loaded_w == wk)) {
+        load(BufferId::kWeight, 0,
+             lay.weight_addr[idx] + (dout_abs0 * g.din_g + t.din0) * kk_img,
+             t.douts, t.dins * kk_img, g.din_g * kk_img,
+             l.name + " weights");
+        // Bias slice for this tile's output maps (relative addressing).
+        load(BufferId::kBias, 0, lay.bias_addr[idx] + dout_abs0, 1,
+             t.douts, 0, l.name + " bias");
+        loaded_w = wk;
+        queued = true;
+      }
+
+      // Input band.
+      const BandKey bk{t.group, t.row0, t.din0, t.dins};
+      if (!loaded_b || !(*loaded_b == bk)) {
+        emit_conv_band_load(l, scheme, g, cube, t, din_abs0);
+        loaded_b = bk;
+        queued = true;
+      }
+
+      if (queued) push(BarrierInstr{tile_tag(l, t)});
+
+      ConvTileInstr ci;
+      ci.layer = l.id;
+      ci.scheme = scheme;
+      ci.k = g.k;
+      ci.stride = g.stride;
+      ci.part = g.part;
+      ci.out_w = g.out_w;
+      ci.out_row0 = t.row0;
+      ci.out_row1 = t.row0 + t.rows;
+      ci.dout0 = dout_abs0;
+      ci.dout1 = dout_abs0 + t.douts;
+      ci.din0 = din_abs0;
+      ci.din1 = din_abs0 + t.dins;
+      ci.input_base = 0;
+      if (scheme == Scheme::kIntraUnroll) {
+        ci.band_row0 = t.row0;  // first output-pixel row in the band
+        ci.band_rows = t.rows;
+        ci.band_width = g.k * g.k;
+        ci.band_order = DataOrder::kSpatialMajor;
+      } else {
+        ci.band_row0 = t.row0 * g.stride;
+        ci.band_rows = g.band_rows(t.rows);
+        ci.band_width = g.in_w_pad;
+        ci.band_order = cube.order;
+      }
+      ci.weight_base = 0;
+      ci.bias_base = 0;
+      ci.first_din_chunk = (t.din0 == 0);
+      ci.last_din_chunk = (t.din0 + t.dins == g.din_g);
+      ci.relu = l.conv().relu;
+      if (ci.last_din_chunk) ci.outs = lay.out_maps[idx];
+      ci.tag = tile_tag(l, t);
+      push(std::move(ci));
+    }
+    return Status::ok();
+  }
+
+  void emit_conv_band_load(const Layer& l, Scheme scheme, const ConvGeom& g,
+                           const CubeSpec& cube, const ConvTileSpec& t,
+                           i64 din_abs0) {
+    const std::string tag = l.name + " band";
+    if (scheme == Scheme::kIntraUnroll) {
+      // Unrolled window-rows of output rows [row0, row0+rows).
+      const i64 npix_total = g.out_h * g.out_w;
+      const i64 kk = g.k * g.k;
+      const i64 pix0 = t.row0 * g.out_w;
+      const i64 npix = t.rows * g.out_w;
+      load(BufferId::kInput, 0, cube.addr + (din_abs0 * npix_total + pix0) * kk,
+           t.dins, npix * kk, npix_total * kk, tag);
+      return;
+    }
+    const i64 row0 = t.row0 * g.stride;
+    const i64 rows = g.band_rows(t.rows);
+    if (cube.order == DataOrder::kSpatialMajor) {
+      load(BufferId::kInput, 0,
+           cube.addr + (din_abs0 * cube.padded.h + row0) * cube.padded.w,
+           t.dins, rows * cube.padded.w, cube.padded.h * cube.padded.w, tag);
+    } else {
+      // Depth-major: each band pixel contributes `dins` adjacent words.
+      load(BufferId::kInput, 0,
+           cube.addr + row0 * cube.padded.w * cube.padded.d + din_abs0,
+           rows * cube.padded.w, t.dins, cube.padded.d, tag);
+    }
+  }
+
+  void emit_pool(const Layer& l) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const PoolParams& p = l.pool();
+    const PoolTilePlan plan = plan_pool_tiles(l, config_);
+    const CubeSpec& cube = out_.layout.cube_of(l.id);
+
+    for (i64 dt = 0; dt < plan.n_d_tiles; ++dt) {
+      const i64 d0 = dt * plan.d_per_tile;
+      const i64 d1 = std::min(d0 + plan.d_per_tile, l.in_dims.d);
+      for (i64 b = 0; b < plan.n_bands; ++b) {
+        const i64 r0 = b * plan.rows_per_band;
+        const i64 r1 = std::min(r0 + plan.rows_per_band, plan.out_h);
+        const i64 band_row0 = r0 * p.stride;
+        const i64 band_rows =
+            std::min((r1 - r0 - 1) * p.stride + p.k,
+                     cube.padded.h - band_row0);
+        // Depth-major band load: `d1-d0` words per pixel.
+        load(BufferId::kInput, 0,
+             cube.addr + band_row0 * cube.padded.w * cube.padded.d + d0,
+             band_rows * cube.padded.w, d1 - d0, cube.padded.d,
+             l.name + " band");
+        push(BarrierInstr{l.name});
+
+        PoolTileInstr pi;
+        pi.layer = l.id;
+        pi.kind = p.kind;
+        pi.p = p.k;
+        pi.stride = p.stride;
+        pi.in_h = l.in_dims.h;
+        pi.in_w = l.in_dims.w;
+        pi.pad = p.pad;
+        pi.out_w = plan.out_w;
+        pi.out_row0 = r0;
+        pi.out_row1 = r1;
+        pi.d0 = d0;
+        pi.d1 = d1;
+        pi.input_base = 0;
+        pi.band_row0 = band_row0;
+        pi.band_rows = band_rows;
+        pi.band_width = cube.padded.w;
+        pi.band_order = cube.order;
+        pi.outs = out_.layout.out_maps[idx];
+        pi.tag = l.name;
+        push(std::move(pi));
+      }
+    }
+  }
+
+  void emit_fc(const Layer& l) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const FcTilePlan plan = plan_fc_tiles(l, config_);
+    const CubeSpec& cube = out_.layout.cube_of(l.id);
+    // Chunk-outer loop: each input chunk is loaded once and reused by all
+    // dout tiles; partial sums persist in the output buffer across chunks.
+    for (i64 ct = 0; ct < plan.n_din_chunks; ++ct) {
+      const i64 din0 = ct * plan.din_per_chunk;
+      const i64 din1 = std::min(din0 + plan.din_per_chunk, plan.din);
+      load(BufferId::kInput, 0, cube.addr + din0, 1, din1 - din0, 0,
+           l.name + " input chunk");
+      for (i64 dt = 0; dt < plan.n_tiles; ++dt) {
+        const i64 dout0 = dt * plan.dout_per_tile;
+        const i64 dout1 = std::min(dout0 + plan.dout_per_tile, l.fc().dout);
+        // Weight sub-block: (dout1-dout0) rows of the chunk's columns.
+        load(BufferId::kWeight, 0,
+             out_.layout.weight_addr[idx] + dout0 * plan.din + din0,
+             dout1 - dout0, din1 - din0, plan.din, l.name + " weights");
+        if (ct == 0)
+          load(BufferId::kBias, 0, out_.layout.bias_addr[idx] + dout0, 1,
+               dout1 - dout0, 0, l.name + " bias");
+        push(BarrierInstr{l.name});
+
+        FcTileInstr fi;
+        fi.layer = l.id;
+        fi.din = plan.din;
+        fi.din0 = din0;
+        fi.din1 = din1;
+        fi.dout0 = dout0;
+        fi.dout1 = dout1;
+        fi.input_base = 0;
+        fi.weight_base = 0;
+        fi.bias_base = 0;
+        fi.first_din_chunk = (ct == 0);
+        fi.last_din_chunk = (ct == plan.n_din_chunks - 1);
+        fi.relu = l.fc().relu;
+        if (fi.last_din_chunk) fi.outs = out_.layout.out_maps[idx];
+        fi.tag = l.name;
+        push(std::move(fi));
+      }
+    }
+  }
+
+  void emit_host(const Layer& l, HostOpKind kind) {
+    HostOpInstr h;
+    h.layer = l.id;
+    h.kind = kind;
+    h.words = l.in_dims.count();
+    h.tag = l.name;
+    push(h);
+  }
+
+  const Network& net_;
+  const AcceleratorConfig& config_;
+  CompiledNetwork& out_;
+};
+
+}  // namespace
+
+namespace {
+
+Result<CompiledNetwork> compile_with_layout(const Network& net,
+                                            LayoutPlan layout, Policy policy,
+                                            const AcceleratorConfig& config) {
+  CompiledNetwork out;
+  out.policy = policy;
+  out.layout = std::move(layout);
+  CodeGen gen(net, config, out);
+  const Status s = gen.run();
+  if (!s.is_ok()) return s;
+  CBRAIN_LOG(kInfo) << "compiled " << net.name() << " under "
+                    << policy_name(policy) << ": "
+                    << out.program.stats().instructions << " instructions";
+  return out;
+}
+
+}  // namespace
+
+Result<CompiledNetwork> compile_network(const Network& net, Policy policy,
+                                        const AcceleratorConfig& config) {
+  return compile_with_layout(net, plan_layout(net, policy, config), policy,
+                             config);
+}
+
+Result<CompiledNetwork> compile_network(const Network& net,
+                                        std::vector<Scheme> schemes,
+                                        const AcceleratorConfig& config,
+                                        Policy policy_label) {
+  return compile_with_layout(net,
+                             plan_layout(net, std::move(schemes), config),
+                             policy_label, config);
+}
+
+}  // namespace cbrain

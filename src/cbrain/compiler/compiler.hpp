@@ -1,0 +1,37 @@
+// The offline compiler of Fig. 2: translates a network specification into
+// the macro-instruction flow for the accelerator under a chosen policy —
+// scheme selection (Algorithm 2), data layout planning (§4.2.3), buffer
+// tiling, and instruction emission with double-buffer barriers.
+//
+// The same Program is consumed by the analytical performance model
+// (closed-form per tile) and the cycle-level functional simulator
+// (per-operation execution), so the two cannot disagree about what work
+// was scheduled.
+#pragma once
+
+#include "cbrain/compiler/layout_planner.hpp"
+#include "cbrain/compiler/tiler.hpp"
+#include "cbrain/isa/program.hpp"
+
+namespace cbrain {
+
+struct CompiledNetwork {
+  Policy policy = Policy::kAdaptive2;
+  LayoutPlan layout;
+  Program program;
+  // Per LayerId (conv layers only; others default-constructed).
+  std::vector<ConvTilePlan> conv_plans;
+};
+
+// Fails only when a layer cannot be tiled into the configured buffers.
+Result<CompiledNetwork> compile_network(const Network& net, Policy policy,
+                                        const AcceleratorConfig& config);
+
+// Compile with an explicit per-layer scheme assignment (oracle or custom
+// mapping strategies). `policy` is recorded for reporting only.
+Result<CompiledNetwork> compile_network(const Network& net,
+                                        std::vector<Scheme> schemes,
+                                        const AcceleratorConfig& config,
+                                        Policy policy_label);
+
+}  // namespace cbrain

@@ -1,0 +1,99 @@
+#include "cbrain/compiler/scheme.hpp"
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kInter:
+      return "inter";
+    case Scheme::kInterImproved:
+      return "inter+";
+    case Scheme::kIntraUnroll:
+      return "intra-unroll";
+    case Scheme::kIntraSliding:
+      return "intra-sliding";
+    case Scheme::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+DataOrder scheme_input_order(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kInter:
+    case Scheme::kInterImproved:
+      return DataOrder::kDepthMajor;  // paper's "inter-order"
+    case Scheme::kIntraUnroll:
+    case Scheme::kIntraSliding:
+    case Scheme::kPartition:
+      return DataOrder::kSpatialMajor;  // paper's "intra-order"
+  }
+  return DataOrder::kSpatialMajor;
+}
+
+PartitionSpec PartitionSpec::from(i64 k, i64 stride) {
+  CBRAIN_CHECK(k > 0 && stride > 0, "bad kernel/stride");
+  PartitionSpec s;
+  if (k > stride) {
+    s.g = ceil_div(k, stride);  // Equation 2
+    s.ks = stride;
+  } else {
+    s.g = 1;
+    s.ks = k;
+  }
+  return s;
+}
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFixedInter:
+      return "inter";
+    case Policy::kFixedIntra:
+      return "intra";
+    case Policy::kFixedPartition:
+      return "partition";
+    case Policy::kAdaptive1:
+      return "adap-1";
+    case Policy::kAdaptive2:
+      return "adap-2";
+    case Policy::kIdeal:
+      return "ideal";
+  }
+  return "?";
+}
+
+Scheme select_scheme_adaptive(i64 k, i64 stride, i64 din, i64 tin,
+                              bool improved_inter) {
+  // Algorithm 2:
+  //   1: IF k = s and k != 1 THEN intra-kernel
+  //   2: ELSE IF Din < Tin THEN kernel-partition
+  //   3: ELSE inter-kernel
+  if (k == stride && k != 1) return Scheme::kIntraSliding;
+  if (din < tin) return Scheme::kPartition;
+  return improved_inter ? Scheme::kInterImproved : Scheme::kInter;
+}
+
+Scheme scheme_for_policy(Policy policy, i64 k, i64 stride, i64 din,
+                         i64 tin) {
+  switch (policy) {
+    case Policy::kFixedInter:
+      return Scheme::kInter;
+    case Policy::kFixedIntra:
+      // The paper's "intra" bar: sliding window where it is legal
+      // (k == s), data unrolling elsewhere (§5.2: "we implemented the
+      // unrolling scheme in this paper").
+      return k == stride ? Scheme::kIntraSliding : Scheme::kIntraUnroll;
+    case Policy::kFixedPartition:
+      return Scheme::kPartition;
+    case Policy::kAdaptive1:
+      return select_scheme_adaptive(k, stride, din, tin, false);
+    case Policy::kAdaptive2:
+    case Policy::kIdeal:
+      return select_scheme_adaptive(k, stride, din, tin, true);
+  }
+  return Scheme::kInter;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,62 @@
+// Parallelization schemes (§4) and the adaptive selection rule
+// (Algorithm 2). This header is the vocabulary shared by the compiler, the
+// analytical model and the simulator.
+#pragma once
+
+#include <string>
+
+#include "cbrain/common/math_util.hpp"
+#include "cbrain/tensor/layout.hpp"
+
+namespace cbrain {
+
+enum class Scheme {
+  kInter,          // §4.1.1: Tin pixels across input maps (DianNao order)
+  kInterImproved,  // §4.2.2: inter + weight residency + add-and-store
+  kIntraUnroll,    // §4.1.2(1): im2col duplication
+  kIntraSliding,   // §4.1.2(2): only efficient when k == s
+  kPartition,      // §4.2.1: g x g sub-kernels of side ks = s
+};
+
+const char* scheme_name(Scheme scheme);
+
+// How a scheme wants its input cube laid out (Algorithm 2 lines 4-5).
+DataOrder scheme_input_order(Scheme scheme);
+
+// Equation 2 with the degenerate cases pinned down:
+//   k >  s : g = ceil(k/s), ks = s   (the paper's case)
+//   k <= s : g = 1,         ks = k   (windows never overlap; partition
+//                                     degenerates to sliding-window)
+struct PartitionSpec {
+  i64 g = 1;
+  i64 ks = 0;
+
+  static PartitionSpec from(i64 k, i64 stride);
+
+  i64 pieces() const { return g * g; }      // G in Algorithm 1
+  i64 padded_k() const { return g * ks; }   // kernel side after 0-padding
+  i64 sub_words() const { return ks * ks; }
+};
+
+// Execution policies evaluated in the paper (Figs. 7-10, Tables 4-5).
+enum class Policy {
+  kFixedInter,      // "inter": classic inter-kernel on every layer
+  kFixedIntra,      // "intra": sliding when k==s, unrolling otherwise
+  kFixedPartition,  // "partition" on every layer
+  kAdaptive1,       // Algorithm 2 with classic inter on top layers
+  kAdaptive2,       // Algorithm 2 with improved inter (§4.2.2)
+  kIdeal,           // 100%-utilization bound (Fig. 7's "ideal")
+};
+
+const char* policy_name(Policy policy);
+
+// Algorithm 2 lines 1-3: pick the scheme for one conv layer. `din` is the
+// per-group input depth (the paper's Table 2 convention).
+Scheme select_scheme_adaptive(i64 k, i64 stride, i64 din, i64 tin,
+                              bool improved_inter);
+
+// Scheme a policy assigns to a conv layer (kIdeal maps to kInterImproved
+// for traffic purposes; its cycle count is overridden by the model).
+Scheme scheme_for_policy(Policy policy, i64 k, i64 stride, i64 din, i64 tin);
+
+}  // namespace cbrain

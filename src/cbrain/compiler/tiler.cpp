@@ -1,0 +1,214 @@
+#include "cbrain/compiler/tiler.hpp"
+
+#include <algorithm>
+
+#include "cbrain/common/logging.hpp"
+
+namespace cbrain {
+namespace {
+
+// Words of input band a tile needs in the input buffer.
+i64 input_band_words(const ConvGeom& g, Scheme scheme, i64 out_rows,
+                     i64 dins) {
+  if (scheme == Scheme::kIntraUnroll)
+    return out_rows * g.out_w * g.k * g.k * dins;  // unrolled window-rows
+  return g.band_rows(out_rows) * g.in_w_pad * dins;
+}
+
+// Output partials are 32-bit (2 words each).
+i64 output_band_words(const ConvGeom& g, i64 out_rows, i64 douts) {
+  return out_rows * g.out_w * douts * 2;
+}
+
+i64 weight_tile_words(const ConvGeom& g, i64 douts, i64 dins) {
+  return douts * dins * g.kw_eff() * g.kw_eff();
+}
+
+// Largest out-row count in [1, out_h] whose band + partials fit `budget`,
+// or 0 if even one row does not fit.
+i64 max_rows_fitting(const ConvGeom& g, Scheme scheme, i64 dins, i64 douts,
+                     i64 budget) {
+  i64 lo = 0, hi = g.out_h;
+  while (lo < hi) {
+    const i64 mid = (lo + hi + 1) / 2;
+    const i64 need = input_band_words(g, scheme, mid, dins) +
+                     output_band_words(g, mid, douts);
+    if (need <= budget)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+}  // namespace
+
+ConvGeom conv_geom(const Layer& conv, Scheme scheme) {
+  const ConvParams& p = conv.conv();
+  ConvGeom g;
+  g.k = p.k;
+  g.stride = p.stride;
+  g.pad = p.pad;
+  g.part = (scheme == Scheme::kPartition || scheme == Scheme::kIntraSliding)
+               ? PartitionSpec::from(p.k, p.stride)
+               : PartitionSpec{1, p.k};
+  g.out_h = conv.out_dims.h;
+  g.out_w = conv.out_dims.w;
+  g.din_g = p.din_per_group(conv.in_dims.d);
+  g.dout_g = p.dout_per_group();
+  g.groups = p.groups;
+  // Padded input extent: at least the layer's own zero padding; partition
+  // additionally pads to the g*ks grid (Fig. 5a: 227 -> 228 for AlexNet
+  // conv1), i.e. to the extent the last output pixel's padded window ends.
+  g.in_h_pad = std::max(conv.in_dims.h + 2 * p.pad,
+                        (g.out_h - 1) * p.stride + g.kw_eff());
+  g.in_w_pad = std::max(conv.in_dims.w + 2 * p.pad,
+                        (g.out_w - 1) * p.stride + g.kw_eff());
+  return g;
+}
+
+Result<ConvTilePlan> plan_conv_tiles(const Layer& conv, Scheme scheme,
+                                     const AcceleratorConfig& config) {
+  ConvTilePlan plan;
+  plan.scheme = scheme;
+  plan.geom = conv_geom(conv, scheme);
+  const ConvGeom& g = plan.geom;
+
+  const i64 io_words = config.inout_buf.size_words();
+  const i64 w_words = config.weight_buf.size_words();
+
+  // 1. Fit the weight tile: prefer shrinking the output-map group (lanes
+  // beyond Tout only buy weight-buffer pressure), then input maps.
+  i64 douts = g.dout_g;
+  i64 dins = g.din_g;
+  while (weight_tile_words(g, douts, dins) > w_words && douts > config.tout)
+    douts = std::max<i64>(config.tout, ceil_div(douts, 2));
+  while (weight_tile_words(g, douts, dins) > w_words && dins > 1)
+    dins = ceil_div(dins, 2);
+  while (weight_tile_words(g, douts, dins) > w_words && douts > 1)
+    douts = ceil_div(douts, 2);
+  if (weight_tile_words(g, douts, dins) > w_words)
+    return Status::resource_exhausted(
+        "conv " + conv.name + ": one kernel does not fit the weight buffer");
+
+  // 2. Fit the data band: shrink input maps first (partial sums stay
+  // on-chip across din tiles), then the output-map group.
+  i64 rows = max_rows_fitting(g, scheme, dins, douts, io_words);
+  while (rows == 0 && dins > 1) {
+    dins = ceil_div(dins, 2);
+    rows = max_rows_fitting(g, scheme, dins, douts, io_words);
+  }
+  while (rows == 0 && douts > 1) {
+    douts = ceil_div(douts, 2);
+    rows = max_rows_fitting(g, scheme, dins, douts, io_words);
+  }
+  if (rows == 0)
+    return Status::resource_exhausted(
+        "conv " + conv.name + ": a one-row tile exceeds the InOut buffer");
+
+  plan.n_bands = ceil_div(g.out_h, rows);
+  plan.n_dout_tiles = ceil_div(g.dout_g, douts);
+  plan.n_din_tiles = ceil_div(g.din_g, dins);
+
+  // 3. Loop order: re-stream whichever side is cheaper. Streaming input
+  // once per pass costs the summed band words (halo rows are re-fetched
+  // between adjacent bands); weights cost the full kernel stack.
+  i64 input_once = 0;
+  for (i64 b = 0; b < plan.n_bands; ++b) {
+    const i64 r0 = b * rows;
+    const i64 r = std::min(rows, g.out_h - r0);
+    input_once += input_band_words(g, scheme, r, g.din_g);
+  }
+  const i64 weights_once = weight_tile_words(g, g.dout_g, g.din_g);
+  const i64 cost_dout_outer = input_once * plan.n_dout_tiles + weights_once;
+  const i64 cost_band_outer = input_once + weights_once * plan.n_bands;
+  plan.dout_outer = cost_dout_outer <= cost_band_outer;
+  plan.input_stream_words =
+      (plan.dout_outer ? input_once * plan.n_dout_tiles : input_once) *
+      g.groups;
+  plan.weight_stream_words =
+      (plan.dout_outer ? weights_once : weights_once * plan.n_bands) *
+      g.groups;
+
+  // 4. Emit tile specs in execution order. din is always innermost so
+  // partial sums complete while resident in the output buffer.
+  auto emit = [&](i64 grp, i64 b, i64 dt, i64 ct) {
+    ConvTileSpec t;
+    t.group = grp;
+    t.row0 = b * rows;
+    t.rows = std::min(rows, g.out_h - t.row0);
+    t.dout0 = dt * douts;
+    t.douts = std::min(douts, g.dout_g - t.dout0);
+    t.din0 = ct * dins;
+    t.dins = std::min(dins, g.din_g - t.din0);
+    plan.tiles.push_back(t);
+  };
+  for (i64 grp = 0; grp < g.groups; ++grp) {
+    if (plan.dout_outer) {
+      for (i64 dt = 0; dt < plan.n_dout_tiles; ++dt)
+        for (i64 b = 0; b < plan.n_bands; ++b)
+          for (i64 ct = 0; ct < plan.n_din_tiles; ++ct) emit(grp, b, dt, ct);
+    } else {
+      for (i64 b = 0; b < plan.n_bands; ++b)
+        for (i64 dt = 0; dt < plan.n_dout_tiles; ++dt)
+          for (i64 ct = 0; ct < plan.n_din_tiles; ++ct) emit(grp, b, dt, ct);
+    }
+  }
+  return plan;
+}
+
+PoolTilePlan plan_pool_tiles(const Layer& pool,
+                             const AcceleratorConfig& config) {
+  const PoolParams& p = pool.pool();
+  PoolTilePlan plan;
+  plan.out_h = pool.out_dims.h;
+  plan.out_w = pool.out_dims.w;
+  const i64 d = pool.in_dims.d;
+  const i64 in_w_pad = pool.in_dims.w + 2 * p.pad;
+  // Half the InOut buffer for the input band (the other half buffers the
+  // outgoing results and the next band under double buffering).
+  const i64 budget = config.inout_buf.size_words() / 2;
+  i64 d_tile = d;
+  auto band_words = [&](i64 rows_out, i64 dd) {
+    return ((rows_out - 1) * p.stride + p.k) * in_w_pad * dd;
+  };
+  i64 rows = 0;
+  while (true) {
+    i64 lo = 0, hi = plan.out_h;
+    while (lo < hi) {
+      const i64 mid = (lo + hi + 1) / 2;
+      if (band_words(mid, d_tile) <= budget)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    rows = lo;
+    if (rows >= 1 || d_tile == 1) break;
+    d_tile = ceil_div(d_tile, 2);
+  }
+  CBRAIN_CHECK(rows >= 1, "pool " << pool.name << " band does not fit");
+  plan.rows_per_band = rows;
+  plan.n_bands = ceil_div(plan.out_h, rows);
+  plan.d_per_tile = d_tile;
+  plan.n_d_tiles = ceil_div(d, d_tile);
+  return plan;
+}
+
+FcTilePlan plan_fc_tiles(const Layer& fc, const AcceleratorConfig& config) {
+  FcTilePlan plan;
+  plan.din = fc.in_dims.count();
+  const i64 dout = fc.fc().dout;
+  const i64 w_words = config.weight_buf.size_words();
+  // Input chunk: leave room in the InOut buffer for the partial sums of
+  // the largest dout tile (2 words per partial).
+  const i64 io_words = config.inout_buf.size_words();
+  plan.din_per_chunk = std::min(plan.din, std::max<i64>(1, io_words / 2));
+  plan.n_din_chunks = ceil_div(plan.din, plan.din_per_chunk);
+  plan.dout_per_tile = std::max<i64>(
+      1, std::min({dout, w_words / plan.din_per_chunk,
+                   std::max<i64>(1, (io_words - plan.din_per_chunk) / 2)}));
+  plan.n_tiles = ceil_div(dout, plan.dout_per_tile);
+  return plan;
+}
+
+}  // namespace cbrain

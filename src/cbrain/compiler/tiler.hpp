@@ -1,0 +1,90 @@
+// The buffer tiler: splits a layer's computation into tiles that respect
+// on-chip capacities (Table 3) and decides the loop order that minimizes
+// DRAM re-streaming. The resulting plan is consumed by both the code
+// generator (exact DMA/compute instructions for the functional simulator)
+// and the analytical model (closed-form cycles/traffic per tile).
+#pragma once
+
+#include <vector>
+
+#include "cbrain/arch/config.hpp"
+#include "cbrain/common/status.hpp"
+#include "cbrain/compiler/scheme.hpp"
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+// Padded geometry of a conv layer under a scheme. The layout planner
+// materializes the input cube with exactly this padding, so downstream
+// code never handles `pad` explicitly.
+struct ConvGeom {
+  i64 k = 0, stride = 1, pad = 0;
+  PartitionSpec part;          // g=1, ks=k for non-partition schemes
+  i64 in_h_pad = 0, in_w_pad = 0;
+  i64 out_h = 0, out_w = 0;
+  i64 din_g = 0, dout_g = 0, groups = 1;
+
+  // Padded-kernel side actually swept (g*ks >= k for partition).
+  i64 kw_eff() const { return part.padded_k(); }
+  // Input rows a band of `out_rows` output rows needs.
+  i64 band_rows(i64 out_rows) const {
+    return (out_rows - 1) * stride + kw_eff();
+  }
+};
+
+ConvGeom conv_geom(const Layer& conv, Scheme scheme);
+
+// One tile: output rows x output maps x input maps, within one conv group.
+struct ConvTileSpec {
+  i64 group = 0;
+  i64 row0 = 0, rows = 0;    // output rows
+  i64 dout0 = 0, douts = 0;  // output maps, relative to the group
+  i64 din0 = 0, dins = 0;    // input maps, relative to the group
+};
+
+struct ConvTilePlan {
+  Scheme scheme = Scheme::kInter;
+  ConvGeom geom;
+  // Tiles in emission order (dout-outer or band-outer, see dout_outer).
+  std::vector<ConvTileSpec> tiles;
+  bool dout_outer = true;
+  i64 n_bands = 1, n_dout_tiles = 1, n_din_tiles = 1;
+
+  // DRAM words streamed over the whole layer (per the chosen loop order),
+  // excluding the output store and any unroll staging.
+  i64 input_stream_words = 0;
+  i64 weight_stream_words = 0;
+};
+
+// Fails with kResourceExhausted only if a single minimal tile cannot fit
+// the buffers (does not happen for any Table-2 network at Table-3 sizes).
+Result<ConvTilePlan> plan_conv_tiles(const Layer& conv, Scheme scheme,
+                                     const AcceleratorConfig& config);
+
+// Pooling: band split only (capacity is never the issue; bands keep DMA
+// chunks bounded and double-bufferable).
+struct PoolTilePlan {
+  i64 out_h = 0, out_w = 0;
+  i64 rows_per_band = 0;
+  i64 n_bands = 1;
+  i64 d_per_tile = 0;  // maps per tile
+  i64 n_d_tiles = 1;
+};
+
+PoolTilePlan plan_pool_tiles(const Layer& pool,
+                             const AcceleratorConfig& config);
+
+// FC: split output neurons so the weight tile fits the weight buffer, and
+// the input vector into chunks that fit the InOut buffer (partial sums
+// cross chunks through the output buffer).
+struct FcTilePlan {
+  i64 din = 0;
+  i64 dout_per_tile = 0;
+  i64 n_tiles = 1;
+  i64 din_per_chunk = 0;
+  i64 n_din_chunks = 1;
+};
+
+FcTilePlan plan_fc_tiles(const Layer& fc, const AcceleratorConfig& config);
+
+}  // namespace cbrain

@@ -1,0 +1,42 @@
+// Static program verifier — an IR-checker pass over compiled programs.
+//
+// The cycle-level simulator catches compiler bugs by construction, but
+// only on networks small enough to execute functionally. The verifier
+// proves the same classes of invariants *statically*, in O(instructions),
+// so VGG/GoogLeNet-scale programs can be checked on every compile:
+//
+//   V1  every DMA load lands inside its destination buffer;
+//   V2  every DMA load reads inside an allocated DRAM region;
+//   V3  compute tiles only read buffer ranges that a load filled earlier
+//       in the same phase group (band/weight/bias residency);
+//   V4  tile footprints respect the combined InOut budget
+//       (input band + 32-bit partials);
+//   V5  every output store lands inside its consumer cube;
+//   V6  over a whole layer, the union of tile output ranges covers each
+//       output element exactly once per din pass (no gaps, no overlap).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/compiler/compiler.hpp"
+
+namespace cbrain {
+
+struct VerifyIssue {
+  std::string rule;     // "V1".."V6"
+  i64 instr_index = -1;
+  std::string message;
+};
+
+struct VerifyReport {
+  std::vector<VerifyIssue> issues;
+  bool ok() const { return issues.empty(); }
+  std::string to_string() const;
+};
+
+VerifyReport verify_program(const Network& net,
+                            const CompiledNetwork& compiled,
+                            const AcceleratorConfig& config);
+
+}  // namespace cbrain

@@ -1,0 +1,72 @@
+#include "cbrain/core/cbrain.hpp"
+
+namespace cbrain {
+
+const std::vector<Policy>& paper_policies() {
+  static const std::vector<Policy> kPolicies = {
+      Policy::kFixedInter, Policy::kFixedIntra, Policy::kFixedPartition,
+      Policy::kAdaptive1, Policy::kAdaptive2};
+  return kPolicies;
+}
+
+const NetworkModelResult& PolicyComparison::by_policy(Policy p) const {
+  for (const NetworkModelResult& r : results)
+    if (r.policy == p) return r;
+  CBRAIN_CHECK(false, "policy " << policy_name(p) << " not in comparison");
+  return results.front();
+}
+
+double PolicyComparison::speedup(Policy a, Policy b) const {
+  const auto ca = static_cast<double>(by_policy(a).cycles());
+  const auto cb = static_cast<double>(by_policy(b).cycles());
+  return ca > 0 ? cb / ca : 0.0;
+}
+
+const CompiledNetwork& CBrain::compile(const Network& net, Policy policy) {
+  const auto key = std::make_pair(net.name(), policy);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto compiled = compile_network(net, policy, config_);
+    CBRAIN_CHECK(compiled.is_ok(), "compile(" << net.name() << ", "
+                                              << policy_name(policy) << "): "
+                                              << compiled.status().to_string());
+    it = cache_
+             .emplace(key, std::make_unique<CompiledNetwork>(
+                               std::move(compiled).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+NetworkModelResult CBrain::evaluate(const Network& net, Policy policy) {
+  return model_network(net, compile(net, policy), config_, options_);
+}
+
+SimResult CBrain::simulate(const Network& net, Policy policy,
+                           const Tensor3<Fixed16>& input,
+                           const NetParamsData<Fixed16>& params) {
+  SimExecutor sim(net, compile(net, policy), config_);
+  return sim.run(input, params);
+}
+
+SimResult CBrain::simulate(const Network& net, Policy policy,
+                           std::uint64_t seed) {
+  const auto params = init_net_params<Fixed16>(net, seed);
+  const auto input =
+      random_input<Fixed16>(net.layer(0).out_dims, seed ^ 0x1234);
+  return simulate(net, policy, input, params);
+}
+
+PolicyComparison CBrain::compare_policies(const Network& net) {
+  return compare_policies(net, paper_policies());
+}
+
+PolicyComparison CBrain::compare_policies(
+    const Network& net, const std::vector<Policy>& policies) {
+  PolicyComparison cmp;
+  cmp.ideal_cycles = ideal_network_cycles(net, config_, options_);
+  for (Policy p : policies) cmp.results.push_back(evaluate(net, p));
+  return cmp;
+}
+
+}  // namespace cbrain

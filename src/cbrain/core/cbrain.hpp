@@ -1,0 +1,73 @@
+// CBrain: the top-level public API of this library. A downstream user
+// builds (or picks from the zoo) a Network, constructs a CBrain with an
+// AcceleratorConfig, and then either
+//
+//   * evaluate(net, policy)      — fast analytical modeling (cycles,
+//                                  traffic, energy) for design-space
+//                                  exploration at any network scale, or
+//   * simulate(net, policy, in)  — cycle-level functional simulation that
+//                                  returns the actual fixed-point output
+//                                  tensor plus the same counters, or
+//   * compare_policies(net)      — the paper's core experiment: one row
+//                                  per policy, plus the ideal bound.
+//
+// Compiled programs are cached per (network name, policy).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/sim/executor.hpp"
+
+namespace cbrain {
+
+struct PolicyComparison {
+  i64 ideal_cycles = 0;
+  std::vector<NetworkModelResult> results;  // one per requested policy
+
+  const NetworkModelResult& by_policy(Policy p) const;
+  // Speedup of `a` relative to `b` (cycles_b / cycles_a).
+  double speedup(Policy a, Policy b) const;
+};
+
+class CBrain {
+ public:
+  explicit CBrain(AcceleratorConfig config, ModelOptions options = {})
+      : config_(std::move(config)), options_(std::move(options)) {}
+
+  const AcceleratorConfig& config() const { return config_; }
+  const ModelOptions& options() const { return options_; }
+
+  // Compile (cached) — exposed for inspection/disassembly.
+  const CompiledNetwork& compile(const Network& net, Policy policy);
+
+  // Analytical evaluation.
+  NetworkModelResult evaluate(const Network& net, Policy policy);
+
+  // Cycle-level functional simulation with explicit parameters and input.
+  SimResult simulate(const Network& net, Policy policy,
+                     const Tensor3<Fixed16>& input,
+                     const NetParamsData<Fixed16>& params);
+
+  // Convenience: seeded parameters/input.
+  SimResult simulate(const Network& net, Policy policy,
+                     std::uint64_t seed = 42);
+
+  // Evaluates every given policy (defaults to the paper's five).
+  PolicyComparison compare_policies(const Network& net);
+  PolicyComparison compare_policies(const Network& net,
+                                    const std::vector<Policy>& policies);
+
+ private:
+  AcceleratorConfig config_;
+  ModelOptions options_;
+  std::map<std::pair<std::string, Policy>, std::unique_ptr<CompiledNetwork>>
+      cache_;
+};
+
+// The five policies of the paper's Figs. 8/10 in presentation order.
+const std::vector<Policy>& paper_policies();
+
+}  // namespace cbrain

@@ -1,0 +1,70 @@
+#include "cbrain/core/oracle.hpp"
+
+#include <limits>
+
+#include "cbrain/common/logging.hpp"
+
+namespace cbrain {
+namespace {
+
+double layer_cost(const LayerModelResult& lr, OracleMetric metric) {
+  switch (metric) {
+    case OracleMetric::kCycles:
+      return static_cast<double>(lr.counters.total_cycles);
+    case OracleMetric::kEnergy:
+      return lr.energy.total_pj();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<Scheme> select_oracle_schemes(const Network& net,
+                                          const AcceleratorConfig& config,
+                                          OracleMetric metric,
+                                          const ModelOptions& options) {
+  // Start from adap-2 (covers non-conv layers' irrelevance) and refine
+  // each conv layer by exhaustive candidate evaluation in place.
+  std::vector<Scheme> schemes =
+      assign_schemes(net, Policy::kAdaptive2, config);
+
+  const Scheme kCandidates[] = {Scheme::kInter, Scheme::kInterImproved,
+                                Scheme::kIntraUnroll, Scheme::kPartition};
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    double best_cost = std::numeric_limits<double>::infinity();
+    Scheme best = schemes[static_cast<std::size_t>(l.id)];
+    for (Scheme candidate : kCandidates) {
+      std::vector<Scheme> trial = schemes;
+      trial[static_cast<std::size_t>(l.id)] = candidate;
+      auto compiled =
+          compile_network(net, std::move(trial), config, Policy::kIdeal);
+      if (!compiled.is_ok()) continue;  // candidate untileable: skip
+      const NetworkModelResult r =
+          model_network(net, compiled.value(), config, options);
+      const double cost = layer_cost(r.layer(l.id), metric);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = candidate;
+      }
+    }
+    schemes[static_cast<std::size_t>(l.id)] = best;
+    CBRAIN_LOG(kDebug) << "oracle: " << l.name << " -> "
+                       << scheme_name(best);
+  }
+  return schemes;
+}
+
+NetworkModelResult model_network_oracle(const Network& net,
+                                        const AcceleratorConfig& config,
+                                        OracleMetric metric,
+                                        const ModelOptions& options) {
+  auto compiled = compile_network(
+      net, select_oracle_schemes(net, config, metric, options), config,
+      Policy::kIdeal);
+  CBRAIN_CHECK(compiled.is_ok(),
+               "oracle compile failed: " << compiled.status().to_string());
+  return model_network(net, compiled.value(), config, options);
+}
+
+}  // namespace cbrain

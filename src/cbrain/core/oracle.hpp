@@ -1,0 +1,39 @@
+// Oracle scheme selection — an extension beyond the paper.
+//
+// Algorithm 2 is a three-rule heuristic; the paper claims it "ensures the
+// optimal performance and energy-efficiency". The oracle makes that claim
+// testable: it models every candidate scheme for every conv layer in its
+// true position (real input dims, real consumers) and picks the per-layer
+// argmin of cycles (or total energy). The adaptive heuristic can then be
+// scored against the oracle (bench_ablation_oracle): on the paper's four
+// networks it is within a few percent, which substantiates — and bounds —
+// the paper's optimality language.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/model/network_model.hpp"
+
+namespace cbrain {
+
+enum class OracleMetric {
+  kCycles,  // minimize modeled total cycles per layer
+  kEnergy,  // minimize modeled total energy (PE + buffers + DRAM)
+};
+
+// Per-layer argmin assignment over {inter, inter+, intra-unroll,
+// partition} (sliding is partition's degenerate case and needs no
+// separate candidate). Indexed by LayerId.
+std::vector<Scheme> select_oracle_schemes(
+    const Network& net, const AcceleratorConfig& config,
+    OracleMetric metric = OracleMetric::kCycles,
+    const ModelOptions& options = {});
+
+// Compile + model under the oracle assignment (labelled kIdeal in the
+// result's policy field, as no Policy enumerator corresponds to it).
+NetworkModelResult model_network_oracle(
+    const Network& net, const AcceleratorConfig& config,
+    OracleMetric metric = OracleMetric::kCycles,
+    const ModelOptions& options = {});
+
+}  // namespace cbrain

@@ -1,0 +1,94 @@
+#include "cbrain/fixed/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cbrain/ref/executor.hpp"
+
+namespace cbrain {
+namespace {
+
+constexpr double kSqnrCapDb = 120.0;
+
+double sqnr_db(const std::vector<float>& ref,
+               const std::vector<Fixed16>& quant) {
+  double signal = 0.0, noise = 0.0;
+  const std::size_t n = std::min(ref.size(), quant.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = ref[i];
+    const double e = x - quant[i].to_double();
+    signal += x * x;
+    noise += e * e;
+  }
+  if (signal <= 0.0) return 0.0;
+  if (noise <= 0.0) return kSqnrCapDb;
+  return std::min(kSqnrCapDb, 10.0 * std::log10(signal / noise));
+}
+
+}  // namespace
+
+int recommend_frac_bits(double max_abs, int word_bits) {
+  // Need ceil(log2(max_abs + 1ulp)) integer bits plus the sign bit.
+  int int_bits = 0;
+  double cover = 1.0;
+  while (cover <= max_abs && int_bits < word_bits - 1) {
+    cover *= 2.0;
+    ++int_bits;
+  }
+  return std::clamp(word_bits - 1 - int_bits, 0, word_bits - 1);
+}
+
+RangeProfile profile_activation_ranges(const Network& net,
+                                       std::uint64_t seed) {
+  const auto params = init_net_params<float>(net, seed);
+  RefExecutor<float> ex(net, params);
+  ex.run(random_input<float>(net.layer(0).out_dims, seed ^ 0x1234));
+
+  RangeProfile profile;
+  for (const Layer& l : net.layers()) {
+    const Tensor3<float>& out = ex.output(l.id);
+    LayerRangeStats s;
+    s.id = l.id;
+    s.name = l.name;
+    s.kind = l.kind;
+    s.min_value = out.storage().empty() ? 0.0 : out.storage().front();
+    s.max_value = s.min_value;
+    double abs_sum = 0.0;
+    for (float v : out.storage()) {
+      s.min_value = std::min<double>(s.min_value, v);
+      s.max_value = std::max<double>(s.max_value, v);
+      abs_sum += std::abs(static_cast<double>(v));
+    }
+    s.mean_abs = out.storage().empty()
+                     ? 0.0
+                     : abs_sum / static_cast<double>(out.storage().size());
+    s.recommended_frac_bits = recommend_frac_bits(
+        std::max(std::abs(s.min_value), std::abs(s.max_value)));
+    profile.layers.push_back(std::move(s));
+  }
+  return profile;
+}
+
+SqnrReport measure_sqnr(const Network& net, std::uint64_t seed,
+                        double weight_scale) {
+  const auto pf = init_net_params<float>(net, seed, weight_scale);
+  const auto pq = init_net_params<Fixed16>(net, seed, weight_scale);
+  RefExecutor<float> exf(net, pf);
+  RefExecutor<Fixed16> exq(net, pq);
+  exf.run(random_input<float>(net.layer(0).out_dims, seed ^ 0x1234));
+  exq.run(random_input<Fixed16>(net.layer(0).out_dims, seed ^ 0x1234));
+
+  SqnrReport report;
+  for (const Layer& l : net.layers()) {
+    if (l.kind == LayerKind::kInput) continue;
+    report.layers.push_back(
+        {l.name, sqnr_db(exf.output(l.id).storage(),
+                         exq.output(l.id).storage())});
+  }
+  report.output_sqnr_db = report.layers.empty()
+                              ? 0.0
+                              : report.layers.back().sqnr_db;
+  return report;
+}
+
+}  // namespace cbrain

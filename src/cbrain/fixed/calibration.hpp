@@ -1,0 +1,68 @@
+// Quantization calibration & accuracy measurement.
+//
+// The paper fixes the datapath at 16-bit fixed point "validated to be
+// good enough with reference of [8]" (DianNao's precision study). This
+// module makes that validation reproducible for any network:
+//
+//  * profile_activation_ranges — run the float golden executor and record
+//    per-layer activation ranges (the input to Q-format selection);
+//  * recommend_frac_bits — largest fraction width whose integer part
+//    still covers the observed range (DianNao-style static calibration);
+//  * measure_sqnr — signal-to-quantization-noise ratio (dB) between the
+//    float and the Q7.8 fixed-point executions, per layer and at the
+//    output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/nn/network.hpp"
+#include "cbrain/ref/params.hpp"
+
+namespace cbrain {
+
+struct LayerRangeStats {
+  LayerId id = -1;
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double mean_abs = 0.0;
+  int recommended_frac_bits = 0;  // for a 16-bit word
+};
+
+struct RangeProfile {
+  std::vector<LayerRangeStats> layers;
+};
+
+// Runs the float reference executor on seeded synthetic data and profiles
+// every layer's output range.
+RangeProfile profile_activation_ranges(const Network& net,
+                                       std::uint64_t seed = 42);
+
+// Largest fraction-bit count such that max_abs still fits the integer
+// part of a `word_bits` two's-complement word (one sign bit). Clamped to
+// [0, word_bits - 1].
+int recommend_frac_bits(double max_abs, int word_bits = 16);
+
+struct LayerSqnr {
+  std::string name;
+  double sqnr_db = 0.0;
+};
+
+struct SqnrReport {
+  std::vector<LayerSqnr> layers;
+  double output_sqnr_db = 0.0;
+};
+
+// Runs the float and the Q7.8 fixed-point golden executors on identical
+// seeded data and reports per-layer and final-output SQNR. +inf-like
+// values are capped at 120 dB (bit-identical). `weight_scale` overrides
+// the default fan-in scaling of the synthetic weights: larger weights
+// keep activations further from the Q7.8 quantization floor — sweeping it
+// shows why per-layer dynamic Q formats (the recommended_frac_bits above)
+// beat one fixed format.
+SqnrReport measure_sqnr(const Network& net, std::uint64_t seed = 42,
+                        double weight_scale = 0.0);
+
+}  // namespace cbrain

@@ -1,0 +1,57 @@
+#include "cbrain/fixed/fixed16.hpp"
+
+#include <cmath>
+
+namespace cbrain {
+
+std::int16_t saturate_to_i16(std::int64_t v) {
+  if (v > Fixed16::kRawMax) return Fixed16::kRawMax;
+  if (v < Fixed16::kRawMin) return Fixed16::kRawMin;
+  return static_cast<std::int16_t>(v);
+}
+
+Fixed16 Fixed16::from_float(float v) { return from_double(v); }
+
+Fixed16 Fixed16::from_double(double v) {
+  if (std::isnan(v)) return zero();
+  const double scaled = v * kOne;
+  // Round half away from zero, matching from_acc.
+  const double rounded = scaled >= 0.0 ? std::floor(scaled + 0.5)
+                                       : std::ceil(scaled - 0.5);
+  if (rounded >= static_cast<double>(kRawMax)) return max();
+  if (rounded <= static_cast<double>(kRawMin)) return min();
+  return from_raw(static_cast<raw_t>(rounded));
+}
+
+float Fixed16::to_float() const {
+  return static_cast<float>(raw_) / static_cast<float>(kOne);
+}
+
+double Fixed16::to_double() const {
+  return static_cast<double>(raw_) / static_cast<double>(kOne);
+}
+
+Fixed16 Fixed16::sat_add(Fixed16 other) const {
+  return from_raw(saturate_to_i16(static_cast<std::int64_t>(raw_) +
+                                  other.raw_));
+}
+
+Fixed16 Fixed16::sat_sub(Fixed16 other) const {
+  return from_raw(saturate_to_i16(static_cast<std::int64_t>(raw_) -
+                                  other.raw_));
+}
+
+Fixed16 Fixed16::sat_mul(Fixed16 other) const {
+  return from_acc(mul_to_acc(other));
+}
+
+Fixed16 Fixed16::from_acc(acc_t acc) {
+  // acc is at Q16.16 scale relative to Q7.8 raws: rescale by /2^kFracBits
+  // with round-half-away-from-zero. Integer division (not >>) so negative
+  // values truncate toward zero after the half-offset is applied.
+  const acc_t half = acc_t{1} << (kFracBits - 1);
+  const acc_t adjusted = acc >= 0 ? acc + half : acc - half;
+  return from_raw(saturate_to_i16(adjusted / (acc_t{1} << kFracBits)));
+}
+
+}  // namespace cbrain

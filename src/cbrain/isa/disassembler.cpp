@@ -1,0 +1,75 @@
+#include "cbrain/isa/disassembler.hpp"
+
+#include <sstream>
+
+#include "cbrain/compiler/scheme.hpp"
+
+namespace cbrain {
+namespace {
+
+struct Disasm {
+  std::ostringstream os;
+
+  void operator()(const LoadInstr& i) {
+    os << "LOAD  " << buffer_id_name(i.dst) << "[" << i.dst_addr << ".."
+       << i.dst_addr + i.words << ") <- dram[" << i.src << "] ("
+       << i.words << "w)";
+    if (!i.tag.empty()) os << "  ; " << i.tag;
+  }
+  void operator()(const ConvTileInstr& i) {
+    os << "CONV  L" << i.layer << " " << scheme_name(i.scheme) << " rows["
+       << i.out_row0 << "," << i.out_row1 << ") dout[" << i.dout0 << ","
+       << i.dout1 << ") din[" << i.din0 << "," << i.din1 << ") k=" << i.k
+       << " s=" << i.stride;
+    if (i.scheme == Scheme::kPartition || i.scheme == Scheme::kIntraSliding)
+      os << " g=" << i.part.g << " ks=" << i.part.ks;
+    if (i.first_din_chunk) os << " [init]";
+    if (i.last_din_chunk) os << " [fin]";
+    if (!i.tag.empty()) os << "  ; " << i.tag;
+  }
+  void operator()(const PoolTileInstr& i) {
+    os << "POOL  L" << i.layer
+       << (i.kind == PoolKind::kMax ? " max" : " avg") << " rows["
+       << i.out_row0 << "," << i.out_row1 << ") d[" << i.d0 << "," << i.d1
+       << ") p=" << i.p << " s=" << i.stride;
+    if (!i.tag.empty()) os << "  ; " << i.tag;
+  }
+  void operator()(const FcTileInstr& i) {
+    os << "FC    L" << i.layer << " dout[" << i.dout0 << "," << i.dout1
+       << ") din=" << i.din;
+    if (!i.tag.empty()) os << "  ; " << i.tag;
+  }
+  void operator()(const HostOpInstr& i) {
+    const char* kind = i.kind == HostOpKind::kLrn       ? "lrn"
+                       : i.kind == HostOpKind::kSoftmax ? "softmax"
+                                                        : "unroll";
+    os << "HOST  L" << i.layer << " " << kind << " " << i.words << "w";
+    if (!i.tag.empty()) os << "  ; " << i.tag;
+  }
+  void operator()(const BarrierInstr& i) {
+    os << "BAR";
+    if (!i.tag.empty()) os << "   ; " << i.tag;
+  }
+};
+
+}  // namespace
+
+std::string disassemble(const Instruction& instr) {
+  Disasm d;
+  std::visit(d, instr);
+  return d.os.str();
+}
+
+std::string disassemble(const Program& program, i64 max_instructions) {
+  std::ostringstream os;
+  const i64 n = max_instructions < 0
+                    ? program.size()
+                    : std::min(max_instructions, program.size());
+  for (i64 i = 0; i < n; ++i)
+    os << i << ": " << disassemble(program.at(i)) << '\n';
+  if (n < program.size())
+    os << "... (" << program.size() - n << " more)\n";
+  return os.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,14 @@
+// Human-readable rendering of programs — the debugging view of what the
+// compiler emitted for each layer/tile.
+#pragma once
+
+#include <string>
+
+#include "cbrain/isa/program.hpp"
+
+namespace cbrain {
+
+std::string disassemble(const Instruction& instr);
+std::string disassemble(const Program& program, i64 max_instructions = -1);
+
+}  // namespace cbrain

@@ -1,0 +1,190 @@
+#include "cbrain/model/network_model.hpp"
+
+#include <algorithm>
+
+#include "cbrain/model/scheme_models.hpp"
+
+namespace cbrain {
+namespace {
+
+bool layer_counted(LayerKind kind, const ModelOptions& opt) {
+  switch (kind) {
+    case LayerKind::kConv:
+    case LayerKind::kPool:
+      return true;
+    case LayerKind::kLRN:
+      return opt.include_host_ops;
+    case LayerKind::kFC:
+    case LayerKind::kSoftmax:
+      return opt.include_fc;
+    case LayerKind::kInput:
+    case LayerKind::kConcat:
+      return false;
+  }
+  return false;
+}
+
+void add_buffer_fill(TrafficCounters& c, BufferId dst, i64 words) {
+  switch (dst) {
+    case BufferId::kInput:
+      c.input_writes += words;
+      break;
+    case BufferId::kOutput:
+      c.output_writes += words;
+      break;
+    case BufferId::kWeight:
+      c.weight_writes += words;
+      break;
+    case BufferId::kBias:
+      c.bias_writes += words;
+      break;
+  }
+}
+
+}  // namespace
+
+const LayerModelResult& NetworkModelResult::conv1() const {
+  for (const LayerModelResult& l : layers)
+    if (l.kind == LayerKind::kConv) return l;
+  CBRAIN_CHECK(false, "network has no conv layer");
+  return layers.front();
+}
+
+NetworkModelResult model_network(const Network& net,
+                                 const CompiledNetwork& compiled,
+                                 const AcceleratorConfig& config,
+                                 const ModelOptions& options) {
+  NetworkModelResult result;
+  result.network = net.name();
+  result.policy = compiled.policy;
+  result.config = config;
+  result.layers.resize(static_cast<std::size_t>(net.size()));
+
+  for (const Layer& l : net.layers()) {
+    LayerModelResult& lr = result.layers[static_cast<std::size_t>(l.id)];
+    lr.id = l.id;
+    lr.name = l.name;
+    lr.kind = l.kind;
+    lr.scheme = compiled.layout.scheme_of(l.id);
+    lr.macs = l.macs();
+    lr.counted = layer_counted(l.kind, options);
+
+    const auto [begin, end] = compiled.program.layer_range(l.id);
+    const i64 batch = std::max<i64>(1, options.batch);
+    i64 pending_dma = 0;
+    for (i64 i = begin; i < end; ++i) {
+      const Instruction& instr = compiled.program.at(i);
+      if (const auto* load = std::get_if<LoadInstr>(&instr)) {
+        // Batch-innermost tiling: weight/bias tiles are fetched once and
+        // reused by every image of the batch; activations re-stream.
+        const bool amortized = load->dst == BufferId::kWeight ||
+                               load->dst == BufferId::kBias;
+        const i64 repeat = amortized ? 1 : batch;
+        lr.counters.dram_reads += load->words * repeat;
+        add_buffer_fill(lr.counters, load->dst, load->words * repeat);
+        pending_dma += config.dram.transfer_cycles_pattern(
+                           load->chunks, load->chunk_words,
+                           load->src_stride) *
+                       repeat;
+        continue;
+      }
+      if (std::holds_alternative<BarrierInstr>(instr)) continue;
+
+      TrafficCounters tc;
+      if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
+        tc = model_conv_tile(*conv, config);
+      } else if (const auto* pool = std::get_if<PoolTileInstr>(&instr)) {
+        tc = model_pool_tile(*pool, config);
+      } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
+        tc = model_fc_tile(*fc, config);
+      } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
+        switch (host->kind) {
+          case HostOpKind::kUnroll:
+            // Host im2col: reads the raw cube, writes the staging cube.
+            // The staging pass is serialized before the layer's tiles
+            // ("relies on a host processor ... at considerable overhead",
+            // §4.1.2) and runs at DRAM speed.
+            tc.dram_reads += l.in_dims.count();
+            tc.dram_writes += host->words;
+            tc.total_cycles += config.dram.transfer_cycles(
+                l.in_dims.count() + host->words);
+            break;
+          case HostOpKind::kLrn: {
+            // Activation-function unit: Tout elements per cycle, in and
+            // out through DRAM (host-adjacent streaming pass).
+            const i64 ncons = static_cast<i64>(
+                compiled.layout.out_maps[static_cast<std::size_t>(l.id)]
+                    .size());
+            tc.dram_reads += host->words;
+            tc.dram_writes += host->words * std::max<i64>(1, ncons);
+            tc.compute_cycles += ceil_div(host->words, config.tout);
+            break;
+          }
+          case HostOpKind::kSoftmax: {
+            const i64 ncons = static_cast<i64>(
+                compiled.layout.out_maps[static_cast<std::size_t>(l.id)]
+                    .size());
+            tc.dram_reads += host->words;
+            tc.dram_writes += host->words * std::max<i64>(1, ncons);
+            break;
+          }
+        }
+      }
+      // Per-instruction costs are per image: scale on-chip work by the
+      // batch (weight DMA already stayed un-scaled above).
+      if (batch > 1) tc.scale(batch);
+      // Double-buffer reconciliation: this phase's compute overlaps the
+      // transfers queued since the previous compute. Any total_cycles the
+      // instruction model already carries (host staging) is serial.
+      const i64 phase = std::max(pending_dma, tc.compute_cycles);
+      pending_dma = 0;
+      const i64 compute = tc.compute_cycles;
+      const i64 serial_extra =
+          std::holds_alternative<HostOpInstr>(instr) ? tc.total_cycles : 0;
+      tc.total_cycles = 0;
+      tc.compute_cycles = 0;
+      lr.counters += tc;
+      lr.counters.compute_cycles += compute;
+      lr.counters.total_cycles += phase + serial_extra;
+    }
+    // Transfers with no following compute in this layer (possible for
+    // layers whose final loads feed the next layer's first tile).
+    lr.counters.total_cycles += pending_dma;
+
+    lr.energy = compute_energy(lr.counters, options.energy);
+    if (lr.counted) {
+      result.totals += lr.counters;
+    }
+  }
+  result.energy = compute_energy(result.totals, options.energy);
+  return result;
+}
+
+NetworkModelResult model_network(const Network& net, Policy policy,
+                                 const AcceleratorConfig& config,
+                                 const ModelOptions& options) {
+  auto compiled = compile_network(net, policy, config);
+  CBRAIN_CHECK(compiled.is_ok(),
+               "compilation failed: " << compiled.status().to_string());
+  return model_network(net, compiled.value(), config, options);
+}
+
+i64 ideal_network_cycles(const Network& net, const AcceleratorConfig& config,
+                         const ModelOptions& options) {
+  // Conv layers at the 100%-utilization bound; pooling/LRN as modeled
+  // under adap-2 (they are scheme-independent and already minimal).
+  const NetworkModelResult base =
+      model_network(net, Policy::kAdaptive2, config, options);
+  i64 cycles = 0;
+  for (const Layer& l : net.layers()) {
+    const LayerModelResult& lr = base.layer(l.id);
+    if (!lr.counted) continue;
+    if (l.is_conv())
+      cycles += ideal_conv_cycles(l.macs(), config);
+    else
+      cycles += lr.counters.compute_cycles;
+  }
+  return cycles;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,113 @@
+#include "cbrain/model/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/model/scheme_models.hpp"
+
+namespace cbrain {
+
+std::vector<ExecutionTrace::LayerSpan> ExecutionTrace::layer_spans(
+    const Network& net) const {
+  std::map<LayerId, LayerSpan> by_layer;
+  for (const TraceEvent& e : events) {
+    auto [it, inserted] = by_layer.try_emplace(e.layer);
+    LayerSpan& s = it->second;
+    if (inserted) {
+      s.layer = e.layer;
+      s.name = net.layer(e.layer).name;
+      s.start_cycle = e.start_cycle;
+      s.end_cycle = e.end_cycle;
+    }
+    s.start_cycle = std::min(s.start_cycle, e.start_cycle);
+    s.end_cycle = std::max(s.end_cycle, e.end_cycle);
+    if (e.kind == TraceKind::kCompute) s.compute_cycles += e.duration();
+  }
+  std::vector<LayerSpan> out;
+  for (auto& [id, span] : by_layer) {
+    span.stall_cycles = std::max<i64>(
+        0, (span.end_cycle - span.start_cycle) - span.compute_cycles);
+    out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_cycle < b.start_cycle;
+            });
+  return out;
+}
+
+ExecutionTrace trace_network(const Network& net,
+                             const CompiledNetwork& compiled,
+                             const AcceleratorConfig& config,
+                             const ModelOptions& options) {
+  ExecutionTrace tr;
+  i64 now = 0;
+
+  for (const Layer& l : net.layers()) {
+    const auto [begin, end] = compiled.program.layer_range(l.id);
+    i64 pending_dma = 0;
+    std::string pending_tag;
+    auto flush_phase = [&](i64 compute, i64 serial,
+                           const std::string& tag) {
+      if (pending_dma > 0)
+        tr.events.push_back({l.id, TraceKind::kDma, now, now + pending_dma,
+                             pending_tag});
+      if (compute > 0)
+        tr.events.push_back(
+            {l.id, TraceKind::kCompute, now, now + compute, tag});
+      now += std::max(pending_dma, compute);
+      if (serial > 0) {
+        tr.events.push_back(
+            {l.id, TraceKind::kHost, now, now + serial, tag});
+        now += serial;
+      }
+      pending_dma = 0;
+      pending_tag.clear();
+    };
+
+    for (i64 i = begin; i < end; ++i) {
+      const Instruction& instr = compiled.program.at(i);
+      if (const auto* load = std::get_if<LoadInstr>(&instr)) {
+        pending_dma += config.dram.transfer_cycles(load->words);
+        if (pending_tag.empty()) pending_tag = load->tag;
+        continue;
+      }
+      if (std::holds_alternative<BarrierInstr>(instr)) continue;
+
+      i64 compute = 0;
+      i64 serial = 0;
+      std::string tag;
+      if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
+        compute = model_conv_tile(*conv, config).compute_cycles;
+        tag = conv->tag;
+      } else if (const auto* pool = std::get_if<PoolTileInstr>(&instr)) {
+        compute = model_pool_tile(*pool, config).compute_cycles;
+        tag = pool->tag;
+      } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
+        compute = model_fc_tile(*fc, config).compute_cycles;
+        tag = fc->tag;
+      } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
+        tag = host->tag;
+        switch (host->kind) {
+          case HostOpKind::kLrn:
+            compute = ceil_div(host->words, config.tout);
+            break;
+          case HostOpKind::kUnroll:
+            serial = config.dram.transfer_cycles(l.in_dims.count() +
+                                                 host->words);
+            break;
+          case HostOpKind::kSoftmax:
+            break;
+        }
+      }
+      flush_phase(compute, serial, tag);
+    }
+    if (pending_dma > 0) flush_phase(0, 0, "");
+    (void)options;
+  }
+  tr.total_cycles = now;
+  return tr;
+}
+
+}  // namespace cbrain

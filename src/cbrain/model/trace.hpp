@@ -1,0 +1,51 @@
+// Execution traces: a cycle-annotated schedule of a compiled program on
+// the reconciled (double-buffered) timeline — what ran when, and whether
+// the accelerator was compute- or DMA-bound at that moment. Rendered by
+// report/timeline.hpp; exposed on the CLI as `cbrain_cli timeline`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/model/network_model.hpp"
+
+namespace cbrain {
+
+enum class TraceKind { kDma, kCompute, kHost };
+
+struct TraceEvent {
+  LayerId layer = -1;
+  TraceKind kind = TraceKind::kCompute;
+  i64 start_cycle = 0;
+  i64 end_cycle = 0;
+  std::string tag;
+
+  i64 duration() const { return end_cycle - start_cycle; }
+};
+
+struct ExecutionTrace {
+  std::vector<TraceEvent> events;
+  i64 total_cycles = 0;
+
+  struct LayerSpan {
+    LayerId layer = -1;
+    std::string name;
+    i64 start_cycle = 0;
+    i64 end_cycle = 0;
+    i64 compute_cycles = 0;  // compute-bound portion
+    i64 stall_cycles = 0;    // DMA-exposed + host-serial portion
+  };
+  // Per-layer aggregation in execution order (layers with no events are
+  // omitted).
+  std::vector<LayerSpan> layer_spans(const Network& net) const;
+};
+
+// Re-walks the compiled program with the analytical cost models and the
+// same double-buffer reconciliation as model_network, emitting an event
+// per DMA phase, compute tile and host pass.
+ExecutionTrace trace_network(const Network& net,
+                             const CompiledNetwork& compiled,
+                             const AcceleratorConfig& config,
+                             const ModelOptions& options = {});
+
+}  // namespace cbrain

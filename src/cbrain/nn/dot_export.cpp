@@ -1,0 +1,94 @@
+#include "cbrain/nn/dot_export.hpp"
+
+#include <sstream>
+
+namespace cbrain {
+namespace {
+
+const char* scheme_color(Scheme s) {
+  switch (s) {
+    case Scheme::kInter:
+      return "#c6dbef";  // light blue
+    case Scheme::kInterImproved:
+      return "#9ecae1";
+    case Scheme::kIntraUnroll:
+      return "#fdd0a2";  // orange
+    case Scheme::kIntraSliding:
+      return "#fdae6b";
+    case Scheme::kPartition:
+      return "#a1d99b";  // green
+  }
+  return "#ffffff";
+}
+
+std::string node_label(const Layer& l) {
+  std::ostringstream os;
+  os << l.name << "\\n";
+  switch (l.kind) {
+    case LayerKind::kConv: {
+      const ConvParams& p = l.conv();
+      os << p.k << "x" << p.k << " s" << p.stride;
+      if (p.groups > 1) os << " g" << p.groups;
+      os << " out=" << l.out_dims.to_string();
+      break;
+    }
+    case LayerKind::kPool:
+      os << (l.pool().kind == PoolKind::kMax ? "max " : "avg ")
+         << l.pool().k << "x" << l.pool().k << " s" << l.pool().stride;
+      break;
+    case LayerKind::kFC:
+      os << "fc " << l.fc().dout;
+      break;
+    default:
+      os << layer_kind_name(l.kind);
+  }
+  return os.str();
+}
+
+std::string render(const Network& net, const std::vector<Scheme>* schemes) {
+  std::ostringstream os;
+  os << "digraph \"" << net.name() << "\" {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, style=\"rounded,filled\", fontname=\"Helvetica\","
+        " fillcolor=\"#f0f0f0\"];\n";
+  for (const Layer& l : net.layers()) {
+    os << "  n" << l.id << " [label=\"" << node_label(l) << "\"";
+    if (l.is_conv() && schemes != nullptr) {
+      const Scheme s = (*schemes)[static_cast<std::size_t>(l.id)];
+      os << ", fillcolor=\"" << scheme_color(s) << "\", tooltip=\""
+         << scheme_name(s) << "\"";
+    } else if (l.kind == LayerKind::kConcat) {
+      os << ", shape=invtrapezium";
+    } else if (l.kind == LayerKind::kInput) {
+      os << ", shape=ellipse";
+    }
+    os << "];\n";
+    for (LayerId src : l.inputs)
+      os << "  n" << src << " -> n" << l.id << ";\n";
+  }
+  if (schemes != nullptr) {
+    os << "  subgraph cluster_legend {\n    label=\"scheme\";\n";
+    int i = 0;
+    for (Scheme s : {Scheme::kInter, Scheme::kInterImproved,
+                     Scheme::kIntraUnroll, Scheme::kIntraSliding,
+                     Scheme::kPartition}) {
+      os << "    l" << i++ << " [label=\"" << scheme_name(s)
+         << "\", fillcolor=\"" << scheme_color(s) << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Network& net) { return render(net, nullptr); }
+
+std::string to_dot(const Network& net, const std::vector<Scheme>& schemes) {
+  CBRAIN_CHECK(static_cast<i64>(schemes.size()) == net.size(),
+               "scheme table size mismatch");
+  return render(net, &schemes);
+}
+
+}  // namespace cbrain

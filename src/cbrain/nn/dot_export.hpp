@@ -1,0 +1,22 @@
+// Graphviz export of network DAGs, optionally annotated with the scheme
+// Algorithm 2 assigns to each conv layer (colored per scheme). Useful for
+// papers/slides: `cbrain_cli dot googlenet | dot -Tsvg > g.svg`.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cbrain/compiler/scheme.hpp"
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+// Plain structure graph.
+std::string to_dot(const Network& net);
+
+// With per-layer scheme annotations (vector indexed by LayerId, as
+// produced by assign_schemes / select_oracle_schemes).
+std::string to_dot(const Network& net, const std::vector<Scheme>& schemes);
+
+}  // namespace cbrain

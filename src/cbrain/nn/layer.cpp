@@ -1,0 +1,95 @@
+#include "cbrain/nn/layer.hpp"
+
+#include <sstream>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput:
+      return "input";
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kPool:
+      return "pool";
+    case LayerKind::kFC:
+      return "fc";
+    case LayerKind::kLRN:
+      return "lrn";
+    case LayerKind::kConcat:
+      return "concat";
+    case LayerKind::kSoftmax:
+      return "softmax";
+  }
+  return "?";
+}
+
+const ConvParams& Layer::conv() const {
+  CBRAIN_CHECK(kind == LayerKind::kConv, "layer " << name << " is not conv");
+  return std::get<ConvParams>(params);
+}
+
+const PoolParams& Layer::pool() const {
+  CBRAIN_CHECK(kind == LayerKind::kPool, "layer " << name << " is not pool");
+  return std::get<PoolParams>(params);
+}
+
+const FCParams& Layer::fc() const {
+  CBRAIN_CHECK(kind == LayerKind::kFC, "layer " << name << " is not fc");
+  return std::get<FCParams>(params);
+}
+
+const LRNParams& Layer::lrn() const {
+  CBRAIN_CHECK(kind == LayerKind::kLRN, "layer " << name << " is not lrn");
+  return std::get<LRNParams>(params);
+}
+
+KernelDims Layer::weight_dims() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      // Total across groups: Dout kernels, each connecting to Din/groups.
+      return {p.dout, p.din_per_group(in_dims.d), p.k, p.k};
+    }
+    case LayerKind::kFC: {
+      const auto& p = fc();
+      return {p.dout, in_dims.count(), 1, 1};
+    }
+    default:
+      return {};
+  }
+}
+
+i64 Layer::macs() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      return out_dims.pixels_per_map() * p.dout * p.k * p.k *
+             p.din_per_group(in_dims.d);
+    }
+    case LayerKind::kFC:
+      return in_dims.count() * fc().dout;
+    default:
+      return 0;
+  }
+}
+
+std::string Layer::summary() const {
+  std::ostringstream os;
+  os << name << " [" << layer_kind_name(kind) << "] in=" <<
+      in_dims.to_string() << " out=" << out_dims.to_string();
+  if (kind == LayerKind::kConv) {
+    const auto& p = conv();
+    os << " k=" << p.k << " s=" << p.stride << " pad=" << p.pad;
+    if (p.groups != 1) os << " g=" << p.groups;
+  } else if (kind == LayerKind::kPool) {
+    const auto& p = pool();
+    os << (p.kind == PoolKind::kMax ? " max" : " avg") << " p=" << p.k
+       << " s=" << p.stride;
+  }
+  return os.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,105 @@
+// Layer descriptors. A Network is a DAG of these; shape inference runs as
+// layers are added (see network.hpp). Only descriptors live here — the
+// functional semantics are in ref/ (golden executor) and sim/ (cycle-level
+// machine), and the mapping decisions in compiler/.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cbrain/common/math_util.hpp"
+#include "cbrain/tensor/shape.hpp"
+
+namespace cbrain {
+
+enum class LayerKind {
+  kInput,
+  kConv,
+  kPool,
+  kFC,
+  kLRN,
+  kConcat,
+  kSoftmax,
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+enum class PoolKind { kMax, kAvg };
+
+struct ConvParams {
+  i64 dout = 0;    // total output maps (across all groups)
+  i64 k = 0;       // square kernel side
+  i64 stride = 1;
+  i64 pad = 0;     // symmetric zero padding per side
+  i64 groups = 1;  // AlexNet-style grouped convolution
+  bool relu = true;
+
+  // Per-group depths, given the layer's input depth.
+  i64 din_per_group(i64 din_total) const { return din_total / groups; }
+  i64 dout_per_group() const { return dout / groups; }
+};
+
+struct PoolParams {
+  PoolKind kind = PoolKind::kMax;
+  i64 k = 2;
+  i64 stride = 2;
+  i64 pad = 0;
+};
+
+struct FCParams {
+  i64 dout = 0;
+  bool relu = true;
+};
+
+struct LRNParams {
+  i64 local_size = 5;
+  double alpha = 1e-4;
+  double beta = 0.75;
+  double bias = 1.0;
+};
+
+struct InputParams {
+  MapDims dims;
+};
+
+struct ConcatParams {};   // concatenates inputs along depth
+struct SoftmaxParams {};  // over the flattened feature vector
+
+using LayerParams = std::variant<InputParams, ConvParams, PoolParams,
+                                 FCParams, LRNParams, ConcatParams,
+                                 SoftmaxParams>;
+
+using LayerId = i64;
+
+struct Layer {
+  LayerId id = -1;
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  LayerParams params;
+  std::vector<LayerId> inputs;  // producer layer ids (several for concat)
+
+  MapDims in_dims;   // concatenated input dims (depth-summed for concat)
+  MapDims out_dims;  // inferred output dims
+
+  const ConvParams& conv() const;
+  const PoolParams& pool() const;
+  const FCParams& fc() const;
+  const LRNParams& lrn() const;
+
+  bool is_conv() const { return kind == LayerKind::kConv; }
+  bool is_pool() const { return kind == LayerKind::kPool; }
+  bool is_fc() const { return kind == LayerKind::kFC; }
+
+  // Kernel stack dims for conv/fc layers (per-group for grouped conv the
+  // caller multiplies by groups; this is the *total* weight footprint).
+  KernelDims weight_dims() const;
+
+  // Multiply-accumulate count of the layer's forward pass (0 for layers
+  // with no MACs). Grouped conv counts only intra-group connections.
+  i64 macs() const;
+
+  std::string summary() const;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,199 @@
+#include "cbrain/nn/network.hpp"
+
+#include <sstream>
+
+namespace cbrain {
+
+const Layer& Network::layer(LayerId id) const {
+  CBRAIN_CHECK(id >= 0 && id < size(), "layer id " << id << " out of range");
+  return layers_[static_cast<std::size_t>(id)];
+}
+
+const Layer& Network::checked_input(LayerId id) const { return layer(id); }
+
+LayerId Network::append(Layer layer) {
+  layer.id = size();
+  layers_.push_back(std::move(layer));
+  return layers_.back().id;
+}
+
+LayerId Network::add_input(MapDims dims, const std::string& name) {
+  CBRAIN_CHECK(dims.d > 0 && dims.h > 0 && dims.w > 0,
+               "input dims must be positive: " << dims.to_string());
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kInput;
+  l.params = InputParams{dims};
+  l.in_dims = dims;
+  l.out_dims = dims;
+  return append(std::move(l));
+}
+
+LayerId Network::add_conv(LayerId input, const std::string& name,
+                          const ConvParams& params) {
+  const Layer& src = checked_input(input);
+  const MapDims in = src.out_dims;
+  CBRAIN_CHECK(params.dout > 0 && params.k > 0 && params.stride > 0,
+               "conv " << name << ": bad parameters");
+  CBRAIN_CHECK(params.pad >= 0 && params.pad < params.k,
+               "conv " << name << ": pad must be in [0, k)");
+  CBRAIN_CHECK(params.groups > 0 && in.d % params.groups == 0 &&
+                   params.dout % params.groups == 0,
+               "conv " << name << ": groups must divide Din and Dout");
+  CBRAIN_CHECK(in.h + 2 * params.pad >= params.k &&
+                   in.w + 2 * params.pad >= params.k,
+               "conv " << name << ": kernel larger than padded input");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kConv;
+  l.params = params;
+  l.inputs = {input};
+  l.in_dims = in;
+  l.out_dims = {params.dout,
+                conv_out_extent(in.h, params.k, params.stride, params.pad),
+                conv_out_extent(in.w, params.k, params.stride, params.pad)};
+  return append(std::move(l));
+}
+
+LayerId Network::add_pool(LayerId input, const std::string& name,
+                          const PoolParams& params) {
+  const Layer& src = checked_input(input);
+  const MapDims in = src.out_dims;
+  CBRAIN_CHECK(params.k > 0 && params.stride > 0,
+               "pool " << name << ": bad parameters");
+  CBRAIN_CHECK(params.pad >= 0 && params.pad < params.k,
+               "pool " << name << ": pad must be in [0, k)");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kPool;
+  l.params = params;
+  l.inputs = {input};
+  l.in_dims = in;
+  // Caffe-style ceil-mode pooling: windows may start inside the input and
+  // extend past it (AlexNet pool1: (55-3)/2+1 = 27 via ceil of 26.0). As
+  // in Caffe, a last window that would start beyond the padded input is
+  // clipped off entirely (it would be empty).
+  i64 oh = ceil_div(in.h + 2 * params.pad - params.k, params.stride) + 1;
+  i64 ow = ceil_div(in.w + 2 * params.pad - params.k, params.stride) + 1;
+  if ((oh - 1) * params.stride >= in.h + params.pad) --oh;
+  if ((ow - 1) * params.stride >= in.w + params.pad) --ow;
+  l.out_dims = {in.d, oh, ow};
+  return append(std::move(l));
+}
+
+LayerId Network::add_fc(LayerId input, const std::string& name,
+                        const FCParams& params) {
+  const Layer& src = checked_input(input);
+  CBRAIN_CHECK(params.dout > 0, "fc " << name << ": dout must be positive");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kFC;
+  l.params = params;
+  l.inputs = {input};
+  l.in_dims = src.out_dims;
+  l.out_dims = {params.dout, 1, 1};
+  return append(std::move(l));
+}
+
+LayerId Network::add_lrn(LayerId input, const std::string& name,
+                         const LRNParams& params) {
+  const Layer& src = checked_input(input);
+  CBRAIN_CHECK(params.local_size > 0 && params.local_size % 2 == 1,
+               "lrn " << name << ": local_size must be odd and positive");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kLRN;
+  l.params = params;
+  l.inputs = {input};
+  l.in_dims = src.out_dims;
+  l.out_dims = src.out_dims;
+  return append(std::move(l));
+}
+
+LayerId Network::add_concat(const std::vector<LayerId>& inputs,
+                            const std::string& name) {
+  CBRAIN_CHECK(!inputs.empty(), "concat " << name << ": no inputs");
+  MapDims dims = checked_input(inputs.front()).out_dims;
+  i64 depth = 0;
+  for (LayerId id : inputs) {
+    const MapDims d = checked_input(id).out_dims;
+    CBRAIN_CHECK(d.h == dims.h && d.w == dims.w,
+                 "concat " << name << ": spatial dims mismatch ("
+                           << d.to_string() << " vs " << dims.to_string()
+                           << ")");
+    depth += d.d;
+  }
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kConcat;
+  l.params = ConcatParams{};
+  l.inputs = inputs;
+  l.in_dims = {depth, dims.h, dims.w};
+  l.out_dims = l.in_dims;
+  return append(std::move(l));
+}
+
+LayerId Network::add_softmax(LayerId input, const std::string& name) {
+  const Layer& src = checked_input(input);
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kSoftmax;
+  l.params = SoftmaxParams{};
+  l.inputs = {input};
+  l.in_dims = src.out_dims;
+  l.out_dims = src.out_dims;
+  return append(std::move(l));
+}
+
+Status Network::validate() const {
+  if (layers_.empty())
+    return Status::invalid_argument("network has no layers");
+  i64 input_count = 0;
+  std::vector<bool> consumed(layers_.size(), false);
+  for (const Layer& l : layers_) {
+    if (l.kind == LayerKind::kInput) {
+      ++input_count;
+      if (!l.inputs.empty())
+        return Status::invalid_argument("input layer with producers");
+    } else if (l.inputs.empty()) {
+      return Status::invalid_argument("layer " + l.name + " has no inputs");
+    }
+    for (LayerId id : l.inputs) {
+      if (id < 0 || id >= l.id)
+        return Status::invalid_argument("layer " + l.name +
+                                        " references a non-earlier layer");
+      consumed[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  if (input_count != 1)
+    return Status::invalid_argument("network must have exactly one input");
+  // Every layer except the last must feed someone.
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    if (!consumed[i])
+      return Status::invalid_argument("layer " + layers_[i].name +
+                                      " is dangling (unconsumed)");
+  }
+  return Status::ok();
+}
+
+std::vector<LayerId> Network::conv_layer_ids() const {
+  std::vector<LayerId> out;
+  for (const Layer& l : layers_)
+    if (l.is_conv()) out.push_back(l.id);
+  return out;
+}
+
+std::string Network::to_string() const {
+  std::ostringstream os;
+  os << "network " << name_ << " (" << layers_.size() << " layers)\n";
+  for (const Layer& l : layers_) os << "  " << l.summary() << '\n';
+  return os.str();
+}
+
+i64 Network::total_weight_words() const {
+  i64 words = 0;
+  for (const Layer& l : layers_) words += l.weight_dims().count();
+  return words;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,66 @@
+// Network: a DAG of layers in topological order (layers reference only
+// earlier layers) with shape inference at construction time. The builder
+// API is what the model zoo and the examples use:
+//
+//   Network net("alexnet");
+//   auto in  = net.add_input({3, 227, 227});
+//   auto c1  = net.add_conv(in, "conv1", {.dout = 96, .k = 11, .stride = 4});
+//   auto p1  = net.add_pool(c1, "pool1", {.kind = PoolKind::kMax, .k = 3,
+//                                         .stride = 2});
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/common/status.hpp"
+#include "cbrain/nn/layer.hpp"
+
+namespace cbrain {
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  i64 size() const { return static_cast<i64>(layers_.size()); }
+  const Layer& layer(LayerId id) const;
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  // Builder API. All add_* CHECK-validate parameters and run shape
+  // inference; they return the new layer's id.
+  LayerId add_input(MapDims dims, const std::string& name = "data");
+  LayerId add_conv(LayerId input, const std::string& name,
+                   const ConvParams& params);
+  LayerId add_pool(LayerId input, const std::string& name,
+                   const PoolParams& params);
+  LayerId add_fc(LayerId input, const std::string& name,
+                 const FCParams& params);
+  LayerId add_lrn(LayerId input, const std::string& name,
+                  const LRNParams& params = {});
+  LayerId add_concat(const std::vector<LayerId>& inputs,
+                     const std::string& name);
+  LayerId add_softmax(LayerId input, const std::string& name = "prob");
+
+  // Validation beyond per-layer checks: exactly one input layer, all maps
+  // reachable, every non-input consumed or terminal.
+  Status validate() const;
+
+  // Conv layers in topological order (the paper's unit of scheme choice).
+  std::vector<LayerId> conv_layer_ids() const;
+
+  // Multi-line human-readable structure dump.
+  std::string to_string() const;
+
+  // Total weight words (16-bit) across conv+fc layers.
+  i64 total_weight_words() const;
+
+ private:
+  LayerId append(Layer layer);
+  const Layer& checked_input(LayerId id) const;
+
+  std::string name_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace cbrain

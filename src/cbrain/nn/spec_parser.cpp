@@ -1,0 +1,301 @@
+#include "cbrain/nn/spec_parser.hpp"
+
+#include <fstream>
+#include <optional>
+#include <map>
+#include <sstream>
+
+#include "cbrain/common/strings.hpp"
+
+namespace cbrain {
+namespace {
+
+struct ParseCtx {
+  std::map<std::string, LayerId> names;
+  LayerId previous = -1;
+  int line_no = 0;
+
+  Status error(const std::string& msg) const {
+    return Status::invalid_argument("line " + std::to_string(line_no) +
+                                    ": " + msg);
+  }
+};
+
+// Tokenizes "dout=96 k=11" style key=value arguments; bare tokens (like
+// the pool kind) are returned in `positional`.
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::vector<std::string> positional;
+
+  bool has(const std::string& key) const { return kv.count(key) != 0; }
+};
+
+Args parse_args(const std::vector<std::string>& tokens, std::size_t from) {
+  Args args;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      args.positional.push_back(tok);
+    else
+      args.kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return args;
+}
+
+Result<i64> parse_i64(const ParseCtx& ctx, const std::string& key,
+                      const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const i64 v = std::stoll(value, &pos);
+    if (pos != value.size())
+      return ctx.error("trailing characters in " + key + "=" + value);
+    return v;
+  } catch (const std::exception&) {
+    return ctx.error("expected integer for " + key + ", got '" + value +
+                     "'");
+  }
+}
+
+Result<double> parse_f64(const ParseCtx& ctx, const std::string& key,
+                         const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size())
+      return ctx.error("trailing characters in " + key + "=" + value);
+    return v;
+  } catch (const std::exception&) {
+    return ctx.error("expected number for " + key + ", got '" + value +
+                     "'");
+  }
+}
+
+// Fetches an integer argument with a default; `required` makes absence an
+// error. Returns error status via out-param pattern kept simple with
+// Result.
+Result<i64> get_i64(const ParseCtx& ctx, const Args& args,
+                    const std::string& key, i64 fallback,
+                    bool required = false) {
+  if (!args.has(key)) {
+    if (required) return ctx.error("missing required argument " + key);
+    return fallback;
+  }
+  return parse_i64(ctx, key, args.kv.at(key));
+}
+
+Result<LayerId> resolve_input(const ParseCtx& ctx, const Args& args) {
+  if (args.has("from")) {
+    const auto it = ctx.names.find(args.kv.at("from"));
+    if (it == ctx.names.end())
+      return ctx.error("unknown layer '" + args.kv.at("from") + "'");
+    return it->second;
+  }
+  if (ctx.previous < 0) return ctx.error("no previous layer to connect to");
+  return ctx.previous;
+}
+
+}  // namespace
+
+Result<Network> parse_network_spec(const std::string& text) {
+  std::istringstream is(text);
+  std::string raw_line;
+  ParseCtx ctx;
+  std::optional<Network> net;
+  bool has_input = false;
+
+  while (std::getline(is, raw_line)) {
+    ++ctx.line_no;
+    const auto hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.erase(hash);
+    const std::string line = trim(raw_line);
+    if (line.empty()) continue;
+
+    std::vector<std::string> tokens;
+    for (const std::string& t : split(line, ' '))
+      if (!trim(t).empty()) tokens.push_back(trim(t));
+    const std::string kind = to_lower(tokens[0]);
+
+    if (kind == "network") {
+      if (net) return ctx.error("duplicate 'network' directive");
+      if (tokens.size() != 2) return ctx.error("usage: network <name>");
+      net.emplace(tokens[1]);
+      continue;
+    }
+    if (!net) return ctx.error("spec must start with 'network <name>'");
+    if (tokens.size() < 2) return ctx.error("missing layer name");
+    const std::string& name = tokens[1];
+    if (ctx.names.count(name))
+      return ctx.error("duplicate layer name '" + name + "'");
+    const Args args = parse_args(tokens, 2);
+
+    try {
+      LayerId id = -1;
+      if (kind == "input") {
+        if (has_input) return ctx.error("duplicate input layer");
+        if (tokens.size() != 5)
+          return ctx.error("usage: input <name> <depth> <height> <width>");
+        auto d = parse_i64(ctx, "depth", tokens[2]);
+        auto h = parse_i64(ctx, "height", tokens[3]);
+        auto w = parse_i64(ctx, "width", tokens[4]);
+        if (!d.is_ok()) return d.status();
+        if (!h.is_ok()) return h.status();
+        if (!w.is_ok()) return w.status();
+        id = net->add_input({d.value(), h.value(), w.value()}, name);
+        has_input = true;
+      } else if (kind == "conv") {
+        auto from = resolve_input(ctx, args);
+        if (!from.is_ok()) return from.status();
+        ConvParams p;
+        auto dout = get_i64(ctx, args, "dout", 0, /*required=*/true);
+        auto k = get_i64(ctx, args, "k", 0, /*required=*/true);
+        auto s = get_i64(ctx, args, "s", 1);
+        auto pad = get_i64(ctx, args, "pad", 0);
+        auto groups = get_i64(ctx, args, "groups", 1);
+        auto relu = get_i64(ctx, args, "relu", 1);
+        for (const auto* r : {&dout, &k, &s, &pad, &groups, &relu})
+          if (!r->is_ok()) return r->status();
+        p.dout = dout.value();
+        p.k = k.value();
+        p.stride = s.value();
+        p.pad = pad.value();
+        p.groups = groups.value();
+        p.relu = relu.value() != 0;
+        id = net->add_conv(from.value(), name, p);
+      } else if (kind == "pool") {
+        auto from = resolve_input(ctx, args);
+        if (!from.is_ok()) return from.status();
+        PoolParams p;
+        if (args.positional.size() != 1 ||
+            (args.positional[0] != "max" && args.positional[0] != "avg"))
+          return ctx.error("pool needs a kind: max or avg");
+        p.kind = args.positional[0] == "max" ? PoolKind::kMax
+                                             : PoolKind::kAvg;
+        auto k = get_i64(ctx, args, "k", 0, /*required=*/true);
+        auto s = get_i64(ctx, args, "s", 1);
+        auto pad = get_i64(ctx, args, "pad", 0);
+        for (const auto* r : {&k, &s, &pad})
+          if (!r->is_ok()) return r->status();
+        p.k = k.value();
+        p.stride = s.value();
+        p.pad = pad.value();
+        id = net->add_pool(from.value(), name, p);
+      } else if (kind == "fc") {
+        auto from = resolve_input(ctx, args);
+        if (!from.is_ok()) return from.status();
+        auto dout = get_i64(ctx, args, "dout", 0, /*required=*/true);
+        auto relu = get_i64(ctx, args, "relu", 1);
+        if (!dout.is_ok()) return dout.status();
+        if (!relu.is_ok()) return relu.status();
+        id = net->add_fc(from.value(), name,
+                         {.dout = dout.value(), .relu = relu.value() != 0});
+      } else if (kind == "lrn") {
+        auto from = resolve_input(ctx, args);
+        if (!from.is_ok()) return from.status();
+        LRNParams p;
+        auto size = get_i64(ctx, args, "size", p.local_size);
+        if (!size.is_ok()) return size.status();
+        p.local_size = size.value();
+        for (const char* key : {"alpha", "beta", "bias"}) {
+          if (!args.has(key)) continue;
+          auto v = parse_f64(ctx, key, args.kv.at(key));
+          if (!v.is_ok()) return v.status();
+          if (std::string(key) == "alpha") p.alpha = v.value();
+          if (std::string(key) == "beta") p.beta = v.value();
+          if (std::string(key) == "bias") p.bias = v.value();
+        }
+        id = net->add_lrn(from.value(), name, p);
+      } else if (kind == "concat") {
+        if (!args.has("inputs"))
+          return ctx.error("concat needs inputs=<a,b,...>");
+        std::vector<LayerId> inputs;
+        for (const std::string& n : split(args.kv.at("inputs"), ',')) {
+          const auto it = ctx.names.find(n);
+          if (it == ctx.names.end())
+            return ctx.error("unknown concat input '" + n + "'");
+          inputs.push_back(it->second);
+        }
+        id = net->add_concat(inputs, name);
+      } else if (kind == "softmax") {
+        auto from = resolve_input(ctx, args);
+        if (!from.is_ok()) return from.status();
+        id = net->add_softmax(from.value(), name);
+      } else {
+        return ctx.error("unknown layer kind '" + kind + "'");
+      }
+      ctx.names[name] = id;
+      ctx.previous = id;
+    } catch (const CheckError& e) {
+      // Builder-level validation (shape inference etc.) as a parse error.
+      return ctx.error(e.what());
+    }
+  }
+  if (!net) return Status::invalid_argument("empty network spec");
+  const Status v = net->validate();
+  if (!v.is_ok()) return v;
+  return std::move(*net);
+}
+
+Result<Network> load_network_spec_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f)
+    return Status::invalid_argument("cannot open spec file: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_network_spec(os.str());
+}
+
+std::string network_to_spec(const Network& net) {
+  std::ostringstream os;
+  os << "network " << net.name() << "\n";
+  for (const Layer& l : net.layers()) {
+    auto from = [&](const Layer& layer) -> std::string {
+      // Emit from= only when not the immediately preceding layer.
+      if (layer.inputs.size() == 1 && layer.inputs[0] == layer.id - 1)
+        return "";
+      return " from=" + net.layer(layer.inputs[0]).name;
+    };
+    switch (l.kind) {
+      case LayerKind::kInput:
+        os << "input " << l.name << " " << l.out_dims.d << " "
+           << l.out_dims.h << " " << l.out_dims.w << "\n";
+        break;
+      case LayerKind::kConv: {
+        const ConvParams& p = l.conv();
+        os << "conv " << l.name << from(l) << " dout=" << p.dout
+           << " k=" << p.k << " s=" << p.stride << " pad=" << p.pad
+           << " groups=" << p.groups << " relu=" << (p.relu ? 1 : 0)
+           << "\n";
+        break;
+      }
+      case LayerKind::kPool: {
+        const PoolParams& p = l.pool();
+        os << "pool " << l.name << from(l) << " "
+           << (p.kind == PoolKind::kMax ? "max" : "avg") << " k=" << p.k
+           << " s=" << p.stride << " pad=" << p.pad << "\n";
+        break;
+      }
+      case LayerKind::kFC:
+        os << "fc " << l.name << from(l) << " dout=" << l.fc().dout
+           << " relu=" << (l.fc().relu ? 1 : 0) << "\n";
+        break;
+      case LayerKind::kLRN:
+        os << "lrn " << l.name << from(l) << " size=" << l.lrn().local_size
+           << "\n";
+        break;
+      case LayerKind::kConcat: {
+        os << "concat " << l.name << " inputs=";
+        std::vector<std::string> names;
+        for (LayerId id : l.inputs) names.push_back(net.layer(id).name);
+        os << join(names, ",") << "\n";
+        break;
+      }
+      case LayerKind::kSoftmax:
+        os << "softmax " << l.name << from(l) << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,35 @@
+// Text network specifications — the "network specification ... written by
+// domain experts" that the paper's host-side compiler consumes (Fig. 2).
+// A small, line-oriented format:
+//
+//   # comment
+//   network my_net
+//   input data 3 227 227
+//   conv conv1 dout=96 k=11 s=4            # from= defaults to previous
+//   lrn  norm1 size=5 alpha=1e-4 beta=0.75
+//   pool pool1 max k=3 s=2
+//   conv conv2 from=pool1 dout=256 k=5 s=1 pad=2 groups=2
+//   conv b1   from=pool1 dout=64 k=1
+//   concat join inputs=conv2,b1
+//   fc   fc6 dout=4096
+//   fc   fc8 dout=1000 relu=0
+//   softmax prob
+//
+// Every layer is named; `from=` (or `inputs=` for concat) references any
+// earlier name. Errors carry line numbers.
+#pragma once
+
+#include <string>
+
+#include "cbrain/common/status.hpp"
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+Result<Network> parse_network_spec(const std::string& text);
+Result<Network> load_network_spec_file(const std::string& path);
+
+// Renders a Network back into spec text (round-trips through the parser).
+std::string network_to_spec(const Network& net);
+
+}  // namespace cbrain

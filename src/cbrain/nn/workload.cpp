@@ -1,0 +1,40 @@
+#include "cbrain/nn/workload.hpp"
+
+#include <algorithm>
+
+namespace cbrain {
+
+NetworkWorkload analyze_workload(const Network& net) {
+  NetworkWorkload w;
+  w.network = net.name();
+  for (const Layer& l : net.layers()) {
+    LayerWorkload lw;
+    lw.id = l.id;
+    lw.name = l.name;
+    lw.kind = l.kind;
+    lw.macs = l.macs();
+    lw.input_words = l.in_dims.count();
+    lw.output_words = l.out_dims.count();
+    lw.weight_words = l.weight_dims().count();
+    w.total_macs += lw.macs;
+    if (l.is_conv()) w.conv_macs += lw.macs;
+    if (l.is_fc()) w.fc_macs += lw.macs;
+    w.total_weight_words += lw.weight_words;
+    w.max_layer_activation_words = std::max(
+        w.max_layer_activation_words, lw.input_words + lw.output_words);
+    w.layers.push_back(std::move(lw));
+  }
+  return w;
+}
+
+std::string conv1_signature(const Network& net) {
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    const auto& p = l.conv();
+    return std::to_string(l.in_dims.d) + "," + std::to_string(p.k) + "," +
+           std::to_string(p.stride) + "," + std::to_string(p.dout);
+  }
+  return "";
+}
+
+}  // namespace cbrain

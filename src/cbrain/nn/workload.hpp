@@ -1,0 +1,45 @@
+// Static workload statistics of a network: the numbers behind Table 2 of
+// the paper and the sanity anchors for the performance model (total MACs
+// bound ideal cycles from below).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+struct LayerWorkload {
+  LayerId id = -1;
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  i64 macs = 0;
+  i64 input_words = 0;   // activation words read (16-bit)
+  i64 output_words = 0;  // activation words produced
+  i64 weight_words = 0;  // unique weights
+};
+
+struct NetworkWorkload {
+  std::string network;
+  std::vector<LayerWorkload> layers;
+  i64 total_macs = 0;
+  i64 conv_macs = 0;
+  i64 fc_macs = 0;
+  i64 total_weight_words = 0;
+  i64 max_layer_activation_words = 0;  // biggest in+out footprint
+
+  // Fraction of MACs in convolution layers (the paper cites ~90%).
+  double conv_mac_fraction() const {
+    return total_macs == 0 ? 0.0
+                           : static_cast<double>(conv_macs) /
+                                 static_cast<double>(total_macs);
+  }
+};
+
+NetworkWorkload analyze_workload(const Network& net);
+
+// Paper Table 2 row: "<Din>,<k>,<s>,<Dout>" of the first conv layer.
+std::string conv1_signature(const Network& net);
+
+}  // namespace cbrain

@@ -1,0 +1,58 @@
+// The benchmark networks of the paper's Table 2 plus small synthetic
+// networks for tests. All are inference-mode graphs (no aux classifiers,
+// no dropout) with the depths/kernels of the original publications:
+//
+//   network    conv1 (Din,k,s,Dout)  #conv  kernel sizes
+//   AlexNet    3,11,4,96              5     11,5,3
+//   GoogLeNet  3,7,2,64               57    7,5,3,1
+//   VGG-16     3,3,1,64               16*   3
+//   NiN        3,11,4,96              12    11,5,3,1
+//
+// *the paper counts VGG's 3 FC layers among its "16"; it has 13 conv
+//  layers, which is what conv-layer iteration yields here.
+#pragma once
+
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain::zoo {
+
+Network alexnet();
+Network vgg16();
+Network googlenet();
+Network nin();
+
+// All four paper benchmark networks, in the paper's order.
+std::vector<Network> paper_benchmarks();
+
+// --- beyond the paper: extra published networks -----------------------
+
+// LeNet-5 (1x32x32): small enough for functional cycle simulation.
+Network lenet5();
+// ZFNet: AlexNet-class with a 7x7 stride-2 front end.
+Network zfnet();
+// SqueezeNet v1.0: eight fire modules (squeeze 1x1 -> expand 1x1 || 3x3,
+// concatenated) — a concat-heavy DAG with tiny kernels.
+Network squeezenet();
+
+// --- synthetic networks for tests/examples ---
+
+// One conv layer wrapped in a network (input -> conv).
+Network single_conv(MapDims input, const ConvParams& params,
+                    const std::string& name = "single_conv");
+
+// A small LeNet-style net (2 conv + 2 pool + 2 fc) that is cheap enough
+// for the functional cycle-level simulator in unit tests.
+Network tiny_cnn();
+
+// A deliberately diverse net exercising every scheme branch of
+// Algorithm 2: a k==s layer (intra), a Din<Tin layer (partition), and a
+// deep small-kernel layer (inter).
+Network scheme_mix_cnn();
+
+// A single GoogLeNet-style inception module at toy scale: one producer
+// feeding four branches (1x1 / 3x3 / 5x5 / pool-proj) re-joined by a
+// concat — the DAG case of the layout planner (multi-consumer stores,
+// concat depth offsets).
+Network mini_inception();
+
+}  // namespace cbrain::zoo

@@ -1,0 +1,40 @@
+// AlexNet (Krizhevsky et al., NIPS 2012), single-tower Caffe layout with
+// the original 2-group convolutions — the paper's Table 2 lists conv2 with
+// Din = 48, which is the per-group depth of the grouped layer.
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+
+Network alexnet() {
+  Network net("alexnet");
+  const LayerId data = net.add_input({3, 227, 227});
+
+  const LayerId c1 = net.add_conv(
+      data, "conv1", {.dout = 96, .k = 11, .stride = 4, .pad = 0});
+  const LayerId n1 = net.add_lrn(c1, "norm1");
+  const LayerId p1 = net.add_pool(
+      n1, "pool1", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  const LayerId c2 = net.add_conv(
+      p1, "conv2", {.dout = 256, .k = 5, .stride = 1, .pad = 2, .groups = 2});
+  const LayerId n2 = net.add_lrn(c2, "norm2");
+  const LayerId p2 = net.add_pool(
+      n2, "pool2", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  const LayerId c3 = net.add_conv(
+      p2, "conv3", {.dout = 384, .k = 3, .stride = 1, .pad = 1});
+  const LayerId c4 = net.add_conv(
+      c3, "conv4", {.dout = 384, .k = 3, .stride = 1, .pad = 1, .groups = 2});
+  const LayerId c5 = net.add_conv(
+      c4, "conv5", {.dout = 256, .k = 3, .stride = 1, .pad = 1, .groups = 2});
+  const LayerId p5 = net.add_pool(
+      c5, "pool5", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  const LayerId f6 = net.add_fc(p5, "fc6", {.dout = 4096});
+  const LayerId f7 = net.add_fc(f6, "fc7", {.dout = 4096});
+  const LayerId f8 = net.add_fc(f7, "fc8", {.dout = 1000, .relu = false});
+  net.add_softmax(f8);
+  return net;
+}
+
+}  // namespace cbrain::zoo

@@ -1,0 +1,80 @@
+// GoogLeNet / Inception-v1 (Szegedy et al., 2014), inference graph without
+// the two auxiliary classifiers: 3 stem convs + 9 inception modules x 6
+// convs = 57 convolution layers, matching the paper's Table 2.
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+namespace {
+
+struct InceptionSpec {
+  const char* name;
+  i64 p1x1;        // #1x1 branch outputs
+  i64 p3x3_red;    // 3x3 reduce
+  i64 p3x3;        // 3x3 branch outputs
+  i64 p5x5_red;    // 5x5 reduce
+  i64 p5x5;        // 5x5 branch outputs
+  i64 pool_proj;   // pool projection outputs
+};
+
+LayerId add_inception(Network& net, LayerId input, const InceptionSpec& s) {
+  const std::string base = s.name;
+  const LayerId b1 = net.add_conv(input, base + "/1x1",
+                                  {.dout = s.p1x1, .k = 1, .stride = 1});
+  const LayerId r3 = net.add_conv(input, base + "/3x3_reduce",
+                                  {.dout = s.p3x3_red, .k = 1, .stride = 1});
+  const LayerId b3 = net.add_conv(
+      r3, base + "/3x3", {.dout = s.p3x3, .k = 3, .stride = 1, .pad = 1});
+  const LayerId r5 = net.add_conv(input, base + "/5x5_reduce",
+                                  {.dout = s.p5x5_red, .k = 1, .stride = 1});
+  const LayerId b5 = net.add_conv(
+      r5, base + "/5x5", {.dout = s.p5x5, .k = 5, .stride = 1, .pad = 2});
+  const LayerId pool = net.add_pool(
+      input, base + "/pool",
+      {.kind = PoolKind::kMax, .k = 3, .stride = 1, .pad = 1});
+  const LayerId bp = net.add_conv(pool, base + "/pool_proj",
+                                  {.dout = s.pool_proj, .k = 1, .stride = 1});
+  return net.add_concat({b1, b3, b5, bp}, base + "/output");
+}
+
+}  // namespace
+
+Network googlenet() {
+  Network net("googlenet");
+  const LayerId data = net.add_input({3, 224, 224});
+
+  LayerId t = net.add_conv(
+      data, "conv1/7x7_s2", {.dout = 64, .k = 7, .stride = 2, .pad = 3});
+  t = net.add_pool(t, "pool1/3x3_s2",
+                   {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+  t = net.add_lrn(t, "pool1/norm1");
+  t = net.add_conv(t, "conv2/3x3_reduce", {.dout = 64, .k = 1, .stride = 1});
+  t = net.add_conv(t, "conv2/3x3",
+                   {.dout = 192, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_lrn(t, "conv2/norm2");
+  t = net.add_pool(t, "pool2/3x3_s2",
+                   {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  t = add_inception(net, t, {"inception_3a", 64, 96, 128, 16, 32, 32});
+  t = add_inception(net, t, {"inception_3b", 128, 128, 192, 32, 96, 64});
+  t = net.add_pool(t, "pool3/3x3_s2",
+                   {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  t = add_inception(net, t, {"inception_4a", 192, 96, 208, 16, 48, 64});
+  t = add_inception(net, t, {"inception_4b", 160, 112, 224, 24, 64, 64});
+  t = add_inception(net, t, {"inception_4c", 128, 128, 256, 24, 64, 64});
+  t = add_inception(net, t, {"inception_4d", 112, 144, 288, 32, 64, 64});
+  t = add_inception(net, t, {"inception_4e", 256, 160, 320, 32, 128, 128});
+  t = net.add_pool(t, "pool4/3x3_s2",
+                   {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  t = add_inception(net, t, {"inception_5a", 256, 160, 320, 32, 128, 128});
+  t = add_inception(net, t, {"inception_5b", 384, 192, 384, 48, 128, 128});
+  t = net.add_pool(t, "pool5/7x7_s1",
+                   {.kind = PoolKind::kAvg, .k = 7, .stride = 1});
+
+  t = net.add_fc(t, "loss3/classifier", {.dout = 1000, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+}  // namespace cbrain::zoo

@@ -1,0 +1,88 @@
+// Additional published networks beyond the paper's four benchmarks —
+// useful because they stress different corners of the mapping space:
+// LeNet-5 (tiny, simulatable functionally), ZFNet (AlexNet-like but
+// 7x7 s=2 front end), and SqueezeNet v1.0 (eight fire modules: heavy
+// concat/DAG traffic with alternating 1x1/3x3 kernels).
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+
+Network lenet5() {
+  Network net("lenet5");
+  LayerId t = net.add_input({1, 32, 32});
+  t = net.add_conv(t, "c1", {.dout = 6, .k = 5, .stride = 1});
+  t = net.add_pool(t, "s2", {.kind = PoolKind::kAvg, .k = 2, .stride = 2});
+  t = net.add_conv(t, "c3", {.dout = 16, .k = 5, .stride = 1});
+  t = net.add_pool(t, "s4", {.kind = PoolKind::kAvg, .k = 2, .stride = 2});
+  t = net.add_conv(t, "c5", {.dout = 120, .k = 5, .stride = 1});
+  t = net.add_fc(t, "f6", {.dout = 84});
+  t = net.add_fc(t, "output", {.dout = 10, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+Network zfnet() {
+  // Zeiler & Fergus 2013: AlexNet with a 7x7 stride-2 first layer — the
+  // front end sits between AlexNet's (11,4) and GoogLeNet's (7,2) in the
+  // partitioning design space.
+  Network net("zfnet");
+  LayerId t = net.add_input({3, 224, 224});
+  t = net.add_conv(t, "conv1", {.dout = 96, .k = 7, .stride = 2});
+  t = net.add_pool(t, "pool1", {.kind = PoolKind::kMax, .k = 3, .stride = 2,
+                                .pad = 1});
+  t = net.add_lrn(t, "norm1");
+  t = net.add_conv(t, "conv2", {.dout = 256, .k = 5, .stride = 2});
+  t = net.add_pool(t, "pool2", {.kind = PoolKind::kMax, .k = 3, .stride = 2,
+                                .pad = 1});
+  t = net.add_lrn(t, "norm2");
+  t = net.add_conv(t, "conv3", {.dout = 384, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_conv(t, "conv4", {.dout = 384, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_conv(t, "conv5", {.dout = 256, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_pool(t, "pool5", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+  t = net.add_fc(t, "fc6", {.dout = 4096});
+  t = net.add_fc(t, "fc7", {.dout = 4096});
+  t = net.add_fc(t, "fc8", {.dout = 1000, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+namespace {
+
+LayerId add_fire(Network& net, LayerId input, const std::string& name,
+                 i64 squeeze, i64 expand1, i64 expand3) {
+  const LayerId sq = net.add_conv(input, name + "/squeeze1x1",
+                                  {.dout = squeeze, .k = 1, .stride = 1});
+  const LayerId e1 = net.add_conv(sq, name + "/expand1x1",
+                                  {.dout = expand1, .k = 1, .stride = 1});
+  const LayerId e3 = net.add_conv(
+      sq, name + "/expand3x3",
+      {.dout = expand3, .k = 3, .stride = 1, .pad = 1});
+  return net.add_concat({e1, e3}, name + "/concat");
+}
+
+}  // namespace
+
+Network squeezenet() {
+  // SqueezeNet v1.0 (Iandola et al., 2016), inference graph.
+  Network net("squeezenet");
+  LayerId t = net.add_input({3, 227, 227});
+  t = net.add_conv(t, "conv1", {.dout = 96, .k = 7, .stride = 2});
+  t = net.add_pool(t, "pool1", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+  t = add_fire(net, t, "fire2", 16, 64, 64);
+  t = add_fire(net, t, "fire3", 16, 64, 64);
+  t = add_fire(net, t, "fire4", 32, 128, 128);
+  t = net.add_pool(t, "pool4", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+  t = add_fire(net, t, "fire5", 32, 128, 128);
+  t = add_fire(net, t, "fire6", 48, 192, 192);
+  t = add_fire(net, t, "fire7", 48, 192, 192);
+  t = add_fire(net, t, "fire8", 64, 256, 256);
+  t = net.add_pool(t, "pool8", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+  t = add_fire(net, t, "fire9", 64, 256, 256);
+  t = net.add_conv(t, "conv10", {.dout = 1000, .k = 1, .stride = 1});
+  t = net.add_pool(t, "pool10",
+                   {.kind = PoolKind::kAvg, .k = 13, .stride = 1});
+  net.add_softmax(t);
+  return net;
+}
+
+}  // namespace cbrain::zoo

@@ -1,0 +1,37 @@
+// Network-in-Network (Lin et al., ICLR 2014), ImageNet variant: four
+// mlpconv blocks (one spatial conv + two 1x1 "cccp" convs each) = 12 conv
+// layers with kernels 11,5,3,1 — matching the paper's Table 2.
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+
+Network nin() {
+  Network net("nin");
+  LayerId t = net.add_input({3, 227, 227});
+
+  t = net.add_conv(t, "conv1", {.dout = 96, .k = 11, .stride = 4});
+  t = net.add_conv(t, "cccp1", {.dout = 96, .k = 1, .stride = 1});
+  t = net.add_conv(t, "cccp2", {.dout = 96, .k = 1, .stride = 1});
+  t = net.add_pool(t, "pool1", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  t = net.add_conv(t, "conv2", {.dout = 256, .k = 5, .stride = 1, .pad = 2});
+  t = net.add_conv(t, "cccp3", {.dout = 256, .k = 1, .stride = 1});
+  t = net.add_conv(t, "cccp4", {.dout = 256, .k = 1, .stride = 1});
+  t = net.add_pool(t, "pool2", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  t = net.add_conv(t, "conv3", {.dout = 384, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_conv(t, "cccp5", {.dout = 384, .k = 1, .stride = 1});
+  t = net.add_conv(t, "cccp6", {.dout = 384, .k = 1, .stride = 1});
+  t = net.add_pool(t, "pool3", {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+
+  t = net.add_conv(t, "conv4", {.dout = 1024, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_conv(t, "cccp7", {.dout = 1024, .k = 1, .stride = 1});
+  t = net.add_conv(t, "cccp8", {.dout = 1000, .k = 1, .stride = 1,
+                                .relu = false});
+  t = net.add_pool(t, "pool4",
+                   {.kind = PoolKind::kAvg, .k = 6, .stride = 1});
+  net.add_softmax(t);
+  return net;
+}
+
+}  // namespace cbrain::zoo

@@ -1,0 +1,78 @@
+// Small synthetic networks used by tests and examples: cheap enough for
+// the functional cycle-level simulator yet structured enough to exercise
+// every branch of Algorithm 2.
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+
+std::vector<Network> paper_benchmarks() {
+  std::vector<Network> nets;
+  nets.push_back(alexnet());
+  nets.push_back(googlenet());
+  nets.push_back(vgg16());
+  nets.push_back(nin());
+  return nets;
+}
+
+Network single_conv(MapDims input, const ConvParams& params,
+                    const std::string& name) {
+  Network net(name);
+  const LayerId data = net.add_input(input);
+  net.add_conv(data, "conv", params);
+  return net;
+}
+
+Network tiny_cnn() {
+  Network net("tiny_cnn");
+  LayerId t = net.add_input({3, 28, 28});
+  t = net.add_conv(t, "conv1", {.dout = 8, .k = 5, .stride = 1});
+  t = net.add_pool(t, "pool1", {.kind = PoolKind::kMax, .k = 2, .stride = 2});
+  t = net.add_conv(t, "conv2", {.dout = 16, .k = 3, .stride = 1});
+  t = net.add_pool(t, "pool2", {.kind = PoolKind::kMax, .k = 2, .stride = 2});
+  t = net.add_fc(t, "fc3", {.dout = 32});
+  t = net.add_fc(t, "fc4", {.dout = 10, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+Network mini_inception() {
+  Network net("mini_inception");
+  const LayerId data = net.add_input({3, 16, 16});
+  const LayerId stem =
+      net.add_conv(data, "stem", {.dout = 8, .k = 3, .stride = 1, .pad = 1});
+  const LayerId b1 = net.add_conv(stem, "b1x1", {.dout = 4, .k = 1});
+  const LayerId r3 = net.add_conv(stem, "b3x3_reduce", {.dout = 4, .k = 1});
+  const LayerId b3 = net.add_conv(
+      r3, "b3x3", {.dout = 6, .k = 3, .stride = 1, .pad = 1});
+  const LayerId r5 = net.add_conv(stem, "b5x5_reduce", {.dout = 2, .k = 1});
+  const LayerId b5 = net.add_conv(
+      r5, "b5x5", {.dout = 4, .k = 5, .stride = 1, .pad = 2});
+  const LayerId pool = net.add_pool(
+      stem, "bpool",
+      {.kind = PoolKind::kMax, .k = 3, .stride = 1, .pad = 1});
+  const LayerId bp = net.add_conv(pool, "bpool_proj", {.dout = 3, .k = 1});
+  const LayerId cat = net.add_concat({b1, b3, b5, bp}, "concat");
+  const LayerId head = net.add_conv(cat, "head", {.dout = 10, .k = 1});
+  const LayerId gap = net.add_pool(
+      head, "gap", {.kind = PoolKind::kAvg, .k = 16, .stride = 1});
+  net.add_softmax(gap);
+  return net;
+}
+
+Network scheme_mix_cnn() {
+  Network net("scheme_mix_cnn");
+  LayerId t = net.add_input({3, 32, 32});
+  // Din=3 < Tin and k > s: Algorithm 2 picks kernel-partition.
+  t = net.add_conv(t, "bottom_bigk", {.dout = 24, .k = 5, .stride = 2});
+  // k == s != 1: Algorithm 2 picks intra-kernel (sliding window).
+  t = net.add_conv(t, "mid_ks_equal", {.dout = 32, .k = 2, .stride = 2});
+  // Deep, 1x1-ish top layer: Algorithm 2 picks inter-kernel.
+  t = net.add_conv(t, "top_deep", {.dout = 40, .k = 3, .stride = 1,
+                                   .pad = 1});
+  t = net.add_pool(t, "pool", {.kind = PoolKind::kMax, .k = 2, .stride = 2});
+  t = net.add_fc(t, "fc", {.dout = 10, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+}  // namespace cbrain::zoo

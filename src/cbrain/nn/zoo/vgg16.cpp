@@ -1,0 +1,39 @@
+// VGG-16 configuration D (Simonyan & Zisserman, 2014): 13 conv layers in
+// five blocks, all 3x3 stride-1 pad-1 — the homogeneous network the paper
+// uses to show where adaptiveness has little room (§5.2: "all the layers
+// of VGG use almost the same parameter").
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+
+Network vgg16() {
+  Network net("vgg16");
+  LayerId prev = net.add_input({3, 224, 224});
+
+  const struct {
+    const char* prefix;
+    int convs;
+    i64 dout;
+  } blocks[] = {
+      {"conv1", 2, 64},  {"conv2", 2, 128}, {"conv3", 3, 256},
+      {"conv4", 3, 512}, {"conv5", 3, 512},
+  };
+
+  for (const auto& b : blocks) {
+    for (int i = 1; i <= b.convs; ++i) {
+      prev = net.add_conv(
+          prev, std::string(b.prefix) + "_" + std::to_string(i),
+          {.dout = b.dout, .k = 3, .stride = 1, .pad = 1});
+    }
+    prev = net.add_pool(prev, std::string(b.prefix) + "_pool",
+                        {.kind = PoolKind::kMax, .k = 2, .stride = 2});
+  }
+
+  prev = net.add_fc(prev, "fc6", {.dout = 4096});
+  prev = net.add_fc(prev, "fc7", {.dout = 4096});
+  prev = net.add_fc(prev, "fc8", {.dout = 1000, .relu = false});
+  net.add_softmax(prev);
+  return net;
+}
+
+}  // namespace cbrain::zoo

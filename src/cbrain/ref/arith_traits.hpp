@@ -1,0 +1,51 @@
+// Arithmetic policy used by the reference executors so the same kernel
+// source serves both the float golden model and the bit-exact fixed-point
+// model of the accelerator datapath.
+//
+// The fixed-point policy accumulates products at full Q16.16 precision and
+// rounds exactly once per output — the same contract as the accelerator's
+// wide partial-sum buffer — so reference and simulator agree bit-for-bit
+// regardless of accumulation order.
+#pragma once
+
+#include "cbrain/fixed/fixed16.hpp"
+
+namespace cbrain {
+
+template <typename T>
+struct ArithTraits;
+
+template <>
+struct ArithTraits<float> {
+  using acc_t = double;
+  static acc_t zero() { return 0.0; }
+  static acc_t mul(float a, float b) {
+    return static_cast<double>(a) * static_cast<double>(b);
+  }
+  static acc_t from_value(float v) { return static_cast<double>(v); }
+  static float finalize(acc_t acc, bool relu) {
+    if (relu && acc < 0.0) acc = 0.0;
+    return static_cast<float>(acc);
+  }
+  static double to_real(float v) { return v; }
+  static float from_real(double v) { return static_cast<float>(v); }
+};
+
+template <>
+struct ArithTraits<Fixed16> {
+  using acc_t = Fixed16::acc_t;
+  static acc_t zero() { return 0; }
+  static acc_t mul(Fixed16 a, Fixed16 b) { return a.mul_to_acc(b); }
+  // A bias value promoted to accumulator (Q16.16) scale.
+  static acc_t from_value(Fixed16 v) {
+    return static_cast<acc_t>(v.raw()) << Fixed16::kFracBits;
+  }
+  static Fixed16 finalize(acc_t acc, bool relu) {
+    const Fixed16 v = Fixed16::from_acc(acc);
+    return relu ? cbrain::relu(v) : v;
+  }
+  static double to_real(Fixed16 v) { return v.to_double(); }
+  static Fixed16 from_real(double v) { return Fixed16::from_double(v); }
+};
+
+}  // namespace cbrain

@@ -1,0 +1,16 @@
+#include "cbrain/ref/conv_ref.hpp"
+
+namespace cbrain {
+
+// Explicit instantiations keep the template out of every includer's
+// compile; the header stays available for unusual T in tests.
+template Tensor3<float> conv2d_ref<float>(const Tensor3<float>&,
+                                          const Tensor4<float>&,
+                                          const std::vector<float>&,
+                                          const ConvParams&);
+template Tensor3<Fixed16> conv2d_ref<Fixed16>(const Tensor3<Fixed16>&,
+                                              const Tensor4<Fixed16>&,
+                                              const std::vector<Fixed16>&,
+                                              const ConvParams&);
+
+}  // namespace cbrain

@@ -1,0 +1,112 @@
+#include "cbrain/ref/executor.hpp"
+
+#include <cmath>
+
+#include "cbrain/ref/conv_ref.hpp"
+#include "cbrain/ref/fc_ref.hpp"
+#include "cbrain/ref/lrn_ref.hpp"
+#include "cbrain/ref/pool_ref.hpp"
+
+namespace cbrain {
+namespace {
+
+// Softmax over the flattened cube, computed in double (the accelerator
+// hands the logits back to the host for this step).
+template <typename T>
+Tensor3<T> softmax_ref(const Tensor3<T>& input) {
+  using Tr = ArithTraits<T>;
+  Tensor3<T> out(input.dims(), input.order());
+  double max_v = -1e300;
+  for (const auto& v : input.storage())
+    max_v = std::max(max_v, Tr::to_real(v));
+  double denom = 0.0;
+  for (const auto& v : input.storage())
+    denom += std::exp(Tr::to_real(v) - max_v);
+  for (std::size_t i = 0; i < input.storage().size(); ++i)
+    out.storage()[i] = Tr::from_real(
+        std::exp(Tr::to_real(input.storage()[i]) - max_v) / denom);
+  return out;
+}
+
+template <typename T>
+Tensor3<T> concat_ref(const std::vector<const Tensor3<T>*>& inputs,
+                      const MapDims& out_dims) {
+  Tensor3<T> out(out_dims, DataOrder::kSpatialMajor);
+  i64 d_base = 0;
+  for (const Tensor3<T>* in : inputs) {
+    for (i64 d = 0; d < in->dims().d; ++d)
+      for (i64 y = 0; y < in->dims().h; ++y)
+        for (i64 x = 0; x < in->dims().w; ++x)
+          out.at(d_base + d, y, x) = in->at(d, y, x);
+    d_base += in->dims().d;
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+RefExecutor<T>::RefExecutor(const Network& net,
+                            const NetParamsData<T>& params)
+    : net_(net), params_(params) {
+  CBRAIN_CHECK(static_cast<i64>(params.per_layer.size()) == net.size(),
+               "parameter table does not match network");
+}
+
+template <typename T>
+const Tensor3<T>& RefExecutor<T>::run(const Tensor3<T>& input) {
+  outputs_.assign(static_cast<std::size_t>(net_.size()), Tensor3<T>{});
+  for (const Layer& l : net_.layers()) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const auto& pdata = params_.per_layer[idx];
+    switch (l.kind) {
+      case LayerKind::kInput:
+        CBRAIN_CHECK(input.dims() == l.out_dims,
+                     "input dims " << input.dims().to_string()
+                                   << " != network input "
+                                   << l.out_dims.to_string());
+        // Canonicalize to spatial-major so layer kernels see one order.
+        outputs_[idx] = input.to_order(DataOrder::kSpatialMajor);
+        break;
+      case LayerKind::kConv:
+        outputs_[idx] = conv2d_ref(output(l.inputs[0]), pdata.weights,
+                                   pdata.bias, l.conv());
+        break;
+      case LayerKind::kPool:
+        outputs_[idx] = pool2d_ref(output(l.inputs[0]), l.pool());
+        break;
+      case LayerKind::kFC:
+        outputs_[idx] =
+            fc_ref(output(l.inputs[0]), pdata.weights, pdata.bias, l.fc());
+        break;
+      case LayerKind::kLRN:
+        outputs_[idx] = lrn_ref(output(l.inputs[0]), l.lrn());
+        break;
+      case LayerKind::kConcat: {
+        std::vector<const Tensor3<T>*> ins;
+        ins.reserve(l.inputs.size());
+        for (LayerId id : l.inputs) ins.push_back(&output(id));
+        outputs_[idx] = concat_ref(ins, l.out_dims);
+        break;
+      }
+      case LayerKind::kSoftmax:
+        outputs_[idx] = softmax_ref(output(l.inputs[0]));
+        break;
+    }
+  }
+  return outputs_.back();
+}
+
+template <typename T>
+const Tensor3<T>& RefExecutor<T>::output(LayerId id) const {
+  CBRAIN_CHECK(id >= 0 && id < static_cast<i64>(outputs_.size()),
+               "no output for layer " << id);
+  const auto& t = outputs_[static_cast<std::size_t>(id)];
+  CBRAIN_CHECK(!t.empty(), "layer " << id << " has not been executed");
+  return t;
+}
+
+template class RefExecutor<float>;
+template class RefExecutor<Fixed16>;
+
+}  // namespace cbrain

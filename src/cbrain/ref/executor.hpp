@@ -1,0 +1,37 @@
+// RefExecutor: runs a whole network forward pass with the golden kernels,
+// keeping every layer's output. This is the oracle the cycle-level
+// simulator is compared against (bit-exact for T = Fixed16) and the
+// functional backbone of the examples.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/nn/network.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/tensor/tensor.hpp"
+
+namespace cbrain {
+
+template <typename T>
+class RefExecutor {
+ public:
+  // Parameters are shared (not owned) so the simulator can run against the
+  // same weights.
+  RefExecutor(const Network& net, const NetParamsData<T>& params);
+
+  // Runs the full forward pass; returns the last layer's output.
+  const Tensor3<T>& run(const Tensor3<T>& input);
+
+  // Output of any layer from the last run().
+  const Tensor3<T>& output(LayerId id) const;
+
+ private:
+  const Network& net_;
+  const NetParamsData<T>& params_;
+  std::vector<Tensor3<T>> outputs_;
+};
+
+extern template class RefExecutor<float>;
+extern template class RefExecutor<Fixed16>;
+
+}  // namespace cbrain

@@ -1,0 +1,14 @@
+#include "cbrain/ref/fc_ref.hpp"
+
+namespace cbrain {
+
+template Tensor3<float> fc_ref<float>(const Tensor3<float>&,
+                                      const Tensor4<float>&,
+                                      const std::vector<float>&,
+                                      const FCParams&);
+template Tensor3<Fixed16> fc_ref<Fixed16>(const Tensor3<Fixed16>&,
+                                          const Tensor4<Fixed16>&,
+                                          const std::vector<Fixed16>&,
+                                          const FCParams&);
+
+}  // namespace cbrain

@@ -1,0 +1,31 @@
+// im2col + GEMM convolution: the Caffe CPU path the paper's Table 4
+// baseline runs ("software implementations are written in C++ based on
+// Caffe"). Also cross-checks the direct reference kernel in tests.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/nn/layer.hpp"
+#include "cbrain/tensor/tensor.hpp"
+
+namespace cbrain {
+
+// Row-major single-precision GEMM: C[MxN] = A[MxK] * B[KxN] (+ C if
+// accumulate). Cache-blocked i-k-j order; no threading (the baseline is a
+// single CPU core, as in the paper's Xeon measurement).
+void sgemm(const float* a, const float* b, float* c, i64 m, i64 n, i64 k,
+           bool accumulate = false);
+
+// Caffe-layout im2col for one group: output is a (din_g*k*k) x (oh*ow)
+// row-major matrix.
+void im2col(const Tensor3<float>& input, i64 din_begin, i64 din_count,
+            const ConvParams& p, std::vector<float>& col);
+
+// Convolution via im2col+GEMM. Bit-identical layout/semantics to
+// conv2d_ref<float> up to float summation order.
+Tensor3<float> conv2d_im2col(const Tensor3<float>& input,
+                             const Tensor4<float>& weights,
+                             const std::vector<float>& bias,
+                             const ConvParams& p);
+
+}  // namespace cbrain

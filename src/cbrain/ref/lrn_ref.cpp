@@ -1,0 +1,10 @@
+#include "cbrain/ref/lrn_ref.hpp"
+
+namespace cbrain {
+
+template Tensor3<float> lrn_ref<float>(const Tensor3<float>&,
+                                       const LRNParams&);
+template Tensor3<Fixed16> lrn_ref<Fixed16>(const Tensor3<Fixed16>&,
+                                           const LRNParams&);
+
+}  // namespace cbrain

@@ -1,0 +1,42 @@
+// Local response normalization across channels (AlexNet/GoogLeNet style):
+//   out[d] = in[d] / (bias + alpha/n * sum_{j in window(d)} in[j]^2)^beta
+// Computed in double and re-quantized — on the accelerator this runs on
+// the activation-function unit, outside the fixed-point MAC datapath.
+#pragma once
+
+#include <cmath>
+
+#include "cbrain/nn/layer.hpp"
+#include "cbrain/ref/arith_traits.hpp"
+#include "cbrain/tensor/tensor.hpp"
+
+namespace cbrain {
+
+template <typename T>
+Tensor3<T> lrn_ref(const Tensor3<T>& input, const LRNParams& p) {
+  using Tr = ArithTraits<T>;
+  const MapDims in = input.dims();
+  Tensor3<T> out(in, input.order());
+  const i64 half = p.local_size / 2;
+  for (i64 y = 0; y < in.h; ++y) {
+    for (i64 x = 0; x < in.w; ++x) {
+      for (i64 d = 0; d < in.d; ++d) {
+        double sum_sq = 0.0;
+        const i64 lo = std::max<i64>(0, d - half);
+        const i64 hi = std::min<i64>(in.d - 1, d + half);
+        for (i64 j = lo; j <= hi; ++j) {
+          const double v = Tr::to_real(input.at(j, y, x));
+          sum_sq += v * v;
+        }
+        const double scale =
+            p.bias + p.alpha / static_cast<double>(p.local_size) * sum_sq;
+        const double v = Tr::to_real(input.at(d, y, x)) /
+                         std::pow(scale, p.beta);
+        out.at(d, y, x) = Tr::from_real(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbrain

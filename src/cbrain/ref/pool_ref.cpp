@@ -1,0 +1,10 @@
+#include "cbrain/ref/pool_ref.hpp"
+
+namespace cbrain {
+
+template Tensor3<float> pool2d_ref<float>(const Tensor3<float>&,
+                                          const PoolParams&);
+template Tensor3<Fixed16> pool2d_ref<Fixed16>(const Tensor3<Fixed16>&,
+                                              const PoolParams&);
+
+}  // namespace cbrain

@@ -1,0 +1,54 @@
+// Reference pooling with Caffe-style ceil-mode windows: a window may hang
+// past the input edge; max pools over the valid pixels only, avg divides
+// by the count of valid pixels.
+#pragma once
+
+#include <algorithm>
+
+#include "cbrain/nn/layer.hpp"
+#include "cbrain/ref/arith_traits.hpp"
+#include "cbrain/tensor/tensor.hpp"
+
+namespace cbrain {
+
+template <typename T>
+Tensor3<T> pool2d_ref(const Tensor3<T>& input, const PoolParams& p) {
+  using Tr = ArithTraits<T>;
+  const MapDims in = input.dims();
+  // Ceil mode with Caffe's clip of an empty trailing window — must match
+  // Network::add_pool exactly.
+  i64 oh = ceil_div(in.h + 2 * p.pad - p.k, p.stride) + 1;
+  i64 ow = ceil_div(in.w + 2 * p.pad - p.k, p.stride) + 1;
+  if ((oh - 1) * p.stride >= in.h + p.pad) --oh;
+  if ((ow - 1) * p.stride >= in.w + p.pad) --ow;
+  Tensor3<T> out({in.d, oh, ow}, input.order());
+
+  for (i64 d = 0; d < in.d; ++d) {
+    for (i64 oy = 0; oy < oh; ++oy) {
+      for (i64 ox = 0; ox < ow; ++ox) {
+        const i64 y0 = std::max<i64>(oy * p.stride - p.pad, 0);
+        const i64 x0 = std::max<i64>(ox * p.stride - p.pad, 0);
+        const i64 y1 = std::min<i64>(oy * p.stride - p.pad + p.k, in.h);
+        const i64 x1 = std::min<i64>(ox * p.stride - p.pad + p.k, in.w);
+        CBRAIN_DCHECK(y1 > y0 && x1 > x0, "empty pool window");
+        if (p.kind == PoolKind::kMax) {
+          T best = input.at(d, y0, x0);
+          for (i64 y = y0; y < y1; ++y)
+            for (i64 x = x0; x < x1; ++x)
+              best = std::max(best, input.at(d, y, x));
+          out.at(d, oy, ox) = best;
+        } else {
+          double sum = 0.0;
+          for (i64 y = y0; y < y1; ++y)
+            for (i64 x = x0; x < x1; ++x)
+              sum += Tr::to_real(input.at(d, y, x));
+          const double n = static_cast<double>((y1 - y0) * (x1 - x0));
+          out.at(d, oy, ox) = Tr::from_real(sum / n);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,25 @@
+#include "cbrain/report/experiment.hpp"
+
+#include <sstream>
+
+#include "cbrain/report/table.hpp"
+
+namespace cbrain {
+
+void ExperimentLog::point(std::string metric, std::string paper,
+                          std::string measured, std::string note) {
+  points_.push_back({std::move(metric), std::move(paper),
+                     std::move(measured), std::move(note)});
+}
+
+std::string ExperimentLog::to_string() const {
+  std::ostringstream os;
+  os << "=== " << id_ << " — " << title_ << " ===\n";
+  Table t({"metric", "paper", "measured", "note"});
+  for (const ExperimentPoint& p : points_)
+    t.add_row({p.metric, p.paper, p.measured, p.note});
+  os << t.to_string();
+  return os.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,35 @@
+// Paper-vs-measured bookkeeping: every bench records, for each quantity
+// the paper reports, what the paper said and what this reproduction
+// measured. The printed blocks are the raw material of EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cbrain {
+
+struct ExperimentPoint {
+  std::string metric;      // e.g. "conv1 partition-vs-inter speedup (avg)"
+  std::string paper;       // what the paper reports ("5.8x")
+  std::string measured;    // what this run produced
+  std::string note;        // optional context
+};
+
+class ExperimentLog {
+ public:
+  ExperimentLog(std::string id, std::string title)
+      : id_(std::move(id)), title_(std::move(title)) {}
+
+  void point(std::string metric, std::string paper, std::string measured,
+             std::string note = "");
+
+  // "=== Fig.7 — ... ===" block with a paper/measured table.
+  std::string to_string() const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<ExperimentPoint> points_;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,72 @@
+#include "cbrain/report/json_export.hpp"
+
+#include "cbrain/common/json.hpp"
+
+namespace cbrain {
+
+void write_counters_json(JsonWriter& w, const TrafficCounters& c) {
+  w.begin_object()
+      .kv("compute_cycles", c.compute_cycles)
+      .kv("total_cycles", c.total_cycles)
+      .kv("mul_ops", c.mul_ops)
+      .kv("idle_mul_slots", c.idle_mul_slots)
+      .kv("add_ops", c.add_ops)
+      .kv("input_reads", c.input_reads)
+      .kv("input_writes", c.input_writes)
+      .kv("output_reads", c.output_reads)
+      .kv("output_writes", c.output_writes)
+      .kv("weight_reads", c.weight_reads)
+      .kv("weight_writes", c.weight_writes)
+      .kv("bias_reads", c.bias_reads)
+      .kv("bias_writes", c.bias_writes)
+      .kv("dram_reads", c.dram_reads)
+      .kv("dram_writes", c.dram_writes)
+      .end_object();
+}
+
+std::string to_json(const NetworkModelResult& result) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("network", result.network)
+      .kv("policy", policy_name(result.policy));
+  w.key("config");
+  w.begin_object()
+      .kv("tin", result.config.tin)
+      .kv("tout", result.config.tout)
+      .kv("clock_ghz", result.config.clock_ghz)
+      .kv("inout_buf_bytes", result.config.inout_buf.size_bytes)
+      .kv("weight_buf_bytes", result.config.weight_buf.size_bytes)
+      .kv("dram_words_per_cycle", result.config.dram.words_per_cycle)
+      .end_object();
+  w.kv("cycles", result.cycles())
+      .kv("milliseconds", result.milliseconds());
+  w.key("energy");
+  w.begin_object()
+      .kv("pe_pj", result.energy.pe_pj)
+      .kv("buffer_pj", result.energy.buffer_pj)
+      .kv("dram_pj", result.energy.dram_pj)
+      .end_object();
+  w.key("totals");
+  write_counters_json(w, result.totals);
+  w.key("layers");
+  w.begin_array();
+  for (const LayerModelResult& lr : result.layers) {
+    if (lr.kind == LayerKind::kInput || lr.kind == LayerKind::kConcat)
+      continue;
+    w.begin_object()
+        .kv("name", lr.name)
+        .kv("kind", layer_kind_name(lr.kind))
+        .kv("counted", lr.counted)
+        .kv("macs", lr.macs)
+        .kv("utilization", lr.utilization());
+    if (lr.kind == LayerKind::kConv) w.kv("scheme", scheme_name(lr.scheme));
+    w.key("counters");
+    write_counters_json(w, lr.counters);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cbrain

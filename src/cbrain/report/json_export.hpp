@@ -1,0 +1,19 @@
+// JSON serialization of model results — the machine-readable counterpart
+// of the ASCII tables (plotting, CI regression dashboards). Exposed on
+// the CLI via `evaluate --json`.
+#pragma once
+
+#include <string>
+
+#include "cbrain/model/network_model.hpp"
+
+namespace cbrain {
+
+// {"network":..., "policy":..., "config":{...}, "totals":{...},
+//  "layers":[{...}, ...]}
+std::string to_json(const NetworkModelResult& result);
+
+// Counter block used inside to_json; exposed for tests and other emitters.
+void write_counters_json(class JsonWriter& w, const TrafficCounters& c);
+
+}  // namespace cbrain

@@ -1,0 +1,59 @@
+#include "cbrain/report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cbrain/common/csv.hpp"
+
+namespace cbrain {
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << (i == 0 ? "" : "  ");
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      emit_rule();
+    else
+      emit_row(row);
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row(headers_);
+  for (const auto& row : rows_)
+    if (!row.empty()) w.write_row(row);
+  return os.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,27 @@
+// Column-aligned ASCII tables for the bench harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cbrain {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::string to_string() const;
+  // The same rows as CSV (for re-plotting).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace cbrain

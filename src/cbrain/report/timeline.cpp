@@ -1,0 +1,53 @@
+#include "cbrain/report/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cbrain/common/strings.hpp"
+
+namespace cbrain {
+
+std::string render_timeline(const Network& net, const ExecutionTrace& trace,
+                            const TimelineOptions& options) {
+  std::ostringstream os;
+  const auto spans = trace.layer_spans(net);
+  if (spans.empty() || trace.total_cycles <= 0) return "(empty trace)\n";
+
+  std::size_t name_w = 5;
+  for (const auto& s : spans) name_w = std::max(name_w, s.name.size());
+  const double scale = static_cast<double>(options.width) /
+                       static_cast<double>(trace.total_cycles);
+
+  os << std::string(name_w, ' ') << "  0 " << std::string(options.width, '_')
+     << " " << with_commas(static_cast<u64>(trace.total_cycles))
+     << " cycles\n";
+  for (const auto& s : spans) {
+    const i64 span = s.end_cycle - s.start_cycle;
+    auto col = [&](i64 cycle) {
+      return clamp_i64(static_cast<i64>(static_cast<double>(cycle) * scale),
+                       0, options.width);
+    };
+    const i64 c0 = col(s.start_cycle);
+    i64 c1 = std::max(c0 + 1, col(s.end_cycle));
+    c1 = std::min<i64>(c1, options.width);
+    std::string bar(static_cast<std::size_t>(options.width), ' ');
+    // Solid for the compute-bound share of the bar, hollow for stalls.
+    const i64 bar_len = c1 - c0;
+    const i64 solid =
+        span > 0 ? (bar_len * s.compute_cycles + span - 1) / span : bar_len;
+    for (i64 c = c0; c < c1; ++c)
+      bar[static_cast<std::size_t>(c)] = (c - c0) < solid ? '#' : '.';
+    os << s.name << std::string(name_w - s.name.size(), ' ') << "    "
+       << bar << ' ' << with_commas(static_cast<u64>(span));
+    if (options.show_percent && span > 0) {
+      os << " (" << fmt_percent(static_cast<double>(s.compute_cycles) /
+                                    static_cast<double>(span),
+                                0)
+         << " compute)";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cbrain

@@ -1,0 +1,20 @@
+// ASCII timeline (Gantt) rendering of an execution trace: one bar per
+// layer on the global cycle axis, with the compute-bound portion drawn
+// solid and DMA-exposed/serial stalls drawn hollow.
+#pragma once
+
+#include <string>
+
+#include "cbrain/model/trace.hpp"
+
+namespace cbrain {
+
+struct TimelineOptions {
+  int width = 64;          // characters for the cycle axis
+  bool show_percent = true;
+};
+
+std::string render_timeline(const Network& net, const ExecutionTrace& trace,
+                            const TimelineOptions& options = {});
+
+}  // namespace cbrain

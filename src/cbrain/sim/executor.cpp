@@ -1,0 +1,825 @@
+#include "cbrain/sim/executor.hpp"
+
+#include <algorithm>
+
+#include "cbrain/common/logging.hpp"
+#include "cbrain/ref/lrn_ref.hpp"
+#include "cbrain/tensor/unroll.hpp"
+
+namespace cbrain {
+namespace {
+
+// Snapshot of all stat sources, used to attribute deltas to layers.
+struct StatSnapshot {
+  SramStats in, wgt, bias, out;
+  PEStats pe;
+
+  static StatSnapshot take(SimMachine& m) {
+    return {m.input_buf().stats(), m.weight_buf().stats(),
+            m.bias_buf().stats(), m.output_buf().stats(),
+            m.pe().stats()};
+  }
+};
+
+void apply_delta(TrafficCounters& c, const StatSnapshot& a,
+                 const StatSnapshot& b) {
+  c.input_reads += b.in.reads - a.in.reads;
+  c.input_writes += b.in.writes - a.in.writes;
+  c.weight_reads += b.wgt.reads - a.wgt.reads;
+  c.weight_writes += b.wgt.writes - a.wgt.writes;
+  c.bias_reads += b.bias.reads - a.bias.reads;
+  c.bias_writes += b.bias.writes - a.bias.writes;
+  c.output_reads += b.out.reads - a.out.reads;
+  c.output_writes += b.out.writes - a.out.writes;
+  c.mul_ops += b.pe.mul_ops - a.pe.mul_ops;
+  c.idle_mul_slots += b.pe.idle_mul_slots - a.pe.idle_mul_slots;
+  c.add_ops += b.pe.add_ops - a.pe.add_ops;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+class Executor {
+ public:
+  Executor(const Network& net, const CompiledNetwork& compiled,
+           SimMachine& m)
+      : net_(net), compiled_(compiled), m_(m) {}
+
+  SimResult run(const Tensor3<Fixed16>& input,
+                const NetParamsData<Fixed16>& params) {
+    materialize_params(params);
+    inject_input(input);
+
+    SimResult result;
+    result.per_layer.resize(static_cast<std::size_t>(net_.size()));
+
+    for (const Layer& l : net_.layers()) {
+      TrafficCounters& lc =
+          result.per_layer[static_cast<std::size_t>(l.id)];
+      const auto [begin, end] = compiled_.program.layer_range(l.id);
+      const StatSnapshot layer_before = StatSnapshot::take(m_);
+      i64 pending_dma = 0;
+      for (i64 i = begin; i < end; ++i) {
+        const Instruction& instr = compiled_.program.at(i);
+        if (const auto* load = std::get_if<LoadInstr>(&instr)) {
+          pending_dma += exec_load(*load, lc);
+          continue;
+        }
+        if (std::holds_alternative<BarrierInstr>(instr)) continue;
+
+        const i64 pe_ops_before = m_.pe().stats().ops;
+        manual_cycles_ = 0;
+        manual_dram_writes_ = 0;
+        manual_dram_reads_ = 0;
+        manual_muls_ = 0;
+        manual_serial_ = 0;
+
+        if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
+          exec_conv(*conv);
+        } else if (const auto* pool = std::get_if<PoolTileInstr>(&instr)) {
+          exec_pool(*pool);
+        } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
+          exec_fc(*fc);
+        } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
+          exec_host(l, *host);
+        }
+
+        const i64 compute =
+            (m_.pe().stats().ops - pe_ops_before) + manual_cycles_;
+        lc.compute_cycles += compute;
+        lc.total_cycles += std::max(pending_dma, compute) + manual_serial_;
+        pending_dma = 0;
+        lc.dram_writes += manual_dram_writes_;
+        lc.dram_reads += manual_dram_reads_;
+        lc.mul_ops += manual_muls_;
+      }
+      lc.total_cycles += pending_dma;
+      apply_delta(lc, layer_before, StatSnapshot::take(m_));
+    }
+
+    result.final_output = read_cube(compiled_.layout.result_cube,
+                                    net_.layer(net_.size() - 1).out_dims);
+    return result;
+  }
+
+  Tensor3<Fixed16> read_cube(const CubeSpec& cube, MapDims logical) const {
+    Tensor3<Fixed16> t(logical, DataOrder::kSpatialMajor);
+    for (i64 d = 0; d < logical.d; ++d)
+      for (i64 y = 0; y < logical.h; ++y)
+        for (i64 x = 0; x < logical.w; ++x)
+          t.at(d, y, x) = Fixed16::from_raw(m_.dram().read(
+              cube.addr + linear_offset(cube.padded, cube.order, d,
+                                        y + cube.off_y, x + cube.off_x)));
+    return t;
+  }
+
+ private:
+  using acc_t = Fixed16::acc_t;
+
+  // --- setup -------------------------------------------------------------
+
+  void materialize_params(const NetParamsData<Fixed16>& params) {
+    for (const Layer& l : net_.layers()) {
+      const auto idx = static_cast<std::size_t>(l.id);
+      const auto& pd = params.per_layer[idx];
+      const i64 waddr = compiled_.layout.weight_addr[idx];
+      if (l.is_conv()) {
+        const Scheme scheme = compiled_.layout.scheme_of(l.id);
+        const ConvParams& p = l.conv();
+        const i64 din_g = p.din_per_group(l.in_dims.d);
+        const i64 kw = (scheme == Scheme::kPartition)
+                           ? PartitionSpec::from(p.k, p.stride).padded_k()
+                           : p.k;
+        i64 a = waddr;
+        for (i64 o = 0; o < p.dout; ++o)
+          for (i64 d = 0; d < din_g; ++d)
+            for (i64 y = 0; y < kw; ++y)
+              for (i64 x = 0; x < kw; ++x, ++a)
+                m_.dram().write(a, (y < p.k && x < p.k)
+                                       ? pd.weights.at(o, d, y, x).raw()
+                                       : std::int16_t{0});
+        write_bias(l, pd);
+      } else if (l.is_fc()) {
+        i64 a = waddr;
+        const i64 din = l.in_dims.count();
+        for (i64 o = 0; o < l.fc().dout; ++o)
+          for (i64 d = 0; d < din; ++d, ++a)
+            m_.dram().write(a, pd.weights.at(o, d, 0, 0).raw());
+        write_bias(l, pd);
+      }
+    }
+  }
+
+  void write_bias(const Layer& l, const LayerParamsData<Fixed16>& pd) {
+    const i64 baddr =
+        compiled_.layout.bias_addr[static_cast<std::size_t>(l.id)];
+    for (std::size_t i = 0; i < pd.bias.size(); ++i)
+      m_.dram().write(baddr + static_cast<i64>(i), pd.bias[i].raw());
+  }
+
+  void inject_input(const Tensor3<Fixed16>& input) {
+    const Layer& in_layer = net_.layer(0);
+    CBRAIN_CHECK(in_layer.kind == LayerKind::kInput,
+                 "layer 0 must be the input");
+    CBRAIN_CHECK(input.dims() == in_layer.out_dims, "input dims mismatch");
+    for (const OutputMap& m :
+         compiled_.layout.out_maps[static_cast<std::size_t>(in_layer.id)]) {
+      for (i64 d = 0; d < input.dims().d; ++d)
+        for (i64 y = 0; y < input.dims().h; ++y)
+          for (i64 x = 0; x < input.dims().w; ++x)
+            m_.dram().write(
+                m.base + linear_offset(m.cube_dims, m.order, d + m.d_offset,
+                                       y + m.y_offset, x + m.x_offset),
+                input.at(d, y, x).raw());
+    }
+  }
+
+  // --- instruction handlers -----------------------------------------------
+
+  i64 exec_load(const LoadInstr& li, TrafficCounters& lc) {
+    Sram16* dst = nullptr;
+    switch (li.dst) {
+      case BufferId::kInput:
+        dst = &m_.input_buf();
+        break;
+      case BufferId::kWeight:
+        dst = &m_.weight_buf();
+        break;
+      case BufferId::kBias:
+        dst = &m_.bias_buf();
+        break;
+      case BufferId::kOutput:
+        CBRAIN_CHECK(false, "partials are never DMA-loaded");
+    }
+    for (i64 c = 0; c < li.chunks; ++c) {
+      m_.dma().load(m_.dram(), li.src + c * li.src_stride, *dst,
+                    li.dst_addr + c * li.chunk_words, li.chunk_words);
+    }
+    lc.dram_reads += li.words;
+    // Pattern-aware timing, identical to the analytical model (under the
+    // default flat DRAM model this is one burst; under the row-buffer
+    // model strided gathers pay per-row activations).
+    return m_.config().dram.transfer_cycles_pattern(li.chunks,
+                                                    li.chunk_words,
+                                                    li.src_stride);
+  }
+
+  void store_out(const std::vector<OutputMap>& outs, i64 d_abs, i64 oy,
+                 i64 ox, std::int16_t raw) {
+    for (const OutputMap& m : outs) {
+      m_.dram().write(m.base + linear_offset(m.cube_dims, m.order,
+                                             d_abs + m.d_offset,
+                                             oy + m.y_offset,
+                                             ox + m.x_offset),
+                      raw);
+      ++manual_dram_writes_;
+    }
+  }
+
+  static std::int16_t finalize_value(acc_t acc, bool relu) {
+    Fixed16 v = Fixed16::from_acc(acc);
+    if (relu) v = cbrain::relu(v);
+    return v.raw();
+  }
+
+  static acc_t bias_to_acc(std::int16_t raw) {
+    return static_cast<acc_t>(raw) << Fixed16::kFracBits;
+  }
+
+  void exec_conv(const ConvTileInstr& in) {
+    switch (in.scheme) {
+      case Scheme::kInter:
+        conv_inter_classic(in);
+        break;
+      case Scheme::kInterImproved:
+        conv_inter_improved(in);
+        break;
+      case Scheme::kIntraUnroll:
+        conv_unroll(in);
+        break;
+      case Scheme::kIntraSliding:
+      case Scheme::kPartition:
+        conv_partition(in);
+        break;
+    }
+  }
+
+  // Band addressing (band-relative coordinates are padded-cube rows).
+  i64 in_band_addr(const ConvTileInstr& in, i64 din_abs, i64 y, i64 x) const {
+    const i64 dins = in.din1 - in.din0;
+    const i64 drel = din_abs - in.din0;
+    const i64 yrel = y - in.band_row0;
+    CBRAIN_DCHECK(drel >= 0 && drel < dins && yrel >= 0 &&
+                      yrel < in.band_rows && x >= 0 && x < in.band_width,
+                  "band access out of range");
+    if (in.band_order == DataOrder::kDepthMajor)
+      return in.input_base + (yrel * in.band_width + x) * dins + drel;
+    return in.input_base + (drel * in.band_rows + yrel) * in.band_width + x;
+  }
+
+  i64 weight_tile_addr(const ConvTileInstr& in, i64 dout_abs, i64 din_abs,
+                       i64 ky, i64 kx) const {
+    const i64 kw = (in.scheme == Scheme::kPartition ||
+                    in.scheme == Scheme::kIntraSliding)
+                       ? in.part.padded_k()
+                       : in.k;
+    const i64 dins = in.din1 - in.din0;
+    return in.weight_base +
+           (((dout_abs - in.dout0) * dins + (din_abs - in.din0)) * kw + ky) *
+               kw +
+           kx;
+  }
+
+  i64 partial_index(const ConvTileInstr& in, i64 oy, i64 ox,
+                    i64 dout_abs) const {
+    const i64 douts = in.dout1 - in.dout0;
+    return ((oy - in.out_row0) * in.out_w + ox) * douts +
+           (dout_abs - in.dout0);
+  }
+
+  // Finalize the whole tile's outputs from the output buffer (partials)
+  // into DRAM. Used by schemes that accumulate through the buffer.
+  void finalize_from_buffer(const ConvTileInstr& in) {
+    for (i64 oy = in.out_row0; oy < in.out_row1; ++oy)
+      for (i64 ox = 0; ox < in.out_w; ++ox)
+        for (i64 d = in.dout0; d < in.dout1; ++d) {
+          const acc_t acc = m_.output_buf().read(partial_index(in, oy, ox, d));
+          store_out(in.outs, d, oy, ox, finalize_value(acc, in.relu));
+        }
+  }
+
+  void conv_inter_classic(const ConvTileInstr& in) {
+    const i64 tin = m_.config().tin;
+    const i64 tout = m_.config().tout;
+    const i64 dins = in.din1 - in.din0;
+    const bool multi_tile = !(in.first_din_chunk && in.last_din_chunk);
+    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
+    std::vector<std::int16_t> wrow(static_cast<std::size_t>(tin));
+
+    for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
+      const i64 L = std::min(tout, in.dout1 - lane0);
+      std::vector<acc_t> acc(static_cast<std::size_t>(L));
+      for (i64 oy = in.out_row0; oy < in.out_row1; ++oy) {
+        for (i64 ox = 0; ox < in.out_w; ++ox) {
+          for (i64 l = 0; l < L; ++l)
+            acc[static_cast<std::size_t>(l)] =
+                in.first_din_chunk
+                    ? bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0))
+                    : 0;
+          for (i64 ky = 0; ky < in.k; ++ky) {
+            for (i64 kx = 0; kx < in.k; ++kx) {
+              const i64 y = oy * in.stride + ky;
+              const i64 x = ox * in.stride + kx;
+              for (i64 c0 = 0; c0 < dins; c0 += tin) {
+                const i64 C = std::min(tin, dins - c0);
+                m_.pe().begin_op(C * L);
+                m_.input_buf().read_block(
+                    in_band_addr(in, in.din0 + c0, y, x), C, data.data());
+                for (i64 l = 0; l < L; ++l) {
+                  // Weights stream from the buffer on every operation.
+                  for (i64 c = 0; c < C; ++c)
+                    wrow[static_cast<std::size_t>(c)] = m_.weight_buf().read(
+                        weight_tile_addr(in, lane0 + l, in.din0 + c0 + c,
+                                         ky, kx));
+                  acc[static_cast<std::size_t>(l)] +=
+                      m_.pe().dot(data.data(), wrow.data(), C);
+                }
+                m_.pe().count_add(L);  // accumulate into the pixel register
+              }
+            }
+          }
+          // Pixel complete for this lane group.
+          for (i64 l = 0; l < L; ++l) {
+            const i64 idx = partial_index(in, oy, ox, lane0 + l);
+            if (!multi_tile) {
+              store_out(in.outs, lane0 + l, oy, ox,
+                        finalize_value(acc[static_cast<std::size_t>(l)],
+                                       in.relu));
+            } else if (in.first_din_chunk) {
+              m_.output_buf().write(idx, acc[static_cast<std::size_t>(l)]);
+            } else {
+              m_.output_buf().accumulate(idx,
+                                         acc[static_cast<std::size_t>(l)]);
+              m_.pe().count_add(1);
+            }
+          }
+        }
+      }
+    }
+    if (multi_tile && in.last_din_chunk) finalize_from_buffer(in);
+  }
+
+  void conv_inter_improved(const ConvTileInstr& in) {
+    const i64 tin = m_.config().tin;
+    const i64 tout = m_.config().tout;
+    const i64 dins = in.din1 - in.din0;
+    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
+
+    for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
+      const i64 L = std::min(tout, in.dout1 - lane0);
+      std::vector<std::vector<std::int16_t>> wregs(
+          static_cast<std::size_t>(L));
+      std::vector<acc_t> bias_regs(static_cast<std::size_t>(L), 0);
+      for (i64 ky = 0; ky < in.k; ++ky) {
+        for (i64 kx = 0; kx < in.k; ++kx) {
+          for (i64 c0 = 0; c0 < dins; c0 += tin) {
+            const i64 C = std::min(tin, dins - c0);
+            // Weight residency: one register-load pass.
+            for (i64 l = 0; l < L; ++l) {
+              auto& regs = wregs[static_cast<std::size_t>(l)];
+              regs.resize(static_cast<std::size_t>(C));
+              for (i64 c = 0; c < C; ++c)
+                regs[static_cast<std::size_t>(c)] = m_.weight_buf().read(
+                    weight_tile_addr(in, lane0 + l, in.din0 + c0 + c, ky,
+                                     kx));
+            }
+            manual_cycles_ += 1;  // the register-load cycle of the pass
+            const bool first_pass =
+                ky == 0 && kx == 0 && c0 == 0 && in.first_din_chunk;
+            if (first_pass)
+              for (i64 l = 0; l < L; ++l)
+                bias_regs[static_cast<std::size_t>(l)] =
+                    bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0));
+            for (i64 oy = in.out_row0; oy < in.out_row1; ++oy) {
+              for (i64 ox = 0; ox < in.out_w; ++ox) {
+                const i64 y = oy * in.stride + ky;
+                const i64 x = ox * in.stride + kx;
+                m_.pe().begin_op(C * L);
+                m_.input_buf().read_block(
+                    in_band_addr(in, in.din0 + c0, y, x), C, data.data());
+                for (i64 l = 0; l < L; ++l) {
+                  const acc_t p = m_.pe().dot(
+                      data.data(), wregs[static_cast<std::size_t>(l)].data(),
+                      C);
+                  const i64 idx = partial_index(in, oy, ox, lane0 + l);
+                  if (first_pass)
+                    m_.output_buf().write(
+                        idx, p + bias_regs[static_cast<std::size_t>(l)]);
+                  else
+                    m_.output_buf().accumulate(idx, p);  // add-and-store
+                }
+                m_.pe().count_add(L);
+              }
+            }
+          }
+        }
+      }
+    }
+    if (in.last_din_chunk) finalize_from_buffer(in);
+  }
+
+  void conv_partition(const ConvTileInstr& in) {
+    const i64 tin = m_.config().tin;
+    const i64 tout = m_.config().tout;
+    const i64 g = in.part.g;
+    const i64 ks = in.part.ks;
+    const i64 ss = ks * ks;
+    const i64 w = std::max<i64>(1, tin / ss);
+    const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    std::vector<std::int16_t> window(static_cast<std::size_t>(ss));
+    std::vector<std::int16_t> wreg(static_cast<std::size_t>(ss));
+
+    for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
+      const i64 L = std::min(tout, in.dout1 - lane0);
+      std::vector<std::vector<std::int16_t>> wregs(
+          static_cast<std::size_t>(L),
+          std::vector<std::int16_t>(static_cast<std::size_t>(ss)));
+      std::vector<acc_t> bias_regs(static_cast<std::size_t>(L), 0);
+      for (i64 by = 0; by < g; ++by) {
+        for (i64 bx = 0; bx < g; ++bx) {
+          for (i64 din = in.din0; din < in.din1; ++din) {
+            // Sub-kernel residency (Fig. 4b: "keep k11 in PE").
+            for (i64 l = 0; l < L; ++l)
+              for (i64 dy = 0; dy < ks; ++dy)
+                for (i64 dx = 0; dx < ks; ++dx)
+                  wregs[static_cast<std::size_t>(l)]
+                       [static_cast<std::size_t>(dy * ks + dx)] =
+                           m_.weight_buf().read(weight_tile_addr(
+                               in, lane0 + l, din, by * ks + dy,
+                               bx * ks + dx));
+            const bool first_pass = by == 0 && bx == 0 &&
+                                    din == in.din0 && in.first_din_chunk;
+            if (first_pass)
+              for (i64 l = 0; l < L; ++l)
+                bias_regs[static_cast<std::size_t>(l)] =
+                    bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0));
+            auto read_window = [&](i64 oy, i64 ox) {
+              // One contiguous ks x ks block of the partitioned grid.
+              for (i64 dy = 0; dy < ks; ++dy)
+                m_.input_buf().read_block(
+                    in_band_addr(in, din, oy * in.stride + by * ks + dy,
+                                 ox * in.stride + bx * ks),
+                    ks, window.data() + dy * ks);
+            };
+            if (ss <= tin) {
+              // Pack w whole sub-windows per operation.
+              for (i64 pix0 = 0; pix0 < npix; pix0 += w) {
+                const i64 wa = std::min(w, npix - pix0);
+                m_.pe().begin_op(wa * ss * L);
+                for (i64 wi = 0; wi < wa; ++wi) {
+                  const i64 pix = pix0 + wi;
+                  const i64 oy = in.out_row0 + pix / in.out_w;
+                  const i64 ox = pix % in.out_w;
+                  read_window(oy, ox);
+                  for (i64 l = 0; l < L; ++l) {
+                    const acc_t p = m_.pe().dot(
+                        window.data(),
+                        wregs[static_cast<std::size_t>(l)].data(), ss);
+                    const i64 idx = partial_index(in, oy, ox, lane0 + l);
+                    if (first_pass)
+                      m_.output_buf().write(
+                          idx, p + bias_regs[static_cast<std::size_t>(l)]);
+                    else
+                      m_.output_buf().accumulate(idx, p);
+                  }
+                }
+                m_.pe().count_add(wa * L);
+              }
+            } else {
+              // Sub-window larger than Tin: chunk it over several ops,
+              // reducing in the PE before one add-and-store.
+              const i64 nchunks = ceil_div(ss, tin);
+              std::vector<acc_t> acc(static_cast<std::size_t>(L));
+              for (i64 pix = 0; pix < npix; ++pix) {
+                const i64 oy = in.out_row0 + pix / in.out_w;
+                const i64 ox = pix % in.out_w;
+                read_window(oy, ox);
+                std::fill(acc.begin(), acc.end(), 0);
+                for (i64 j0 = 0; j0 < ss; j0 += tin) {
+                  const i64 C = std::min(tin, ss - j0);
+                  m_.pe().begin_op(C * L);
+                  for (i64 l = 0; l < L; ++l)
+                    acc[static_cast<std::size_t>(l)] += m_.pe().dot(
+                        window.data() + j0,
+                        wregs[static_cast<std::size_t>(l)].data() + j0, C);
+                }
+                m_.pe().count_add(nchunks * L);
+                for (i64 l = 0; l < L; ++l) {
+                  const i64 idx = partial_index(in, oy, ox, lane0 + l);
+                  if (first_pass)
+                    m_.output_buf().write(
+                        idx, acc[static_cast<std::size_t>(l)] +
+                                 bias_regs[static_cast<std::size_t>(l)]);
+                  else
+                    m_.output_buf().accumulate(
+                        idx, acc[static_cast<std::size_t>(l)]);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (in.last_din_chunk) finalize_from_buffer(in);
+  }
+
+  void conv_unroll(const ConvTileInstr& in) {
+    const i64 tin = m_.config().tin;
+    const i64 tout = m_.config().tout;
+    const i64 kk = in.k * in.k;
+    const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    const i64 pix_base = in.band_row0 * in.out_w;  // first pixel in band
+    const i64 band_pix = in.band_rows * in.out_w;
+    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
+
+    auto window_addr = [&](i64 din, i64 pix) {
+      return in.input_base +
+             ((din - in.din0) * band_pix + (pix - pix_base)) * kk;
+    };
+
+    for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
+      const i64 L = std::min(tout, in.dout1 - lane0);
+      std::vector<std::vector<std::int16_t>> wregs(
+          static_cast<std::size_t>(L),
+          std::vector<std::int16_t>(static_cast<std::size_t>(kk)));
+      std::vector<acc_t> bias_regs(static_cast<std::size_t>(L), 0);
+      for (i64 din = in.din0; din < in.din1; ++din) {
+        for (i64 l = 0; l < L; ++l)
+          for (i64 j = 0; j < kk; ++j)
+            wregs[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] =
+                m_.weight_buf().read(
+                    weight_tile_addr(in, lane0 + l, din, j / in.k,
+                                     j % in.k));
+        const bool first_pass = din == in.din0 && in.first_din_chunk;
+        if (first_pass)
+          for (i64 l = 0; l < L; ++l)
+            bias_regs[static_cast<std::size_t>(l)] =
+                bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0));
+
+        if (kk <= tin) {
+          // Pack w whole windows per op.
+          const i64 w = std::max<i64>(1, tin / kk);
+          for (i64 p0 = 0; p0 < npix; p0 += w) {
+            const i64 wa = std::min(w, npix - p0);
+            m_.pe().begin_op(wa * kk * L);
+            for (i64 wi = 0; wi < wa; ++wi) {
+              const i64 pix = pix_base + p0 + wi;
+              m_.input_buf().read_block(window_addr(din, pix), kk,
+                                        data.data());
+              const i64 oy = pix / in.out_w;
+              const i64 ox = pix % in.out_w;
+              for (i64 l = 0; l < L; ++l) {
+                const acc_t p = m_.pe().dot(
+                    data.data(), wregs[static_cast<std::size_t>(l)].data(),
+                    kk);
+                const i64 idx = partial_index(in, oy, ox, lane0 + l);
+                if (first_pass)
+                  m_.output_buf().write(
+                      idx, p + bias_regs[static_cast<std::size_t>(l)]);
+                else
+                  m_.output_buf().accumulate(idx, p);
+              }
+            }
+            m_.pe().count_add(wa * L);
+          }
+        } else {
+          // Chunk one window over ceil(kk/Tin) ops, reducing in the PE.
+          std::vector<acc_t> acc(static_cast<std::size_t>(L));
+          const i64 nchunks = ceil_div(kk, tin);
+          for (i64 p0 = 0; p0 < npix; ++p0) {
+            const i64 pix = pix_base + p0;
+            const i64 oy = pix / in.out_w;
+            const i64 ox = pix % in.out_w;
+            std::fill(acc.begin(), acc.end(), 0);
+            for (i64 j0 = 0; j0 < kk; j0 += tin) {
+              const i64 C = std::min(tin, kk - j0);
+              m_.pe().begin_op(C * L);
+              m_.input_buf().read_block(window_addr(din, pix) + j0, C,
+                                        data.data());
+              for (i64 l = 0; l < L; ++l)
+                acc[static_cast<std::size_t>(l)] += m_.pe().dot(
+                    data.data(),
+                    wregs[static_cast<std::size_t>(l)].data() + j0, C);
+            }
+            m_.pe().count_add(nchunks * L);  // inter-chunk + accumulate
+            for (i64 l = 0; l < L; ++l) {
+              const i64 idx = partial_index(in, oy, ox, lane0 + l);
+              if (first_pass)
+                m_.output_buf().write(
+                    idx, acc[static_cast<std::size_t>(l)] +
+                             bias_regs[static_cast<std::size_t>(l)]);
+              else
+                m_.output_buf().accumulate(idx,
+                                           acc[static_cast<std::size_t>(l)]);
+            }
+          }
+        }
+      }
+    }
+    if (in.last_din_chunk) finalize_from_buffer(in);
+  }
+
+  void exec_pool(const PoolTileInstr& in) {
+    const i64 tout = m_.config().tout;
+    const i64 dins = in.d1 - in.d0;
+    std::vector<std::int16_t> lanes_data(static_cast<std::size_t>(tout));
+
+    auto band_addr = [&](i64 d, i64 y, i64 x) {
+      const i64 yrel = y - in.band_row0;
+      CBRAIN_DCHECK(yrel >= 0 && yrel < in.band_rows, "pool band row");
+      return in.input_base + (yrel * in.band_width + x) * dins + (d - in.d0);
+    };
+
+    for (i64 lane0 = in.d0; lane0 < in.d1; lane0 += tout) {
+      const i64 L = std::min(tout, in.d1 - lane0);
+      std::vector<acc_t> acc(static_cast<std::size_t>(L));
+      std::vector<std::int16_t> best(static_cast<std::size_t>(L));
+      for (i64 oy = in.out_row0; oy < in.out_row1; ++oy) {
+        for (i64 ox = 0; ox < in.out_w; ++ox) {
+          // Valid (clamped) window in un-padded input coordinates.
+          const i64 y0 = std::max<i64>(oy * in.stride - in.pad, 0);
+          const i64 y1 =
+              std::min<i64>(oy * in.stride - in.pad + in.p, in.in_h);
+          const i64 x0 = std::max<i64>(ox * in.stride - in.pad, 0);
+          const i64 x1 =
+              std::min<i64>(ox * in.stride - in.pad + in.p, in.in_w);
+          bool first = true;
+          std::fill(acc.begin(), acc.end(), 0);
+          for (i64 y = y0; y < y1; ++y) {
+            for (i64 x = x0; x < x1; ++x) {
+              // Band coordinates are padded: shift by pad.
+              m_.input_buf().read_block(
+                  band_addr(lane0, y + in.pad, x + in.pad), L,
+                  lanes_data.data());
+              manual_cycles_ += 1;  // one element per lane per cycle
+              for (i64 l = 0; l < L; ++l) {
+                const std::int16_t v =
+                    lanes_data[static_cast<std::size_t>(l)];
+                if (in.kind == PoolKind::kMax) {
+                  auto& b = best[static_cast<std::size_t>(l)];
+                  if (first || v > b) b = v;
+                } else {
+                  acc[static_cast<std::size_t>(l)] += v;
+                }
+              }
+              if (!first) manual_adds(L);
+              first = false;
+            }
+          }
+          const i64 n = (y1 - y0) * (x1 - x0);
+          for (i64 l = 0; l < L; ++l) {
+            std::int16_t raw;
+            if (in.kind == PoolKind::kMax) {
+              raw = best[static_cast<std::size_t>(l)];
+            } else {
+              // Round-half-away-from-zero integer mean — matches the
+              // double-precision reference exactly for int16 sums.
+              const acc_t s = acc[static_cast<std::size_t>(l)];
+              const acc_t num = s >= 0 ? 2 * s + n : 2 * s - n;
+              raw = saturate_to_i16(num / (2 * n));
+              manual_muls(1);  // the 1/n scale
+            }
+            store_out(in.outs, lane0 + l, oy, ox, raw);
+          }
+        }
+      }
+    }
+  }
+
+  void exec_fc(const FcTileInstr& in) {
+    const i64 tin = m_.config().tin;
+    const i64 tout = m_.config().tout;
+    const i64 dins = in.din1 - in.din0;
+    const bool multi = !(in.first_din_chunk && in.last_din_chunk);
+    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
+    std::vector<std::int16_t> wrow(static_cast<std::size_t>(tin));
+
+    for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
+      const i64 L = std::min(tout, in.dout1 - lane0);
+      std::vector<acc_t> acc(static_cast<std::size_t>(L));
+      for (i64 l = 0; l < L; ++l)
+        acc[static_cast<std::size_t>(l)] =
+            in.first_din_chunk
+                ? bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0))
+                : 0;
+      for (i64 c0 = 0; c0 < dins; c0 += tin) {
+        const i64 C = std::min(tin, dins - c0);
+        m_.pe().begin_op(C * L);
+        m_.input_buf().read_block(in.input_base + c0, C, data.data());
+        for (i64 l = 0; l < L; ++l) {
+          // Weight sub-block layout: (dout-rel, din-chunk) row-major.
+          for (i64 c = 0; c < C; ++c)
+            wrow[static_cast<std::size_t>(c)] = m_.weight_buf().read(
+                in.weight_base + (lane0 + l - in.dout0) * dins + c0 + c);
+          acc[static_cast<std::size_t>(l)] +=
+              m_.pe().dot(data.data(), wrow.data(), C);
+        }
+        m_.pe().count_add(L);
+      }
+      for (i64 l = 0; l < L; ++l) {
+        const acc_t a = acc[static_cast<std::size_t>(l)];
+        if (!multi) {
+          store_out(in.outs, lane0 + l, 0, 0, finalize_value(a, in.relu));
+          continue;
+        }
+        const i64 idx = lane0 + l;  // one partial per output neuron
+        if (in.first_din_chunk) {
+          m_.output_buf().write(idx, a);
+        } else {
+          m_.output_buf().accumulate(idx, a);
+          m_.pe().count_add(1);
+        }
+        if (in.last_din_chunk)
+          store_out(in.outs, lane0 + l, 0, 0,
+                    finalize_value(m_.output_buf().read(idx), in.relu));
+      }
+    }
+  }
+
+  void exec_host(const Layer& l, const HostOpInstr& in) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const CubeSpec& src = compiled_.layout.in_cube[idx];
+    switch (in.kind) {
+      case HostOpKind::kUnroll: {
+        const Tensor3<Fixed16> raw = read_cube(src, l.in_dims);
+        const ConvParams& p = l.conv();
+        const ConvGeometry geom{l.in_dims.h, l.in_dims.w, p.k, p.stride,
+                                p.pad};
+        const Tensor3<Fixed16> unrolled = unroll_input(raw, geom);
+        const CubeSpec& dst = compiled_.layout.unroll_cube[idx];
+        i64 a = dst.addr;
+        for (const Fixed16& v : unrolled.storage())
+          m_.dram().write(a++, v.raw());
+        manual_dram_reads_ += raw.size();
+        manual_dram_writes_ += unrolled.size();
+        // Serial host staging at DRAM speed (see model/network_model).
+        manual_serial_ =
+            m_.config().dram.transfer_cycles(raw.size() + unrolled.size());
+        break;
+      }
+      case HostOpKind::kLrn: {
+        const Tensor3<Fixed16> x = read_cube(src, l.in_dims);
+        const Tensor3<Fixed16> y = lrn_ref(x, l.lrn());
+        host_store(l, y);
+        manual_dram_reads_ += x.size();
+        // Activation-function unit streaming pass.
+        manual_cycles_ += ceil_div(x.size(), m_.config().tout);
+        break;
+      }
+      case HostOpKind::kSoftmax: {
+        const Tensor3<Fixed16> x = read_cube(src, l.in_dims);
+        // Double-precision softmax, re-quantized (host-side).
+        double maxv = -1e300;
+        for (const auto& v : x.storage())
+          maxv = std::max(maxv, v.to_double());
+        double denom = 0.0;
+        for (const auto& v : x.storage())
+          denom += std::exp(v.to_double() - maxv);
+        Tensor3<Fixed16> y(x.dims(), x.order());
+        for (std::size_t i = 0; i < x.storage().size(); ++i)
+          y.storage()[i] = Fixed16::from_double(
+              std::exp(x.storage()[i].to_double() - maxv) / denom);
+        host_store(l, y);
+        manual_dram_reads_ += x.size();
+        break;
+      }
+    }
+  }
+
+  void host_store(const Layer& l, const Tensor3<Fixed16>& t) {
+    const auto& outs = compiled_.layout.out_maps[static_cast<std::size_t>(
+        l.id)];
+    for (i64 d = 0; d < t.dims().d; ++d)
+      for (i64 y = 0; y < t.dims().h; ++y)
+        for (i64 x = 0; x < t.dims().w; ++x)
+          store_out(outs, d, y, x, t.at(d, y, x).raw());
+  }
+
+  void manual_adds(i64 n) { m_.pe().count_add(n); }
+  void manual_muls(i64 n) { manual_muls_ += n; }
+
+  const Network& net_;
+  const CompiledNetwork& compiled_;
+  SimMachine& m_;
+  i64 manual_cycles_ = 0;
+  i64 manual_dram_writes_ = 0;
+  i64 manual_dram_reads_ = 0;
+  i64 manual_muls_ = 0;
+  i64 manual_serial_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+SimExecutor::SimExecutor(const Network& net, const CompiledNetwork& compiled,
+                         const AcceleratorConfig& config)
+    : net_(net), compiled_(compiled) {
+  // Generous slack beyond the planner's footprint for alignment.
+  machine_ = std::make_unique<SimMachine>(
+      config, compiled.layout.total_words + 1024);
+}
+
+SimResult SimExecutor::run(const Tensor3<Fixed16>& input,
+                           const NetParamsData<Fixed16>& params) {
+  Executor ex(net_, compiled_, *machine_);
+  return ex.run(input, params);
+}
+
+Tensor3<Fixed16> SimExecutor::read_input_cube(LayerId id) const {
+  // For unroll-scheme convs this is the raw cube; the im2col staging cube
+  // is an implementation detail.
+  Executor ex(net_, compiled_, *machine_);
+  return ex.read_cube(compiled_.layout.cube_of(id), net_.layer(id).in_dims);
+}
+
+}  // namespace cbrain

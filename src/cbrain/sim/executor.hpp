@@ -1,0 +1,50 @@
+// The control unit: interprets a compiled Program cycle-accurately and
+// functionally — every multiply happens on simulated buffer contents at
+// 16-bit fixed point, so the final tensors can be compared bit-for-bit
+// against the reference executor while the counters are compared against
+// the analytical model. This is the "Synopsys VCS simulation" substitute
+// of this reproduction (DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "cbrain/arch/counters.hpp"
+#include "cbrain/compiler/compiler.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/sim/machine.hpp"
+#include "cbrain/tensor/tensor.hpp"
+
+namespace cbrain {
+
+struct SimResult {
+  std::vector<TrafficCounters> per_layer;  // indexed by LayerId
+  Tensor3<Fixed16> final_output;           // the result cube, logical dims
+
+  TrafficCounters layer_total(LayerId id) const {
+    return per_layer[static_cast<std::size_t>(id)];
+  }
+};
+
+class SimExecutor {
+ public:
+  SimExecutor(const Network& net, const CompiledNetwork& compiled,
+              const AcceleratorConfig& config);
+
+  // Materializes parameters and the input image in simulated DRAM, then
+  // runs the whole program.
+  SimResult run(const Tensor3<Fixed16>& input,
+                const NetParamsData<Fixed16>& params);
+
+  // Reads back the logical (unpadded) contents of a layer's input cube —
+  // i.e. what that layer consumed — for validation against the reference.
+  Tensor3<Fixed16> read_input_cube(LayerId id) const;
+
+  const SimMachine& machine() const { return *machine_; }
+
+ private:
+  const Network& net_;
+  const CompiledNetwork& compiled_;
+  std::unique_ptr<SimMachine> machine_;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,15 @@
+#include "cbrain/sim/machine.hpp"
+
+namespace cbrain {
+
+SimMachine::SimMachine(const AcceleratorConfig& config, i64 dram_words)
+    : config_(config),
+      dram_(dram_words),
+      input_("inout.in", config.inout_buf.size_bytes),
+      weight_("weight", config.weight_buf.size_bytes),
+      bias_("bias", config.bias_buf.size_bytes),
+      output_("inout.out", config.inout_buf.size_bytes * 2),
+      dma_(config.dram),
+      pe_(config_) {}
+
+}  // namespace cbrain

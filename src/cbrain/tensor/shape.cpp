@@ -1,0 +1,15 @@
+#include "cbrain/tensor/shape.hpp"
+
+namespace cbrain {
+
+std::string MapDims::to_string() const {
+  return std::to_string(d) + "x" + std::to_string(h) + "x" +
+         std::to_string(w);
+}
+
+std::string KernelDims::to_string() const {
+  return std::to_string(dout) + "x" + std::to_string(din) + "x" +
+         std::to_string(kh) + "x" + std::to_string(kw);
+}
+
+}  // namespace cbrain

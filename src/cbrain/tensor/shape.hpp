@@ -1,0 +1,44 @@
+// Shapes for feature-map cubes and kernel stacks.
+//
+// Convention used everywhere in this repo (matches Fig. 1 of the paper):
+//   D — number of maps (depth: Din or Dout)
+//   H — map height (paper's Y)
+//   W — map width  (paper's X)
+#pragma once
+
+#include <string>
+
+#include "cbrain/common/math_util.hpp"
+
+namespace cbrain {
+
+// A stack of D feature maps of H x W pixels.
+struct MapDims {
+  i64 d = 0;
+  i64 h = 0;
+  i64 w = 0;
+
+  i64 pixels_per_map() const { return h * w; }
+  i64 count() const { return d * h * w; }
+  // Footprint in bytes at 16-bit words (the accelerator's storage unit).
+  i64 bytes16() const { return count() * 2; }
+
+  bool operator==(const MapDims&) const = default;
+  std::string to_string() const;  // "D x H x W"
+};
+
+// A stack of Dout kernels, each Din x Kh x Kw.
+struct KernelDims {
+  i64 dout = 0;
+  i64 din = 0;
+  i64 kh = 0;
+  i64 kw = 0;
+
+  i64 count() const { return dout * din * kh * kw; }
+  i64 bytes16() const { return count() * 2; }
+
+  bool operator==(const KernelDims&) const = default;
+  std::string to_string() const;  // "Dout x Din x Kh x Kw"
+};
+
+}  // namespace cbrain

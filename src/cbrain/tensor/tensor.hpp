@@ -1,0 +1,113 @@
+// Dense tensors for feature maps (Tensor3) and kernel stacks (Tensor4).
+// Logical indexing is always (d, y, x) / (dout, din, ky, kx); Tensor3
+// additionally carries a DataOrder so the same cube can be materialized in
+// either of the two memory orders Algorithm 2 plans between layers.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/tensor/layout.hpp"
+#include "cbrain/tensor/shape.hpp"
+
+namespace cbrain {
+
+template <typename T>
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  explicit Tensor3(MapDims dims, DataOrder order = DataOrder::kSpatialMajor)
+      : dims_(dims), order_(order),
+        data_(static_cast<std::size_t>(dims.count())) {}
+
+  const MapDims& dims() const { return dims_; }
+  DataOrder order() const { return order_; }
+  i64 size() const { return dims_.count(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(i64 d, i64 y, i64 x) {
+    return data_[static_cast<std::size_t>(
+        linear_offset(dims_, order_, d, y, x))];
+  }
+  const T& at(i64 d, i64 y, i64 x) const {
+    return data_[static_cast<std::size_t>(
+        linear_offset(dims_, order_, d, y, x))];
+  }
+
+  // Zero-padded read: coordinates outside the cube return T{} ('0's are
+  // padded at the boundary', §4.2.1).
+  T at_padded(i64 d, i64 y, i64 x) const {
+    if (y < 0 || y >= dims_.h || x < 0 || x >= dims_.w) return T{};
+    return at(d, y, x);
+  }
+
+  T* raw_data() { return data_.data(); }
+  const T* raw_data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  // Same logical contents re-materialized in `order`.
+  Tensor3<T> to_order(DataOrder order) const {
+    if (order == order_) return *this;
+    Tensor3<T> out(dims_, order);
+    for (i64 d = 0; d < dims_.d; ++d)
+      for (i64 y = 0; y < dims_.h; ++y)
+        for (i64 x = 0; x < dims_.w; ++x) out.at(d, y, x) = at(d, y, x);
+    return out;
+  }
+
+  bool logically_equal(const Tensor3<T>& other) const {
+    if (dims_ != other.dims_) return false;
+    for (i64 d = 0; d < dims_.d; ++d)
+      for (i64 y = 0; y < dims_.h; ++y)
+        for (i64 x = 0; x < dims_.w; ++x)
+          if (!(at(d, y, x) == other.at(d, y, x))) return false;
+    return true;
+  }
+
+ private:
+  MapDims dims_;
+  DataOrder order_ = DataOrder::kSpatialMajor;
+  std::vector<T> data_;
+};
+
+template <typename T>
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  explicit Tensor4(KernelDims dims)
+      : dims_(dims), data_(static_cast<std::size_t>(dims.count())) {}
+
+  const KernelDims& dims() const { return dims_; }
+  i64 size() const { return dims_.count(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(i64 dout, i64 din, i64 ky, i64 kx) {
+    return data_[index(dout, din, ky, kx)];
+  }
+  const T& at(i64 dout, i64 din, i64 ky, i64 kx) const {
+    return data_[index(dout, din, ky, kx)];
+  }
+
+  T* raw_data() { return data_.data(); }
+  const T* raw_data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+ private:
+  std::size_t index(i64 dout, i64 din, i64 ky, i64 kx) const {
+    CBRAIN_DCHECK(dout >= 0 && dout < dims_.dout, "dout out of range");
+    CBRAIN_DCHECK(din >= 0 && din < dims_.din, "din out of range");
+    CBRAIN_DCHECK(ky >= 0 && ky < dims_.kh, "ky out of range");
+    CBRAIN_DCHECK(kx >= 0 && kx < dims_.kw, "kx out of range");
+    return static_cast<std::size_t>(
+        ((dout * dims_.din + din) * dims_.kh + ky) * dims_.kw + kx);
+  }
+
+  KernelDims dims_;
+  std::vector<T> data_;
+};
+
+}  // namespace cbrain

@@ -1,0 +1,16 @@
+#include "cbrain/tensor/unroll.hpp"
+
+namespace cbrain {
+
+double unroll_duplication_factor(const ConvGeometry& g) {
+  return static_cast<double>(unrolled_map_words(g)) /
+         static_cast<double>(raw_map_words(g));
+}
+
+i64 raw_map_words(const ConvGeometry& g) { return g.in_h * g.in_w; }
+
+i64 unrolled_map_words(const ConvGeometry& g) {
+  return g.out_h() * g.out_w() * g.k * g.k;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,103 @@
+// Shared helpers for the test suite: running the three executors (golden
+// reference, analytical model, cycle-level simulator) on the same network
+// and comparing their outputs and counters.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cbrain/compiler/compiler.hpp"
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/nn/zoo.hpp"
+#include "cbrain/ref/executor.hpp"
+#include "cbrain/sim/executor.hpp"
+
+namespace cbrain::test {
+
+// A deliberately tiny accelerator that forces multi-band / multi-din /
+// multi-dout tiling even on toy layers — exercises the tiler and the
+// partial-sum-across-tiles paths the big buffers would hide.
+inline AcceleratorConfig tiny_config(i64 tin = 4, i64 tout = 4) {
+  AcceleratorConfig c = AcceleratorConfig::with_pe(tin, tout);
+  c.inout_buf.size_bytes = 4 * 1024;
+  c.weight_buf.size_bytes = 2 * 1024;
+  c.bias_buf.size_bytes = 1024;
+  return c;
+}
+
+struct RunResult {
+  Tensor3<Fixed16> ref_out;
+  SimResult sim;
+  NetworkModelResult model;
+};
+
+// Runs reference + simulator + model on `net` under `policy`/`config` with
+// seeded synthetic parameters, returning everything for comparison.
+inline RunResult run_all(const Network& net, Policy policy,
+                         const AcceleratorConfig& config,
+                         std::uint64_t seed = 42) {
+  RunResult r;
+  auto params = init_net_params<Fixed16>(net, seed);
+  auto input = random_input<Fixed16>(net.layer(0).out_dims, seed ^ 0x1234);
+
+  RefExecutor<Fixed16> ref(net, params);
+  r.ref_out = ref.run(input);
+
+  auto compiled = compile_network(net, policy, config);
+  EXPECT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+  SimExecutor sim(net, compiled.value(), config);
+  r.sim = sim.run(input, params);
+
+  ModelOptions opt;
+  opt.include_fc = true;  // compare every layer the program contains
+  r.model = model_network(net, compiled.value(), config, opt);
+  return r;
+}
+
+// Bit-exact tensor comparison with a readable first-mismatch message.
+inline ::testing::AssertionResult tensors_equal(const Tensor3<Fixed16>& a,
+                                                const Tensor3<Fixed16>& b) {
+  if (a.dims() != b.dims())
+    return ::testing::AssertionFailure()
+           << "dims " << a.dims().to_string() << " vs "
+           << b.dims().to_string();
+  for (i64 d = 0; d < a.dims().d; ++d)
+    for (i64 y = 0; y < a.dims().h; ++y)
+      for (i64 x = 0; x < a.dims().w; ++x)
+        if (a.at(d, y, x) != b.at(d, y, x))
+          return ::testing::AssertionFailure()
+                 << "mismatch at (" << d << "," << y << "," << x
+                 << "): " << a.at(d, y, x).raw() << " vs "
+                 << b.at(d, y, x).raw();
+  return ::testing::AssertionSuccess();
+}
+
+#define EXPECT_COUNTER_EQ(field, sim_c, model_c)                          \
+  EXPECT_EQ((sim_c).field, (model_c).field)                               \
+      << "counter '" #field "' diverges (sim vs model)"
+
+// Asserts the simulator's counters equal the analytical model's for one
+// layer — the model/simulator agreement property of DESIGN.md §5.
+inline void expect_counters_match(const TrafficCounters& sim_c,
+                                  const TrafficCounters& model_c,
+                                  const std::string& where) {
+  SCOPED_TRACE(where);
+  EXPECT_COUNTER_EQ(input_reads, sim_c, model_c);
+  EXPECT_COUNTER_EQ(input_writes, sim_c, model_c);
+  EXPECT_COUNTER_EQ(output_reads, sim_c, model_c);
+  EXPECT_COUNTER_EQ(output_writes, sim_c, model_c);
+  EXPECT_COUNTER_EQ(weight_reads, sim_c, model_c);
+  EXPECT_COUNTER_EQ(weight_writes, sim_c, model_c);
+  EXPECT_COUNTER_EQ(bias_reads, sim_c, model_c);
+  EXPECT_COUNTER_EQ(bias_writes, sim_c, model_c);
+  EXPECT_COUNTER_EQ(dram_reads, sim_c, model_c);
+  EXPECT_COUNTER_EQ(dram_writes, sim_c, model_c);
+  EXPECT_COUNTER_EQ(mul_ops, sim_c, model_c);
+  EXPECT_COUNTER_EQ(idle_mul_slots, sim_c, model_c);
+  EXPECT_COUNTER_EQ(add_ops, sim_c, model_c);
+  EXPECT_COUNTER_EQ(compute_cycles, sim_c, model_c);
+  EXPECT_COUNTER_EQ(total_cycles, sim_c, model_c);
+}
+
+}  // namespace cbrain::test

@@ -1,0 +1,68 @@
+// Batched-inference model semantics: batch=1 is the identity; compute
+// scales linearly; weight DRAM traffic is amortized; activation traffic
+// is not.
+#include <gtest/gtest.h>
+
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::paper_16_16();
+
+TEST(Batch, OneIsIdentity) {
+  ModelOptions b1;
+  b1.batch = 1;
+  const auto a = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg);
+  const auto b = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg, b1);
+  EXPECT_EQ(a.cycles(), b.cycles());
+  EXPECT_EQ(a.totals.dram_words(), b.totals.dram_words());
+}
+
+TEST(Batch, ComputeScalesLinearly) {
+  ModelOptions b4;
+  b4.batch = 4;
+  const auto one = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg);
+  const auto four =
+      model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg, b4);
+  EXPECT_EQ(four.totals.compute_cycles, 4 * one.totals.compute_cycles);
+  EXPECT_EQ(four.totals.mul_ops, 4 * one.totals.mul_ops);
+  // Buffer traffic (on-chip) also scales: per-image work repeats.
+  EXPECT_EQ(four.totals.input_reads, 4 * one.totals.input_reads);
+}
+
+TEST(Batch, WeightDramTrafficIsAmortized) {
+  ModelOptions base, b8;
+  base.include_fc = true;
+  b8.include_fc = true;
+  b8.batch = 8;
+  const auto one =
+      model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg, base);
+  const auto eight =
+      model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg, b8);
+  // Weight buffer fills (DMA) unchanged; input fills x8.
+  EXPECT_EQ(eight.totals.weight_writes, one.totals.weight_writes);
+  EXPECT_EQ(eight.totals.input_writes, 8 * one.totals.input_writes);
+  // Per-image latency improves when FC weight streaming dominates.
+  EXPECT_LT(eight.cycles(), 8 * one.cycles());
+  // But never below the pure-compute bound.
+  EXPECT_GE(eight.cycles(), 8 * one.totals.compute_cycles);
+}
+
+TEST(Batch, ConvOnlyNetworksGainLittle) {
+  // AlexNet's conv pipeline is activation-dominated: batching must not
+  // change per-image time by more than the small weight-DMA share.
+  ModelOptions b8;
+  b8.batch = 8;
+  const auto one = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg);
+  const auto eight =
+      model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg, b8);
+  const double per_image =
+      static_cast<double>(eight.cycles()) / 8.0;
+  EXPECT_GT(per_image, 0.80 * static_cast<double>(one.cycles()));
+  EXPECT_LE(per_image, static_cast<double>(one.cycles()));
+}
+
+}  // namespace
+}  // namespace cbrain

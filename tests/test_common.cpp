@@ -1,0 +1,159 @@
+// Unit tests for the common substrate: contracts, status, RNG, strings,
+// CSV, math helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/common/csv.hpp"
+#include "cbrain/common/math_util.hpp"
+#include "cbrain/common/rng.hpp"
+#include "cbrain/common/status.hpp"
+#include "cbrain/common/strings.hpp"
+
+namespace cbrain {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    CBRAIN_CHECK(1 == 2, "one is " << 1);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is 1"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckHasNoEffect) {
+  EXPECT_NO_THROW(CBRAIN_CHECK(true, "unused"));
+  EXPECT_NO_THROW(CBRAIN_CHECK(2 > 1));
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+  const Status s = Status::resource_exhausted("tile too big");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.to_string(), "RESOURCE_EXHAUSTED: tile too big");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnsupported), "UNSUPPORTED");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+
+  Result<int> err(Status::invalid_argument("nope"));
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.value_or(-1), -1);
+  EXPECT_THROW(err.value(), CheckError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const i64 v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double(2.0, 3.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+  }
+  EXPECT_THROW(rng.next_below(0), CheckError);
+}
+
+TEST(Rng, NextDoubleCoversUnitInterval) {
+  Rng rng(5);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("conv1_2", "conv1"));
+  EXPECT_FALSE(starts_with("conv", "conv1"));
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2 * 1024 * 1024), "2.00 MiB");
+  EXPECT_EQ(fmt_speedup(1.434), "1.43x");
+  EXPECT_EQ(fmt_percent(0.9013), "90.13%");
+  EXPECT_EQ(fmt_percent(-0.0861), "-8.61%");
+}
+
+TEST(Csv, EscapingRfc4180) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowAssembly) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.cell("net").cell(42).cell(1.5).end_row();
+  EXPECT_EQ(os.str(), "net,42,1.5\n");
+}
+
+TEST(MathUtil, CeilDivRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_THROW(ceil_div(1, 0), CheckError);
+}
+
+TEST(MathUtil, Pow2AndClamp) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(clamp_i64(5, 0, 3), 3);
+  EXPECT_EQ(clamp_i64(-5, 0, 3), 0);
+  EXPECT_EQ(clamp_i64(2, 0, 3), 2);
+}
+
+TEST(MathUtil, ConvOutExtent) {
+  // AlexNet conv1: (227 - 11)/4 + 1 = 55.
+  EXPECT_EQ(conv_out_extent(227, 11, 4, 0), 55);
+  // VGG: 224 with k=3 s=1 pad=1 stays 224.
+  EXPECT_EQ(conv_out_extent(224, 3, 1, 1), 224);
+  EXPECT_THROW(conv_out_extent(4, 8, 1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace cbrain

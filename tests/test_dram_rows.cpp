@@ -1,0 +1,68 @@
+// Row-buffer DRAM timing: pattern arithmetic and model/simulator
+// agreement when the detailed mode is on.
+#include "support.hpp"
+
+namespace cbrain::test {
+namespace {
+
+TEST(DramRows, FlatModelUnchanged) {
+  DramConfig c;  // row_buffer_model = false
+  EXPECT_EQ(c.transfer_cycles_pattern(10, 16, 64),
+            c.transfer_cycles(160));
+}
+
+TEST(DramRows, ContiguousPaysRowsOnlyBySpan) {
+  DramConfig c;
+  c.row_buffer_model = true;
+  c.row_words = 128;
+  c.row_miss_cycles = 10;
+  // Contiguous 512 words span 4 rows.
+  EXPECT_EQ(c.transfer_cycles_pattern(1, 512, 0),
+            c.latency_cycles + 256 + 4 * 10);
+  // chunks with stride == chunk_words collapse to contiguous.
+  EXPECT_EQ(c.transfer_cycles_pattern(4, 128, 128),
+            c.transfer_cycles_pattern(1, 512, 0));
+}
+
+TEST(DramRows, StridedGatherOpensARowPerChunk) {
+  DramConfig c;
+  c.row_buffer_model = true;
+  c.row_words = 128;
+  c.row_miss_cycles = 10;
+  // 64 chunks of 4 words, one per row (stride = row size).
+  const i64 cycles = c.transfer_cycles_pattern(64, 4, 128);
+  EXPECT_EQ(cycles, c.latency_cycles + 128 + 64 * 10);
+  // Same words contiguous: 2 rows only.
+  EXPECT_EQ(c.transfer_cycles_pattern(1, 256, 0),
+            c.latency_cycles + 128 + 2 * 10);
+}
+
+TEST(DramRows, DenseStridesShareRows) {
+  DramConfig c;
+  c.row_buffer_model = true;
+  c.row_words = 128;
+  c.row_miss_cycles = 10;
+  // 32 chunks of 2 words at stride 4: all within one row.
+  EXPECT_EQ(c.transfer_cycles_pattern(32, 2, 4),
+            c.latency_cycles + 32 + 1 * 10);
+}
+
+TEST(DramRows, SimMatchesModelUnderRowTiming) {
+  AcceleratorConfig config = tiny_config(4, 4);
+  config.dram.row_buffer_model = true;
+  config.dram.row_words = 64;
+  config.dram.row_miss_cycles = 8;
+  for (const Network& net : {zoo::tiny_cnn(), zoo::mini_inception()}) {
+    const RunResult r = run_all(net, Policy::kAdaptive2, config);
+    EXPECT_TRUE(tensors_equal(r.ref_out, r.sim.final_output));
+    for (const Layer& l : net.layers()) {
+      if (l.kind == LayerKind::kInput || l.kind == LayerKind::kConcat)
+        continue;
+      expect_counters_match(r.sim.layer_total(l.id),
+                            r.model.layer(l.id).counters, l.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbrain::test

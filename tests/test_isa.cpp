@@ -1,0 +1,110 @@
+// ISA layer tests: program structure, per-layer attribution, load-word
+// consistency and the disassembler.
+#include <gtest/gtest.h>
+
+#include "cbrain/compiler/compiler.hpp"
+#include "cbrain/isa/disassembler.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::paper_16_16();
+
+TEST(Program, StatsCountInstructionKinds) {
+  const auto compiled =
+      compile_network(zoo::tiny_cnn(), Policy::kAdaptive2, kCfg);
+  ASSERT_TRUE(compiled.is_ok());
+  const ProgramStats s = compiled.value().program.stats();
+  EXPECT_GT(s.loads, 0);
+  EXPECT_GT(s.conv_tiles, 0);
+  EXPECT_GT(s.pool_tiles, 0);
+  EXPECT_GT(s.fc_tiles, 0);
+  EXPECT_EQ(s.host_ops, 1);  // softmax
+  EXPECT_GT(s.barriers, 0);
+  EXPECT_EQ(s.instructions, s.loads + s.conv_tiles + s.pool_tiles +
+                                s.fc_tiles + s.host_ops + s.barriers);
+}
+
+TEST(Program, LayerRangesPartitionTheProgram) {
+  const Network net = zoo::tiny_cnn();
+  const auto compiled = compile_network(net, Policy::kAdaptive2, kCfg);
+  ASSERT_TRUE(compiled.is_ok());
+  const Program& prog = compiled.value().program;
+  i64 covered = 0;
+  i64 prev_end = 0;
+  for (const Layer& l : net.layers()) {
+    const auto [b, e] = prog.layer_range(l.id);
+    EXPECT_EQ(b, prev_end) << l.name;  // contiguous, in layer order
+    EXPECT_LE(b, e);
+    covered += e - b;
+    prev_end = e;
+  }
+  EXPECT_EQ(covered, prog.size());
+  EXPECT_EQ(prog.layer_range(999).first, 0);
+  EXPECT_EQ(prog.layer_range(999).second, 0);
+}
+
+TEST(Program, LoadWordsAreChunkConsistent) {
+  const auto compiled =
+      compile_network(zoo::mini_inception(), Policy::kAdaptive2, kCfg);
+  ASSERT_TRUE(compiled.is_ok());
+  for (const Instruction& instr : compiled.value().program.instructions()) {
+    if (const auto* load = std::get_if<LoadInstr>(&instr)) {
+      EXPECT_EQ(load->words, load->chunks * load->chunk_words);
+      EXPECT_GT(load->words, 0);
+      if (load->chunks > 1)
+        EXPECT_GE(load->src_stride, load->chunk_words);  // no overlap
+    }
+  }
+}
+
+TEST(Program, ConvTilesCarryConsumersOnLastChunkOnly) {
+  AcceleratorConfig tiny = AcceleratorConfig::with_pe(4, 4);
+  tiny.inout_buf.size_bytes = 4 * 1024;
+  const Network net = zoo::single_conv(
+      {12, 16, 16}, {.dout = 8, .k = 3, .stride = 1, .pad = 1});
+  const auto compiled = compile_network(net, Policy::kFixedInter, tiny);
+  ASSERT_TRUE(compiled.is_ok());
+  for (const Instruction& instr : compiled.value().program.instructions()) {
+    if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
+      if (conv->last_din_chunk)
+        EXPECT_FALSE(conv->outs.empty());
+      else
+        EXPECT_TRUE(conv->outs.empty());
+    }
+  }
+}
+
+TEST(Disassembler, RendersEveryInstructionKind) {
+  const auto compiled =
+      compile_network(zoo::tiny_cnn(), Policy::kFixedIntra, kCfg);
+  ASSERT_TRUE(compiled.is_ok());
+  const std::string text = disassemble(compiled.value().program);
+  EXPECT_NE(text.find("LOAD"), std::string::npos);
+  EXPECT_NE(text.find("CONV"), std::string::npos);
+  EXPECT_NE(text.find("POOL"), std::string::npos);
+  EXPECT_NE(text.find("FC"), std::string::npos);
+  EXPECT_NE(text.find("HOST"), std::string::npos);
+  EXPECT_NE(text.find("BAR"), std::string::npos);
+  EXPECT_NE(text.find("unroll"), std::string::npos);
+  EXPECT_NE(text.find("intra-unroll"), std::string::npos);
+}
+
+TEST(Disassembler, TruncationMarker) {
+  const auto compiled =
+      compile_network(zoo::tiny_cnn(), Policy::kAdaptive2, kCfg);
+  ASSERT_TRUE(compiled.is_ok());
+  const std::string text = disassemble(compiled.value().program, 3);
+  EXPECT_NE(text.find("more)"), std::string::npos);
+}
+
+TEST(Instruction, Names) {
+  EXPECT_STREQ(instruction_name(Instruction{LoadInstr{}}), "LOAD");
+  EXPECT_STREQ(instruction_name(Instruction{BarrierInstr{}}), "BAR");
+  EXPECT_STREQ(instruction_name(Instruction{HostOpInstr{}}), "HOST");
+  EXPECT_STREQ(buffer_id_name(BufferId::kWeight), "wgt");
+}
+
+}  // namespace
+}  // namespace cbrain

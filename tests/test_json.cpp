@@ -1,0 +1,80 @@
+// JSON writer and model-result export tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbrain/common/json.hpp"
+#include "cbrain/nn/zoo.hpp"
+#include "cbrain/report/json_export.hpp"
+
+namespace cbrain {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("name", "say \"hi\"\n")
+      .kv("count", 42)
+      .kv("ratio", 1.5)
+      .kv("flag", true);
+  w.key("items");
+  w.begin_array().value(1).value(2).end_array();
+  w.key("nothing");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"say \"hi\"\n","count":42,"ratio":1.5,"flag":true,)"
+            R"("items":[1,2],"nothing":null})");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).value(1e308 * 10).end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseIsChecked) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), CheckError);  // value where key required
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), CheckError);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), CheckError);  // unclosed
+  }
+}
+
+TEST(JsonExport, ModelResultRoundTripsKeyFields) {
+  const auto r = model_network(zoo::tiny_cnn(), Policy::kAdaptive2,
+                               AcceleratorConfig::paper_16_16());
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"network\":\"tiny_cnn\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"adap-2\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":" + std::to_string(r.cycles())),
+            std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  i64 braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+}  // namespace
+}  // namespace cbrain

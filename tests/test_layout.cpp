@@ -1,0 +1,134 @@
+// Layout planner tests: cube orders per consumer (Algorithm 2 lines 4-5),
+// padding offsets, concat resolution with depth offsets, weight-image
+// padding and DRAM footprint accounting.
+#include <gtest/gtest.h>
+
+#include "cbrain/compiler/layout_planner.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::paper_16_16();
+
+const Layer& by_name(const Network& net, const std::string& name) {
+  for (const Layer& l : net.layers())
+    if (l.name == name) return l;
+  ADD_FAILURE() << "no layer " << name;
+  return net.layer(0);
+}
+
+TEST(Layout, CubeOrderFollowsConsumerScheme) {
+  const Network net = zoo::alexnet();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  // conv1 runs partition -> its input cube is spatial-major.
+  EXPECT_EQ(plan.cube_of(by_name(net, "conv1").id).order,
+            DataOrder::kSpatialMajor);
+  // conv2 runs improved inter -> depth-major.
+  EXPECT_EQ(plan.cube_of(by_name(net, "conv2").id).order,
+            DataOrder::kDepthMajor);
+  // Pooling consumes depth-major (Tout maps per cycle).
+  EXPECT_EQ(plan.cube_of(by_name(net, "pool1").id).order,
+            DataOrder::kDepthMajor);
+  // FC consumes the canonical spatial-major flatten.
+  EXPECT_EQ(plan.cube_of(by_name(net, "fc6").id).order,
+            DataOrder::kSpatialMajor);
+}
+
+TEST(Layout, PartitionCubePaddedToGrid) {
+  const Network net = zoo::alexnet();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  const CubeSpec& c = plan.cube_of(by_name(net, "conv1").id);
+  EXPECT_EQ(c.padded.h, 228);  // Fig. 5a
+  EXPECT_EQ(c.padded.w, 228);
+  EXPECT_EQ(c.off_y, 0);  // conv1 has no conv padding; grid pad is at the end
+}
+
+TEST(Layout, ConvPaddingBecomesCubeOffset) {
+  const Network net = zoo::alexnet();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  const CubeSpec& c = plan.cube_of(by_name(net, "conv2").id);  // pad=2
+  EXPECT_EQ(c.off_y, 2);
+  EXPECT_EQ(c.off_x, 2);
+  EXPECT_EQ(c.padded.h, 27 + 4);
+}
+
+TEST(Layout, UnrollSchemeGetsStagingCube) {
+  const Network net = zoo::alexnet();
+  const LayoutPlan plan = plan_layout(net, Policy::kFixedIntra, kCfg);
+  const Layer& c1 = by_name(net, "conv1");
+  EXPECT_EQ(plan.scheme_of(c1.id), Scheme::kIntraUnroll);
+  const CubeSpec& u =
+      plan.unroll_cube[static_cast<std::size_t>(c1.id)];
+  ASSERT_TRUE(u.valid);
+  EXPECT_EQ(u.padded.d, 3);
+  EXPECT_EQ(u.padded.h, 55 * 55);
+  EXPECT_EQ(u.padded.w, 121);
+  // Raw cube stays unpadded; the host pass applies padding.
+  EXPECT_EQ(plan.cube_of(c1.id).padded.h, 227);
+}
+
+TEST(Layout, ConcatResolvesToDepthOffsets) {
+  const Network net = zoo::mini_inception();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  // Branch outputs write into the head conv's cube at cumulative depth
+  // offsets 0 / 4 / 10 / 14 (branch depths 4, 6, 4, 3).
+  const i64 head_cube = plan.cube_of(by_name(net, "head").id).addr;
+  auto offset_of = [&](const std::string& name) {
+    for (const OutputMap& m :
+         plan.out_maps[static_cast<std::size_t>(by_name(net, name).id)])
+      if (m.base == head_cube) return m.d_offset;
+    return i64{-1};
+  };
+  EXPECT_EQ(offset_of("b1x1"), 0);
+  EXPECT_EQ(offset_of("b3x3"), 4);
+  EXPECT_EQ(offset_of("b5x5"), 10);
+  EXPECT_EQ(offset_of("bpool_proj"), 14);
+  // The concat layer itself moves nothing.
+  EXPECT_TRUE(plan.out_maps[static_cast<std::size_t>(
+                  by_name(net, "concat").id)].empty());
+}
+
+TEST(Layout, MultiConsumerProducerTargetsEveryBranch) {
+  const Network net = zoo::mini_inception();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  // "stem" feeds b1x1, b3x3_reduce, b5x5_reduce and the pool branch.
+  EXPECT_EQ(plan.out_maps[static_cast<std::size_t>(by_name(net, "stem").id)]
+                .size(),
+            4u);
+}
+
+TEST(Layout, WeightImagePaddedForPartition) {
+  const Network net = zoo::alexnet();
+  const Layer& c1 = by_name(net, "conv1");
+  // Partition pads 11x11 kernels to 12x12 (Fig. 5c).
+  EXPECT_EQ(conv_weight_image_words(c1, Scheme::kPartition),
+            i64{96} * 3 * 12 * 12);
+  EXPECT_EQ(conv_weight_image_words(c1, Scheme::kInter),
+            i64{96} * 3 * 11 * 11);
+}
+
+TEST(Layout, FootprintCoversAllRegionsWithoutOverlap) {
+  const Network net = zoo::mini_inception();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  // Every cube/weight/bias region lies within [0, total_words).
+  i64 sum = plan.result_cube.words();
+  for (const Layer& l : net.layers()) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    if (plan.in_cube[idx].valid) sum += plan.in_cube[idx].words();
+    if (plan.unroll_cube[idx].valid) sum += plan.unroll_cube[idx].words();
+    sum += plan.weight_words[idx] + plan.bias_words[idx];
+  }
+  EXPECT_EQ(sum, plan.total_words);
+}
+
+TEST(Layout, FinalLayerWritesResultCube) {
+  const Network net = zoo::tiny_cnn();
+  const LayoutPlan plan = plan_layout(net, Policy::kAdaptive2, kCfg);
+  const auto& outs = plan.out_maps.back();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].base, plan.result_cube.addr);
+}
+
+}  // namespace
+}  // namespace cbrain

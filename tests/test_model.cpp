@@ -1,0 +1,154 @@
+// Analytical-model anchor tests: exact cycle counts derivable by hand
+// from the paper's formulas, plus structural invariants of the model.
+#include <gtest/gtest.h>
+
+#include "cbrain/core/cbrain.hpp"
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/model/scheme_models.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::paper_16_16();
+
+Network alex_conv1() {
+  return zoo::single_conv({3, 227, 227},
+                          {.dout = 96, .k = 11, .stride = 4}, "alex_c1");
+}
+
+TEST(ModelAnchors, AlexConv1PartitionComputeCycles) {
+  // G=9 sub-kernels x 3 maps x 55*55 pixels x 6 lane groups: 490,050.
+  // (ks^2 = 16 = Tin: one window per op, fully utilized.)
+  const auto r = model_network(alex_conv1(), Policy::kFixedPartition, kCfg);
+  EXPECT_EQ(r.conv1().counters.compute_cycles, 9 * 3 * 55 * 55 * 6);
+}
+
+TEST(ModelAnchors, AlexConv1InterComputeCycles) {
+  // 55*55 pixels x 121 kernel positions x ceil(3/16)=1 chunk x 6 groups.
+  const auto r = model_network(alex_conv1(), Policy::kFixedInter, kCfg);
+  EXPECT_EQ(r.conv1().counters.compute_cycles,
+            i64{55} * 55 * 121 * 1 * 6);
+  // Utilization is Din/Tin = 3/16.
+  EXPECT_NEAR(r.conv1().utilization(), 3.0 / 16.0, 1e-9);
+}
+
+TEST(ModelAnchors, IdealBound) {
+  EXPECT_EQ(ideal_conv_cycles(i64{55} * 55 * 96 * 121 * 3, kCfg),
+            ceil_div(i64{55} * 55 * 96 * 121 * 3, 256));
+}
+
+TEST(ModelAnchors, VggConv1PartitionIsExactlyIdeal) {
+  // k=3, s=1 -> 1x1 sub-kernels, w=16 windows/op, no padding waste.
+  const Network net = zoo::single_conv(
+      {3, 224, 224}, {.dout = 64, .k = 3, .stride = 1, .pad = 1}, "vgg_c1");
+  const auto r = model_network(net, Policy::kFixedPartition, kCfg);
+  EXPECT_EQ(r.conv1().counters.compute_cycles,
+            ideal_conv_cycles(net.layer(1).macs(), kCfg));
+}
+
+TEST(ModelAnchors, InterAndImprovedInterSameMacWork) {
+  // §4.2.2: the improvement changes traffic, not MAC scheduling. Compute
+  // cycles differ only by the per-pass register-load cycle.
+  const Network net = zoo::single_conv(
+      {64, 28, 28}, {.dout = 64, .k = 3, .stride = 1, .pad = 1}, "deep");
+  const auto classic = model_network(net, Policy::kAdaptive1, kCfg);
+  const auto improved = model_network(net, Policy::kAdaptive2, kCfg);
+  EXPECT_EQ(classic.conv1().scheme, Scheme::kInter);
+  EXPECT_EQ(improved.conv1().scheme, Scheme::kInterImproved);
+  const i64 passes = 9 * ceil_div(64, kCfg.tin) * ceil_div(64, kCfg.tout);
+  EXPECT_EQ(improved.conv1().counters.compute_cycles,
+            classic.conv1().counters.compute_cycles + passes);
+  EXPECT_EQ(improved.conv1().counters.mul_ops,
+            classic.conv1().counters.mul_ops);
+  // Weight buffer reads collapse by ~X*Y (residency across the sweep).
+  EXPECT_LT(improved.conv1().counters.weight_reads * 100,
+            classic.conv1().counters.weight_reads);
+  // At the price of add-and-store output-buffer traffic.
+  EXPECT_GT(improved.conv1().counters.output_writes,
+            classic.conv1().counters.output_writes);
+}
+
+TEST(ModelAnchors, UnrollTrafficMatchesEquation1) {
+  const Network net = alex_conv1();
+  const auto r = model_network(net, Policy::kFixedIntra, kCfg);
+  // DRAM reads: raw input (host pass) + unrolled stream (tiles) +
+  // weights + bias.
+  const i64 raw = 3 * 227 * 227;
+  const i64 unrolled = i64{3} * 55 * 55 * 121;
+  const i64 weights = i64{96} * 3 * 121;
+  EXPECT_EQ(r.conv1().counters.dram_reads, raw + unrolled + weights + 96);
+  EXPECT_EQ(r.conv1().counters.dram_writes,
+            unrolled + i64{96} * 55 * 55);  // staging + output store
+}
+
+TEST(ModelAnchors, WindowsPerOp) {
+  EXPECT_EQ(windows_per_op(16, 16), 1);
+  EXPECT_EQ(windows_per_op(16, 1), 16);
+  EXPECT_EQ(windows_per_op(16, 9), 1);
+  EXPECT_EQ(windows_per_op(32, 9), 3);
+  EXPECT_EQ(windows_per_op(8, 16), 1);  // chunked path
+}
+
+TEST(ModelInvariants, MulOpsCoverMacsExactlyForNonPaddedSchemes) {
+  for (Policy p : {Policy::kFixedInter, Policy::kAdaptive2}) {
+    const auto r = model_network(zoo::alexnet(), p, kCfg);
+    for (const auto& lr : r.layers) {
+      if (lr.kind != LayerKind::kConv) continue;
+      if (lr.scheme == Scheme::kPartition ||
+          lr.scheme == Scheme::kIntraSliding)
+        EXPECT_GE(lr.counters.mul_ops, lr.macs) << lr.name;  // zero padding
+      else
+        EXPECT_EQ(lr.counters.mul_ops, lr.macs) << lr.name;
+    }
+  }
+}
+
+TEST(ModelInvariants, TotalAtLeastCompute) {
+  for (Policy p : paper_policies()) {
+    const auto r = model_network(zoo::alexnet(), p, kCfg);
+    for (const auto& lr : r.layers)
+      EXPECT_GE(lr.counters.total_cycles, lr.counters.compute_cycles)
+          << lr.name << " under " << policy_name(p);
+  }
+}
+
+TEST(ModelInvariants, AdaptiveNeverLosesToFixedSchemes) {
+  // Algorithm 2 picks per-layer minima among the schemes it considers, so
+  // whole-net adaptive must be <= both pure-inter and pure-intra.
+  for (const Network& net : zoo::paper_benchmarks()) {
+    const auto adap = model_network(net, Policy::kAdaptive2, kCfg);
+    const auto inter = model_network(net, Policy::kFixedInter, kCfg);
+    const auto intra = model_network(net, Policy::kFixedIntra, kCfg);
+    EXPECT_LE(adap.cycles(), inter.cycles()) << net.name();
+    EXPECT_LE(adap.cycles(), intra.cycles()) << net.name();
+  }
+}
+
+TEST(ModelOptionsTest, FcInclusionChangesTotalsOnly) {
+  ModelOptions with_fc;
+  with_fc.include_fc = true;
+  const auto a = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg);
+  const auto b =
+      model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg, with_fc);
+  EXPECT_GT(b.cycles(), a.cycles());
+  // Per-layer conv numbers identical either way.
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    if (a.layers[i].kind == LayerKind::kConv) {
+      EXPECT_EQ(a.layers[i].counters.total_cycles,
+                b.layers[i].counters.total_cycles);
+    }
+  }
+}
+
+TEST(ModelAnchors, PaperTable4AlexNetMilliseconds) {
+  // The paper reports 2.83 ms for AlexNet on adap-16-16 @1 GHz. Our
+  // kernel-pipeline model lands within ~15% (DESIGN.md discusses the
+  // residual: DMA model and pool/LRN inclusion).
+  const auto r = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg);
+  EXPECT_GT(r.milliseconds(), 2.0);
+  EXPECT_LT(r.milliseconds(), 3.6);
+}
+
+}  // namespace
+}  // namespace cbrain

@@ -1,0 +1,59 @@
+// Oracle scheme-selection tests: the exhaustive per-layer argmin must
+// never lose to Algorithm 2, and the heuristic should be close to it —
+// the testable form of the paper's "ensures the optimal performance"
+// claim.
+#include <gtest/gtest.h>
+
+#include "cbrain/core/oracle.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::paper_16_16();
+
+TEST(Oracle, NeverLosesToAdaptive) {
+  for (const Network& net :
+       {zoo::alexnet(), zoo::scheme_mix_cnn(), zoo::mini_inception()}) {
+    const auto adap = model_network(net, Policy::kAdaptive2, kCfg);
+    const auto oracle = model_network_oracle(net, kCfg);
+    EXPECT_LE(oracle.cycles(), adap.cycles()) << net.name();
+  }
+}
+
+TEST(Oracle, AdaptiveIsNearOptimalOnAlexNet) {
+  // Algorithm 2 should capture nearly all of the oracle's win — that is
+  // the paper's core design claim.
+  const auto adap = model_network(zoo::alexnet(), Policy::kAdaptive2, kCfg);
+  const auto oracle = model_network_oracle(zoo::alexnet(), kCfg);
+  EXPECT_LE(static_cast<double>(adap.cycles()),
+            1.10 * static_cast<double>(oracle.cycles()));
+}
+
+TEST(Oracle, PicksPartitionForShallowBigKernelLayers) {
+  const Network net = zoo::alexnet();
+  const auto schemes = select_oracle_schemes(net, kCfg);
+  const LayerId conv1 = net.conv_layer_ids().front();
+  EXPECT_EQ(schemes[static_cast<std::size_t>(conv1)], Scheme::kPartition);
+}
+
+TEST(Oracle, EnergyMetricDiffersWhenTrafficDominates) {
+  // Under the energy metric the oracle still returns a legal assignment
+  // and never exceeds adaptive energy.
+  const Network net = zoo::scheme_mix_cnn();
+  const auto adap = model_network(net, Policy::kAdaptive2, kCfg);
+  const auto oracle =
+      model_network_oracle(net, kCfg, OracleMetric::kEnergy);
+  EXPECT_LE(oracle.energy.total_pj(), adap.energy.total_pj() * 1.0001);
+}
+
+TEST(Oracle, AssignmentIsCompilable) {
+  const Network net = zoo::mini_inception();
+  auto schemes = select_oracle_schemes(net, kCfg);
+  const auto compiled =
+      compile_network(net, std::move(schemes), kCfg, Policy::kIdeal);
+  EXPECT_TRUE(compiled.is_ok());
+}
+
+}  // namespace
+}  // namespace cbrain

@@ -1,0 +1,80 @@
+// Golden regression anchors: exact whole-network cycle counts for every
+// (benchmark network, policy) pair at the default configuration. The
+// analytical model is deterministic, so these must match to the cycle;
+// any drift means a (possibly accidental) change to the cost model, the
+// tiler, the layout planner or the codegen — which should be a conscious
+// decision that updates this table alongside EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "cbrain/core/cbrain.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+struct Anchor {
+  const char* net;
+  Policy policy;
+  i64 cycles;
+};
+
+// Regenerate with: for each net/policy print evaluate(net, policy).cycles()
+// at AcceleratorConfig::paper_16_16() defaults (DRAM 2 w/c).
+const Anchor kAnchors[] = {
+    {"alexnet", Policy::kFixedInter, 4675244},
+    {"alexnet", Policy::kFixedIntra, 6714638},
+    {"alexnet", Policy::kFixedPartition, 3031976},
+    {"alexnet", Policy::kAdaptive1, 2969144},
+    {"alexnet", Policy::kAdaptive2, 2978120},
+    {"googlenet", Policy::kFixedInter, 11998420},
+    {"googlenet", Policy::kFixedIntra, 18262120},
+    {"googlenet", Policy::kFixedPartition, 10212848},
+    {"googlenet", Policy::kAdaptive1, 10141908},
+    {"googlenet", Policy::kAdaptive2, 10151487},
+    {"vgg16", Policy::kFixedInter, 64477120},
+    {"vgg16", Policy::kFixedIntra, 158925504},
+    {"vgg16", Policy::kFixedPartition, 63341248},
+    {"vgg16", Policy::kAdaptive1, 63009472},
+    {"vgg16", Policy::kAdaptive2, 63077152},
+    {"nin", Policy::kFixedInter, 8563658},
+    {"nin", Policy::kFixedIntra, 9816524},
+    {"nin", Policy::kFixedPartition, 6902134},
+    {"nin", Policy::kAdaptive1, 6857558},
+    {"nin", Policy::kAdaptive2, 6863926},
+};
+
+TEST(RegressionAnchors, WholeNetworkCyclesAreStable) {
+  CBrain brain(AcceleratorConfig::paper_16_16());
+  std::vector<Network> nets = zoo::paper_benchmarks();
+  for (const Anchor& a : kAnchors) {
+    for (const Network& net : nets) {
+      if (net.name() != a.net) continue;
+      EXPECT_EQ(brain.evaluate(net, a.policy).cycles(), a.cycles)
+          << a.net << " under " << policy_name(a.policy);
+    }
+  }
+}
+
+TEST(RegressionAnchors, ModelIsDeterministic) {
+  CBrain a(AcceleratorConfig::paper_16_16());
+  CBrain b(AcceleratorConfig::paper_16_16());
+  const Network net = zoo::googlenet();
+  const auto ra = a.evaluate(net, Policy::kAdaptive2);
+  const auto rb = b.evaluate(net, Policy::kAdaptive2);
+  EXPECT_EQ(ra.cycles(), rb.cycles());
+  EXPECT_EQ(ra.totals.buffer_accesses(), rb.totals.buffer_accesses());
+  EXPECT_EQ(ra.energy.total_pj(), rb.energy.total_pj());
+}
+
+TEST(RegressionAnchors, SimulatorIsDeterministic) {
+  CBrain brain(AcceleratorConfig::with_pe(4, 4));
+  const Network net = zoo::tiny_cnn();
+  const SimResult a = brain.simulate(net, Policy::kAdaptive2, 5);
+  const SimResult b = brain.simulate(net, Policy::kAdaptive2, 5);
+  EXPECT_TRUE(a.final_output.logically_equal(b.final_output));
+  for (std::size_t i = 0; i < a.per_layer.size(); ++i)
+    EXPECT_EQ(a.per_layer[i].total_cycles, b.per_layer[i].total_cycles);
+}
+
+}  // namespace
+}  // namespace cbrain

@@ -1,0 +1,149 @@
+// Tiler tests: padded geometry (the Fig. 5 example), capacity respect,
+// loop-order choice, and the failure path for impossible configurations.
+#include <gtest/gtest.h>
+
+#include "cbrain/compiler/tiler.hpp"
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain {
+namespace {
+
+const Layer& conv1_of(const Network& net) {
+  return net.layer(net.conv_layer_ids().front());
+}
+
+TEST(ConvGeom, Fig5PaddedGeometry) {
+  // Fig. 5a: AlexNet conv1 raw 227x227 is padded to 228 (= 57 blocks of 4)
+  // under kernel partitioning.
+  const Network net = zoo::alexnet();
+  const ConvGeom g = conv_geom(conv1_of(net), Scheme::kPartition);
+  EXPECT_EQ(g.in_h_pad, 228);
+  EXPECT_EQ(g.in_w_pad, 228);
+  EXPECT_EQ(g.kw_eff(), 12);
+  EXPECT_EQ(g.part.g, 3);
+  // Under inter-kernel there is no grid padding (pad parameter is 0).
+  const ConvGeom gi = conv_geom(conv1_of(net), Scheme::kInter);
+  EXPECT_EQ(gi.in_h_pad, 227);
+  EXPECT_EQ(gi.kw_eff(), 11);
+}
+
+TEST(ConvGeom, PadParameterIncluded) {
+  Network net("n");
+  const LayerId in = net.add_input({16, 13, 13});
+  net.add_conv(in, "c", {.dout = 8, .k = 3, .stride = 1, .pad = 1});
+  const ConvGeom g = conv_geom(net.layer(1), Scheme::kInter);
+  EXPECT_EQ(g.in_h_pad, 15);
+  EXPECT_EQ(g.band_rows(1), 3);
+  EXPECT_EQ(g.band_rows(13), 15);
+}
+
+TEST(Tiler, SingleTileWhenEverythingFits) {
+  const Network net = zoo::alexnet();
+  const auto plan = plan_conv_tiles(conv1_of(net), Scheme::kPartition,
+                                    AcceleratorConfig::paper_16_16());
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().tiles.size(), 1u);
+  EXPECT_EQ(plan.value().n_bands, 1);
+  EXPECT_EQ(plan.value().n_din_tiles, 1);
+  EXPECT_EQ(plan.value().n_dout_tiles, 1);
+}
+
+TEST(Tiler, TilesCoverTheLayerExactlyOnce) {
+  // Force aggressive tiling with tiny buffers; verify the tiles partition
+  // (rows x douts x dins) per group without overlap or gaps.
+  AcceleratorConfig config = AcceleratorConfig::with_pe(4, 4);
+  config.inout_buf.size_bytes = 4 * 1024;
+  config.weight_buf.size_bytes = 1024;
+
+  Network net("n");
+  const LayerId in = net.add_input({12, 20, 20});
+  net.add_conv(in, "c", {.dout = 10, .k = 3, .stride = 1, .pad = 1,
+                         .groups = 2});
+  const auto plan_r = plan_conv_tiles(net.layer(1), Scheme::kInter, config);
+  ASSERT_TRUE(plan_r.is_ok());
+  const ConvTilePlan& plan = plan_r.value();
+  EXPECT_GT(plan.tiles.size(), 1u);
+
+  const ConvGeom& g = plan.geom;
+  std::map<std::tuple<i64, i64, i64, i64>, int> cover;
+  for (const ConvTileSpec& t : plan.tiles) {
+    EXPECT_GE(t.rows, 1);
+    EXPECT_LE(t.row0 + t.rows, g.out_h);
+    EXPECT_LE(t.dout0 + t.douts, g.dout_g);
+    EXPECT_LE(t.din0 + t.dins, g.din_g);
+    for (i64 r = t.row0; r < t.row0 + t.rows; ++r)
+      for (i64 o = t.dout0; o < t.dout0 + t.douts; ++o)
+        for (i64 d = t.din0; d < t.din0 + t.dins; ++d)
+          ++cover[{t.group, r, o, d}];
+  }
+  EXPECT_EQ(cover.size(), static_cast<std::size_t>(
+                              g.groups * g.out_h * g.dout_g * g.din_g));
+  for (const auto& [key, count] : cover) EXPECT_EQ(count, 1);
+}
+
+TEST(Tiler, RespectsBufferBudgets) {
+  AcceleratorConfig config = AcceleratorConfig::with_pe(8, 8);
+  config.inout_buf.size_bytes = 16 * 1024;
+  config.weight_buf.size_bytes = 8 * 1024;
+  const Network net = zoo::vgg16();
+  for (LayerId id : net.conv_layer_ids()) {
+    for (Scheme s : {Scheme::kInter, Scheme::kPartition,
+                     Scheme::kIntraUnroll}) {
+      const auto plan_r = plan_conv_tiles(net.layer(id), s, config);
+      ASSERT_TRUE(plan_r.is_ok()) << net.layer(id).name;
+      const ConvTilePlan& plan = plan_r.value();
+      const ConvGeom& g = plan.geom;
+      for (const ConvTileSpec& t : plan.tiles) {
+        const i64 in_words =
+            s == Scheme::kIntraUnroll
+                ? t.rows * g.out_w * g.k * g.k * t.dins
+                : g.band_rows(t.rows) * g.in_w_pad * t.dins;
+        const i64 out_words = t.rows * g.out_w * t.douts * 2;
+        EXPECT_LE(in_words + out_words, config.inout_buf.size_words());
+        EXPECT_LE(t.douts * t.dins * g.kw_eff() * g.kw_eff(),
+                  config.weight_buf.size_words());
+      }
+    }
+  }
+}
+
+TEST(Tiler, FailsWhenOneKernelCannotFit) {
+  AcceleratorConfig config = AcceleratorConfig::with_pe(4, 4);
+  config.weight_buf.size_bytes = 16;  // 8 words < one 3x3 kernel
+  Network net("n");
+  const LayerId in = net.add_input({1, 8, 8});
+  net.add_conv(in, "c", {.dout = 1, .k = 3});
+  const auto plan = plan_conv_tiles(net.layer(1), Scheme::kInter, config);
+  EXPECT_FALSE(plan.is_ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Tiler, VggBigLayersNeedMultipleBands) {
+  // Paper §5.2: "the biggest layer need 8M buffer, so we have to exchange
+  // data frequently" — VGG's early layers cannot be resident.
+  const Network net = zoo::vgg16();
+  const Layer& conv1_2 = net.layer(net.conv_layer_ids()[1]);
+  const auto plan = plan_conv_tiles(conv1_2, Scheme::kInter,
+                                    AcceleratorConfig::paper_16_16());
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_GT(plan.value().n_bands, 1);
+}
+
+TEST(Tiler, PoolAndFcPlans) {
+  const Network anet = zoo::alexnet();
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  for (const Layer& l : anet.layers()) {
+    if (l.is_pool()) {
+      const PoolTilePlan p = plan_pool_tiles(l, config);
+      EXPECT_GE(p.rows_per_band, 1);
+      EXPECT_EQ(p.n_bands, ceil_div(p.out_h, p.rows_per_band));
+    } else if (l.is_fc()) {
+      const FcTilePlan p = plan_fc_tiles(l, config);
+      EXPECT_GE(p.dout_per_tile, 1);
+      EXPECT_LE(p.dout_per_tile * p.din, config.weight_buf.size_words());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbrain

@@ -1,0 +1,363 @@
+// cbrain_cli — command-line front end for the C-Brain library.
+//
+//   cbrain_cli list
+//   cbrain_cli show      <net>
+//   cbrain_cli evaluate  <net> [--policy=P] [--pe=TinxTout] [--dram=W] [--fc]
+//   cbrain_cli compare   <net> [--pe=TinxTout]
+//   cbrain_cli disasm    <net> [--policy=P] [--max=N]
+//   cbrain_cli simulate  <net> [--policy=P] [--seed=N] [--pe=TinxTout]
+//   cbrain_cli oracle    <net> [--metric=cycles|energy]
+//
+// <net> is a zoo name (alexnet, googlenet, vgg16, nin, tiny_cnn,
+// scheme_mix, mini_inception) or a path to a network spec file.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "cbrain/common/strings.hpp"
+#include "cbrain/core/cbrain.hpp"
+#include "cbrain/core/oracle.hpp"
+#include "cbrain/compiler/verifier.hpp"
+#include "cbrain/isa/disassembler.hpp"
+#include "cbrain/model/trace.hpp"
+#include "cbrain/nn/dot_export.hpp"
+#include "cbrain/nn/spec_parser.hpp"
+#include "cbrain/nn/workload.hpp"
+#include "cbrain/nn/zoo.hpp"
+#include "cbrain/report/json_export.hpp"
+#include "cbrain/report/table.hpp"
+#include "cbrain/report/timeline.hpp"
+
+namespace cbrain::cli {
+namespace {
+
+struct Options {
+  std::string command;
+  std::string net;
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& f) const { return flags.count(f) != 0; }
+  std::string get(const std::string& f, const std::string& dflt) const {
+    const auto it = flags.find(f);
+    return it == flags.end() ? dflt : it->second;
+  }
+  i64 get_i64(const std::string& f, i64 dflt) const {
+    const auto it = flags.find(f);
+    return it == flags.end() ? dflt : std::stoll(it->second);
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cbrain_cli <command> [<net>] [--flag=value ...]\n"
+      "commands: list | show | evaluate | compare | disasm | simulate | "
+      "oracle | timeline | verify | dot\n"
+      "flags: --policy=inter|intra|partition|adap-1|adap-2  --pe=16x16\n"
+      "       --dram=<words/cycle>  --fc  --batch=N  --json  --seed=N  "
+      "--max=N\n"
+      "       --metric=cycles|energy\n");
+  return 2;
+}
+
+std::optional<Network> resolve_net(const std::string& name) {
+  if (name == "alexnet") return zoo::alexnet();
+  if (name == "googlenet") return zoo::googlenet();
+  if (name == "vgg16") return zoo::vgg16();
+  if (name == "nin") return zoo::nin();
+  if (name == "tiny_cnn") return zoo::tiny_cnn();
+  if (name == "scheme_mix") return zoo::scheme_mix_cnn();
+  if (name == "mini_inception") return zoo::mini_inception();
+  if (name == "lenet5") return zoo::lenet5();
+  if (name == "zfnet") return zoo::zfnet();
+  if (name == "squeezenet") return zoo::squeezenet();
+  auto r = load_network_spec_file(name);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "error: cannot resolve network '%s': %s\n",
+                 name.c_str(), r.status().to_string().c_str());
+    return std::nullopt;
+  }
+  return std::move(r).value();
+}
+
+std::optional<Policy> resolve_policy(const std::string& name) {
+  for (Policy p : paper_policies())
+    if (name == policy_name(p)) return p;
+  if (name == "ideal") return Policy::kIdeal;
+  std::fprintf(stderr, "error: unknown policy '%s'\n", name.c_str());
+  return std::nullopt;
+}
+
+AcceleratorConfig resolve_config(const Options& opt) {
+  AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const std::string pe = opt.get("pe", "16x16");
+  const auto x = pe.find('x');
+  if (x != std::string::npos) {
+    config = AcceleratorConfig::with_pe(std::stoll(pe.substr(0, x)),
+                                        std::stoll(pe.substr(x + 1)));
+  }
+  if (opt.has("dram"))
+    config.dram.words_per_cycle = std::stod(opt.get("dram", "2"));
+  return config;
+}
+
+ModelOptions resolve_model_options(const Options& opt) {
+  ModelOptions mo;
+  mo.include_fc = opt.has("fc");
+  mo.batch = std::max<i64>(1, opt.get_i64("batch", 1));
+  return mo;
+}
+
+int cmd_list() {
+  Table t({"network", "conv1 (Din,k,s,Dout)", "#conv", "MACs", "params"});
+  for (const Network& net : zoo::paper_benchmarks()) {
+    const NetworkWorkload w = analyze_workload(net);
+    t.add_row({net.name(), conv1_signature(net),
+               std::to_string(net.conv_layer_ids().size()),
+               with_commas(static_cast<u64>(w.total_macs)),
+               with_commas(static_cast<u64>(w.total_weight_words))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nextra: lenet5, zfnet, squeezenet; test networks: tiny_cnn, "
+              "scheme_mix, mini_inception\n");
+  return 0;
+}
+
+int cmd_show(const Network& net) {
+  std::printf("%s\n", net.to_string().c_str());
+  const NetworkWorkload w = analyze_workload(net);
+  std::printf("total MACs: %s (%.1f%% in conv)\nweights: %s words (%s)\n",
+              with_commas(static_cast<u64>(w.total_macs)).c_str(),
+              w.conv_mac_fraction() * 100.0,
+              with_commas(static_cast<u64>(w.total_weight_words)).c_str(),
+              human_bytes(static_cast<u64>(w.total_weight_words) * 2)
+                  .c_str());
+  std::printf("\nspec:\n%s", network_to_spec(net).c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Network& net, const Options& opt) {
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  const AcceleratorConfig config = resolve_config(opt);
+  CBrain brain(config, resolve_model_options(opt));
+  const NetworkModelResult r = brain.evaluate(net, *policy);
+  if (opt.has("json")) {
+    std::printf("%s\n", to_json(r).c_str());
+    return 0;
+  }
+  std::printf("%s under %s on %s\n\n", net.name().c_str(),
+              policy_name(*policy), config.to_string().c_str());
+  Table t({"layer", "kind", "scheme", "cycles", "util", "buf words",
+           "dram words", "energy (uJ)"});
+  for (const auto& lr : r.layers) {
+    if (lr.kind == LayerKind::kInput || lr.kind == LayerKind::kConcat)
+      continue;
+    t.add_row({lr.name, layer_kind_name(lr.kind),
+               lr.kind == LayerKind::kConv ? scheme_name(lr.scheme) : "-",
+               with_commas(static_cast<u64>(lr.counters.total_cycles)),
+               fmt_double(lr.utilization(), 2),
+               with_commas(static_cast<u64>(lr.counters.buffer_accesses())),
+               with_commas(static_cast<u64>(lr.counters.dram_words())),
+               fmt_double(lr.energy.total_uj(), 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("total: %s cycles = %.3f ms @%.1f GHz, %.2f uJ\n",
+              with_commas(static_cast<u64>(r.cycles())).c_str(),
+              r.milliseconds(), config.clock_ghz, r.energy.total_uj());
+  return 0;
+}
+
+int cmd_compare(const Network& net, const Options& opt) {
+  const AcceleratorConfig config = resolve_config(opt);
+  CBrain brain(config, resolve_model_options(opt));
+  const PolicyComparison cmp = brain.compare_policies(net);
+  Table t({"policy", "cycles", "ms", "buffer words", "energy (uJ)",
+           "vs inter"});
+  t.add_row({"ideal",
+             with_commas(static_cast<u64>(cmp.ideal_cycles)),
+             fmt_double(config.cycles_to_ms(cmp.ideal_cycles), 3), "-", "-",
+             "-"});
+  for (const auto& r : cmp.results) {
+    t.add_row({policy_name(r.policy),
+               with_commas(static_cast<u64>(r.cycles())),
+               fmt_double(r.milliseconds(), 3),
+               with_commas(static_cast<u64>(r.totals.buffer_accesses())),
+               fmt_double(r.energy.total_uj(), 2),
+               fmt_speedup(cmp.speedup(r.policy, Policy::kFixedInter))});
+  }
+  std::printf("%s on %s\n\n%s", net.name().c_str(),
+              config.to_string().c_str(), t.to_string().c_str());
+  return 0;
+}
+
+int cmd_disasm(const Network& net, const Options& opt) {
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  CBrain brain(resolve_config(opt));
+  const CompiledNetwork& compiled = brain.compile(net, *policy);
+  std::printf("%s", disassemble(compiled.program,
+                                opt.get_i64("max", 200))
+                        .c_str());
+  const ProgramStats s = compiled.program.stats();
+  std::printf("\n%lld instructions: %lld loads (%s words), %lld conv, "
+              "%lld pool, %lld fc, %lld host, %lld barriers\n",
+              static_cast<long long>(s.instructions),
+              static_cast<long long>(s.loads),
+              with_commas(static_cast<u64>(s.load_words)).c_str(),
+              static_cast<long long>(s.conv_tiles),
+              static_cast<long long>(s.pool_tiles),
+              static_cast<long long>(s.fc_tiles),
+              static_cast<long long>(s.host_ops),
+              static_cast<long long>(s.barriers));
+  return 0;
+}
+
+int cmd_simulate(const Network& net, const Options& opt) {
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  const NetworkWorkload w = analyze_workload(net);
+  if (w.total_macs > 50'000'000) {
+    std::fprintf(stderr,
+                 "error: %s has %lld MACs — too large for functional "
+                 "simulation; use 'evaluate' (analytical)\n",
+                 net.name().c_str(),
+                 static_cast<long long>(w.total_macs));
+    return 2;
+  }
+  CBrain brain(resolve_config(opt));
+  const SimResult r =
+      brain.simulate(net, *policy, opt.get_i64("seed", 42));
+  Table t({"layer", "cycles", "buf reads", "buf writes", "dram words"});
+  TrafficCounters totals;
+  for (const Layer& l : net.layers()) {
+    const TrafficCounters& c = r.layer_total(l.id);
+    totals += c;
+    if (l.kind == LayerKind::kInput) continue;
+    t.add_row({l.name, with_commas(static_cast<u64>(c.total_cycles)),
+               with_commas(static_cast<u64>(c.buffer_reads())),
+               with_commas(static_cast<u64>(c.buffer_writes())),
+               with_commas(static_cast<u64>(c.dram_words()))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("final output (%s):", r.final_output.dims().to_string().c_str());
+  const i64 n = std::min<i64>(10, r.final_output.size());
+  for (i64 i = 0; i < n; ++i)
+    std::printf(" %.4f", r.final_output.storage()[static_cast<std::size_t>(
+                             i)].to_double());
+  std::printf("%s\n", r.final_output.size() > n ? " ..." : "");
+  return 0;
+}
+
+int cmd_dot(const Network& net, const Options& opt) {
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  const auto schemes =
+      assign_schemes(net, *policy, resolve_config(opt));
+  std::printf("%s", to_dot(net, schemes).c_str());
+  return 0;
+}
+
+int cmd_verify(const Network& net, const Options& opt) {
+  const AcceleratorConfig config = resolve_config(opt);
+  CBrain brain(config);
+  bool all_ok = true;
+  for (Policy policy : paper_policies()) {
+    const VerifyReport report =
+        verify_program(net, brain.compile(net, policy), config);
+    std::printf("%-10s %s", policy_name(policy),
+                report.to_string().c_str());
+    all_ok = all_ok && report.ok();
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_timeline(const Network& net, const Options& opt) {
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  const AcceleratorConfig config = resolve_config(opt);
+  CBrain brain(config);
+  const ExecutionTrace trace =
+      trace_network(net, brain.compile(net, *policy), config);
+  TimelineOptions topt;
+  topt.width = static_cast<int>(opt.get_i64("width", 64));
+  std::printf("%s under %s\n\n%s", net.name().c_str(),
+              policy_name(*policy),
+              render_timeline(net, trace, topt).c_str());
+  return 0;
+}
+
+int cmd_oracle(const Network& net, const Options& opt) {
+  const OracleMetric metric = opt.get("metric", "cycles") == "energy"
+                                  ? OracleMetric::kEnergy
+                                  : OracleMetric::kCycles;
+  const AcceleratorConfig config = resolve_config(opt);
+  const auto schemes = select_oracle_schemes(net, config, metric);
+  const auto adap_schemes =
+      assign_schemes(net, Policy::kAdaptive2, config);
+  Table t({"layer", "adaptive (Alg.2)", "oracle"});
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    t.add_row({l.name,
+               scheme_name(adap_schemes[static_cast<std::size_t>(l.id)]),
+               scheme_name(schemes[static_cast<std::size_t>(l.id)])});
+  }
+  std::printf("%s", t.to_string().c_str());
+  const auto adap = model_network(net, Policy::kAdaptive2, config);
+  const auto oracle = model_network_oracle(net, config, metric);
+  std::printf("\nadaptive: %s cycles, %.2f uJ\noracle:   %s cycles, "
+              "%.2f uJ\n",
+              with_commas(static_cast<u64>(adap.cycles())).c_str(),
+              adap.energy.total_uj(),
+              with_commas(static_cast<u64>(oracle.cycles())).c_str(),
+              oracle.energy.total_uj());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos)
+        opt.flags[arg.substr(2)] = "1";
+      else
+        opt.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (opt.command.empty()) {
+      opt.command = arg;
+    } else if (opt.net.empty()) {
+      opt.net = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.command.empty()) return usage();
+  if (opt.command == "list") return cmd_list();
+  if (opt.net.empty()) return usage();
+  const auto net = resolve_net(opt.net);
+  if (!net) return 2;
+  if (opt.command == "show") return cmd_show(*net);
+  if (opt.command == "evaluate") return cmd_evaluate(*net, opt);
+  if (opt.command == "compare") return cmd_compare(*net, opt);
+  if (opt.command == "disasm") return cmd_disasm(*net, opt);
+  if (opt.command == "simulate") return cmd_simulate(*net, opt);
+  if (opt.command == "oracle") return cmd_oracle(*net, opt);
+  if (opt.command == "timeline") return cmd_timeline(*net, opt);
+  if (opt.command == "verify") return cmd_verify(*net, opt);
+  if (opt.command == "dot") return cmd_dot(*net, opt);
+  return usage();
+}
+
+}  // namespace
+}  // namespace cbrain::cli
+
+int main(int argc, char** argv) {
+  try {
+    return cbrain::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
