@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_2dpe.dir/bench_ext_2dpe.cpp.o"
+  "CMakeFiles/bench_ext_2dpe.dir/bench_ext_2dpe.cpp.o.d"
+  "bench_ext_2dpe"
+  "bench_ext_2dpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_2dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_unrolling.dir/bench_fig3_unrolling.cpp.o"
+  "CMakeFiles/bench_fig3_unrolling.dir/bench_fig3_unrolling.cpp.o.d"
+  "bench_fig3_unrolling"
+  "bench_fig3_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wholenet.dir/bench_fig8_wholenet.cpp.o"
+  "CMakeFiles/bench_fig8_wholenet.dir/bench_fig8_wholenet.cpp.o.d"
+  "bench_fig8_wholenet"
+  "bench_fig8_wholenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wholenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

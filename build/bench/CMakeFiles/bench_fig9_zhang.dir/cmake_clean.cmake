@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_zhang.dir/bench_fig9_zhang.cpp.o"
+  "CMakeFiles/bench_fig9_zhang.dir/bench_fig9_zhang.cpp.o.d"
+  "bench_fig9_zhang"
+  "bench_fig9_zhang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_zhang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

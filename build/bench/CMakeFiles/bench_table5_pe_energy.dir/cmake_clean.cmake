@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pe_energy.dir/bench_table5_pe_energy.cpp.o"
+  "CMakeFiles/bench_table5_pe_energy.dir/bench_table5_pe_energy.cpp.o.d"
+  "bench_table5_pe_energy"
+  "bench_table5_pe_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pe_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_simulation.dir/functional_simulation.cpp.o"
+  "CMakeFiles/functional_simulation.dir/functional_simulation.cpp.o.d"
+  "functional_simulation"
+  "functional_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

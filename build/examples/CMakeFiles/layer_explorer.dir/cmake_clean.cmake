@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_explorer.dir/layer_explorer.cpp.o"
+  "CMakeFiles/layer_explorer.dir/layer_explorer.cpp.o.d"
+  "layer_explorer"
+  "layer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

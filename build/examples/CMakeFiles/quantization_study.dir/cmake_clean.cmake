@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_study.dir/quantization_study.cpp.o"
+  "CMakeFiles/quantization_study.dir/quantization_study.cpp.o.d"
+  "quantization_study"
+  "quantization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cbrain/arch/area_model.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/area_model.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/area_model.cpp.o.d"
+  "/root/repo/src/cbrain/arch/config.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/config.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/config.cpp.o.d"
+  "/root/repo/src/cbrain/arch/counters.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/counters.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/counters.cpp.o.d"
+  "/root/repo/src/cbrain/arch/dma.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/dma.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/dma.cpp.o.d"
+  "/root/repo/src/cbrain/arch/dram.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/dram.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/dram.cpp.o.d"
+  "/root/repo/src/cbrain/arch/energy_model.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/energy_model.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/energy_model.cpp.o.d"
+  "/root/repo/src/cbrain/arch/pe_array.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/pe_array.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/pe_array.cpp.o.d"
+  "/root/repo/src/cbrain/arch/sram.cpp" "src/CMakeFiles/cbrain.dir/cbrain/arch/sram.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/arch/sram.cpp.o.d"
+  "/root/repo/src/cbrain/baseline/cpu_executor.cpp" "src/CMakeFiles/cbrain.dir/cbrain/baseline/cpu_executor.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/baseline/cpu_executor.cpp.o.d"
+  "/root/repo/src/cbrain/baseline/shidiannao_2dpe.cpp" "src/CMakeFiles/cbrain.dir/cbrain/baseline/shidiannao_2dpe.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/baseline/shidiannao_2dpe.cpp.o.d"
+  "/root/repo/src/cbrain/baseline/zhang_fpga.cpp" "src/CMakeFiles/cbrain.dir/cbrain/baseline/zhang_fpga.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/baseline/zhang_fpga.cpp.o.d"
+  "/root/repo/src/cbrain/common/csv.cpp" "src/CMakeFiles/cbrain.dir/cbrain/common/csv.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/common/csv.cpp.o.d"
+  "/root/repo/src/cbrain/common/json.cpp" "src/CMakeFiles/cbrain.dir/cbrain/common/json.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/common/json.cpp.o.d"
+  "/root/repo/src/cbrain/common/logging.cpp" "src/CMakeFiles/cbrain.dir/cbrain/common/logging.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/common/logging.cpp.o.d"
+  "/root/repo/src/cbrain/common/rng.cpp" "src/CMakeFiles/cbrain.dir/cbrain/common/rng.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/common/rng.cpp.o.d"
+  "/root/repo/src/cbrain/common/status.cpp" "src/CMakeFiles/cbrain.dir/cbrain/common/status.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/common/status.cpp.o.d"
+  "/root/repo/src/cbrain/common/strings.cpp" "src/CMakeFiles/cbrain.dir/cbrain/common/strings.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/common/strings.cpp.o.d"
+  "/root/repo/src/cbrain/compiler/adaptive.cpp" "src/CMakeFiles/cbrain.dir/cbrain/compiler/adaptive.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/compiler/adaptive.cpp.o.d"
+  "/root/repo/src/cbrain/compiler/compiler.cpp" "src/CMakeFiles/cbrain.dir/cbrain/compiler/compiler.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/compiler/compiler.cpp.o.d"
+  "/root/repo/src/cbrain/compiler/layout_planner.cpp" "src/CMakeFiles/cbrain.dir/cbrain/compiler/layout_planner.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/compiler/layout_planner.cpp.o.d"
+  "/root/repo/src/cbrain/compiler/scheme.cpp" "src/CMakeFiles/cbrain.dir/cbrain/compiler/scheme.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/compiler/scheme.cpp.o.d"
+  "/root/repo/src/cbrain/compiler/tiler.cpp" "src/CMakeFiles/cbrain.dir/cbrain/compiler/tiler.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/compiler/tiler.cpp.o.d"
+  "/root/repo/src/cbrain/compiler/verifier.cpp" "src/CMakeFiles/cbrain.dir/cbrain/compiler/verifier.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/compiler/verifier.cpp.o.d"
+  "/root/repo/src/cbrain/core/cbrain.cpp" "src/CMakeFiles/cbrain.dir/cbrain/core/cbrain.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/core/cbrain.cpp.o.d"
+  "/root/repo/src/cbrain/core/oracle.cpp" "src/CMakeFiles/cbrain.dir/cbrain/core/oracle.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/core/oracle.cpp.o.d"
+  "/root/repo/src/cbrain/fixed/calibration.cpp" "src/CMakeFiles/cbrain.dir/cbrain/fixed/calibration.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/fixed/calibration.cpp.o.d"
+  "/root/repo/src/cbrain/fixed/fixed16.cpp" "src/CMakeFiles/cbrain.dir/cbrain/fixed/fixed16.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/fixed/fixed16.cpp.o.d"
+  "/root/repo/src/cbrain/isa/disassembler.cpp" "src/CMakeFiles/cbrain.dir/cbrain/isa/disassembler.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/isa/disassembler.cpp.o.d"
+  "/root/repo/src/cbrain/isa/instruction.cpp" "src/CMakeFiles/cbrain.dir/cbrain/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/isa/instruction.cpp.o.d"
+  "/root/repo/src/cbrain/isa/program.cpp" "src/CMakeFiles/cbrain.dir/cbrain/isa/program.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/isa/program.cpp.o.d"
+  "/root/repo/src/cbrain/model/network_model.cpp" "src/CMakeFiles/cbrain.dir/cbrain/model/network_model.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/model/network_model.cpp.o.d"
+  "/root/repo/src/cbrain/model/scheme_models.cpp" "src/CMakeFiles/cbrain.dir/cbrain/model/scheme_models.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/model/scheme_models.cpp.o.d"
+  "/root/repo/src/cbrain/model/trace.cpp" "src/CMakeFiles/cbrain.dir/cbrain/model/trace.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/model/trace.cpp.o.d"
+  "/root/repo/src/cbrain/nn/dot_export.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/dot_export.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/dot_export.cpp.o.d"
+  "/root/repo/src/cbrain/nn/layer.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/layer.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/layer.cpp.o.d"
+  "/root/repo/src/cbrain/nn/network.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/network.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/network.cpp.o.d"
+  "/root/repo/src/cbrain/nn/spec_parser.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/spec_parser.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/spec_parser.cpp.o.d"
+  "/root/repo/src/cbrain/nn/workload.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/workload.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/workload.cpp.o.d"
+  "/root/repo/src/cbrain/nn/zoo/alexnet.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/alexnet.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/alexnet.cpp.o.d"
+  "/root/repo/src/cbrain/nn/zoo/googlenet.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/googlenet.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/googlenet.cpp.o.d"
+  "/root/repo/src/cbrain/nn/zoo/more_nets.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/more_nets.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/more_nets.cpp.o.d"
+  "/root/repo/src/cbrain/nn/zoo/nin.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/nin.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/nin.cpp.o.d"
+  "/root/repo/src/cbrain/nn/zoo/testnets.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/testnets.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/testnets.cpp.o.d"
+  "/root/repo/src/cbrain/nn/zoo/vgg16.cpp" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/vgg16.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/nn/zoo/vgg16.cpp.o.d"
+  "/root/repo/src/cbrain/ref/conv_ref.cpp" "src/CMakeFiles/cbrain.dir/cbrain/ref/conv_ref.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/ref/conv_ref.cpp.o.d"
+  "/root/repo/src/cbrain/ref/executor.cpp" "src/CMakeFiles/cbrain.dir/cbrain/ref/executor.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/ref/executor.cpp.o.d"
+  "/root/repo/src/cbrain/ref/fc_ref.cpp" "src/CMakeFiles/cbrain.dir/cbrain/ref/fc_ref.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/ref/fc_ref.cpp.o.d"
+  "/root/repo/src/cbrain/ref/im2col_gemm.cpp" "src/CMakeFiles/cbrain.dir/cbrain/ref/im2col_gemm.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/ref/im2col_gemm.cpp.o.d"
+  "/root/repo/src/cbrain/ref/lrn_ref.cpp" "src/CMakeFiles/cbrain.dir/cbrain/ref/lrn_ref.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/ref/lrn_ref.cpp.o.d"
+  "/root/repo/src/cbrain/ref/pool_ref.cpp" "src/CMakeFiles/cbrain.dir/cbrain/ref/pool_ref.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/ref/pool_ref.cpp.o.d"
+  "/root/repo/src/cbrain/report/experiment.cpp" "src/CMakeFiles/cbrain.dir/cbrain/report/experiment.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/report/experiment.cpp.o.d"
+  "/root/repo/src/cbrain/report/json_export.cpp" "src/CMakeFiles/cbrain.dir/cbrain/report/json_export.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/report/json_export.cpp.o.d"
+  "/root/repo/src/cbrain/report/table.cpp" "src/CMakeFiles/cbrain.dir/cbrain/report/table.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/report/table.cpp.o.d"
+  "/root/repo/src/cbrain/report/timeline.cpp" "src/CMakeFiles/cbrain.dir/cbrain/report/timeline.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/report/timeline.cpp.o.d"
+  "/root/repo/src/cbrain/sim/executor.cpp" "src/CMakeFiles/cbrain.dir/cbrain/sim/executor.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/sim/executor.cpp.o.d"
+  "/root/repo/src/cbrain/sim/machine.cpp" "src/CMakeFiles/cbrain.dir/cbrain/sim/machine.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/sim/machine.cpp.o.d"
+  "/root/repo/src/cbrain/tensor/layout.cpp" "src/CMakeFiles/cbrain.dir/cbrain/tensor/layout.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/tensor/layout.cpp.o.d"
+  "/root/repo/src/cbrain/tensor/shape.cpp" "src/CMakeFiles/cbrain.dir/cbrain/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/tensor/shape.cpp.o.d"
+  "/root/repo/src/cbrain/tensor/unroll.cpp" "src/CMakeFiles/cbrain.dir/cbrain/tensor/unroll.cpp.o" "gcc" "src/CMakeFiles/cbrain.dir/cbrain/tensor/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

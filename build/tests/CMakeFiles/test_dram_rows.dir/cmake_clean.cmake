@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_rows.dir/test_dram_rows.cpp.o"
+  "CMakeFiles/test_dram_rows.dir/test_dram_rows.cpp.o.d"
+  "test_dram_rows"
+  "test_dram_rows.pdb"
+  "test_dram_rows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed16.dir/test_fixed16.cpp.o"
+  "CMakeFiles/test_fixed16.dir/test_fixed16.cpp.o.d"
+  "test_fixed16"
+  "test_fixed16.pdb"
+  "test_fixed16[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_networks.dir/test_fuzz_networks.cpp.o"
+  "CMakeFiles/test_fuzz_networks.dir/test_fuzz_networks.cpp.o.d"
+  "test_fuzz_networks"
+  "test_fuzz_networks.pdb"
+  "test_fuzz_networks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

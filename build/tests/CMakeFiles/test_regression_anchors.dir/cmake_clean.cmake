@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_anchors.dir/test_regression_anchors.cpp.o"
+  "CMakeFiles/test_regression_anchors.dir/test_regression_anchors.cpp.o.d"
+  "test_regression_anchors"
+  "test_regression_anchors.pdb"
+  "test_regression_anchors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_traffic.dir/test_scheme_traffic.cpp.o"
+  "CMakeFiles/test_scheme_traffic.dir/test_scheme_traffic.cpp.o.d"
+  "test_scheme_traffic"
+  "test_scheme_traffic.pdb"
+  "test_scheme_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

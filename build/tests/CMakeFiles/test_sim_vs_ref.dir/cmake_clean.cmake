@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_vs_ref.dir/test_sim_vs_ref.cpp.o"
+  "CMakeFiles/test_sim_vs_ref.dir/test_sim_vs_ref.cpp.o.d"
+  "test_sim_vs_ref"
+  "test_sim_vs_ref.pdb"
+  "test_sim_vs_ref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_vs_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

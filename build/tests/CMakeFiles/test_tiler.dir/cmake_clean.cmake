@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiler.dir/test_tiler.cpp.o"
+  "CMakeFiles/test_tiler.dir/test_tiler.cpp.o.d"
+  "test_tiler"
+  "test_tiler.pdb"
+  "test_tiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbrain_cli.dir/cbrain_cli.cpp.o"
+  "CMakeFiles/cbrain_cli.dir/cbrain_cli.cpp.o.d"
+  "cbrain_cli"
+  "cbrain_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbrain_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
