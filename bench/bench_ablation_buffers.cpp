@@ -4,25 +4,43 @@
 // 8 MiB and shows when VGG's large layers stop being re-streamed — and
 // that AlexNet is insensitive (it fits early).
 #include "bench_common.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Ablation", "InOut buffer capacity sweep (adap-2)");
 
-  for (const char* net_name : {"alexnet", "vgg16"}) {
-    Network net = [&] {
+  const char* net_names[] = {"alexnet", "vgg16"};
+  const i64 kibs[] = {256, 512, 1024, 2048, 4096, 8192};
+
+  std::vector<Network> nets;
+  for (const char* net_name : net_names)
+    nets.push_back([&] {
       for (Network& n : zoo::paper_benchmarks())
         if (n.name() == net_name) return std::move(n);
       return zoo::alexnet();
-    }();
+    }());
+
+  // One sweep point per (net, capacity); each thunk owns its CBrain.
+  std::vector<std::function<NetworkModelResult()>> points;
+  for (const Network& net : nets)
+    for (const i64 kib : kibs)
+      points.push_back([&net, kib] {
+        AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+        config.inout_buf.size_bytes = kib * 1024;
+        CBrain brain(config);
+        return brain.evaluate(net, Policy::kAdaptive2);
+      });
+  const auto results = sweep<NetworkModelResult>(points);
+
+  std::size_t pt = 0;
+  for (const Network& net : nets) {
     Table t({"InOut KiB", "cycles", "dram words", "ms"});
-    for (i64 kib : {256, 512, 1024, 2048, 4096, 8192}) {
-      AcceleratorConfig config = AcceleratorConfig::paper_16_16();
-      config.inout_buf.size_bytes = kib * 1024;
-      CBrain brain(config);
-      const NetworkModelResult r = brain.evaluate(net, Policy::kAdaptive2);
+    for (i64 kib : kibs) {
+      const NetworkModelResult& r = results[pt++];
       t.add_row({std::to_string(kib), sci(r.cycles()),
                  sci(r.totals.dram_words()), fmt_double(r.milliseconds(), 2)});
     }

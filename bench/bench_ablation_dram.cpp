@@ -5,25 +5,45 @@
 // the only memory-bound contender, so its bar moves with bandwidth while
 // inter/partition stay compute-bound over the realistic range.
 #include "bench_common.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Ablation", "DRAM bandwidth sweep (words / cycle @1GHz)");
 
   const double bws[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  const Network c1 = conv1_network(zoo::alexnet());
+  const Network full = zoo::alexnet();
 
+  // One sweep point per (bandwidth, network, policy) cell.
+  const Policy conv1_policies[] = {Policy::kFixedInter, Policy::kFixedIntra,
+                                   Policy::kFixedPartition};
+  const Policy whole_policies[] = {Policy::kFixedInter, Policy::kAdaptive2};
+  std::vector<std::function<i64()>> points;
+  auto add_point = [&](const Network& net, double bw, Policy policy) {
+    points.push_back([&net, bw, policy] {
+      AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+      config.dram.words_per_cycle = bw;
+      CBrain brain(config);
+      return brain.evaluate(net, policy).cycles();
+    });
+  };
+  for (double bw : bws)
+    for (Policy p : conv1_policies) add_point(c1, bw, p);
+  for (double bw : bws)
+    for (Policy p : whole_policies) add_point(full, bw, p);
+  const std::vector<i64> cycles = sweep<i64>(points);
+
+  std::size_t pt = 0;
   std::printf("AlexNet conv1 cycles by scheme:\n");
   Table t({"bw (w/c)", "inter", "intra", "partition", "intra/partition"});
   for (double bw : bws) {
-    AcceleratorConfig config = AcceleratorConfig::paper_16_16();
-    config.dram.words_per_cycle = bw;
-    CBrain brain(config);
-    const Network c1 = conv1_network(zoo::alexnet());
-    const i64 inter = brain.evaluate(c1, Policy::kFixedInter).cycles();
-    const i64 intra = brain.evaluate(c1, Policy::kFixedIntra).cycles();
-    const i64 part = brain.evaluate(c1, Policy::kFixedPartition).cycles();
+    const i64 inter = cycles[pt++];
+    const i64 intra = cycles[pt++];
+    const i64 part = cycles[pt++];
     t.add_row({fmt_double(bw, 1), sci(inter), sci(intra), sci(part),
                fmt_speedup(static_cast<double>(intra) /
                            static_cast<double>(part))});
@@ -33,12 +53,8 @@ int main() {
   std::printf("AlexNet whole-net adap-2 speedup over inter:\n");
   Table t2({"bw (w/c)", "inter", "adap-2", "speedup"});
   for (double bw : bws) {
-    AcceleratorConfig config = AcceleratorConfig::paper_16_16();
-    config.dram.words_per_cycle = bw;
-    CBrain brain(config);
-    const Network net = zoo::alexnet();
-    const i64 inter = brain.evaluate(net, Policy::kFixedInter).cycles();
-    const i64 adap = brain.evaluate(net, Policy::kAdaptive2).cycles();
+    const i64 inter = cycles[pt++];
+    const i64 adap = cycles[pt++];
     t2.add_row({fmt_double(bw, 1), sci(inter), sci(adap),
                 fmt_speedup(static_cast<double>(inter) /
                             static_cast<double>(adap))});

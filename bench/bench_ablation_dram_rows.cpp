@@ -5,6 +5,7 @@
 // activation per row opened, so the layout planner's contiguous orders
 // become measurably cheaper than scattered ones.
 #include "bench_common.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
@@ -20,20 +21,33 @@ AcceleratorConfig rows_config(i64 row_miss) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Ablation", "DRAM row-buffer timing (alignment cost)");
+
+  const Network net = zoo::alexnet();
+  const i64 misses[] = {0, 24, 48, 96};
+  const Policy policies[] = {Policy::kFixedInter, Policy::kFixedIntra,
+                             Policy::kFixedPartition, Policy::kAdaptive2};
+  // One sweep point per (row-miss cost, policy); each thunk owns a CBrain.
+  std::vector<std::function<i64()>> points;
+  for (const i64 miss : misses)
+    for (const Policy policy : policies)
+      points.push_back([&net, miss, policy] {
+        CBrain brain(rows_config(miss));
+        return brain.evaluate(net, policy).cycles();
+      });
+  const std::vector<i64> cycles = sweep<i64>(points);
 
   std::printf("AlexNet whole-net cycles as row-activation cost grows:\n");
   Table t({"row-miss cycles", "inter", "intra", "partition", "adap-2",
            "adap-2 vs inter"});
-  for (i64 miss : {0, 24, 48, 96}) {
-    const AcceleratorConfig config = rows_config(miss);
-    CBrain brain(config);
-    const Network net = zoo::alexnet();
-    const i64 inter = brain.evaluate(net, Policy::kFixedInter).cycles();
-    const i64 intra = brain.evaluate(net, Policy::kFixedIntra).cycles();
-    const i64 part = brain.evaluate(net, Policy::kFixedPartition).cycles();
-    const i64 adap = brain.evaluate(net, Policy::kAdaptive2).cycles();
+  std::size_t pt = 0;
+  for (i64 miss : misses) {
+    const i64 inter = cycles[pt++];
+    const i64 intra = cycles[pt++];
+    const i64 part = cycles[pt++];
+    const i64 adap = cycles[pt++];
     t.add_row({miss == 0 ? "flat model" : std::to_string(miss), sci(inter),
                sci(intra), sci(part), sci(adap),
                fmt_speedup(static_cast<double>(inter) /

@@ -5,21 +5,40 @@
 // over all four schemes, for both the cycle and the energy objective.
 #include "bench_common.hpp"
 #include "cbrain/core/oracle.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Ablation", "Algorithm 2 vs exhaustive oracle");
 
   const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const std::vector<Network> nets = zoo::paper_benchmarks();
+
+  // Three sweep points per network: adap-2 + the two oracle objectives.
+  std::vector<std::function<NetworkModelResult()>> points;
+  for (const Network& net : nets) {
+    points.push_back(
+        [&net, &config] { return model_network(net, Policy::kAdaptive2, config); });
+    points.push_back([&net, &config] {
+      return model_network_oracle(net, config, OracleMetric::kCycles);
+    });
+    points.push_back([&net, &config] {
+      return model_network_oracle(net, config, OracleMetric::kEnergy);
+    });
+  }
+  const auto results = sweep<NetworkModelResult>(points);
+
   Table t({"net", "adap-2 cycles", "oracle cycles", "gap", "adap-2 uJ",
            "oracle(energy) uJ", "gap"});
   double worst_cycle_gap = 1.0;
-  for (const Network& net : zoo::paper_benchmarks()) {
-    const auto adap = model_network(net, Policy::kAdaptive2, config);
-    const auto oc = model_network_oracle(net, config, OracleMetric::kCycles);
-    const auto oe = model_network_oracle(net, config, OracleMetric::kEnergy);
+  std::size_t pt = 0;
+  for (const Network& net : nets) {
+    const auto& adap = results[pt++];
+    const auto& oc = results[pt++];
+    const auto& oe = results[pt++];
     const double cycle_gap = static_cast<double>(adap.cycles()) /
                              static_cast<double>(oc.cycles());
     const double energy_gap = adap.energy.total_pj() / oe.energy.total_pj();

@@ -5,24 +5,43 @@
 // conv1 layers and reports utilization + cycles.
 #include "bench_common.hpp"
 #include "cbrain/nn/workload.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Ablation", "PE geometry sweep on conv1 (utilization)");
 
-  for (const Network& full : zoo::paper_benchmarks()) {
-    const Network net = conv1_network(full);
+  const std::vector<Network> fulls = zoo::paper_benchmarks();
+  std::vector<Network> conv1s;
+  for (const Network& full : fulls) conv1s.push_back(conv1_network(full));
+  const i64 widths[] = {8, 16, 32, 64};
+  const Policy schemes[] = {Policy::kFixedInter, Policy::kFixedPartition};
+
+  // One sweep point per (net, PE width, scheme); each thunk owns a CBrain.
+  std::vector<std::function<NetworkModelResult()>> points;
+  for (const Network& net : conv1s)
+    for (const i64 w : widths)
+      for (const Policy scheme : schemes)
+        points.push_back([&net, w, scheme] {
+          // Keep the memory system fixed so only the datapath geometry
+          // moves.
+          AcceleratorConfig config = AcceleratorConfig::with_pe(w, w);
+          config.dram.words_per_cycle = 16.0;
+          CBrain brain(config);
+          return brain.evaluate(net, scheme);
+        });
+  const auto results = sweep<NetworkModelResult>(points);
+
+  std::size_t pt = 0;
+  for (const Network& full : fulls) {
     Table t({"PE", "inter util", "inter cycles", "partition util",
              "partition cycles", "part speedup"});
-    for (i64 w : {8, 16, 32, 64}) {
-      // Keep the memory system fixed so only the datapath geometry moves.
-      AcceleratorConfig config = AcceleratorConfig::with_pe(w, w);
-      config.dram.words_per_cycle = 16.0;
-      CBrain brain(config);
-      const auto inter = brain.evaluate(net, Policy::kFixedInter);
-      const auto part = brain.evaluate(net, Policy::kFixedPartition);
+    for (i64 w : widths) {
+      const auto& inter = results[pt++];
+      const auto& part = results[pt++];
       t.add_row({std::to_string(w) + "-" + std::to_string(w),
                  fmt_double(inter.conv1().utilization(), 2),
                  sci(inter.cycles()),

@@ -43,10 +43,16 @@ inline std::string sci(i64 v) {
   return buf;
 }
 
+// Log-sum formulation: the naive running product overflows/underflows for
+// long sweeps (hundreds of points of ~1e3 speedups exceed double range).
 inline double geomean(const std::vector<double>& vs) {
-  double acc = 1.0;
-  for (double v : vs) acc *= v;
-  return vs.empty() ? 0.0 : std::pow(acc, 1.0 / static_cast<double>(vs.size()));
+  if (vs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : vs) {
+    if (v <= 0.0) return 0.0;  // geomean undefined; match old behaviour
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(vs.size()));
 }
 
 inline void print_header(const char* id, const char* title) {

@@ -7,11 +7,13 @@
 // tables this experiment is configured from.
 #include "bench_common.hpp"
 #include "cbrain/nn/workload.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Fig.7", "Conv1 execution cycles per scheme");
 
   // --- Table 2: benchmark networks -------------------------------------
@@ -39,19 +41,32 @@ int main() {
   // --- Fig. 7 proper -----------------------------------------------------
   const Policy kSchemes[] = {Policy::kFixedInter, Policy::kFixedIntra,
                              Policy::kFixedPartition};
-  std::vector<double> sp_vs_inter, sp_vs_intra, part_vs_ideal;
+  const AcceleratorConfig configs[] = {AcceleratorConfig::paper_16_16(),
+                                       AcceleratorConfig::paper_32_32()};
+  const std::vector<Network> fulls = zoo::paper_benchmarks();
+  std::vector<Network> conv1s;
+  for (const Network& full : fulls) conv1s.push_back(conv1_network(full));
 
-  for (const AcceleratorConfig& config :
-       {AcceleratorConfig::paper_16_16(), AcceleratorConfig::paper_32_32()}) {
-    CBrain brain(config);
+  // One sweep point per (config, net, scheme); each thunk owns its CBrain.
+  std::vector<std::function<i64()>> points;
+  for (const AcceleratorConfig& config : configs)
+    for (const Network& net : conv1s)
+      for (const Policy scheme : kSchemes)
+        points.push_back([&config, &net, scheme] {
+          CBrain brain(config);
+          return brain.evaluate(net, scheme).cycles();
+        });
+  const std::vector<i64> cycles_flat = sweep<i64>(points);
+
+  std::vector<double> sp_vs_inter, sp_vs_intra, part_vs_ideal;
+  std::size_t pt = 0;
+  for (const AcceleratorConfig& config : configs) {
     Table t({"net (conv1)", "ideal", "inter", "intra", "partition",
              "part/ideal", "inter/part", "intra/part"});
-    for (const Network& full : zoo::paper_benchmarks()) {
-      const Network net = conv1_network(full);
-      const i64 ideal = ideal_network_cycles(net, config);
+    for (std::size_t ni = 0; ni < fulls.size(); ++ni) {
+      const i64 ideal = ideal_network_cycles(conv1s[ni], config);
       i64 cycles[3] = {};
-      for (int s = 0; s < 3; ++s)
-        cycles[s] = brain.evaluate(net, kSchemes[s]).cycles();
+      for (int s = 0; s < 3; ++s) cycles[s] = cycles_flat[pt++];
       const double vs_ideal =
           static_cast<double>(cycles[2]) / static_cast<double>(ideal);
       const double vs_inter =
@@ -61,7 +76,7 @@ int main() {
       sp_vs_inter.push_back(vs_inter);
       sp_vs_intra.push_back(vs_intra);
       part_vs_ideal.push_back(vs_ideal);
-      t.add_row({net_label(full.name()), sci(ideal), sci(cycles[0]),
+      t.add_row({net_label(fulls[ni].name()), sci(ideal), sci(cycles[0]),
                  sci(cycles[1]), sci(cycles[2]), fmt_double(vs_ideal, 2),
                  fmt_speedup(vs_inter), fmt_speedup(vs_intra)});
     }

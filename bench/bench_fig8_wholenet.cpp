@@ -4,26 +4,41 @@
 // average), adap-1 and adap-2 perform identically, VGG's headroom is
 // marginal (homogeneous layers + forced off-chip exchange).
 #include "bench_common.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Fig.8", "whole-network cycles per policy");
   std::printf("scope: all conv+pool+LRN layers (the paper's kernel-level "
               "pipeline; see DESIGN.md)\n\n");
+
+  const AcceleratorConfig configs[] = {AcceleratorConfig::paper_16_16(),
+                                       AcceleratorConfig::paper_32_32()};
+  const std::vector<Network> nets = zoo::paper_benchmarks();
+
+  // One sweep point per (config, net); each thunk owns its CBrain.
+  std::vector<std::function<PolicyComparison()>> points;
+  for (const AcceleratorConfig& config : configs)
+    for (const Network& net : nets)
+      points.push_back([&config, &net] {
+        CBrain brain(config);
+        return brain.compare_policies(net);
+      });
+  const std::vector<PolicyComparison> cmps = sweep<PolicyComparison>(points);
 
   double anet_speedup_16 = 0.0;
   std::vector<double> adap_vs_inter;
   double adap1_vs_adap2_worst = 1.0;
 
-  for (const AcceleratorConfig& config :
-       {AcceleratorConfig::paper_16_16(), AcceleratorConfig::paper_32_32()}) {
-    CBrain brain(config);
+  std::size_t pt = 0;
+  for (const AcceleratorConfig& config : configs) {
     Table t({"net", "inter", "intra", "partition", "adap-1", "adap-2",
              "adap-2 vs inter"});
-    for (const Network& net : zoo::paper_benchmarks()) {
-      const PolicyComparison cmp = brain.compare_policies(net);
+    for (const Network& net : nets) {
+      const PolicyComparison& cmp = cmps[pt++];
       const double sp = cmp.speedup(Policy::kAdaptive2, Policy::kFixedInter);
       adap_vs_inter.push_back(sp);
       if (net.name() == "alexnet" && config.tin == 16) anet_speedup_16 = sp;

@@ -5,6 +5,7 @@
 //   adpa-16-28: whole 18.1, conv1 3.3     adpa-16-32: whole 14.9, conv1 2.5
 #include "bench_common.hpp"
 #include "cbrain/baseline/zhang_fpga.hpp"
+#include "sweep.hpp"
 
 using namespace cbrain;
 using namespace cbrain::bench;
@@ -24,7 +25,8 @@ AcceleratorConfig adap_at_100mhz(i64 tin, i64 tout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
   print_header("Fig.9", "AlexNet vs Zhang FPGA'15 at 100 MHz");
 
   const Network net = zoo::alexnet();
@@ -44,22 +46,32 @@ int main() {
              fmt_double(zhang.cycles_to_ms(z_conv1), 2)});
   t.add_rule();
 
+  const i64 touts[] = {24, 28, 32};
+  // One sweep point per PE geometry, returning {whole, conv1} cycles.
+  std::vector<std::function<std::pair<i64, i64>()>> points;
+  for (const i64 tout : touts)
+    points.push_back([&net, &c1, tout]() -> std::pair<i64, i64> {
+      const AcceleratorConfig config = adap_at_100mhz(16, tout);
+      // [14] reports conv layers only; match that scope here.
+      ModelOptions opt;
+      opt.include_host_ops = false;
+      CBrain conv_brain(config, opt);
+      i64 whole = 0;
+      const NetworkModelResult r =
+          conv_brain.evaluate(net, Policy::kAdaptive2);
+      for (const auto& lr : r.layers)
+        if (lr.kind == LayerKind::kConv) whole += lr.counters.total_cycles;
+      const i64 conv1 = conv_brain.evaluate(c1, Policy::kAdaptive2).cycles();
+      return {whole, conv1};
+    });
+  const auto results = sweep<std::pair<i64, i64>>(points);
+
   double adap28_whole = 0.0, adap28_conv1 = 0.0;
-  for (const i64 tout : {24, 28, 32}) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const i64 tout = touts[i];
     const AcceleratorConfig config = adap_at_100mhz(16, tout);
-    CBrain brain(config);
-    // [14] reports conv layers only; match that scope here.
-    ModelOptions opt;
-    opt.include_host_ops = false;
-    CBrain conv_brain(config, opt);
-    i64 whole = 0;
-    const NetworkModelResult r = conv_brain.evaluate(net, Policy::kAdaptive2);
-    for (const auto& lr : r.layers)
-      if (lr.kind == LayerKind::kConv) whole += lr.counters.total_cycles;
-    const i64 conv1 =
-        conv_brain.evaluate(c1, Policy::kAdaptive2).cycles();
-    const double whole_ms = config.cycles_to_ms(whole);
-    const double conv1_ms = config.cycles_to_ms(conv1);
+    const double whole_ms = config.cycles_to_ms(results[i].first);
+    const double conv1_ms = config.cycles_to_ms(results[i].second);
     if (tout == 28) {
       adap28_whole = whole_ms;
       adap28_conv1 = conv1_ms;

@@ -5,6 +5,8 @@
 // are visible independently of the paper tables.
 #include <benchmark/benchmark.h>
 
+#include "cbrain/arch/pe_array.hpp"
+#include "cbrain/arch/sram.hpp"
 #include "cbrain/compiler/compiler.hpp"
 #include "cbrain/model/network_model.hpp"
 #include "cbrain/nn/zoo.hpp"
@@ -59,6 +61,69 @@ void BM_Im2col(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Im2col);
+
+// Before/after isolation of the simulator's inner-loop rewrite: the same
+// Tin-wide dot products over an SRAM-resident band, once through the
+// original per-element path (bounds check + stat increment on every
+// Sram16::read, per-op PE accounting), once through the current span path
+// (one bounds check per band, stat-free dot_raw, counters batched per
+// sweep). Both leave identical SramStats/PEStats behind.
+constexpr i64 kInnerWords = 64 * 1024;
+
+Sram16 make_band() {
+  Sram16 sram("band", 2 * kInnerWords);
+  Rng rng(7);
+  for (i64 i = 0; i < kInnerWords; ++i)
+    sram.write(i, static_cast<std::int16_t>(rng.next_u64() & 0x7fff));
+  sram.reset_stats();
+  return sram;
+}
+
+void BM_ConvInnerPerElement(benchmark::State& state) {
+  Sram16 sram = make_band();
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const i64 tin = config.tin;
+  PEArray pe(config);
+  std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
+  std::vector<std::int16_t> wregs(static_cast<std::size_t>(tin), 3);
+  for (auto _ : state) {
+    Fixed16::acc_t acc = 0;
+    for (i64 a = 0; a + tin <= kInnerWords; a += tin) {
+      pe.begin_op(tin);
+      for (i64 c = 0; c < tin; ++c) data[static_cast<std::size_t>(c)] =
+          sram.read(a + c);
+      acc += pe.dot(data.data(), wregs.data(), tin);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["MAC/s"] = benchmark::Counter(
+      static_cast<double>(kInnerWords) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvInnerPerElement);
+
+void BM_ConvInnerSpan(benchmark::State& state) {
+  Sram16 sram = make_band();
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const i64 tin = config.tin;
+  PEArray pe(config);
+  std::vector<std::int16_t> wregs(static_cast<std::size_t>(tin), 3);
+  for (auto _ : state) {
+    const std::int16_t* band = sram.read_span(0, kInnerWords);
+    Fixed16::acc_t acc = 0;
+    for (i64 a = 0; a + tin <= kInnerWords; a += tin)
+      acc += PEArray::dot_raw(band + a, wregs.data(), tin);
+    const i64 ops = kInnerWords / tin;
+    sram.count_reads(ops * tin);
+    pe.begin_ops(ops, ops * tin);
+    pe.count_mac(ops * tin, ops * (tin - 1));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["MAC/s"] = benchmark::Counter(
+      static_cast<double>(kInnerWords) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvInnerSpan);
 
 void BM_CycleSimulator(benchmark::State& state) {
   const Network net = zoo::tiny_cnn();

@@ -1,0 +1,50 @@
+// Parallel sweep runner for the paper-reproduction benches.
+//
+// Every bench evaluates a grid of independent (network × scheme × config)
+// points and then prints a table. The pattern here splits those two
+// phases: build a vector of point thunks, evaluate them concurrently with
+// sweep() (each thunk constructs its own CBrain/model state — nothing is
+// shared), then print the results serially in point order. Because
+// results come back in input order, `bench_foo --jobs 1` and
+// `bench_foo --jobs N` emit byte-identical tables.
+//
+// Worker count: --jobs=N / --jobs N on the command line, else the
+// CBRAIN_JOBS environment variable, else hardware concurrency.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cbrain/common/thread_pool.hpp"
+
+namespace cbrain::bench {
+
+// Parses --jobs from argv / CBRAIN_JOBS, installs it as the process-wide
+// default worker count, and returns it. Unrelated flags are ignored (the
+// micro bench forwards google-benchmark flags through the same argv).
+inline i64 init_bench_jobs(int argc, char** argv) {
+  i64 jobs = 0;
+  const char* env = std::getenv("CBRAIN_JOBS");
+  if (env != nullptr) jobs = std::atoll(env);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0)
+      jobs = std::atoll(arg.c_str() + 7);
+    else if (arg == "--jobs" && i + 1 < argc)
+      jobs = std::atoll(argv[++i]);
+  }
+  parallel::set_default_jobs(jobs);
+  return parallel::default_jobs();
+}
+
+// Evaluates every point concurrently; result i is point i's return value.
+template <typename Result>
+std::vector<Result> sweep(const std::vector<std::function<Result()>>& points) {
+  return parallel::parallel_map<Result>(
+      static_cast<i64>(points.size()),
+      [&](i64 i) { return points[static_cast<std::size_t>(i)](); });
+}
+
+}  // namespace cbrain::bench

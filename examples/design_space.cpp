@@ -4,11 +4,18 @@
 // hardware configurations ... the mapping strategy ensures the optimal
 // performance", §1, exercised as a real co-design loop).
 //
-// usage: design_space [network] [multiplier budget]   (alexnet, 512)
+// Grid points are independent, so they are evaluated concurrently (one
+// CBrain per point) and printed in deterministic grid order.
+//
+// usage: design_space [network] [multiplier budget] [--jobs N]
+//        (defaults: alexnet, 512, hardware concurrency)
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <vector>
 
 #include "cbrain/common/strings.hpp"
+#include "cbrain/common/thread_pool.hpp"
 #include "cbrain/arch/area_model.hpp"
 #include "cbrain/core/cbrain.hpp"
 #include "cbrain/nn/zoo.hpp"
@@ -17,47 +24,71 @@
 using namespace cbrain;
 
 int main(int argc, char** argv) {
-  Network net = zoo::alexnet();
-  if (argc > 1) {
-    for (Network& candidate : zoo::paper_benchmarks())
-      if (candidate.name() == argv[1]) net = std::move(candidate);
+  // Split --jobs out of the positional [network] [budget] arguments.
+  std::vector<std::string> pos;
+  i64 jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0)
+      jobs = std::atoll(arg.c_str() + 7);
+    else if (arg == "--jobs" && i + 1 < argc)
+      jobs = std::atoll(argv[++i]);
+    else
+      pos.push_back(arg);
   }
-  const i64 budget = argc > 2 ? std::atoll(argv[2]) : 512;
+  parallel::set_default_jobs(jobs);
+
+  Network net = zoo::alexnet();
+  if (!pos.empty()) {
+    for (Network& candidate : zoo::paper_benchmarks())
+      if (candidate.name() == pos[0]) net = std::move(candidate);
+  }
+  const i64 budget = pos.size() > 1 ? std::atoll(pos[1].c_str()) : 512;
   std::printf("network %s, multiplier budget %lld\n\n", net.name().c_str(),
               static_cast<long long>(budget));
+
+  // Enumerate the grid first, then evaluate every point concurrently.
+  std::vector<std::pair<i64, i64>> grid;
+  for (i64 tin : {4, 8, 16, 32, 64})
+    for (i64 tout : {4, 8, 16, 28, 32, 64})
+      if (tin * tout <= budget) grid.emplace_back(tin, tout);
+
+  const std::vector<NetworkModelResult> results =
+      parallel::parallel_map<NetworkModelResult>(
+          static_cast<i64>(grid.size()), [&](i64 i) {
+            const auto [tin, tout] = grid[static_cast<std::size_t>(i)];
+            CBrain brain(AcceleratorConfig::with_pe(tin, tout));
+            return brain.evaluate(net, Policy::kAdaptive2);
+          });
 
   Table t({"PE (Tin-Tout)", "multipliers", "cycles", "ms", "energy (uJ)",
            "util", "mm2 (45nm)", "GOPS/mm2"});
   double best_ms = 1e300;
   std::string best;
-  for (i64 tin : {4, 8, 16, 32, 64}) {
-    for (i64 tout : {4, 8, 16, 28, 32, 64}) {
-      if (tin * tout > budget) continue;
-      const AcceleratorConfig config = AcceleratorConfig::with_pe(tin, tout);
-      CBrain brain(config);
-      const NetworkModelResult r = brain.evaluate(net, Policy::kAdaptive2);
-      double used = 0, slots = 0;
-      for (const auto& lr : r.layers) {
-        if (!lr.counted) continue;
-        used += static_cast<double>(lr.counters.mul_ops);
-        slots += static_cast<double>(lr.counters.mul_ops +
-                                     lr.counters.idle_mul_slots);
-      }
-      const std::string name =
-          std::to_string(tin) + "-" + std::to_string(tout);
-      if (r.milliseconds() < best_ms) {
-        best_ms = r.milliseconds();
-        best = name;
-      }
-      const AreaBreakdown area = estimate_area(config);
-      t.add_row({name, std::to_string(tin * tout),
-                 with_commas(static_cast<u64>(r.cycles())),
-                 fmt_double(r.milliseconds(), 3),
-                 fmt_double(r.energy.total_uj(), 1),
-                 fmt_double(slots > 0 ? used / slots : 0.0, 2),
-                 fmt_double(area.total_mm2(), 2),
-                 fmt_double(peak_gops_per_mm2(config), 1)});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [tin, tout] = grid[i];
+    const AcceleratorConfig config = AcceleratorConfig::with_pe(tin, tout);
+    const NetworkModelResult& r = results[i];
+    double used = 0, slots = 0;
+    for (const auto& lr : r.layers) {
+      if (!lr.counted) continue;
+      used += static_cast<double>(lr.counters.mul_ops);
+      slots += static_cast<double>(lr.counters.mul_ops +
+                                   lr.counters.idle_mul_slots);
     }
+    const std::string name = std::to_string(tin) + "-" + std::to_string(tout);
+    if (r.milliseconds() < best_ms) {
+      best_ms = r.milliseconds();
+      best = name;
+    }
+    const AreaBreakdown area = estimate_area(config);
+    t.add_row({name, std::to_string(tin * tout),
+               with_commas(static_cast<u64>(r.cycles())),
+               fmt_double(r.milliseconds(), 3),
+               fmt_double(r.energy.total_uj(), 1),
+               fmt_double(slots > 0 ? used / slots : 0.0, 2),
+               fmt_double(area.total_mm2(), 2),
+               fmt_double(peak_gops_per_mm2(config), 1)});
   }
   std::printf("%s\nbest under budget: PE %s at %.3f ms\n",
               t.to_string().c_str(), best.c_str(), best_ms);

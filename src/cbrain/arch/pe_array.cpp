@@ -12,16 +12,21 @@ void PEArray::begin_op(i64 active_muls) {
   stats_.idle_mul_slots += config_.multipliers() - active_muls;
 }
 
+void PEArray::begin_ops(i64 ops, i64 active_mul_slots) {
+  CBRAIN_DCHECK(ops >= 0 && active_mul_slots >= 0 &&
+                    active_mul_slots <= ops * config_.multipliers(),
+                "batched ops use " << active_mul_slots << " of "
+                                   << ops * config_.multipliers()
+                                   << " multiplier slots");
+  stats_.ops += ops;
+  stats_.idle_mul_slots += ops * config_.multipliers() - active_mul_slots;
+}
+
 Fixed16::acc_t PEArray::dot(const std::int16_t* data,
                             const std::int16_t* weights, i64 n) {
-  Fixed16::acc_t acc = 0;
-  for (i64 i = 0; i < n; ++i) {
-    acc += static_cast<Fixed16::acc_t>(data[i]) *
-           static_cast<Fixed16::acc_t>(weights[i]);
-  }
   stats_.mul_ops += n;
   stats_.add_ops += n > 0 ? n - 1 : 0;
-  return acc;
+  return dot_raw(data, weights, n);
 }
 
 }  // namespace cbrain

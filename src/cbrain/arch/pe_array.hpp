@@ -25,11 +25,34 @@ class PEArray {
   // remaining (Tin*Tout - active_muls) slots burn idle energy this cycle.
   void begin_op(i64 active_muls);
 
+  // Batched begin_op: `ops` operations totalling `active_mul_slots` useful
+  // slots. The executor's hot loops announce a whole window sweep at once
+  // — the aggregate equals the per-op announcements it replaces.
+  void begin_ops(i64 ops, i64 active_mul_slots);
+
   // Dot product of n <data, weight> pairs at accumulator precision: one
   // lane of one adder tree. Counts n muls and n-1 tree adds (callers
   // account the final accumulate-into-partial as an extra add).
   Fixed16::acc_t dot(const std::int16_t* data, const std::int16_t* weights,
                      i64 n);
+
+  // Stat-free dot for batched hot loops; the caller accounts the work via
+  // count_mac afterwards.
+  static Fixed16::acc_t dot_raw(const std::int16_t* data,
+                                const std::int16_t* weights, i64 n) {
+    Fixed16::acc_t acc = 0;
+    for (i64 i = 0; i < n; ++i) {
+      acc += static_cast<Fixed16::acc_t>(data[i]) *
+             static_cast<Fixed16::acc_t>(weights[i]);
+    }
+    return acc;
+  }
+
+  // Batched accounting for dot_raw work.
+  void count_mac(i64 muls, i64 adds) {
+    stats_.mul_ops += muls;
+    stats_.add_ops += adds;
+  }
 
   // One extra addition (e.g. the §4.2.2 "add-and-store" accumulate).
   void count_add(i64 n = 1) { stats_.add_ops += n; }

@@ -45,6 +45,11 @@ void Sram16::write_block(i64 addr, i64 words, const std::int16_t* in) {
     mem_[static_cast<std::size_t>(addr + i)] = in[i];
 }
 
+const std::int16_t* Sram16::read_span(i64 addr, i64 words) const {
+  bounds(addr, words);
+  return mem_.data() + addr;
+}
+
 AccumSram::AccumSram(std::string name, i64 size_bytes)
     : name_(std::move(name)),
       mem_(static_cast<std::size_t>(size_bytes / 4), 0) {
@@ -75,6 +80,14 @@ void AccumSram::accumulate(i64 index, Fixed16::acc_t addend) {
   stats_.reads += 2;
   stats_.writes += 2;
   mem_[static_cast<std::size_t>(index)] += addend;
+}
+
+Fixed16::acc_t* AccumSram::span(i64 index, i64 count) {
+  CBRAIN_CHECK(index >= 0 && count >= 0 &&
+                   index + count <= size_partials(),
+               name_ << ": partial span [" << index << ", " << index + count
+                     << ") exceeds " << size_partials());
+  return mem_.data() + index;
 }
 
 }  // namespace cbrain

@@ -33,6 +33,15 @@ class Sram16 {
   void read_block(i64 addr, i64 words, std::int16_t* out);
   void write_block(i64 addr, i64 words, const std::int16_t* in);
 
+  // Hot-path escape hatch: bounds-checks [addr, addr+words) once and
+  // returns a raw view of the backing store. The caller owns the traffic
+  // accounting via count_reads/count_writes — the simulator's inner loops
+  // batch one increment per window/tile instead of one per element, with
+  // totals identical to the per-access methods above.
+  const std::int16_t* read_span(i64 addr, i64 words) const;
+  void count_reads(i64 words) { stats_.reads += words; }
+  void count_writes(i64 words) { stats_.writes += words; }
+
   const SramStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -56,6 +65,13 @@ class AccumSram {
   void write(i64 index, Fixed16::acc_t value);
   // Read-modify-write accumulate: the §4.2.2 "add-and-store" operation.
   void accumulate(i64 index, Fixed16::acc_t addend);
+
+  // Hot-path escape hatch (see Sram16::read_span): one bounds check for
+  // [index, index+count) partials, traffic accounted by the caller in
+  // partial units (2 words each, matching read/write/accumulate).
+  Fixed16::acc_t* span(i64 index, i64 count);
+  void count_reads(i64 partials) { stats_.reads += 2 * partials; }
+  void count_writes(i64 partials) { stats_.writes += 2 * partials; }
 
   // Traffic in 16-bit words (2 per partial access).
   const SramStats& stats() const { return stats_; }

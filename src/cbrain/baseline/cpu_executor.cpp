@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "cbrain/common/logging.hpp"
 #include "cbrain/ref/im2col_gemm.hpp"
 #include "cbrain/ref/lrn_ref.hpp"
 #include "cbrain/ref/params.hpp"
@@ -14,18 +16,51 @@ namespace cbrain {
 namespace {
 
 double detect_host_ghz() {
-  std::ifstream f("/proc/cpuinfo");
-  std::string line;
-  while (std::getline(f, line)) {
-    if (line.rfind("cpu MHz", 0) == 0) {
-      const auto pos = line.find(':');
-      if (pos != std::string::npos) {
-        const double mhz = std::atof(line.c_str() + pos + 1);
-        if (mhz > 100.0) return mhz / 1000.0;
+  // Explicit override first: containers and cpufreq-less VMs often expose
+  // no clock at all, and x86's "cpu MHz" line does not exist on ARM.
+  if (const char* env = std::getenv("CBRAIN_HOST_GHZ")) {
+    const double ghz = std::atof(env);
+    if (ghz > 0.0) {
+      CBRAIN_LOG(kInfo) << "host clock " << ghz
+                        << " GHz (CBRAIN_HOST_GHZ override)";
+      return ghz;
+    }
+    CBRAIN_LOG(kWarn) << "ignoring unparseable CBRAIN_HOST_GHZ='" << env
+                      << "'";
+  }
+  {
+    std::ifstream f("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.rfind("cpu MHz", 0) == 0) {
+        const auto pos = line.find(':');
+        if (pos != std::string::npos) {
+          const double mhz = std::atof(line.c_str() + pos + 1);
+          if (mhz > 100.0) {
+            CBRAIN_LOG(kInfo) << "host clock " << mhz / 1000.0
+                              << " GHz (/proc/cpuinfo)";
+            return mhz / 1000.0;
+          }
+        }
       }
     }
   }
-  return 2.2;  // assume the paper's clock when undetectable
+  // ARM and most containers lack the cpuinfo line; cpufreq sysfs (kHz) is
+  // the next best source.
+  for (const char* path :
+       {"/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq",
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_max_freq"}) {
+    std::ifstream f(path);
+    double khz = 0.0;
+    if (f >> khz; khz > 100'000.0) {
+      CBRAIN_LOG(kInfo) << "host clock " << khz / 1e6 << " GHz (" << path
+                        << ")";
+      return khz / 1e6;
+    }
+  }
+  CBRAIN_LOG(kWarn) << "host clock undetectable (no CBRAIN_HOST_GHZ, "
+                       "cpuinfo or cpufreq); assuming the paper's 2.2 GHz";
+  return 2.2;
 }
 
 double now_ms() {

@@ -1,5 +1,9 @@
 #include "cbrain/core/cbrain.hpp"
 
+#include <algorithm>
+
+#include "cbrain/common/thread_pool.hpp"
+
 namespace cbrain {
 
 const std::vector<Policy>& paper_policies() {
@@ -65,7 +69,37 @@ PolicyComparison CBrain::compare_policies(
     const Network& net, const std::vector<Policy>& policies) {
   PolicyComparison cmp;
   cmp.ideal_cycles = ideal_network_cycles(net, config_, options_);
-  for (Policy p : policies) cmp.results.push_back(evaluate(net, p));
+  // The compile cache is not thread-safe, so parallel tasks never touch
+  // it: missing programs are compiled concurrently into task-local slots
+  // and merged here, on the calling thread, before the modeling fan-out.
+  std::vector<Policy> missing;
+  for (Policy p : policies) {
+    const auto key = std::make_pair(net.name(), p);
+    if (cache_.find(key) == cache_.end() &&
+        std::find(missing.begin(), missing.end(), p) == missing.end())
+      missing.push_back(p);
+  }
+  auto fresh = parallel::parallel_map<std::unique_ptr<CompiledNetwork>>(
+      static_cast<i64>(missing.size()), [&](i64 i) {
+        const Policy p = missing[static_cast<std::size_t>(i)];
+        auto compiled = compile_network(net, p, config_);
+        CBRAIN_CHECK(compiled.is_ok(),
+                     "compile(" << net.name() << ", " << policy_name(p)
+                                << "): " << compiled.status().to_string());
+        return std::make_unique<CompiledNetwork>(
+            std::move(compiled).value());
+      });
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    cache_.emplace(std::make_pair(net.name(), missing[i]),
+                   std::move(fresh[i]));
+
+  std::vector<const CompiledNetwork*> programs;
+  for (Policy p : policies) programs.push_back(&compile(net, p));
+  cmp.results = parallel::parallel_map<NetworkModelResult>(
+      static_cast<i64>(policies.size()), [&](i64 i) {
+        return model_network(net, *programs[static_cast<std::size_t>(i)],
+                             config_, options_);
+      });
   return cmp;
 }
 

@@ -281,51 +281,86 @@ class Executor {
   // Finalize the whole tile's outputs from the output buffer (partials)
   // into DRAM. Used by schemes that accumulate through the buffer.
   void finalize_from_buffer(const ConvTileInstr& in) {
+    const i64 douts = in.dout1 - in.dout0;
+    const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    // partial_index walks [0, npix*douts) sequentially under this loop
+    // order, so one span + one batched count covers the whole pass.
+    const acc_t* partials = m_.output_buf().span(0, npix * douts);
+    m_.output_buf().count_reads(npix * douts);
+    i64 idx = 0;
     for (i64 oy = in.out_row0; oy < in.out_row1; ++oy)
       for (i64 ox = 0; ox < in.out_w; ++ox)
-        for (i64 d = in.dout0; d < in.dout1; ++d) {
-          const acc_t acc = m_.output_buf().read(partial_index(in, oy, ox, d));
-          store_out(in.outs, d, oy, ox, finalize_value(acc, in.relu));
-        }
+        for (i64 d = in.dout0; d < in.dout1; ++d, ++idx)
+          store_out(in.outs, d, oy, ox,
+                    finalize_value(partials[idx], in.relu));
   }
 
   void conv_inter_classic(const ConvTileInstr& in) {
     const i64 tin = m_.config().tin;
     const i64 tout = m_.config().tout;
     const i64 dins = in.din1 - in.din0;
+    const i64 douts = in.dout1 - in.dout0;
     const bool multi_tile = !(in.first_din_chunk && in.last_din_chunk);
-    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
-    std::vector<std::int16_t> wrow(static_cast<std::size_t>(tin));
+    const i64 kk = in.k * in.k;
+    const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    const i64 nchunks = ceil_div(dins, tin);
+
+    // One bounds check per tile: raw views of the band, the weight block,
+    // the bias row and (for multi-tile accumulation) the partial store.
+    const std::int16_t* band = m_.input_buf().read_span(
+        in.input_base, dins * in.band_rows * in.band_width);
+    const std::int16_t* wbuf =
+        m_.weight_buf().read_span(in.weight_base, douts * dins * kk);
+    const std::int16_t* bias =
+        in.first_din_chunk ? m_.bias_buf().read_span(0, douts) : nullptr;
+    acc_t* partials =
+        multi_tile ? m_.output_buf().span(0, npix * douts) : nullptr;
+
+    // The scheme streams weights from the buffer on every operation; the
+    // values are loop-invariant across output pixels, so gather them once
+    // per lane group (contiguous in c for the dot below) and account the
+    // per-pixel streaming in the batched counts at the end.
+    std::vector<std::int16_t> wtile;
+    std::vector<acc_t> acc(static_cast<std::size_t>(tout));
+    std::vector<acc_t> bias_acc(static_cast<std::size_t>(tout), 0);
 
     for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
       const i64 L = std::min(tout, in.dout1 - lane0);
-      std::vector<acc_t> acc(static_cast<std::size_t>(L));
+      wtile.resize(static_cast<std::size_t>(L * kk * dins));
+      for (i64 l = 0; l < L; ++l)
+        for (i64 ky = 0; ky < in.k; ++ky)
+          for (i64 kx = 0; kx < in.k; ++kx)
+            for (i64 c = 0; c < dins; ++c)
+              wtile[static_cast<std::size_t>(((l * kk) + ky * in.k + kx) *
+                                                 dins +
+                                             c)] =
+                  wbuf[weight_tile_addr(in, lane0 + l, in.din0 + c, ky, kx) -
+                       in.weight_base];
+      if (in.first_din_chunk)
+        for (i64 l = 0; l < L; ++l)
+          bias_acc[static_cast<std::size_t>(l)] =
+              bias_to_acc(bias[lane0 + l - in.dout0]);
+
       for (i64 oy = in.out_row0; oy < in.out_row1; ++oy) {
         for (i64 ox = 0; ox < in.out_w; ++ox) {
           for (i64 l = 0; l < L; ++l)
             acc[static_cast<std::size_t>(l)] =
-                in.first_din_chunk
-                    ? bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0))
-                    : 0;
+                in.first_din_chunk ? bias_acc[static_cast<std::size_t>(l)]
+                                   : 0;
           for (i64 ky = 0; ky < in.k; ++ky) {
             for (i64 kx = 0; kx < in.k; ++kx) {
               const i64 y = oy * in.stride + ky;
               const i64 x = ox * in.stride + kx;
+              const std::int16_t* wrow =
+                  wtile.data() + (ky * in.k + kx) * dins;
               for (i64 c0 = 0; c0 < dins; c0 += tin) {
                 const i64 C = std::min(tin, dins - c0);
-                m_.pe().begin_op(C * L);
-                m_.input_buf().read_block(
-                    in_band_addr(in, in.din0 + c0, y, x), C, data.data());
-                for (i64 l = 0; l < L; ++l) {
-                  // Weights stream from the buffer on every operation.
-                  for (i64 c = 0; c < C; ++c)
-                    wrow[static_cast<std::size_t>(c)] = m_.weight_buf().read(
-                        weight_tile_addr(in, lane0 + l, in.din0 + c0 + c,
-                                         ky, kx));
-                  acc[static_cast<std::size_t>(l)] +=
-                      m_.pe().dot(data.data(), wrow.data(), C);
-                }
-                m_.pe().count_add(L);  // accumulate into the pixel register
+                const std::int16_t* data =
+                    band +
+                    (in_band_addr(in, in.din0 + c0, y, x) - in.input_base);
+                for (i64 l = 0; l < L; ++l)
+                  acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
+                      data, wrow + l * kk * dins + c0, C);
               }
             }
           }
@@ -337,13 +372,31 @@ class Executor {
                         finalize_value(acc[static_cast<std::size_t>(l)],
                                        in.relu));
             } else if (in.first_din_chunk) {
-              m_.output_buf().write(idx, acc[static_cast<std::size_t>(l)]);
+              partials[idx] = acc[static_cast<std::size_t>(l)];
             } else {
-              m_.output_buf().accumulate(idx,
-                                         acc[static_cast<std::size_t>(l)]);
-              m_.pe().count_add(1);
+              partials[idx] += acc[static_cast<std::size_t>(l)];
             }
           }
+        }
+      }
+
+      // Batched accounting — totals identical to the per-element
+      // increments of the loops above (weights and bias stream from the
+      // buffers once per operation / pixel respectively).
+      m_.input_buf().count_reads(npix * kk * dins);
+      m_.weight_buf().count_reads(npix * kk * dins * L);
+      if (in.first_din_chunk) m_.bias_buf().count_reads(npix * L);
+      m_.pe().begin_ops(npix * kk * nchunks, npix * kk * dins * L);
+      // dot tree adds (C-1 per chunk) + the accumulate-into-register add
+      // per chunk sum to exactly one add per multiply.
+      m_.pe().count_mac(npix * kk * dins * L, npix * kk * dins * L);
+      if (multi_tile) {
+        if (in.first_din_chunk) {
+          m_.output_buf().count_writes(npix * L);
+        } else {
+          m_.output_buf().count_reads(npix * L);
+          m_.output_buf().count_writes(npix * L);
+          m_.pe().count_add(npix * L);
         }
       }
     }
@@ -354,26 +407,33 @@ class Executor {
     const i64 tin = m_.config().tin;
     const i64 tout = m_.config().tout;
     const i64 dins = in.din1 - in.din0;
-    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
+    const i64 douts = in.dout1 - in.dout0;
+    const i64 kk = in.k * in.k;
+    const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    const i64 nchunks = ceil_div(dins, tin);
+
+    const std::int16_t* band = m_.input_buf().read_span(
+        in.input_base, dins * in.band_rows * in.band_width);
+    const std::int16_t* wbuf =
+        m_.weight_buf().read_span(in.weight_base, douts * dins * kk);
+    acc_t* partials = m_.output_buf().span(0, npix * douts);
+
+    std::vector<std::int16_t> wregs(static_cast<std::size_t>(tout * tin));
+    std::vector<acc_t> bias_regs(static_cast<std::size_t>(tout), 0);
 
     for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
       const i64 L = std::min(tout, in.dout1 - lane0);
-      std::vector<std::vector<std::int16_t>> wregs(
-          static_cast<std::size_t>(L));
-      std::vector<acc_t> bias_regs(static_cast<std::size_t>(L), 0);
       for (i64 ky = 0; ky < in.k; ++ky) {
         for (i64 kx = 0; kx < in.k; ++kx) {
           for (i64 c0 = 0; c0 < dins; c0 += tin) {
             const i64 C = std::min(tin, dins - c0);
             // Weight residency: one register-load pass.
-            for (i64 l = 0; l < L; ++l) {
-              auto& regs = wregs[static_cast<std::size_t>(l)];
-              regs.resize(static_cast<std::size_t>(C));
+            for (i64 l = 0; l < L; ++l)
               for (i64 c = 0; c < C; ++c)
-                regs[static_cast<std::size_t>(c)] = m_.weight_buf().read(
-                    weight_tile_addr(in, lane0 + l, in.din0 + c0 + c, ky,
-                                     kx));
-            }
+                wregs[static_cast<std::size_t>(l * C + c)] =
+                    wbuf[weight_tile_addr(in, lane0 + l, in.din0 + c0 + c,
+                                          ky, kx) -
+                         in.weight_base];
             manual_cycles_ += 1;  // the register-load cycle of the pass
             const bool first_pass =
                 ky == 0 && kx == 0 && c0 == 0 && in.first_din_chunk;
@@ -382,29 +442,40 @@ class Executor {
                 bias_regs[static_cast<std::size_t>(l)] =
                     bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0));
             for (i64 oy = in.out_row0; oy < in.out_row1; ++oy) {
+              const i64 row_base = (oy - in.out_row0) * in.out_w * douts +
+                                   (lane0 - in.dout0);
               for (i64 ox = 0; ox < in.out_w; ++ox) {
                 const i64 y = oy * in.stride + ky;
                 const i64 x = ox * in.stride + kx;
-                m_.pe().begin_op(C * L);
-                m_.input_buf().read_block(
-                    in_band_addr(in, in.din0 + c0, y, x), C, data.data());
-                for (i64 l = 0; l < L; ++l) {
-                  const acc_t p = m_.pe().dot(
-                      data.data(), wregs[static_cast<std::size_t>(l)].data(),
-                      C);
-                  const i64 idx = partial_index(in, oy, ox, lane0 + l);
-                  if (first_pass)
-                    m_.output_buf().write(
-                        idx, p + bias_regs[static_cast<std::size_t>(l)]);
-                  else
-                    m_.output_buf().accumulate(idx, p);  // add-and-store
+                const std::int16_t* data =
+                    band +
+                    (in_band_addr(in, in.din0 + c0, y, x) - in.input_base);
+                acc_t* out = partials + row_base + ox * douts;
+                if (first_pass) {
+                  for (i64 l = 0; l < L; ++l)
+                    out[l] = PEArray::dot_raw(
+                                 data, wregs.data() + l * C, C) +
+                             bias_regs[static_cast<std::size_t>(l)];
+                } else {
+                  for (i64 l = 0; l < L; ++l)  // add-and-store
+                    out[l] += PEArray::dot_raw(data, wregs.data() + l * C,
+                                               C);
                 }
-                m_.pe().count_add(L);
               }
             }
           }
         }
       }
+      // Batched accounting — totals identical to the per-element version.
+      m_.weight_buf().count_reads(kk * dins * L);
+      m_.input_buf().count_reads(kk * dins * npix);
+      m_.pe().begin_ops(kk * nchunks * npix, kk * dins * L * npix);
+      m_.pe().count_mac(kk * dins * L * npix, kk * dins * L * npix);
+      const bool has_first_pass = in.first_din_chunk;
+      const i64 accum_passes = kk * nchunks - (has_first_pass ? 1 : 0);
+      if (has_first_pass) m_.output_buf().count_writes(npix * L);
+      m_.output_buf().count_reads(accum_passes * npix * L);
+      m_.output_buf().count_writes(accum_passes * npix * L);
     }
     if (in.last_din_chunk) finalize_from_buffer(in);
   }
@@ -416,16 +487,24 @@ class Executor {
     const i64 ks = in.part.ks;
     const i64 ss = ks * ks;
     const i64 w = std::max<i64>(1, tin / ss);
+    const i64 dins = in.din1 - in.din0;
+    const i64 douts = in.dout1 - in.dout0;
     const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    const i64 kw = in.part.padded_k();
+
+    const std::int16_t* band = m_.input_buf().read_span(
+        in.input_base, dins * in.band_rows * in.band_width);
+    const std::int16_t* wbuf =
+        m_.weight_buf().read_span(in.weight_base, douts * dins * kw * kw);
+    acc_t* partials = m_.output_buf().span(0, npix * douts);
+
     std::vector<std::int16_t> window(static_cast<std::size_t>(ss));
-    std::vector<std::int16_t> wreg(static_cast<std::size_t>(ss));
+    std::vector<std::int16_t> wregs(static_cast<std::size_t>(tout * ss));
+    std::vector<acc_t> bias_regs(static_cast<std::size_t>(tout), 0);
+    std::vector<acc_t> acc(static_cast<std::size_t>(tout));
 
     for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
       const i64 L = std::min(tout, in.dout1 - lane0);
-      std::vector<std::vector<std::int16_t>> wregs(
-          static_cast<std::size_t>(L),
-          std::vector<std::int16_t>(static_cast<std::size_t>(ss)));
-      std::vector<acc_t> bias_regs(static_cast<std::size_t>(L), 0);
       for (i64 by = 0; by < g; ++by) {
         for (i64 bx = 0; bx < g; ++bx) {
           for (i64 din = in.din0; din < in.din1; ++din) {
@@ -433,11 +512,10 @@ class Executor {
             for (i64 l = 0; l < L; ++l)
               for (i64 dy = 0; dy < ks; ++dy)
                 for (i64 dx = 0; dx < ks; ++dx)
-                  wregs[static_cast<std::size_t>(l)]
-                       [static_cast<std::size_t>(dy * ks + dx)] =
-                           m_.weight_buf().read(weight_tile_addr(
-                               in, lane0 + l, din, by * ks + dy,
-                               bx * ks + dx));
+                  wregs[static_cast<std::size_t>(l * ss + dy * ks + dx)] =
+                      wbuf[weight_tile_addr(in, lane0 + l, din,
+                                            by * ks + dy, bx * ks + dx) -
+                           in.weight_base];
             const bool first_pass = by == 0 && bx == 0 &&
                                     din == in.din0 && in.first_din_chunk;
             if (first_pass)
@@ -446,66 +524,73 @@ class Executor {
                     bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0));
             auto read_window = [&](i64 oy, i64 ox) {
               // One contiguous ks x ks block of the partitioned grid.
-              for (i64 dy = 0; dy < ks; ++dy)
-                m_.input_buf().read_block(
-                    in_band_addr(in, din, oy * in.stride + by * ks + dy,
-                                 ox * in.stride + bx * ks),
-                    ks, window.data() + dy * ks);
+              for (i64 dy = 0; dy < ks; ++dy) {
+                const std::int16_t* row =
+                    band + (in_band_addr(in, din,
+                                         oy * in.stride + by * ks + dy,
+                                         ox * in.stride + bx * ks) -
+                            in.input_base);
+                std::copy(row, row + ks, window.data() + dy * ks);
+              }
             };
             if (ss <= tin) {
               // Pack w whole sub-windows per operation.
               for (i64 pix0 = 0; pix0 < npix; pix0 += w) {
                 const i64 wa = std::min(w, npix - pix0);
-                m_.pe().begin_op(wa * ss * L);
                 for (i64 wi = 0; wi < wa; ++wi) {
                   const i64 pix = pix0 + wi;
                   const i64 oy = in.out_row0 + pix / in.out_w;
                   const i64 ox = pix % in.out_w;
                   read_window(oy, ox);
-                  for (i64 l = 0; l < L; ++l) {
-                    const acc_t p = m_.pe().dot(
-                        window.data(),
-                        wregs[static_cast<std::size_t>(l)].data(), ss);
-                    const i64 idx = partial_index(in, oy, ox, lane0 + l);
-                    if (first_pass)
-                      m_.output_buf().write(
-                          idx, p + bias_regs[static_cast<std::size_t>(l)]);
-                    else
-                      m_.output_buf().accumulate(idx, p);
+                  acc_t* out = partials + pix * douts + (lane0 - in.dout0);
+                  if (first_pass) {
+                    for (i64 l = 0; l < L; ++l)
+                      out[l] = PEArray::dot_raw(window.data(),
+                                                wregs.data() + l * ss, ss) +
+                               bias_regs[static_cast<std::size_t>(l)];
+                  } else {
+                    for (i64 l = 0; l < L; ++l)
+                      out[l] += PEArray::dot_raw(
+                          window.data(), wregs.data() + l * ss, ss);
                   }
                 }
-                m_.pe().count_add(wa * L);
               }
+              m_.pe().begin_ops(ceil_div(npix, w), npix * ss * L);
             } else {
               // Sub-window larger than Tin: chunk it over several ops,
               // reducing in the PE before one add-and-store.
               const i64 nchunks = ceil_div(ss, tin);
-              std::vector<acc_t> acc(static_cast<std::size_t>(L));
               for (i64 pix = 0; pix < npix; ++pix) {
                 const i64 oy = in.out_row0 + pix / in.out_w;
                 const i64 ox = pix % in.out_w;
                 read_window(oy, ox);
-                std::fill(acc.begin(), acc.end(), 0);
+                std::fill(acc.begin(), acc.begin() + L, 0);
                 for (i64 j0 = 0; j0 < ss; j0 += tin) {
                   const i64 C = std::min(tin, ss - j0);
-                  m_.pe().begin_op(C * L);
                   for (i64 l = 0; l < L; ++l)
-                    acc[static_cast<std::size_t>(l)] += m_.pe().dot(
-                        window.data() + j0,
-                        wregs[static_cast<std::size_t>(l)].data() + j0, C);
+                    acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
+                        window.data() + j0, wregs.data() + l * ss + j0, C);
                 }
-                m_.pe().count_add(nchunks * L);
+                acc_t* out = partials + pix * douts + (lane0 - in.dout0);
                 for (i64 l = 0; l < L; ++l) {
-                  const i64 idx = partial_index(in, oy, ox, lane0 + l);
                   if (first_pass)
-                    m_.output_buf().write(
-                        idx, acc[static_cast<std::size_t>(l)] +
-                                 bias_regs[static_cast<std::size_t>(l)]);
+                    out[l] = acc[static_cast<std::size_t>(l)] +
+                             bias_regs[static_cast<std::size_t>(l)];
                   else
-                    m_.output_buf().accumulate(
-                        idx, acc[static_cast<std::size_t>(l)]);
+                    out[l] += acc[static_cast<std::size_t>(l)];
                 }
               }
+              m_.pe().begin_ops(npix * nchunks, npix * ss * L);
+            }
+            // Batched accounting for this (by, bx, din) pass.
+            m_.weight_buf().count_reads(ss * L);
+            m_.input_buf().count_reads(npix * ss);
+            m_.pe().count_mac(npix * ss * L, npix * ss * L);
+            if (first_pass) {
+              m_.output_buf().count_writes(npix * L);
+            } else {
+              m_.output_buf().count_reads(npix * L);
+              m_.output_buf().count_writes(npix * L);
             }
           }
         }
@@ -518,29 +603,37 @@ class Executor {
     const i64 tin = m_.config().tin;
     const i64 tout = m_.config().tout;
     const i64 kk = in.k * in.k;
+    const i64 dins = in.din1 - in.din0;
+    const i64 douts = in.dout1 - in.dout0;
     const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
     const i64 pix_base = in.band_row0 * in.out_w;  // first pixel in band
     const i64 band_pix = in.band_rows * in.out_w;
-    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
 
-    auto window_addr = [&](i64 din, i64 pix) {
-      return in.input_base +
-             ((din - in.din0) * band_pix + (pix - pix_base)) * kk;
+    // Unrolled windows are contiguous in the band, so dots run straight
+    // off the span — no per-window copy.
+    const std::int16_t* band =
+        m_.input_buf().read_span(in.input_base, dins * band_pix * kk);
+    const std::int16_t* wbuf =
+        m_.weight_buf().read_span(in.weight_base, douts * dins * kk);
+    acc_t* partials = m_.output_buf().span(0, npix * douts);
+
+    auto window = [&](i64 din, i64 pix) {
+      return band + ((din - in.din0) * band_pix + (pix - pix_base)) * kk;
     };
+
+    std::vector<std::int16_t> wregs(static_cast<std::size_t>(tout * kk));
+    std::vector<acc_t> bias_regs(static_cast<std::size_t>(tout), 0);
+    std::vector<acc_t> acc(static_cast<std::size_t>(tout));
 
     for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
       const i64 L = std::min(tout, in.dout1 - lane0);
-      std::vector<std::vector<std::int16_t>> wregs(
-          static_cast<std::size_t>(L),
-          std::vector<std::int16_t>(static_cast<std::size_t>(kk)));
-      std::vector<acc_t> bias_regs(static_cast<std::size_t>(L), 0);
       for (i64 din = in.din0; din < in.din1; ++din) {
         for (i64 l = 0; l < L; ++l)
           for (i64 j = 0; j < kk; ++j)
-            wregs[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] =
-                m_.weight_buf().read(
-                    weight_tile_addr(in, lane0 + l, din, j / in.k,
-                                     j % in.k));
+            wregs[static_cast<std::size_t>(l * kk + j)] =
+                wbuf[weight_tile_addr(in, lane0 + l, din, j / in.k,
+                                      j % in.k) -
+                     in.weight_base];
         const bool first_pass = din == in.din0 && in.first_din_chunk;
         if (first_pass)
           for (i64 l = 0; l < L; ++l)
@@ -550,60 +643,58 @@ class Executor {
         if (kk <= tin) {
           // Pack w whole windows per op.
           const i64 w = std::max<i64>(1, tin / kk);
-          for (i64 p0 = 0; p0 < npix; p0 += w) {
-            const i64 wa = std::min(w, npix - p0);
-            m_.pe().begin_op(wa * kk * L);
-            for (i64 wi = 0; wi < wa; ++wi) {
-              const i64 pix = pix_base + p0 + wi;
-              m_.input_buf().read_block(window_addr(din, pix), kk,
-                                        data.data());
-              const i64 oy = pix / in.out_w;
-              const i64 ox = pix % in.out_w;
-              for (i64 l = 0; l < L; ++l) {
-                const acc_t p = m_.pe().dot(
-                    data.data(), wregs[static_cast<std::size_t>(l)].data(),
-                    kk);
-                const i64 idx = partial_index(in, oy, ox, lane0 + l);
-                if (first_pass)
-                  m_.output_buf().write(
-                      idx, p + bias_regs[static_cast<std::size_t>(l)]);
-                else
-                  m_.output_buf().accumulate(idx, p);
-              }
+          for (i64 p0 = 0; p0 < npix; ++p0) {
+            const i64 pix = pix_base + p0;
+            const std::int16_t* data = window(din, pix);
+            const i64 oy = pix / in.out_w;
+            const i64 ox = pix % in.out_w;
+            acc_t* out = partials + partial_index(in, oy, ox, lane0);
+            if (first_pass) {
+              for (i64 l = 0; l < L; ++l)
+                out[l] =
+                    PEArray::dot_raw(data, wregs.data() + l * kk, kk) +
+                    bias_regs[static_cast<std::size_t>(l)];
+            } else {
+              for (i64 l = 0; l < L; ++l)
+                out[l] += PEArray::dot_raw(data, wregs.data() + l * kk, kk);
             }
-            m_.pe().count_add(wa * L);
           }
+          m_.pe().begin_ops(ceil_div(npix, w), npix * kk * L);
         } else {
           // Chunk one window over ceil(kk/Tin) ops, reducing in the PE.
-          std::vector<acc_t> acc(static_cast<std::size_t>(L));
           const i64 nchunks = ceil_div(kk, tin);
           for (i64 p0 = 0; p0 < npix; ++p0) {
             const i64 pix = pix_base + p0;
             const i64 oy = pix / in.out_w;
             const i64 ox = pix % in.out_w;
-            std::fill(acc.begin(), acc.end(), 0);
+            const std::int16_t* data = window(din, pix);
+            std::fill(acc.begin(), acc.begin() + L, 0);
             for (i64 j0 = 0; j0 < kk; j0 += tin) {
               const i64 C = std::min(tin, kk - j0);
-              m_.pe().begin_op(C * L);
-              m_.input_buf().read_block(window_addr(din, pix) + j0, C,
-                                        data.data());
               for (i64 l = 0; l < L; ++l)
-                acc[static_cast<std::size_t>(l)] += m_.pe().dot(
-                    data.data(),
-                    wregs[static_cast<std::size_t>(l)].data() + j0, C);
+                acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
+                    data + j0, wregs.data() + l * kk + j0, C);
             }
-            m_.pe().count_add(nchunks * L);  // inter-chunk + accumulate
+            acc_t* out = partials + partial_index(in, oy, ox, lane0);
             for (i64 l = 0; l < L; ++l) {
-              const i64 idx = partial_index(in, oy, ox, lane0 + l);
               if (first_pass)
-                m_.output_buf().write(
-                    idx, acc[static_cast<std::size_t>(l)] +
-                             bias_regs[static_cast<std::size_t>(l)]);
+                out[l] = acc[static_cast<std::size_t>(l)] +
+                         bias_regs[static_cast<std::size_t>(l)];
               else
-                m_.output_buf().accumulate(idx,
-                                           acc[static_cast<std::size_t>(l)]);
+                out[l] += acc[static_cast<std::size_t>(l)];
             }
           }
+          m_.pe().begin_ops(npix * nchunks, npix * kk * L);
+        }
+        // Batched accounting for this (lane0, din) pass.
+        m_.weight_buf().count_reads(kk * L);
+        m_.input_buf().count_reads(npix * kk);
+        m_.pe().count_mac(npix * kk * L, npix * kk * L);
+        if (first_pass) {
+          m_.output_buf().count_writes(npix * L);
+        } else {
+          m_.output_buf().count_reads(npix * L);
+          m_.output_buf().count_writes(npix * L);
         }
       }
     }
@@ -613,12 +704,14 @@ class Executor {
   void exec_pool(const PoolTileInstr& in) {
     const i64 tout = m_.config().tout;
     const i64 dins = in.d1 - in.d0;
-    std::vector<std::int16_t> lanes_data(static_cast<std::size_t>(tout));
 
-    auto band_addr = [&](i64 d, i64 y, i64 x) {
+    const std::int16_t* band = m_.input_buf().read_span(
+        in.input_base, in.band_rows * in.band_width * dins);
+
+    auto band_row = [&](i64 d, i64 y, i64 x) {
       const i64 yrel = y - in.band_row0;
       CBRAIN_DCHECK(yrel >= 0 && yrel < in.band_rows, "pool band row");
-      return in.input_base + (yrel * in.band_width + x) * dins + (d - in.d0);
+      return band + (yrel * in.band_width + x) * dins + (d - in.d0);
     };
 
     for (i64 lane0 = in.d0; lane0 < in.d1; lane0 += tout) {
@@ -639,13 +732,10 @@ class Executor {
           for (i64 y = y0; y < y1; ++y) {
             for (i64 x = x0; x < x1; ++x) {
               // Band coordinates are padded: shift by pad.
-              m_.input_buf().read_block(
-                  band_addr(lane0, y + in.pad, x + in.pad), L,
-                  lanes_data.data());
-              manual_cycles_ += 1;  // one element per lane per cycle
+              const std::int16_t* lanes =
+                  band_row(lane0, y + in.pad, x + in.pad);
               for (i64 l = 0; l < L; ++l) {
-                const std::int16_t v =
-                    lanes_data[static_cast<std::size_t>(l)];
+                const std::int16_t v = lanes[l];
                 if (in.kind == PoolKind::kMax) {
                   auto& b = best[static_cast<std::size_t>(l)];
                   if (first || v > b) b = v;
@@ -653,11 +743,15 @@ class Executor {
                   acc[static_cast<std::size_t>(l)] += v;
                 }
               }
-              if (!first) manual_adds(L);
               first = false;
             }
           }
+          // Batched accounting: n elements, one cycle each, L lanes wide.
           const i64 n = (y1 - y0) * (x1 - x0);
+          m_.input_buf().count_reads(n * L);
+          manual_cycles_ += n;
+          if (n > 1) manual_adds((n - 1) * L);
+          if (in.kind == PoolKind::kAvg) manual_muls(L);  // the 1/n scale
           for (i64 l = 0; l < L; ++l) {
             std::int16_t raw;
             if (in.kind == PoolKind::kMax) {
@@ -668,7 +762,6 @@ class Executor {
               const acc_t s = acc[static_cast<std::size_t>(l)];
               const acc_t num = s >= 0 ? 2 * s + n : 2 * s - n;
               raw = saturate_to_i16(num / (2 * n));
-              manual_muls(1);  // the 1/n scale
             }
             store_out(in.outs, lane0 + l, oy, ox, raw);
           }
@@ -681,9 +774,14 @@ class Executor {
     const i64 tin = m_.config().tin;
     const i64 tout = m_.config().tout;
     const i64 dins = in.din1 - in.din0;
+    const i64 douts = in.dout1 - in.dout0;
     const bool multi = !(in.first_din_chunk && in.last_din_chunk);
-    std::vector<std::int16_t> data(static_cast<std::size_t>(tin));
-    std::vector<std::int16_t> wrow(static_cast<std::size_t>(tin));
+    const i64 nchunks = ceil_div(dins, tin);
+
+    const std::int16_t* ivec =
+        m_.input_buf().read_span(in.input_base, dins);
+    const std::int16_t* wbuf =
+        m_.weight_buf().read_span(in.weight_base, douts * dins);
 
     for (i64 lane0 = in.dout0; lane0 < in.dout1; lane0 += tout) {
       const i64 L = std::min(tout, in.dout1 - lane0);
@@ -695,18 +793,16 @@ class Executor {
                 : 0;
       for (i64 c0 = 0; c0 < dins; c0 += tin) {
         const i64 C = std::min(tin, dins - c0);
-        m_.pe().begin_op(C * L);
-        m_.input_buf().read_block(in.input_base + c0, C, data.data());
-        for (i64 l = 0; l < L; ++l) {
+        for (i64 l = 0; l < L; ++l)
           // Weight sub-block layout: (dout-rel, din-chunk) row-major.
-          for (i64 c = 0; c < C; ++c)
-            wrow[static_cast<std::size_t>(c)] = m_.weight_buf().read(
-                in.weight_base + (lane0 + l - in.dout0) * dins + c0 + c);
-          acc[static_cast<std::size_t>(l)] +=
-              m_.pe().dot(data.data(), wrow.data(), C);
-        }
-        m_.pe().count_add(L);
+          acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
+              ivec + c0, wbuf + (lane0 + l - in.dout0) * dins + c0, C);
       }
+      // Batched accounting for this lane group's dins-long dot products.
+      m_.pe().begin_ops(nchunks, dins * L);
+      m_.input_buf().count_reads(dins);
+      m_.weight_buf().count_reads(dins * L);
+      m_.pe().count_mac(dins * L, dins * L);
       for (i64 l = 0; l < L; ++l) {
         const acc_t a = acc[static_cast<std::size_t>(l)];
         if (!multi) {

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "cbrain/common/strings.hpp"
+#include "cbrain/common/thread_pool.hpp"
 #include "cbrain/core/cbrain.hpp"
 #include "cbrain/core/oracle.hpp"
 #include "cbrain/compiler/verifier.hpp"
@@ -57,7 +58,8 @@ int usage() {
       "flags: --policy=inter|intra|partition|adap-1|adap-2  --pe=16x16\n"
       "       --dram=<words/cycle>  --fc  --batch=N  --json  --seed=N  "
       "--max=N\n"
-      "       --metric=cycles|energy\n");
+      "       --metric=cycles|energy  --jobs=N (worker threads; default "
+      "hardware concurrency, 1 = serial)\n");
   return 2;
 }
 
@@ -334,6 +336,8 @@ int run(int argc, char** argv) {
     }
   }
   if (opt.command.empty()) return usage();
+  // 0 = unset → hardware concurrency; --jobs=1 restores fully serial runs.
+  parallel::set_default_jobs(opt.get_i64("jobs", 0));
   if (opt.command == "list") return cmd_list();
   if (opt.net.empty()) return usage();
   const auto net = resolve_net(opt.net);

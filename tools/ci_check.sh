@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate: build and test the tree twice — a plain Release build, and a
+# ThreadSanitizer build that exercises the parallel sweep engine (the
+# thread pool, the bench sweeps, and CBrain::compare_policies fan-out).
+#
+# usage: tools/ci_check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "=== Release build ==="
+run_suite build-ci-release -DCMAKE_BUILD_TYPE=Release
+
+echo "=== ThreadSanitizer build ==="
+run_suite build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCBRAIN_SANITIZE=thread
+
+echo "=== determinism: --jobs 1 vs --jobs N must print identical tables ==="
+./build-ci-release/bench/bench_fig7_conv1 --jobs 1 > /tmp/cbrain_fig7_j1.txt
+./build-ci-release/bench/bench_fig7_conv1 --jobs "$JOBS" \
+  > /tmp/cbrain_fig7_jn.txt
+diff /tmp/cbrain_fig7_j1.txt /tmp/cbrain_fig7_jn.txt
+
+echo "ci_check: all suites passed"
