@@ -1,0 +1,88 @@
+// Fault-injection campaign: (network × site × rate × recovery) sweep of
+// the hardware fault model (DESIGN.md "Fault model & recovery"). Each
+// point runs the cycle-level simulator fault-free and with a seeded
+// injector, and reports detected/corrected/silent counts, end-to-end
+// output corruption vs the fault-free reference, and the cycle/energy
+// cost of the protection machinery. Points fan out via cbrain::parallel;
+// tables are byte-identical at any --jobs.
+#include "bench_common.hpp"
+#include "sweep.hpp"
+
+#include "cbrain/fault/campaign.hpp"
+
+using namespace cbrain;
+using namespace cbrain::bench;
+
+int main(int argc, char** argv) {
+  init_bench_jobs(argc, argv);
+  print_header("Fault", "fault campaign: rate x site x recovery");
+
+  CampaignSpec spec;
+  spec.nets = {zoo::tiny_cnn(), zoo::scheme_mix_cnn(),
+               zoo::mini_inception()};
+  spec.config = AcceleratorConfig::paper_16_16();
+  spec.sites = {FaultSite::kInputSram, FaultSite::kWeightSram,
+                FaultSite::kAccumSram, FaultSite::kDram, FaultSite::kDma,
+                FaultSite::kPeLane};
+  spec.rates_per_mword = {20, 200};
+  spec.recoveries = {RecoveryPolicy::kNone, RecoveryPolicy::kParityRetry,
+                     RecoveryPolicy::kEcc};
+  spec.seed = 1;
+
+  const auto points = run_fault_campaign(spec);
+  if (!points.is_ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 points.status().to_string().c_str());
+    return 1;
+  }
+  const Table t = campaign_table(points.value());
+  std::printf("%lld points\n\n%s\n",
+              static_cast<long long>(points.value().size()),
+              t.to_string().c_str());
+  export_csv(t, "fault_campaign");
+
+  // The campaign's resilience claims, checked in aggregate. DMA is
+  // excluded from the zero-corruption claim: exhausted retries legally
+  // deliver detected-but-uncorrected data. PE-lane faults are the
+  // documented residual: arithmetic corruption that storage/transfer
+  // protection cannot see.
+  i64 ecc_corrected = 0, ecc_storage_mism = 0, ecc_overhead_points = 0;
+  i64 silent_damage_points = 0, replays = 0, retries = 0;
+  i64 pe_detected = 0;
+  for (const FaultPointResult& p : points.value()) {
+    const bool storage = p.spec.site != FaultSite::kDma &&
+                         p.spec.site != FaultSite::kPeLane;
+    if (p.spec.recovery == RecoveryPolicy::kEcc) {
+      ecc_corrected += p.stats.corrected;
+      if (storage) ecc_storage_mism += p.mismatched_outputs;
+      if (p.stats.corrected > 0 && p.stats.overhead_cycles > 0 &&
+          p.faulty_pj > p.baseline_pj)
+        ++ecc_overhead_points;
+    }
+    if (p.spec.recovery == RecoveryPolicy::kNone &&
+        p.mismatched_outputs > 0)
+      ++silent_damage_points;
+    replays += p.stats.instruction_replays;
+    retries += p.stats.dma_retries;
+    if (p.spec.site == FaultSite::kPeLane) pe_detected += p.stats.detected;
+  }
+
+  ExperimentLog log("Fault", "ECC/retry recovery vs silent corruption");
+  log.point("ECC corrections across campaign", ">0",
+            std::to_string(ecc_corrected),
+            "SECDED scrubs storage faults in place");
+  log.point("output corruption under ECC (storage sites)", "0",
+            std::to_string(ecc_storage_mism));
+  log.point("ECC points with accounted cycle+energy overhead", ">0",
+            std::to_string(ecc_overhead_points),
+            "detection latency + code-word traffic are charged");
+  log.point("unprotected points with output damage", ">0",
+            std::to_string(silent_damage_points));
+  log.point("instruction replays (parity)", ">0",
+            std::to_string(replays));
+  log.point("DMA CRC retries", ">0", std::to_string(retries));
+  log.point("PE-lane faults detected", "0", std::to_string(pe_detected),
+            "compute faults bypass storage/transfer protection");
+  std::printf("%s\n", log.to_string().c_str());
+  return 0;
+}

@@ -6,7 +6,20 @@ i64 DmaEngine::load(const Dram& dram, DramAddr src, Sram16& dst,
                     i64 dst_addr, i64 words) {
   if (words <= 0) return 0;
   bounce_.resize(static_cast<std::size_t>(words));
-  dram.read_block(src, words, bounce_.data());
+  if (fault_ == nullptr) {
+    dram.read_block(src, words, bounce_.data());
+  } else {
+    for (i64 attempt = 0;; ++attempt) {
+      dram.read_block(src, words, bounce_.data());
+      if (!fault_->on_dma_attempt(bounce_.data(), words, attempt).retry)
+        break;
+      // Retransmit: the burst crosses the link again at full cost.
+      const i64 retry_cycles = config_.transfer_cycles(words);
+      fault_->add_overhead_cycles(retry_cycles);
+      fault_->note_dma_retry_words(words);
+      stats_.busy_cycles += retry_cycles;
+    }
+  }
   dst.write_block(dst_addr, words, bounce_.data());
   const i64 cycles = config_.transfer_cycles(words);
   ++stats_.transfers;
@@ -19,7 +32,19 @@ i64 DmaEngine::store(Sram16& src, i64 src_addr, Dram& dram, DramAddr dst,
                      i64 words) {
   if (words <= 0) return 0;
   bounce_.resize(static_cast<std::size_t>(words));
-  src.read_block(src_addr, words, bounce_.data());
+  if (fault_ == nullptr) {
+    src.read_block(src_addr, words, bounce_.data());
+  } else {
+    for (i64 attempt = 0;; ++attempt) {
+      src.read_block(src_addr, words, bounce_.data());
+      if (!fault_->on_dma_attempt(bounce_.data(), words, attempt).retry)
+        break;
+      const i64 retry_cycles = config_.transfer_cycles(words);
+      fault_->add_overhead_cycles(retry_cycles);
+      fault_->note_dma_retry_words(words);
+      stats_.busy_cycles += retry_cycles;
+    }
+  }
   dram.write_block(dst, words, bounce_.data());
   const i64 cycles = config_.transfer_cycles(words);
   ++stats_.transfers;

@@ -38,10 +38,18 @@ class DmaEngine {
   const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  // Fault-injection hook: bursts may be corrupted or stalled in flight.
+  // With CRC protection enabled (injector recovery != kNone) a corrupted
+  // burst is re-read from DRAM and retransmitted with backoff, up to the
+  // configured retry bound; the extra transfer time and retransmitted
+  // words are charged through the injector's overhead accounting.
+  void attach_fault(FaultInjector* injector) { fault_ = injector; }
+
  private:
   DramConfig config_;
   DmaStats stats_;
   std::vector<std::int16_t> bounce_;  // staging for block moves
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace cbrain

@@ -35,6 +35,9 @@ std::int16_t Dram::read(DramAddr addr) const {
 void Dram::write(DramAddr addr, std::int16_t value) {
   bounds(addr, 1);
   mem_[static_cast<std::size_t>(addr)] = value;
+  if (fault_ != nullptr)
+    fault_->on_dram_write(addr, 1,
+                          mem_.data() + static_cast<std::size_t>(addr));
 }
 
 void Dram::read_block(DramAddr addr, i64 words, std::int16_t* out) const {
@@ -47,6 +50,9 @@ void Dram::write_block(DramAddr addr, i64 words, const std::int16_t* in) {
   bounds(addr, words);
   for (i64 i = 0; i < words; ++i)
     mem_[static_cast<std::size_t>(addr + i)] = in[i];
+  if (fault_ != nullptr)
+    fault_->on_dram_write(addr, words,
+                          mem_.data() + static_cast<std::size_t>(addr));
 }
 
 }  // namespace cbrain

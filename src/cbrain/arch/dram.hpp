@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cbrain/common/math_util.hpp"
+#include "cbrain/fault/fault.hpp"
 
 namespace cbrain {
 
@@ -37,12 +38,18 @@ class Dram {
   };
   const std::vector<Region>& regions() const { return regions_; }
 
+  // Fault-injection hook: at-rest corruption strikes on the write path
+  // (what lands in the array is what later reads observe). Detached =
+  // one pointer compare per write.
+  void attach_fault(FaultInjector* injector) { fault_ = injector; }
+
  private:
   void bounds(DramAddr addr, i64 words) const;
 
   std::vector<std::int16_t> mem_;
   i64 next_free_ = 0;
   std::vector<Region> regions_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace cbrain

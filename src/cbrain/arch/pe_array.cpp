@@ -10,6 +10,7 @@ void PEArray::begin_op(i64 active_muls) {
                            << " multipliers");
   ++stats_.ops;
   stats_.idle_mul_slots += config_.multipliers() - active_muls;
+  if (fault_ != nullptr) fault_->on_pe_ops(1, config_.tout);
 }
 
 void PEArray::begin_ops(i64 ops, i64 active_mul_slots) {
@@ -20,6 +21,7 @@ void PEArray::begin_ops(i64 ops, i64 active_mul_slots) {
                                    << " multiplier slots");
   stats_.ops += ops;
   stats_.idle_mul_slots += ops * config_.multipliers() - active_mul_slots;
+  if (fault_ != nullptr) fault_->on_pe_ops(ops, config_.tout);
 }
 
 Fixed16::acc_t PEArray::dot(const std::int16_t* data,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "cbrain/arch/config.hpp"
+#include "cbrain/fault/fault.hpp"
 #include "cbrain/fixed/fixed16.hpp"
 
 namespace cbrain {
@@ -60,9 +61,15 @@ class PEArray {
   const PEStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  // Fault-injection hook: begin_op/begin_ops advance the kPeLane fault
+  // countdown by the issued operation count — a fire latches a stuck
+  // multiplier lane that the executor applies to finalized outputs.
+  void attach_fault(FaultInjector* injector) { fault_ = injector; }
+
  private:
   const AcceleratorConfig& config_;
   PEStats stats_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace cbrain

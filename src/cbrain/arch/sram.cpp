@@ -21,6 +21,9 @@ void Sram16::bounds(i64 addr, i64 words) const {
 
 std::int16_t Sram16::read(i64 addr) {
   bounds(addr, 1);
+  if (fault_ != nullptr)
+    fault_->on_sram_read(fault_site_, addr, 1,
+                         mem_.data() + static_cast<std::size_t>(addr));
   ++stats_.reads;
   return mem_[static_cast<std::size_t>(addr)];
 }
@@ -33,6 +36,9 @@ void Sram16::write(i64 addr, std::int16_t value) {
 
 void Sram16::read_block(i64 addr, i64 words, std::int16_t* out) {
   bounds(addr, words);
+  if (fault_ != nullptr)
+    fault_->on_sram_read(fault_site_, addr, words,
+                         mem_.data() + static_cast<std::size_t>(addr));
   stats_.reads += words;
   for (i64 i = 0; i < words; ++i)
     out[i] = mem_[static_cast<std::size_t>(addr + i)];
@@ -45,8 +51,11 @@ void Sram16::write_block(i64 addr, i64 words, const std::int16_t* in) {
     mem_[static_cast<std::size_t>(addr + i)] = in[i];
 }
 
-const std::int16_t* Sram16::read_span(i64 addr, i64 words) const {
+const std::int16_t* Sram16::read_span(i64 addr, i64 words) {
   bounds(addr, words);
+  if (fault_ != nullptr)
+    fault_->on_sram_read(fault_site_, addr, words,
+                         mem_.data() + static_cast<std::size_t>(addr));
   return mem_.data() + addr;
 }
 
@@ -65,6 +74,9 @@ void AccumSram::bounds(i64 index) const {
 
 Fixed16::acc_t AccumSram::read(i64 index) {
   bounds(index);
+  if (fault_ != nullptr)
+    fault_->on_accum_access(index, 1,
+                            mem_.data() + static_cast<std::size_t>(index));
   stats_.reads += 2;
   return mem_[static_cast<std::size_t>(index)];
 }
@@ -77,17 +89,26 @@ void AccumSram::write(i64 index, Fixed16::acc_t value) {
 
 void AccumSram::accumulate(i64 index, Fixed16::acc_t addend) {
   bounds(index);
+  if (fault_ != nullptr)
+    fault_->on_accum_access(index, 1,
+                            mem_.data() + static_cast<std::size_t>(index));
   stats_.reads += 2;
   stats_.writes += 2;
   mem_[static_cast<std::size_t>(index)] += addend;
 }
 
-Fixed16::acc_t* AccumSram::span(i64 index, i64 count) {
+Fixed16::acc_t* AccumSram::span_ptr(i64 index, i64 count) {
   CBRAIN_CHECK(index >= 0 && count >= 0 &&
                    index + count <= size_partials(),
                name_ << ": partial span [" << index << ", " << index + count
                      << ") exceeds " << size_partials());
   return mem_.data() + index;
+}
+
+Fixed16::acc_t* AccumSram::span(i64 index, i64 count) {
+  Fixed16::acc_t* p = span_ptr(index, count);
+  if (fault_ != nullptr) fault_->on_accum_access(index, count, p);
+  return p;
 }
 
 }  // namespace cbrain

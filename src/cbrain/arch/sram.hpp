@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cbrain/common/math_util.hpp"
+#include "cbrain/fault/fault.hpp"
 #include "cbrain/fixed/fixed16.hpp"
 
 namespace cbrain {
@@ -38,9 +39,19 @@ class Sram16 {
   // accounting via count_reads/count_writes — the simulator's inner loops
   // batch one increment per window/tile instead of one per element, with
   // totals identical to the per-access methods above.
-  const std::int16_t* read_span(i64 addr, i64 words) const;
+  // (Non-const: an attached fault injector may upset cells on the read
+  // path — a read observes whatever the array holds *now*.)
+  const std::int16_t* read_span(i64 addr, i64 words);
   void count_reads(i64 words) { stats_.reads += words; }
   void count_writes(i64 words) { stats_.writes += words; }
+
+  // Fault-injection hook: read paths report touched words to `injector`
+  // as `site`. Detach with nullptr; when detached every hook is one
+  // pointer compare (the zero-fault path is bit- and counter-identical).
+  void attach_fault(FaultInjector* injector, FaultSite site) {
+    fault_ = injector;
+    fault_site_ = site;
+  }
 
   const SramStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -51,6 +62,8 @@ class Sram16 {
   std::string name_;
   std::vector<std::int16_t> mem_;
   SramStats stats_;
+  FaultInjector* fault_ = nullptr;
+  FaultSite fault_site_ = FaultSite::kInputSram;
 };
 
 class AccumSram {
@@ -73,16 +86,27 @@ class AccumSram {
   void count_reads(i64 partials) { stats_.reads += 2 * partials; }
   void count_writes(i64 partials) { stats_.writes += 2 * partials; }
 
+  // Checkpoint accessor for the executor's replay machinery: same view as
+  // span() but with no stats and no fault hook (saving/restoring a
+  // checkpoint is not architectural traffic).
+  Fixed16::acc_t* raw_span(i64 index, i64 count) { return span_ptr(index, count); }
+
+  // Fault-injection hook (see Sram16::attach_fault); accesses report as
+  // FaultSite::kAccumSram.
+  void attach_fault(FaultInjector* injector) { fault_ = injector; }
+
   // Traffic in 16-bit words (2 per partial access).
   const SramStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
  private:
   void bounds(i64 index) const;
+  Fixed16::acc_t* span_ptr(i64 index, i64 count);
 
   std::string name_;
   std::vector<Fixed16::acc_t> mem_;
   SramStats stats_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace cbrain

@@ -1,9 +1,12 @@
 #include "cbrain/compiler/compiler.hpp"
 
 #include <optional>
+#include <set>
 #include <sstream>
 
 #include "cbrain/common/logging.hpp"
+#include "cbrain/compiler/adaptive.hpp"
+#include "cbrain/compiler/verifier.hpp"
 
 namespace cbrain {
 namespace {
@@ -345,6 +348,102 @@ Result<CompiledNetwork> compile_network(const Network& net,
   return compile_with_layout(net,
                              plan_layout(net, std::move(schemes), config),
                              policy_label, config);
+}
+
+std::string CompileFallback::to_string() const {
+  std::ostringstream os;
+  os << "layer " << layer << ": " << scheme_name(from) << " -> "
+     << scheme_name(to) << " (" << reason << ")";
+  return os.str();
+}
+
+Result<CompiledNetwork> compile_network_resilient(
+    const Network& net, Policy policy, const AcceleratorConfig& config,
+    std::vector<CompileFallback>* fallbacks) {
+  std::vector<Scheme> schemes = assign_schemes(net, policy, config);
+  // Conservative-first candidates, all valid for any k/stride (sliding is
+  // a partition special case and adds nothing here).
+  static constexpr Scheme kFallbackOrder[] = {
+      Scheme::kInter, Scheme::kInterImproved, Scheme::kPartition,
+      Scheme::kIntraUnroll};
+
+  const auto note = [&](CompileFallback fb) {
+    CBRAIN_LOG(kWarn) << net.name() << ": scheme fallback, "
+                      << fb.to_string();
+    if (fallbacks != nullptr) fallbacks->push_back(std::move(fb));
+  };
+  const auto feasible = [&](const Layer& l, Scheme s) {
+    return plan_conv_tiles(l, s, config).status();
+  };
+
+  // Feasibility pre-pass: a layer whose policy-chosen scheme cannot be
+  // tiled into the buffers degrades to the next-best scheme that can.
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    const auto idx = static_cast<std::size_t>(l.id);
+    const Scheme chosen = schemes[idx];
+    const Status why = feasible(l, chosen);
+    if (why.is_ok()) continue;
+    bool recovered = false;
+    for (const Scheme cand : kFallbackOrder) {
+      if (cand == chosen) continue;
+      if (feasible(l, cand).is_ok()) {
+        note({l.id, chosen, cand, why.to_string()});
+        schemes[idx] = cand;
+        recovered = true;
+        break;
+      }
+    }
+    if (!recovered)
+      return Status::resource_exhausted(
+          net.name() + " layer " + l.name +
+          ": no scheme fits the configured buffers (" + why.to_string() +
+          ")");
+  }
+
+  auto compile_once = [&]() {
+    return compile_network(net, schemes, config, policy);
+  };
+  Result<CompiledNetwork> compiled_r = compile_once();
+  if (!compiled_r.is_ok()) return compiled_r.status();
+  CompiledNetwork compiled = std::move(compiled_r).value();
+
+  // Static-verifier safety net: a rejected program demotes the offending
+  // conv layers to the baseline scheme and recompiles once.
+  VerifyReport report = verify_program(net, compiled, config);
+  if (report.ok()) return compiled;
+
+  std::set<LayerId> bad;
+  for (const VerifyIssue& issue : report.issues) {
+    if (issue.instr_index < 0) continue;
+    for (const Layer& l : net.layers()) {
+      const auto [b, e] = compiled.program.layer_range(l.id);
+      if (l.is_conv() && issue.instr_index >= b && issue.instr_index < e)
+        bad.insert(l.id);
+    }
+  }
+  bool demoted = false;
+  for (const LayerId id : bad) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (schemes[idx] == Scheme::kInter) continue;
+    note({id, schemes[idx], Scheme::kInter,
+          "verifier: " + report.issues.front().rule + " " +
+              report.issues.front().message});
+    schemes[idx] = Scheme::kInter;
+    demoted = true;
+  }
+  if (!demoted)
+    return Status::internal(net.name() + ": verifier rejected program: " +
+                            report.to_string());
+  compiled_r = compile_once();
+  if (!compiled_r.is_ok()) return compiled_r.status();
+  compiled = std::move(compiled_r).value();
+  report = verify_program(net, compiled, config);
+  if (!report.ok())
+    return Status::internal(net.name() +
+                            ": verifier still rejects after fallback: " +
+                            report.to_string());
+  return compiled;
 }
 
 }  // namespace cbrain

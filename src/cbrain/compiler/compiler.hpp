@@ -34,4 +34,26 @@ Result<CompiledNetwork> compile_network(const Network& net,
                                         const AcceleratorConfig& config,
                                         Policy policy_label);
 
+// One graceful-degradation decision the resilient compile took instead of
+// failing: the layer whose policy-chosen scheme was rejected, the scheme
+// it fell back to, and the Status/report that forced the fallback.
+struct CompileFallback {
+  LayerId layer = -1;
+  Scheme from = Scheme::kInter;
+  Scheme to = Scheme::kInter;
+  std::string reason;
+
+  std::string to_string() const;
+};
+
+// Resilient compile: where compile_network fails outright when the
+// policy's scheme cannot be tiled into the configured buffers (or the
+// static verifier rejects the emitted program), this variant falls back
+// per layer to the next-best feasible scheme with a logged Status and
+// keeps going. It fails only when *no* scheme fits a layer. `fallbacks`
+// (optional) receives the decisions taken.
+Result<CompiledNetwork> compile_network_resilient(
+    const Network& net, Policy policy, const AcceleratorConfig& config,
+    std::vector<CompileFallback>* fallbacks = nullptr);
+
 }  // namespace cbrain

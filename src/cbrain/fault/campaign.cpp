@@ -1,0 +1,219 @@
+#include "cbrain/fault/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "cbrain/common/thread_pool.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/sim/executor.hpp"
+
+namespace cbrain {
+namespace {
+
+// SplitMix64 finalizer: decorrelates per-point injector seeds from the
+// campaign seed + grid index without floating point.
+u64 mix_seed(u64 seed, u64 index) {
+  u64 z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Data seeds are fixed so every point of a campaign (and the fault-free
+// reference inside each point) runs the exact same workload.
+constexpr u64 kParamsSeed = 0xDA7A;
+constexpr u64 kInputSeed = 0xDA7A ^ 0x1234;
+
+i64 sum_total_cycles(const SimResult& r) {
+  i64 total = 0;
+  for (const TrafficCounters& c : r.per_layer) total += c.total_cycles;
+  return total;
+}
+
+TrafficCounters sum_counters(const SimResult& r) {
+  TrafficCounters total;
+  for (const TrafficCounters& c : r.per_layer) total += c;
+  return total;
+}
+
+// Prices the injector's code-word traffic (parity/ECC/CRC words read
+// alongside the data) and DMA retransmissions with the same per-access
+// constants as the data traffic itself.
+double protection_pj(const FaultStats& s, const EnergyParams& p) {
+  const auto words = [&](FaultSite site) {
+    return static_cast<double>(
+        s.code_words[static_cast<std::size_t>(site)]);
+  };
+  double pj = 0.0;
+  pj += words(FaultSite::kInputSram) * p.inout_buf_pj;
+  pj += words(FaultSite::kAccumSram) * p.inout_buf_pj;
+  pj += words(FaultSite::kWeightSram) * p.weight_buf_pj;
+  pj += words(FaultSite::kBiasSram) * p.bias_buf_pj;
+  pj += words(FaultSite::kDram) * p.dram_pj;
+  pj += words(FaultSite::kDma) * p.dram_pj;
+  pj += static_cast<double>(s.dma_retry_words) * p.dram_pj;
+  return pj;
+}
+
+std::string fmt(const char* f, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace
+
+FaultMode default_fault_mode(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDma:
+      return FaultMode::kBurstCorrupt;
+    case FaultSite::kPeLane:
+      return FaultMode::kStuckAt;
+    default:
+      return FaultMode::kBitFlip;
+  }
+}
+
+double FaultPointResult::cycle_overhead() const {
+  if (baseline_cycles <= 0) return 0.0;
+  return static_cast<double>(faulty_cycles - baseline_cycles) /
+         static_cast<double>(baseline_cycles);
+}
+
+double FaultPointResult::energy_overhead() const {
+  if (baseline_pj <= 0.0) return 0.0;
+  return (faulty_pj - baseline_pj) / baseline_pj;
+}
+
+Result<FaultPointResult> run_fault_point(const Network& net, Policy policy,
+                                         const AcceleratorConfig& config,
+                                         const FaultPointSpec& spec,
+                                         const EnergyParams& energy) {
+  FaultPointResult out;
+  out.net = net.name();
+  out.spec = spec;
+
+  Result<CompiledNetwork> compiled =
+      compile_network_resilient(net, policy, config, &out.fallbacks);
+  if (!compiled.is_ok()) return compiled.status();
+
+  const auto params = init_net_params<Fixed16>(net, kParamsSeed);
+  const auto input =
+      random_input<Fixed16>(net.layer(0).out_dims, kInputSeed);
+
+  SimExecutor baseline(net, compiled.value(), config);
+  const SimResult base = baseline.run(input, params);
+  out.baseline_cycles = sum_total_cycles(base);
+  out.baseline_pj = compute_energy(sum_counters(base), energy).total_pj();
+
+  FaultConfig fc;
+  fc.seed = spec.seed;
+  fc.recovery = spec.recovery;
+  fc.site(spec.site).per_mword = spec.rate_per_mword;
+  fc.site(spec.site).mode = spec.mode;
+  FaultInjector injector(fc);
+
+  SimExecutor faulty(net, compiled.value(), config);
+  faulty.attach_fault(&injector);
+  const SimResult hit = faulty.run(input, params);
+  out.faulty_cycles = sum_total_cycles(hit);
+  out.faulty_pj = compute_energy(sum_counters(hit), energy).total_pj() +
+                  protection_pj(injector.stats(), energy);
+  out.stats = injector.stats();
+  out.events = injector.events();
+
+  const Tensor3<Fixed16>& a = base.final_output;
+  const Tensor3<Fixed16>& b = hit.final_output;
+  for (i64 d = 0; d < a.dims().d; ++d)
+    for (i64 y = 0; y < a.dims().h; ++y)
+      for (i64 x = 0; x < a.dims().w; ++x) {
+        ++out.outputs;
+        const int da = a.at(d, y, x).raw();
+        const int db = b.at(d, y, x).raw();
+        if (da == db) continue;
+        ++out.mismatched_outputs;
+        out.max_abs_err =
+            std::max(out.max_abs_err, std::abs(da - db) / 256.0);
+      }
+  return out;
+}
+
+Result<std::vector<FaultPointResult>> run_fault_campaign(
+    const CampaignSpec& spec) {
+  struct Point {
+    const Network* net = nullptr;
+    FaultPointSpec fp;
+  };
+  std::vector<Point> grid;
+  for (const Network& net : spec.nets)
+    for (const FaultSite site : spec.sites)
+      for (const double rate : spec.rates_per_mword)
+        for (const RecoveryPolicy recovery : spec.recoveries) {
+          Point p;
+          p.net = &net;
+          p.fp.site = site;
+          p.fp.mode = default_fault_mode(site);
+          p.fp.rate_per_mword = rate;
+          p.fp.recovery = recovery;
+          p.fp.seed = mix_seed(spec.seed, grid.size());
+          grid.push_back(p);
+        }
+
+  // parallel_map slots must be default-constructible, so carry the Status
+  // alongside and surface the lowest failed index afterwards (matching
+  // the pool's own deterministic-failure contract).
+  struct Slot {
+    FaultPointResult point;
+    Status status;
+  };
+  const std::vector<Slot> slots = parallel::parallel_map<Slot>(
+      static_cast<i64>(grid.size()), [&](i64 i) {
+        const Point& p = grid[static_cast<std::size_t>(i)];
+        Result<FaultPointResult> r = run_fault_point(
+            *p.net, spec.policy, spec.config, p.fp, spec.energy);
+        Slot s;
+        if (r.is_ok())
+          s.point = std::move(r).value();
+        else
+          s.status = r.status();
+        return s;
+      });
+
+  std::vector<FaultPointResult> points;
+  points.reserve(slots.size());
+  for (const Slot& s : slots) {
+    if (!s.status.is_ok()) return s.status;
+    points.push_back(s.point);
+  }
+  return points;
+}
+
+Table campaign_table(const std::vector<FaultPointResult>& points) {
+  Table t({"net", "site", "mode", "rate/Mw", "recovery", "inj", "det",
+           "corr", "uncorr", "silent", "replays", "retries", "mism",
+           "max_err", "cyc_ovh%", "en_ovh%"});
+  std::string last_net;
+  for (const FaultPointResult& p : points) {
+    if (!last_net.empty() && p.net != last_net) t.add_rule();
+    last_net = p.net;
+    t.add_row({p.net, fault_site_name(p.spec.site),
+               fault_mode_name(p.spec.mode),
+               fmt("%.3g", p.spec.rate_per_mword),
+               recovery_policy_name(p.spec.recovery),
+               std::to_string(p.stats.total_injected()),
+               std::to_string(p.stats.detected),
+               std::to_string(p.stats.corrected),
+               std::to_string(p.stats.uncorrected),
+               std::to_string(p.stats.silent),
+               std::to_string(p.stats.instruction_replays),
+               std::to_string(p.stats.dma_retries),
+               std::to_string(p.mismatched_outputs),
+               fmt("%.4g", p.max_abs_err),
+               fmt("%.3f", p.cycle_overhead() * 100.0),
+               fmt("%.3f", p.energy_overhead() * 100.0)});
+  }
+  return t;
+}
+
+}  // namespace cbrain

@@ -1,0 +1,516 @@
+#include "cbrain/fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/common/math_util.hpp"
+
+namespace cbrain {
+namespace {
+
+constexpr const char* kSiteNames[kFaultSiteCount] = {
+    "input_sram", "weight_sram", "bias_sram", "accum_sram",
+    "dram",       "dma",         "pe_lane"};
+
+std::int16_t corrupt16(FaultMode mode, int bit, int stuck_value,
+                       std::int16_t v) {
+  auto u = static_cast<std::uint16_t>(v);
+  const auto mask = static_cast<std::uint16_t>(1u << bit);
+  if (mode == FaultMode::kStuckAt)
+    u = stuck_value ? static_cast<std::uint16_t>(u | mask)
+                    : static_cast<std::uint16_t>(u & ~mask);
+  else  // kBitFlip and kBurstCorrupt both flip the drawn bit per word
+    u = static_cast<std::uint16_t>(u ^ mask);
+  return static_cast<std::int16_t>(u);
+}
+
+Fixed16::acc_t corrupt64(FaultMode mode, int bit, int stuck_value,
+                         Fixed16::acc_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  const std::uint64_t mask = std::uint64_t{1} << bit;
+  if (mode == FaultMode::kStuckAt)
+    u = stuck_value ? (u | mask) : (u & ~mask);
+  else
+    u ^= mask;
+  return static_cast<Fixed16::acc_t>(u);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  return kSiteNames[static_cast<int>(site)];
+}
+
+bool fault_site_from_name(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    if (name == kSiteNames[i]) {
+      *out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  // Short aliases for the CLI.
+  static constexpr const char* kAlias[kFaultSiteCount] = {
+      "input", "weight", "bias", "accum", "dram", "dma", "pe"};
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    if (name == kAlias[i]) {
+      *out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kBitFlip:
+      return "bit_flip";
+    case FaultMode::kStuckAt:
+      return "stuck_at";
+    case FaultMode::kBurstCorrupt:
+      return "burst";
+    case FaultMode::kDmaStall:
+      return "dma_stall";
+  }
+  return "?";
+}
+
+const char* recovery_policy_name(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kNone:
+      return "none";
+    case RecoveryPolicy::kParityRetry:
+      return "parity";
+    case RecoveryPolicy::kEcc:
+      return "ecc";
+  }
+  return "?";
+}
+
+bool recovery_policy_from_name(const std::string& name,
+                               RecoveryPolicy* out) {
+  if (name == "none") {
+    *out = RecoveryPolicy::kNone;
+    return true;
+  }
+  if (name == "parity") {
+    *out = RecoveryPolicy::kParityRetry;
+    return true;
+  }
+  if (name == "ecc") {
+    *out = RecoveryPolicy::kEcc;
+    return true;
+  }
+  return false;
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << fault_site_name(site) << " " << fault_mode_name(mode) << " addr="
+     << addr << " bit=" << bit << " before=" << before << " after=" << after;
+  if (detected) os << " detected";
+  if (corrected) os << " corrected";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  CBRAIN_CHECK(config_.parity_group_words > 0 && config_.max_retries >= 0,
+               "invalid fault recovery configuration");
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const SiteFaultSpec& spec = config_.site(site);
+    CBRAIN_CHECK(spec.per_mword >= 0.0 && spec.burst_words > 0 &&
+                     spec.bit < 64,
+                 "invalid fault spec for " << fault_site_name(site));
+    CBRAIN_CHECK(spec.mode != FaultMode::kDmaStall || site == FaultSite::kDma,
+                 "kDmaStall is only meaningful on the DMA site");
+    CBRAIN_CHECK(site != FaultSite::kPeLane ||
+                     spec.mode == FaultMode::kBitFlip ||
+                     spec.mode == FaultMode::kStuckAt,
+                 "PE lane faults are bit_flip or stuck_at");
+    countdown_[static_cast<std::size_t>(i)] =
+        spec.per_mword > 0.0 ? draw_gap(site) : -1;
+  }
+}
+
+i64 FaultInjector::draw_gap(FaultSite s) {
+  const double rate = config_.site(s).per_mword;
+  const i64 mean =
+      std::max<i64>(1, static_cast<i64>(1e6 / rate + 0.5));
+  // Uniform on [1, 2*mean]: integer draw, mean gap = mean + 0.5 units.
+  return 1 + static_cast<i64>(
+                 rng_.next_below(2 * static_cast<std::uint64_t>(mean)));
+}
+
+void FaultInjector::advance(FaultSite s, i64 units) {
+  i64& c = countdown_[static_cast<std::size_t>(s)];
+  while (c < units) {
+    fired_.push_back(c);
+    c += draw_gap(s);
+  }
+  c -= units;
+}
+
+int FaultInjector::draw_bit(const SiteFaultSpec& spec, int width) {
+  if (spec.bit >= 0) return spec.bit < width ? spec.bit : width - 1;
+  return static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(width)));
+}
+
+void FaultInjector::log_event(const FaultEvent& ev) {
+  if (static_cast<i64>(events_.size()) < config_.max_logged_events)
+    events_.push_back(ev);
+  else
+    ++dropped_events_;
+}
+
+std::string FaultInjector::event_log() const {
+  std::ostringstream os;
+  for (const FaultEvent& ev : events_) os << ev.to_string() << "\n";
+  if (dropped_events_ > 0)
+    os << "(+" << dropped_events_ << " events beyond the log cap)\n";
+  return os.str();
+}
+
+void FaultInjector::add_overhead_cycles(i64 cycles) {
+  pending_overhead_cycles_ += cycles;
+  stats_.overhead_cycles += cycles;
+}
+
+i64 FaultInjector::take_overhead_cycles() {
+  const i64 c = pending_overhead_cycles_;
+  pending_overhead_cycles_ = 0;
+  return c;
+}
+
+void FaultInjector::on_sram_read(FaultSite site, i64 addr, i64 words,
+                                 std::int16_t* data) {
+  if (!site_enabled(site) || words <= 0) return;
+  const auto si = static_cast<std::size_t>(site);
+  if (config_.recovery != RecoveryPolicy::kNone)
+    stats_.code_words[si] += ceil_div(words, config_.parity_group_words);
+  fired_.clear();
+  advance(site, words);
+  const SiteFaultSpec& spec = config_.site(site);
+  for (const i64 off : fired_) {
+    ++stats_.injected[si];
+    const int bit = draw_bit(spec, 16);
+    const i64 run = spec.mode == FaultMode::kBurstCorrupt
+                        ? std::min(spec.burst_words, words - off)
+                        : 1;
+    FaultEvent ev;
+    ev.site = site;
+    ev.mode = spec.mode;
+    ev.addr = addr + off;
+    ev.bit = bit;
+    ev.before = data[off];
+    i64 changed = 0;
+    for (i64 r = 0; r < run; ++r) {
+      const std::int16_t before = data[off + r];
+      const std::int16_t after =
+          corrupt16(spec.mode, bit, spec.stuck_value, before);
+      if (after == before) continue;
+      data[off + r] = after;
+      ++changed;
+      if (config_.recovery == RecoveryPolicy::kEcc) {
+        data[off + r] = before;  // SECDED corrects in place per code word
+        add_overhead_cycles(config_.ecc_correct_cycles);
+      } else if (config_.recovery == RecoveryPolicy::kParityRetry) {
+        pending_.push_back({&data[off + r], nullptr, before, 0});
+      }
+    }
+    ev.after = data[off];
+    if (changed == 0) {
+      ++stats_.masked;
+    } else {
+      stats_.corrupted_words += changed;
+      switch (config_.recovery) {
+        case RecoveryPolicy::kNone:
+          ++stats_.silent;
+          break;
+        case RecoveryPolicy::kEcc:
+          ev.detected = ev.corrected = true;
+          ev.after = ev.before;
+          ++stats_.detected;
+          ++stats_.corrected;
+          break;
+        case RecoveryPolicy::kParityRetry:
+          ev.detected = true;
+          ++stats_.detected;
+          ++pending_faults_;
+          add_overhead_cycles(config_.detect_latency_cycles);
+          break;
+      }
+    }
+    log_event(ev);
+  }
+}
+
+void FaultInjector::on_accum_access(i64 index, i64 partials,
+                                    Fixed16::acc_t* data) {
+  constexpr FaultSite site = FaultSite::kAccumSram;
+  if (!site_enabled(site) || partials <= 0) return;
+  const auto si = static_cast<std::size_t>(site);
+  const i64 words = 2 * partials;  // traffic unit: 16-bit words
+  if (config_.recovery != RecoveryPolicy::kNone)
+    stats_.code_words[si] += ceil_div(words, config_.parity_group_words);
+  fired_.clear();
+  advance(site, words);
+  const SiteFaultSpec& spec = config_.site(site);
+  for (const i64 off_w : fired_) {
+    const i64 off = std::min(off_w / 2, partials - 1);
+    ++stats_.injected[si];
+    const int bit = draw_bit(spec, 32);
+    const i64 run = spec.mode == FaultMode::kBurstCorrupt
+                        ? std::min(spec.burst_words, partials - off)
+                        : 1;
+    FaultEvent ev;
+    ev.site = site;
+    ev.mode = spec.mode;
+    ev.addr = index + off;
+    ev.bit = bit;
+    ev.before = data[off];
+    i64 changed = 0;
+    for (i64 r = 0; r < run; ++r) {
+      const Fixed16::acc_t before = data[off + r];
+      const Fixed16::acc_t after =
+          corrupt64(spec.mode, bit, spec.stuck_value, before);
+      if (after == before) continue;
+      data[off + r] = after;
+      ++changed;
+      if (config_.recovery == RecoveryPolicy::kEcc) {
+        data[off + r] = before;
+        add_overhead_cycles(config_.ecc_correct_cycles);
+      } else if (config_.recovery == RecoveryPolicy::kParityRetry) {
+        pending_.push_back({nullptr, &data[off + r], 0, before});
+      }
+    }
+    ev.after = data[off];
+    if (changed == 0) {
+      ++stats_.masked;
+    } else {
+      stats_.corrupted_words += changed;
+      switch (config_.recovery) {
+        case RecoveryPolicy::kNone:
+          ++stats_.silent;
+          break;
+        case RecoveryPolicy::kEcc:
+          ev.detected = ev.corrected = true;
+          ev.after = ev.before;
+          ++stats_.detected;
+          ++stats_.corrected;
+          break;
+        case RecoveryPolicy::kParityRetry:
+          ev.detected = true;
+          ++stats_.detected;
+          ++pending_faults_;
+          add_overhead_cycles(config_.detect_latency_cycles);
+          break;
+      }
+    }
+    log_event(ev);
+  }
+}
+
+void FaultInjector::on_dram_write(i64 addr, i64 words, std::int16_t* data) {
+  constexpr FaultSite site = FaultSite::kDram;
+  if (!site_enabled(site) || words <= 0) return;
+  const auto si = static_cast<std::size_t>(site);
+  if (config_.recovery != RecoveryPolicy::kNone)
+    stats_.code_words[si] += ceil_div(words, config_.parity_group_words);
+  fired_.clear();
+  advance(site, words);
+  const SiteFaultSpec& spec = config_.site(site);
+  for (const i64 off : fired_) {
+    ++stats_.injected[si];
+    const int bit = draw_bit(spec, 16);
+    const i64 run = spec.mode == FaultMode::kBurstCorrupt
+                        ? std::min(spec.burst_words, words - off)
+                        : 1;
+    FaultEvent ev;
+    ev.site = site;
+    ev.mode = spec.mode;
+    ev.addr = addr + off;
+    ev.bit = bit;
+    ev.before = data[off];
+    i64 changed = 0;
+    for (i64 r = 0; r < run; ++r) {
+      const std::int16_t before = data[off + r];
+      const std::int16_t after =
+          corrupt16(spec.mode, bit, spec.stuck_value, before);
+      if (after == before) continue;
+      ++changed;
+      // In-DRAM ECC scrubs at-rest corruption under either recovery
+      // policy; without recovery the corrupted value lands.
+      if (config_.recovery == RecoveryPolicy::kNone) {
+        data[off + r] = after;
+      } else {
+        add_overhead_cycles(config_.ecc_correct_cycles);
+      }
+    }
+    ev.after = data[off];
+    if (changed == 0) {
+      ++stats_.masked;
+    } else {
+      stats_.corrupted_words += changed;
+      if (config_.recovery == RecoveryPolicy::kNone) {
+        ++stats_.silent;
+      } else {
+        ev.detected = ev.corrected = true;
+        ++stats_.detected;
+        ++stats_.corrected;
+      }
+    }
+    log_event(ev);
+  }
+}
+
+FaultInjector::DmaAttempt FaultInjector::on_dma_attempt(std::int16_t* data,
+                                                        i64 words,
+                                                        i64 attempt) {
+  constexpr FaultSite site = FaultSite::kDma;
+  DmaAttempt out;
+  if (!site_enabled(site) || words <= 0) return out;
+  const auto si = static_cast<std::size_t>(site);
+  if (config_.recovery != RecoveryPolicy::kNone) {
+    stats_.code_words[si] += ceil_div(words, config_.parity_group_words);
+    add_overhead_cycles(config_.dma_crc_cycles);
+  }
+  fired_.clear();
+  advance(site, words);
+  const SiteFaultSpec& spec = config_.site(site);
+  bool corrupted = false;
+  for (const i64 off : fired_) {
+    ++stats_.injected[si];
+    if (spec.mode == FaultMode::kDmaStall) {
+      ++stats_.dma_stalls;
+      add_overhead_cycles(spec.stall_cycles);
+      FaultEvent ev;
+      ev.site = site;
+      ev.mode = spec.mode;
+      ev.addr = off;
+      log_event(ev);
+      continue;
+    }
+    const int bit = draw_bit(spec, 16);
+    const i64 run = spec.mode == FaultMode::kBurstCorrupt
+                        ? std::min(spec.burst_words, words - off)
+                        : 1;
+    FaultEvent ev;
+    ev.site = site;
+    ev.mode = spec.mode;
+    ev.addr = off;
+    ev.bit = bit;
+    ev.before = data[off];
+    i64 changed = 0;
+    for (i64 r = 0; r < run; ++r) {
+      const std::int16_t before = data[off + r];
+      const std::int16_t after =
+          corrupt16(spec.mode, bit, spec.stuck_value, before);
+      if (after == before) continue;
+      data[off + r] = after;
+      ++changed;
+    }
+    ev.after = data[off];
+    if (changed == 0) {
+      ++stats_.masked;
+    } else {
+      stats_.corrupted_words += changed;
+      corrupted = true;
+      if (config_.recovery == RecoveryPolicy::kNone) {
+        ++stats_.silent;
+      } else {
+        ev.detected = true;
+        ++stats_.detected;
+        if (attempt < config_.max_retries) {
+          // The retransmit re-reads clean data from DRAM.
+          ev.corrected = true;
+          ++stats_.corrected;
+        } else {
+          ++stats_.uncorrected;
+        }
+      }
+    }
+    log_event(ev);
+  }
+  if (corrupted && config_.recovery != RecoveryPolicy::kNone &&
+      attempt < config_.max_retries) {
+    out.retry = true;
+    ++stats_.dma_retries;
+    add_overhead_cycles(config_.dma_retry_backoff_cycles << attempt);
+  }
+  return out;
+}
+
+void FaultInjector::on_pe_ops(i64 ops, i64 tout) {
+  constexpr FaultSite site = FaultSite::kPeLane;
+  if (!site_enabled(site) || ops <= 0) return;
+  fired_.clear();
+  advance(site, ops);
+  if (fired_.empty() || pe_active_) return;  // one latch per instruction
+  const SiteFaultSpec& spec = config_.site(site);
+  pe_active_ = true;
+  pe_tout_ = std::max<i64>(1, tout);
+  pe_lane_ = static_cast<i64>(
+      rng_.next_below(static_cast<std::uint64_t>(pe_tout_)));
+  pe_bit_ = draw_bit(spec, 16);
+  pe_logged_ = false;
+  ++stats_.injected[static_cast<std::size_t>(site)];
+  // Compute faults bypass the storage/transfer protection — always silent.
+  ++stats_.silent;
+}
+
+std::int16_t FaultInjector::apply_pe_fault(i64 dout_abs, std::int16_t raw) {
+  if (!pe_active_ || (dout_abs % pe_tout_) != pe_lane_) return raw;
+  const SiteFaultSpec& spec = config_.site(FaultSite::kPeLane);
+  const std::int16_t out =
+      corrupt16(spec.mode, pe_bit_, spec.stuck_value, raw);
+  if (out != raw) {
+    ++stats_.corrupted_words;
+    if (!pe_logged_) {
+      FaultEvent ev;
+      ev.site = FaultSite::kPeLane;
+      ev.mode = spec.mode;
+      ev.addr = pe_lane_;
+      ev.bit = pe_bit_;
+      ev.before = raw;
+      ev.after = out;
+      log_event(ev);
+      pe_logged_ = true;
+    }
+  }
+  return out;
+}
+
+void FaultInjector::pe_instruction_end() {
+  if (!pe_active_) return;
+  if (!pe_logged_) {
+    FaultEvent ev;  // lane latched but no output crossed it
+    ev.site = FaultSite::kPeLane;
+    ev.mode = config_.site(FaultSite::kPeLane).mode;
+    ev.addr = pe_lane_;
+    ev.bit = pe_bit_;
+    log_event(ev);
+  }
+  pe_active_ = false;
+}
+
+void FaultInjector::heal_pending() {
+  for (const Pending& p : pending_) {
+    if (p.p16 != nullptr)
+      *p.p16 = p.before16;
+    else
+      *p.p64 = p.before64;
+  }
+  stats_.corrected += pending_faults_;
+  pending_faults_ = 0;
+  pending_.clear();
+}
+
+void FaultInjector::abandon_pending() {
+  stats_.uncorrected += pending_faults_;
+  pending_faults_ = 0;
+  pending_.clear();
+}
+
+}  // namespace cbrain

@@ -1,5 +1,7 @@
 #include "cbrain/isa/program.hpp"
 
+#include <cstring>
+
 namespace cbrain {
 
 std::pair<i64, i64> Program::layer_range(LayerId layer) const {
@@ -29,6 +31,403 @@ ProgramStats Program::stats() const {
     }
   }
   return s;
+}
+
+// --- serialization ---------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'B', 'R', 'P'};
+constexpr i64 kVersion = 1;
+
+void put_i64(std::string& out, i64 v) {
+  const u64 u = static_cast<u64>(v);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((u >> (8 * i)) & 0xFF));
+}
+
+void put_u8(std::string& out, unsigned v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+void put_bool(std::string& out, bool b) { put_u8(out, b ? 1 : 0); }
+
+void put_str(std::string& out, const std::string& s) {
+  put_i64(out, static_cast<i64>(s.size()));
+  out.append(s);
+}
+
+void put_dims(std::string& out, const MapDims& d) {
+  put_i64(out, d.d);
+  put_i64(out, d.h);
+  put_i64(out, d.w);
+}
+
+void put_outs(std::string& out, const std::vector<OutputMap>& outs) {
+  put_i64(out, static_cast<i64>(outs.size()));
+  for (const OutputMap& m : outs) {
+    put_i64(out, m.base);
+    put_dims(out, m.cube_dims);
+    put_u8(out, static_cast<unsigned>(m.order));
+    put_i64(out, m.d_offset);
+    put_i64(out, m.y_offset);
+    put_i64(out, m.x_offset);
+  }
+}
+
+// Bounds-checked little-endian reader. The first failed read latches a
+// Status with the byte offset; every accessor after a failure returns a
+// harmless default so decoding simply falls through to the next check.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+  i64 remaining() const { return static_cast<i64>(data_.size() - pos_); }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  void fail(const std::string& msg) {
+    if (status_.is_ok())
+      status_ = Status::invalid_argument("program stream: " + msg +
+                                         " at byte " +
+                                         std::to_string(pos_));
+  }
+
+  i64 get_i64() {
+    if (!take_ok(8)) {
+      fail("truncated i64");
+      return 0;
+    }
+    u64 u = 0;
+    for (int i = 0; i < 8; ++i)
+      u |= static_cast<u64>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return static_cast<i64>(u);
+  }
+
+  unsigned get_u8() {
+    if (!take_ok(1)) {
+      fail("truncated byte");
+      return 0;
+    }
+    return static_cast<unsigned char>(data_[pos_++]);
+  }
+
+  bool get_bool() {
+    const unsigned v = get_u8();
+    if (ok() && v > 1) fail("bad bool");
+    return v == 1;
+  }
+
+  std::string get_str() {
+    const i64 len = get_i64();
+    if (!ok()) return {};
+    if (len < 0 || len > remaining()) {
+      fail("bad string length " + std::to_string(len));
+      return {};
+    }
+    std::string s(data_.substr(pos_, static_cast<std::size_t>(len)));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  // An enum encoded as one byte, validated against [0, limit).
+  template <typename E>
+  E get_enum(unsigned limit, const char* what) {
+    const unsigned v = get_u8();
+    if (ok() && v >= limit) fail(std::string("bad ") + what);
+    return static_cast<E>(ok() ? v : 0);
+  }
+
+  MapDims get_dims() {
+    MapDims d;
+    d.d = get_i64();
+    d.h = get_i64();
+    d.w = get_i64();
+    return d;
+  }
+
+  std::vector<OutputMap> get_outs() {
+    std::vector<OutputMap> outs;
+    const i64 n = get_i64();
+    if (!ok()) return outs;
+    // Each OutputMap takes 57 encoded bytes; a count beyond what the
+    // remaining stream could hold is garbage — reject it before
+    // reserving memory for it.
+    if (n < 0 || n > remaining() / 57) {
+      fail("bad OutputMap count " + std::to_string(n));
+      return outs;
+    }
+    outs.reserve(static_cast<std::size_t>(n));
+    for (i64 i = 0; i < n && ok(); ++i) {
+      OutputMap m;
+      m.base = get_i64();
+      m.cube_dims = get_dims();
+      m.order = get_enum<DataOrder>(2, "DataOrder");
+      m.d_offset = get_i64();
+      m.y_offset = get_i64();
+      m.x_offset = get_i64();
+      outs.push_back(m);
+    }
+    return outs;
+  }
+
+ private:
+  bool take_ok(std::size_t n) const {
+    return ok() && pos_ + n <= data_.size();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  Status status_;
+};
+
+void put_instr(std::string& out, const Instruction& instr) {
+  put_u8(out, static_cast<unsigned>(instr.index()));
+  if (const auto* p = std::get_if<LoadInstr>(&instr)) {
+    put_u8(out, static_cast<unsigned>(p->dst));
+    put_i64(out, p->dst_addr);
+    put_i64(out, p->src);
+    put_i64(out, p->words);
+    put_i64(out, p->chunks);
+    put_i64(out, p->chunk_words);
+    put_i64(out, p->src_stride);
+    put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<ConvTileInstr>(&instr)) {
+    put_i64(out, p->layer);
+    put_u8(out, static_cast<unsigned>(p->scheme));
+    put_i64(out, p->k);
+    put_i64(out, p->stride);
+    put_i64(out, p->part.g);
+    put_i64(out, p->part.ks);
+    put_i64(out, p->out_w);
+    put_i64(out, p->out_row0);
+    put_i64(out, p->out_row1);
+    put_i64(out, p->dout0);
+    put_i64(out, p->dout1);
+    put_i64(out, p->din0);
+    put_i64(out, p->din1);
+    put_i64(out, p->input_base);
+    put_i64(out, p->band_row0);
+    put_i64(out, p->band_rows);
+    put_i64(out, p->band_width);
+    put_u8(out, static_cast<unsigned>(p->band_order));
+    put_i64(out, p->weight_base);
+    put_i64(out, p->bias_base);
+    put_bool(out, p->first_din_chunk);
+    put_bool(out, p->last_din_chunk);
+    put_bool(out, p->relu);
+    put_outs(out, p->outs);
+    put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<PoolTileInstr>(&instr)) {
+    put_i64(out, p->layer);
+    put_u8(out, static_cast<unsigned>(p->kind));
+    put_i64(out, p->p);
+    put_i64(out, p->stride);
+    put_i64(out, p->in_h);
+    put_i64(out, p->in_w);
+    put_i64(out, p->pad);
+    put_i64(out, p->out_w);
+    put_i64(out, p->out_row0);
+    put_i64(out, p->out_row1);
+    put_i64(out, p->d0);
+    put_i64(out, p->d1);
+    put_i64(out, p->input_base);
+    put_i64(out, p->band_row0);
+    put_i64(out, p->band_rows);
+    put_i64(out, p->band_width);
+    put_u8(out, static_cast<unsigned>(p->band_order));
+    put_outs(out, p->outs);
+    put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<FcTileInstr>(&instr)) {
+    put_i64(out, p->layer);
+    put_i64(out, p->din);
+    put_i64(out, p->din0);
+    put_i64(out, p->din1);
+    put_i64(out, p->dout0);
+    put_i64(out, p->dout1);
+    put_i64(out, p->input_base);
+    put_i64(out, p->weight_base);
+    put_i64(out, p->bias_base);
+    put_bool(out, p->first_din_chunk);
+    put_bool(out, p->last_din_chunk);
+    put_bool(out, p->relu);
+    put_outs(out, p->outs);
+    put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<HostOpInstr>(&instr)) {
+    put_i64(out, p->layer);
+    put_u8(out, static_cast<unsigned>(p->kind));
+    put_i64(out, p->words);
+    put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<BarrierInstr>(&instr)) {
+    put_str(out, p->tag);
+  }
+}
+
+Instruction get_instr(Reader& r) {
+  const unsigned opcode = r.get_u8();
+  switch (opcode) {
+    case 0: {
+      LoadInstr p;
+      p.dst = r.get_enum<BufferId>(4, "BufferId");
+      p.dst_addr = r.get_i64();
+      p.src = r.get_i64();
+      p.words = r.get_i64();
+      p.chunks = r.get_i64();
+      p.chunk_words = r.get_i64();
+      p.src_stride = r.get_i64();
+      p.tag = r.get_str();
+      return p;
+    }
+    case 1: {
+      ConvTileInstr p;
+      p.layer = r.get_i64();
+      p.scheme = r.get_enum<Scheme>(5, "Scheme");
+      p.k = r.get_i64();
+      p.stride = r.get_i64();
+      p.part.g = r.get_i64();
+      p.part.ks = r.get_i64();
+      p.out_w = r.get_i64();
+      p.out_row0 = r.get_i64();
+      p.out_row1 = r.get_i64();
+      p.dout0 = r.get_i64();
+      p.dout1 = r.get_i64();
+      p.din0 = r.get_i64();
+      p.din1 = r.get_i64();
+      p.input_base = r.get_i64();
+      p.band_row0 = r.get_i64();
+      p.band_rows = r.get_i64();
+      p.band_width = r.get_i64();
+      p.band_order = r.get_enum<DataOrder>(2, "DataOrder");
+      p.weight_base = r.get_i64();
+      p.bias_base = r.get_i64();
+      p.first_din_chunk = r.get_bool();
+      p.last_din_chunk = r.get_bool();
+      p.relu = r.get_bool();
+      p.outs = r.get_outs();
+      p.tag = r.get_str();
+      return p;
+    }
+    case 2: {
+      PoolTileInstr p;
+      p.layer = r.get_i64();
+      p.kind = r.get_enum<PoolKind>(2, "PoolKind");
+      p.p = r.get_i64();
+      p.stride = r.get_i64();
+      p.in_h = r.get_i64();
+      p.in_w = r.get_i64();
+      p.pad = r.get_i64();
+      p.out_w = r.get_i64();
+      p.out_row0 = r.get_i64();
+      p.out_row1 = r.get_i64();
+      p.d0 = r.get_i64();
+      p.d1 = r.get_i64();
+      p.input_base = r.get_i64();
+      p.band_row0 = r.get_i64();
+      p.band_rows = r.get_i64();
+      p.band_width = r.get_i64();
+      p.band_order = r.get_enum<DataOrder>(2, "DataOrder");
+      p.outs = r.get_outs();
+      p.tag = r.get_str();
+      return p;
+    }
+    case 3: {
+      FcTileInstr p;
+      p.layer = r.get_i64();
+      p.din = r.get_i64();
+      p.din0 = r.get_i64();
+      p.din1 = r.get_i64();
+      p.dout0 = r.get_i64();
+      p.dout1 = r.get_i64();
+      p.input_base = r.get_i64();
+      p.weight_base = r.get_i64();
+      p.bias_base = r.get_i64();
+      p.first_din_chunk = r.get_bool();
+      p.last_din_chunk = r.get_bool();
+      p.relu = r.get_bool();
+      p.outs = r.get_outs();
+      p.tag = r.get_str();
+      return p;
+    }
+    case 4: {
+      HostOpInstr p;
+      p.layer = r.get_i64();
+      p.kind = r.get_enum<HostOpKind>(3, "HostOpKind");
+      p.words = r.get_i64();
+      p.tag = r.get_str();
+      return p;
+    }
+    case 5: {
+      BarrierInstr p;
+      p.tag = r.get_str();
+      return p;
+    }
+    default:
+      r.fail("bad opcode " + std::to_string(opcode));
+      return BarrierInstr{};
+  }
+}
+
+}  // namespace
+
+std::string Program::serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_i64(out, kVersion);
+  put_i64(out, size());
+  for (const Instruction& instr : instrs_) put_instr(out, instr);
+  put_i64(out, static_cast<i64>(layer_begin_.size()));
+  for (const auto& [layer, begin] : layer_begin_) {
+    put_i64(out, layer);
+    put_i64(out, begin);
+  }
+  put_i64(out, static_cast<i64>(layer_end_.size()));
+  for (const auto& [layer, end] : layer_end_) {
+    put_i64(out, layer);
+    put_i64(out, end);
+  }
+  return out;
+}
+
+Result<Program> Program::deserialize(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return Status::invalid_argument(
+        "program stream: missing CBRP magic (not a serialized program)");
+  Reader body(bytes.substr(sizeof(kMagic)));
+  const i64 version = body.get_i64();
+  if (body.ok() && version != kVersion)
+    return Status::unsupported("program stream: unsupported version " +
+                               std::to_string(version));
+
+  Program prog;
+  const i64 count = body.get_i64();
+  // The shortest instruction (a barrier with an empty tag) is 9 bytes.
+  if (body.ok() && (count < 0 || count > body.remaining() / 9))
+    body.fail("bad instruction count " + std::to_string(count));
+  for (i64 i = 0; i < count && body.ok(); ++i)
+    prog.instrs_.push_back(get_instr(body));
+
+  const auto read_map = [&](std::map<LayerId, i64>* out) {
+    const i64 n = body.get_i64();
+    if (body.ok() && (n < 0 || n > body.remaining() / 16)) {
+      body.fail("bad layer map size " + std::to_string(n));
+      return;
+    }
+    for (i64 i = 0; i < n && body.ok(); ++i) {
+      const LayerId layer = body.get_i64();
+      (*out)[layer] = body.get_i64();
+    }
+  };
+  read_map(&prog.layer_begin_);
+  read_map(&prog.layer_end_);
+
+  if (body.ok() && !body.at_end()) body.fail("trailing bytes");
+  if (!body.ok()) return body.status();
+  return prog;
 }
 
 }  // namespace cbrain

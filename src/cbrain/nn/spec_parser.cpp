@@ -95,9 +95,7 @@ Result<LayerId> resolve_input(const ParseCtx& ctx, const Args& args) {
   return ctx.previous;
 }
 
-}  // namespace
-
-Result<Network> parse_network_spec(const std::string& text) {
+Result<Network> parse_network_spec_impl(const std::string& text) {
   std::istringstream is(text);
   std::string raw_line;
   ParseCtx ctx;
@@ -236,13 +234,30 @@ Result<Network> parse_network_spec(const std::string& text) {
   return std::move(*net);
 }
 
+}  // namespace
+
+// Firewall: untrusted spec text must never escape as a CheckError — any
+// invariant the per-line handlers missed still comes back as a Status.
+Result<Network> parse_network_spec(const std::string& text) {
+  try {
+    return parse_network_spec_impl(text);
+  } catch (const CheckError& e) {
+    return Status::internal(std::string("network spec: ") + e.what());
+  }
+}
+
 Result<Network> load_network_spec_file(const std::string& path) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f)
     return Status::invalid_argument("cannot open spec file: " + path);
   std::ostringstream os;
   os << f.rdbuf();
-  return parse_network_spec(os.str());
+  if (f.bad() || os.fail())
+    return Status::invalid_argument("i/o error reading spec file: " + path);
+  Result<Network> r = parse_network_spec(os.str());
+  if (!r.is_ok())  // prefix the path so multi-file pipelines stay readable
+    return Status(r.status().code(), path + ": " + r.status().message());
+  return r;
 }
 
 std::string network_to_spec(const Network& net) {

@@ -43,8 +43,8 @@ void apply_delta(TrafficCounters& c, const StatSnapshot& a,
 class Executor {
  public:
   Executor(const Network& net, const CompiledNetwork& compiled,
-           SimMachine& m)
-      : net_(net), compiled_(compiled), m_(m) {}
+           SimMachine& m, FaultInjector* fault = nullptr)
+      : net_(net), compiled_(compiled), m_(m), fault_(fault) {}
 
   SimResult run(const Tensor3<Fixed16>& input,
                 const NetParamsData<Fixed16>& params) {
@@ -75,14 +75,13 @@ class Executor {
         manual_muls_ = 0;
         manual_serial_ = 0;
 
-        if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
-          exec_conv(*conv);
-        } else if (const auto* pool = std::get_if<PoolTileInstr>(&instr)) {
-          exec_pool(*pool);
-        } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
-          exec_fc(*fc);
-        } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
-          exec_host(l, *host);
+        if (fault_ == nullptr) {
+          dispatch(l, instr);
+        } else {
+          run_with_recovery(l, instr);
+          // Detection/correction latency accrued by this instruction is
+          // serial time on top of the overlapped compute/DMA window.
+          manual_serial_ += fault_->take_overhead_cycles();
         }
 
         const i64 compute =
@@ -116,6 +115,76 @@ class Executor {
 
  private:
   using acc_t = Fixed16::acc_t;
+
+  // --- fault recovery ------------------------------------------------------
+
+  void dispatch(const Layer& l, const Instruction& instr) {
+    if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
+      pe_filter_ = (fault_ != nullptr);
+      exec_conv(*conv);
+      pe_filter_ = false;
+    } else if (const auto* pool = std::get_if<PoolTileInstr>(&instr)) {
+      exec_pool(*pool);
+    } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
+      pe_filter_ = (fault_ != nullptr);
+      exec_fc(*fc);
+      pe_filter_ = false;
+    } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
+      exec_host(l, *host);
+    }
+  }
+
+  // The partial-sum range an instruction mutates — what a replay must
+  // restore. Instructions that keep state in PE registers only (or whose
+  // DRAM stores are idempotent) need no checkpoint.
+  struct PartialRange {
+    i64 base = 0;
+    i64 count = 0;
+  };
+
+  PartialRange replay_range(const Instruction& instr) const {
+    if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {
+      const bool single = conv->first_din_chunk && conv->last_din_chunk;
+      if (conv->scheme == Scheme::kInter && single) return {};
+      const i64 npix = (conv->out_row1 - conv->out_row0) * conv->out_w;
+      return {0, npix * (conv->dout1 - conv->dout0)};
+    }
+    if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
+      if (fc->first_din_chunk && fc->last_din_chunk) return {};
+      return {fc->dout0, fc->dout1 - fc->dout0};
+    }
+    return {};
+  }
+
+  // Macro-instruction-granularity checkpoint/re-execute: when parity
+  // flags corrupted words during the instruction, scrub them, restore the
+  // instruction's partial-sum checkpoint, and replay — bounded by the
+  // configured retry budget. Replay traffic and cycles accumulate through
+  // the normal counters, so recovery cost lands in the layer totals.
+  void run_with_recovery(const Layer& l, const Instruction& instr) {
+    PartialRange pr = replay_range(instr);
+    pr.count = std::min(pr.count,
+                        m_.output_buf().size_partials() - pr.base);
+    std::vector<acc_t> ckpt;
+    if (pr.count > 0) {
+      const acc_t* p = m_.output_buf().raw_span(pr.base, pr.count);
+      ckpt.assign(p, p + pr.count);
+    }
+    for (i64 attempt = 0;; ++attempt) {
+      dispatch(l, instr);
+      fault_->pe_instruction_end();
+      if (!fault_->replay_pending()) break;
+      if (attempt >= fault_->config().max_retries) {
+        fault_->abandon_pending();
+        break;
+      }
+      fault_->heal_pending();
+      fault_->note_instruction_replay();
+      if (pr.count > 0)
+        std::copy(ckpt.begin(), ckpt.end(),
+                  m_.output_buf().raw_span(pr.base, pr.count));
+    }
+  }
 
   // --- setup -------------------------------------------------------------
 
@@ -200,13 +269,21 @@ class Executor {
     // Pattern-aware timing, identical to the analytical model (under the
     // default flat DRAM model this is one burst; under the row-buffer
     // model strided gathers pay per-row activations).
-    return m_.config().dram.transfer_cycles_pattern(li.chunks,
-                                                    li.chunk_words,
-                                                    li.src_stride);
+    i64 cycles = m_.config().dram.transfer_cycles_pattern(li.chunks,
+                                                          li.chunk_words,
+                                                          li.src_stride);
+    // DMA fault overhead (CRC checks, stalls, retransmits with backoff)
+    // extends this transfer's occupancy.
+    if (fault_ != nullptr) cycles += fault_->take_overhead_cycles();
+    return cycles;
   }
 
   void store_out(const std::vector<OutputMap>& outs, i64 d_abs, i64 oy,
                  i64 ox, std::int16_t raw) {
+    // A latched stuck multiplier lane corrupts the outputs it produced
+    // (conv/fc only — pool and host ops bypass the multipliers).
+    if (pe_filter_ && fault_->pe_fault_active())
+      raw = fault_->apply_pe_fault(d_abs, raw);
     for (const OutputMap& m : outs) {
       m_.dram().write(m.base + linear_offset(m.cube_dims, m.order,
                                              d_abs + m.d_offset,
@@ -888,6 +965,8 @@ class Executor {
   const Network& net_;
   const CompiledNetwork& compiled_;
   SimMachine& m_;
+  FaultInjector* fault_ = nullptr;
+  bool pe_filter_ = false;
   i64 manual_cycles_ = 0;
   i64 manual_dram_writes_ = 0;
   i64 manual_dram_reads_ = 0;
@@ -907,8 +986,13 @@ SimExecutor::SimExecutor(const Network& net, const CompiledNetwork& compiled,
 
 SimResult SimExecutor::run(const Tensor3<Fixed16>& input,
                            const NetParamsData<Fixed16>& params) {
-  Executor ex(net_, compiled_, *machine_);
+  Executor ex(net_, compiled_, *machine_, fault_);
   return ex.run(input, params);
+}
+
+void SimExecutor::attach_fault(FaultInjector* injector) {
+  fault_ = injector;
+  machine_->attach_fault(injector);
 }
 
 Tensor3<Fixed16> SimExecutor::read_input_cube(LayerId id) const {

@@ -35,6 +35,12 @@ class SimExecutor {
   SimResult run(const Tensor3<Fixed16>& input,
                 const NetParamsData<Fixed16>& params);
 
+  // Attaches a fault injector to every machine component and enables the
+  // executor's macro-instruction checkpoint/replay recovery. Pass nullptr
+  // to detach; with no injector the simulation is bit- and
+  // counter-identical to a build without the fault subsystem.
+  void attach_fault(FaultInjector* injector);
+
   // Reads back the logical (unpadded) contents of a layer's input cube —
   // i.e. what that layer consumed — for validation against the reference.
   Tensor3<Fixed16> read_input_cube(LayerId id) const;
@@ -45,6 +51,7 @@ class SimExecutor {
   const Network& net_;
   const CompiledNetwork& compiled_;
   std::unique_ptr<SimMachine> machine_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace cbrain

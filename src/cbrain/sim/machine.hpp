@@ -28,6 +28,19 @@ class SimMachine {
   DmaEngine& dma() { return dma_; }
   PEArray& pe() { return pe_; }
 
+  // Attaches (or with nullptr detaches) a fault injector to every
+  // component in one call; the executor adds its own replay machinery on
+  // top (see sim/executor).
+  void attach_fault(FaultInjector* injector) {
+    input_.attach_fault(injector, FaultSite::kInputSram);
+    weight_.attach_fault(injector, FaultSite::kWeightSram);
+    bias_.attach_fault(injector, FaultSite::kBiasSram);
+    output_.attach_fault(injector);
+    dram_.attach_fault(injector);
+    dma_.attach_fault(injector);
+    pe_.attach_fault(injector);
+  }
+
  private:
   AcceleratorConfig config_;
   Dram dram_;

@@ -1,0 +1,287 @@
+// Fault-injection & resilience subsystem tests (DESIGN.md "Fault model &
+// recovery"): the zero-fault path is bit- and counter-identical to a
+// build without the subsystem, a fixed seed reproduces identical fault
+// logs and campaign tables at any worker count, each recovery policy
+// actually recovers (with accounted overhead), and the resilient compiler
+// degrades gracefully instead of failing.
+#include "support.hpp"
+
+#include "cbrain/common/thread_pool.hpp"
+#include "cbrain/fault/campaign.hpp"
+
+namespace cbrain::test {
+namespace {
+
+const Network& tiny() {
+  static const Network net = zoo::tiny_cnn();
+  return net;
+}
+
+FaultPointSpec make_spec(FaultSite site, FaultMode mode, double rate,
+                         RecoveryPolicy recovery, u64 seed) {
+  FaultPointSpec s;
+  s.site = site;
+  s.mode = mode;
+  s.rate_per_mword = rate;
+  s.recovery = recovery;
+  s.seed = seed;
+  return s;
+}
+
+FaultPointResult point(const FaultPointSpec& spec,
+                       const Network& net = tiny()) {
+  auto r = run_fault_point(net, Policy::kAdaptive2,
+                           AcceleratorConfig::paper_16_16(), spec);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return std::move(r).value();
+}
+
+std::string log_of(const FaultPointResult& p) {
+  std::string log;
+  for (const FaultEvent& ev : p.events) {
+    log += ev.to_string();
+    log += '\n';
+  }
+  return log;
+}
+
+// With no site enabled the injector must be invisible: same bits, same
+// counters, zero stats — even with recovery machinery armed.
+TEST(FaultInjector, ZeroRateIsBitAndCounterIdentical) {
+  const Network& net = tiny();
+  const AcceleratorConfig config = AcceleratorConfig::with_pe(8, 8);
+  const auto compiled = compile_network(net, Policy::kAdaptive2, config);
+  ASSERT_TRUE(compiled.is_ok());
+  const auto params = init_net_params<Fixed16>(net, 42);
+  const auto input = random_input<Fixed16>(net.layer(0).out_dims, 43);
+
+  SimExecutor plain(net, compiled.value(), config);
+  const SimResult a = plain.run(input, params);
+
+  FaultConfig fc;
+  fc.recovery = RecoveryPolicy::kEcc;
+  FaultInjector injector(fc);
+  SimExecutor hooked(net, compiled.value(), config);
+  hooked.attach_fault(&injector);
+  const SimResult b = hooked.run(input, params);
+
+  EXPECT_TRUE(tensors_equal(a.final_output, b.final_output));
+  ASSERT_EQ(a.per_layer.size(), b.per_layer.size());
+  for (std::size_t i = 0; i < a.per_layer.size(); ++i)
+    expect_counters_match(a.per_layer[i], b.per_layer[i],
+                          "layer " + std::to_string(i));
+  EXPECT_EQ(injector.stats().total_injected(), 0);
+  EXPECT_EQ(injector.stats().overhead_cycles, 0);
+  EXPECT_TRUE(injector.events().empty());
+}
+
+TEST(FaultInjector, FixedSeedReproducesIdenticalLogsAndStats) {
+  const FaultPointSpec spec = make_spec(
+      FaultSite::kWeightSram, FaultMode::kBitFlip, 1000,
+      RecoveryPolicy::kParityRetry, 77);
+  const FaultPointResult a = point(spec);
+  const FaultPointResult b = point(spec);
+  EXPECT_GT(a.stats.total_injected(), 0);
+  EXPECT_EQ(log_of(a), log_of(b));
+  EXPECT_EQ(a.stats.total_injected(), b.stats.total_injected());
+  EXPECT_EQ(a.stats.overhead_cycles, b.stats.overhead_cycles);
+  EXPECT_EQ(a.faulty_cycles, b.faulty_cycles);
+  EXPECT_EQ(a.mismatched_outputs, b.mismatched_outputs);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const auto base = make_spec(FaultSite::kWeightSram, FaultMode::kBitFlip,
+                              1000, RecoveryPolicy::kNone, 1);
+  auto other = base;
+  other.seed = 2;
+  EXPECT_NE(log_of(point(base)), log_of(point(other)));
+}
+
+// ECC corrects every storage fault in place: outputs match the fault-free
+// reference while cycle and energy overhead are both charged (the
+// acceptance scenario of this subsystem).
+TEST(FaultRecovery, EccCorrectsWithAccountedOverhead) {
+  const FaultPointSpec spec =
+      make_spec(FaultSite::kWeightSram, FaultMode::kBitFlip, 2000,
+                RecoveryPolicy::kEcc, 7);
+  const FaultPointResult r = point(spec);
+  EXPECT_GT(r.stats.total_injected(), 0);
+  EXPECT_GT(r.stats.corrected, 0);
+  EXPECT_EQ(r.stats.corrected, r.stats.detected);
+  EXPECT_EQ(r.mismatched_outputs, 0);
+  EXPECT_GT(r.stats.overhead_cycles, 0);
+  EXPECT_GT(r.faulty_cycles, r.baseline_cycles);
+  EXPECT_GT(r.faulty_pj, r.baseline_pj);
+}
+
+TEST(FaultRecovery, ParityReplayReExecutesInstructions) {
+  const FaultPointSpec spec =
+      make_spec(FaultSite::kWeightSram, FaultMode::kBitFlip, 500,
+                RecoveryPolicy::kParityRetry, 7);
+  const FaultPointResult r = point(spec);
+  EXPECT_GT(r.stats.detected, 0);
+  EXPECT_GT(r.stats.instruction_replays, 0);
+  EXPECT_GT(r.stats.corrected, 0);
+  EXPECT_GT(r.faulty_cycles, r.baseline_cycles);
+}
+
+TEST(FaultRecovery, DmaCrcRetriesWithBackoff) {
+  const FaultPointSpec spec =
+      make_spec(FaultSite::kDma, FaultMode::kBurstCorrupt, 500,
+                RecoveryPolicy::kEcc, 7);
+  const FaultPointResult r = point(spec);
+  EXPECT_GT(r.stats.total_injected(), 0);
+  EXPECT_GT(r.stats.dma_retries, 0);
+  EXPECT_GT(r.stats.dma_retry_words, 0);
+  EXPECT_GT(r.stats.overhead_cycles, 0);
+  EXPECT_GT(r.faulty_cycles, r.baseline_cycles);
+}
+
+TEST(FaultRecovery, UnprotectedFaultsLandSilently) {
+  bool damaged = false;
+  for (u64 seed = 1; seed <= 6 && !damaged; ++seed) {
+    const FaultPointResult r = point(make_spec(
+        FaultSite::kDram, FaultMode::kBitFlip, 1000,
+        RecoveryPolicy::kNone, seed));
+    EXPECT_EQ(r.stats.detected, 0);
+    EXPECT_EQ(r.stats.corrected, 0);
+    EXPECT_EQ(r.stats.overhead_cycles, 0);
+    EXPECT_EQ(r.faulty_cycles, r.baseline_cycles);
+    if (r.stats.corrupted_words > 0 && r.mismatched_outputs > 0)
+      damaged = true;
+  }
+  EXPECT_TRUE(damaged)
+      << "no seed produced visible damage without protection";
+}
+
+// PE-lane faults corrupt arithmetic, which parity/ECC (storage and
+// transfer protection) cannot see — the documented residual risk.
+TEST(FaultRecovery, PeLaneFaultsBypassStorageProtection) {
+  bool fired = false;
+  for (u64 seed = 1; seed <= 6 && !fired; ++seed) {
+    const FaultPointResult r = point(make_spec(
+        FaultSite::kPeLane, FaultMode::kStuckAt, 3000,
+        RecoveryPolicy::kEcc, seed));
+    EXPECT_EQ(r.stats.detected, 0);
+    if (r.stats.total_injected() > 0) {
+      fired = true;
+      EXPECT_GT(r.stats.silent, 0);
+    }
+  }
+  EXPECT_TRUE(fired) << "no seed activated a PE lane fault";
+}
+
+TEST(FaultCampaign, TablesAndLogsIdenticalAcrossJobs) {
+  CampaignSpec cs;
+  cs.nets = {tiny()};
+  cs.config = AcceleratorConfig::paper_16_16();
+  cs.sites = {FaultSite::kWeightSram, FaultSite::kDma};
+  cs.rates_per_mword = {500};
+  cs.recoveries = {RecoveryPolicy::kNone, RecoveryPolicy::kEcc};
+  cs.seed = 9;
+
+  parallel::set_default_jobs(1);
+  const auto serial = run_fault_campaign(cs);
+  parallel::set_default_jobs(4);
+  const auto threaded = run_fault_campaign(cs);
+  parallel::set_default_jobs(0);  // restore hardware default
+
+  ASSERT_TRUE(serial.is_ok());
+  ASSERT_TRUE(threaded.is_ok());
+  EXPECT_EQ(campaign_table(serial.value()).to_string(),
+            campaign_table(threaded.value()).to_string());
+  EXPECT_EQ(campaign_table(serial.value()).to_csv(),
+            campaign_table(threaded.value()).to_csv());
+  ASSERT_EQ(serial.value().size(), threaded.value().size());
+  for (std::size_t i = 0; i < serial.value().size(); ++i)
+    EXPECT_EQ(log_of(serial.value()[i]), log_of(threaded.value()[i]));
+}
+
+TEST(FaultCampaign, FailsWithStatusOnImpossibleConfig) {
+  CampaignSpec cs;
+  cs.nets = {zoo::single_conv({3, 32, 32},
+                              {.dout = 8, .k = 5, .stride = 1}, "toobig")};
+  cs.config = AcceleratorConfig::with_pe(4, 4);
+  cs.config.inout_buf.size_bytes = 64;  // nothing fits
+  cs.sites = {FaultSite::kWeightSram};
+  cs.rates_per_mword = {100};
+  cs.recoveries = {RecoveryPolicy::kNone};
+  const auto r = run_fault_campaign(cs);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// The graceful-degradation path: a policy whose scheme cannot be tiled
+// into the buffers falls back (with a logged decision) instead of
+// failing, and the degraded program still computes the right answer.
+TEST(ResilientCompiler, FallsBackWhenSchemeDoesNotFit) {
+  const Network net = zoo::single_conv(
+      {3, 32, 32}, {.dout = 8, .k = 5, .stride = 1}, "fallback_net");
+  AcceleratorConfig config = AcceleratorConfig::with_pe(4, 4);
+  config.inout_buf.size_bytes = 1024;  // intra-unroll's band cannot fit
+
+  ASSERT_FALSE(compile_network(net, Policy::kFixedIntra, config).is_ok());
+
+  std::vector<CompileFallback> fallbacks;
+  const auto r =
+      compile_network_resilient(net, Policy::kFixedIntra, config,
+                                &fallbacks);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(fallbacks.size(), 1u);
+  EXPECT_EQ(fallbacks[0].from, Scheme::kIntraUnroll);
+  EXPECT_NE(fallbacks[0].to, Scheme::kIntraUnroll);
+  EXPECT_NE(fallbacks[0].reason.find("RESOURCE_EXHAUSTED"),
+            std::string::npos);
+  EXPECT_FALSE(fallbacks[0].to_string().empty());
+
+  const auto params = init_net_params<Fixed16>(net, 42);
+  const auto input = random_input<Fixed16>(net.layer(0).out_dims, 43);
+  RefExecutor<Fixed16> ref(net, params);
+  SimExecutor sim(net, r.value(), config);
+  EXPECT_TRUE(
+      tensors_equal(ref.run(input), sim.run(input, params).final_output));
+}
+
+TEST(ResilientCompiler, NoFallbackWhenEverythingFits) {
+  std::vector<CompileFallback> fallbacks;
+  const auto r = compile_network_resilient(
+      tiny(), Policy::kAdaptive2, AcceleratorConfig::paper_16_16(),
+      &fallbacks);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(fallbacks.empty());
+}
+
+TEST(ResilientCompiler, FailsOnlyWhenNoSchemeFits) {
+  const Network net = zoo::single_conv(
+      {3, 32, 32}, {.dout = 8, .k = 5, .stride = 1}, "hopeless");
+  AcceleratorConfig config = AcceleratorConfig::with_pe(4, 4);
+  config.inout_buf.size_bytes = 64;
+  const auto r = compile_network_resilient(net, Policy::kFixedIntra,
+                                           config);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultNames, RoundTripThroughParsers) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    FaultSite parsed;
+    ASSERT_TRUE(fault_site_from_name(fault_site_name(site), &parsed));
+    EXPECT_EQ(parsed, site);
+  }
+  for (const auto policy :
+       {RecoveryPolicy::kNone, RecoveryPolicy::kParityRetry,
+        RecoveryPolicy::kEcc}) {
+    RecoveryPolicy parsed;
+    ASSERT_TRUE(
+        recovery_policy_from_name(recovery_policy_name(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  FaultSite site;
+  RecoveryPolicy policy;
+  EXPECT_FALSE(fault_site_from_name("bogus", &site));
+  EXPECT_FALSE(recovery_policy_from_name("bogus", &policy));
+}
+
+}  // namespace
+}  // namespace cbrain::test

@@ -2,6 +2,7 @@
 // consistency and the disassembler.
 #include <gtest/gtest.h>
 
+#include "cbrain/common/rng.hpp"
 #include "cbrain/compiler/compiler.hpp"
 #include "cbrain/isa/disassembler.hpp"
 #include "cbrain/nn/zoo.hpp"
@@ -104,6 +105,129 @@ TEST(Instruction, Names) {
   EXPECT_STREQ(instruction_name(Instruction{BarrierInstr{}}), "BAR");
   EXPECT_STREQ(instruction_name(Instruction{HostOpInstr{}}), "HOST");
   EXPECT_STREQ(buffer_id_name(BufferId::kWeight), "wgt");
+}
+
+// A small hand-built program hitting every instruction kind, non-default
+// enums, nested OutputMap vectors and non-trivial layer ranges — compact
+// enough that the byte-level truncation sweep below stays O(small²).
+Program sample_program() {
+  Program p;
+  p.begin_layer(0);
+  LoadInstr load;
+  load.dst = BufferId::kWeight;
+  load.dst_addr = 12;
+  load.src = 4096;
+  load.words = 64;
+  load.chunks = 4;
+  load.chunk_words = 16;
+  load.src_stride = 128;
+  load.tag = "w tile";
+  p.push(load);
+  ConvTileInstr conv;
+  conv.layer = 0;
+  conv.scheme = Scheme::kPartition;
+  conv.k = 5;
+  conv.stride = 2;
+  conv.part = {3, 2};
+  conv.out_w = 7;
+  conv.out_row1 = 7;
+  conv.dout1 = 8;
+  conv.din1 = 3;
+  conv.band_rows = 5;
+  conv.band_width = 17;
+  conv.band_order = DataOrder::kDepthMajor;
+  conv.first_din_chunk = false;
+  conv.outs.push_back({100, {8, 7, 7}, DataOrder::kSpatialMajor, 0, 1, 1});
+  conv.outs.push_back({900, {16, 7, 7}, DataOrder::kDepthMajor, 8, 0, 0});
+  conv.tag = "conv tile";
+  p.push(conv);
+  p.end_layer(0);
+  p.begin_layer(1);
+  PoolTileInstr pool;
+  pool.layer = 1;
+  pool.kind = PoolKind::kAvg;
+  pool.p = 3;
+  pool.in_h = 7;
+  pool.in_w = 7;
+  pool.out_w = 3;
+  pool.d1 = 8;
+  pool.outs.push_back({2000, {8, 3, 3}, DataOrder::kSpatialMajor, 0, 0, 0});
+  p.push(pool);
+  FcTileInstr fc;
+  fc.layer = 1;
+  fc.din = 72;
+  fc.din1 = 72;
+  fc.dout1 = 10;
+  fc.relu = false;
+  fc.outs.push_back({3000, {10, 1, 1}, DataOrder::kDepthMajor, 0, 0, 0});
+  p.push(fc);
+  HostOpInstr host;
+  host.layer = 1;
+  host.kind = HostOpKind::kSoftmax;
+  host.words = 10;
+  p.push(host);
+  p.push(BarrierInstr{"sync"});
+  p.end_layer(1);
+  return p;
+}
+
+TEST(ProgramSerialization, RoundTripIsExact) {
+  const Program p = sample_program();
+  const std::string bytes = p.serialize();
+  const auto r = Program::deserialize(bytes);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const Program& q = r.value();
+  EXPECT_EQ(disassemble(p), disassemble(q));
+  EXPECT_EQ(p.layer_range(0), q.layer_range(0));
+  EXPECT_EQ(p.layer_range(1), q.layer_range(1));
+  // Canonical encoding: re-serializing reproduces the same bytes.
+  EXPECT_EQ(bytes, q.serialize());
+}
+
+TEST(ProgramSerialization, RoundTripsACompiledNetwork) {
+  const auto compiled =
+      compile_network(zoo::scheme_mix_cnn(), Policy::kAdaptive2, kCfg);
+  ASSERT_TRUE(compiled.is_ok());
+  const Program& p = compiled.value().program;
+  const auto r = Program::deserialize(p.serialize());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(disassemble(p), disassemble(r.value()));
+  EXPECT_EQ(p.serialize(), r.value().serialize());
+}
+
+TEST(ProgramSerialization, EveryTruncationFailsWithStatus) {
+  const std::string bytes = sample_program().serialize();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto r =
+        Program::deserialize(std::string_view(bytes.data(), len));
+    EXPECT_FALSE(r.is_ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(ProgramSerialization, RejectsGarbageWithoutCrashing) {
+  EXPECT_FALSE(Program::deserialize("").is_ok());
+  EXPECT_FALSE(Program::deserialize("not a program").is_ok());
+  const auto magic_only = Program::deserialize("CBRP");
+  ASSERT_FALSE(magic_only.is_ok());
+  EXPECT_NE(magic_only.status().message().find("truncated"),
+            std::string::npos);
+
+  // Seeded byte-flip fuzz over a valid stream: every mutation must come
+  // back as a clean Status or a decodable program — never a crash, hang
+  // or unbounded allocation.
+  const std::string bytes = sample_program().serialize();
+  Rng rng(2024);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos =
+          static_cast<std::size_t>(rng.next_below(mutated.size()));
+      mutated[pos] = static_cast<char>(rng.next_below(256));
+    }
+    const auto r = Program::deserialize(mutated);
+    if (r.is_ok()) r.value().stats();  // decoded programs must be usable
+  }
 }
 
 }  // namespace

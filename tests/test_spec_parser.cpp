@@ -136,5 +136,52 @@ TEST(SpecParser, FileLoader) {
   EXPECT_EQ(r.value().name(), "alex_front");
 }
 
+// Errors loaded from disk carry the file path in front of the parser's
+// line-level diagnostic, so multi-file pipelines stay debuggable.
+TEST(SpecParser, FileErrorsArePathAndLinePrefixed) {
+  const std::string path = ::testing::TempDir() + "/corrupt.spec";
+  {
+    std::ofstream f(path);
+    f << "network broken\ninput d 1 4 4\nconv c dout=oops k=3\n";
+  }
+  const auto r = load_network_spec_file(path);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find(path), std::string::npos)
+      << r.status().to_string();
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().to_string();
+}
+
+// Corrupt, truncated and binary-garbage inputs must come back as a
+// Status — never an exception or a crash.
+TEST(SpecParser, GarbageInputsNeverThrow) {
+  const std::string binary("\x7f""ELF\x01\x02\x00\x00\xff\xfe network",
+                           22);
+  const char* cases[] = {
+      "",                                      // empty
+      "\n\n\n",                                // blank lines only
+      "network",                               // truncated directive
+      "network x\ninput",                      // truncated layer
+      "network x\ninput d 1 4",                // missing dimension
+      "network x\ninput d 1 4 4\nconv",        // layer with no name
+      "network x\ninput d 1 4 4\nconv c k=3",  // missing required arg
+      "network x\ninput d 1 4 4\nconv c dout=4 k=99999999",  // absurd k
+      "network x\ninput d 1 4 4\nconv c dout=4 k=-3",        // negative k
+      "network x\ninput d -1 4 4\nconv c dout=4 k=1",  // negative depth
+      "network x\ninput d 1 4 4\nconv c dout=111111111111111111111 k=1",
+      "conv c dout=4 k=1",  // layer before 'network'
+  };
+  for (const char* text : cases) {
+    ASSERT_NO_THROW({
+      const auto r = parse_network_spec(text);
+      EXPECT_FALSE(r.is_ok()) << "accepted: " << text;
+    }) << text;
+  }
+  ASSERT_NO_THROW({
+    const auto r = parse_network_spec(binary);
+    EXPECT_FALSE(r.is_ok());
+  });
+}
+
 }  // namespace
 }  // namespace cbrain

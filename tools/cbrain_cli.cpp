@@ -7,15 +7,24 @@
 //   cbrain_cli disasm    <net> [--policy=P] [--max=N]
 //   cbrain_cli simulate  <net> [--policy=P] [--seed=N] [--pe=TinxTout]
 //   cbrain_cli oracle    <net> [--metric=cycles|energy]
+//   cbrain_cli fault-campaign <net[,net...]> [--site=S,..] [--rate=R,..]
+//                             [--recovery=none|parity|ecc,..] [--seed=N]
 //
 // <net> is a zoo name (alexnet, googlenet, vgg16, nin, tiny_cnn,
 // scheme_mix, mini_inception) or a path to a network spec file.
+//
+// Exit codes: 0 success, 1 command-reported failure (e.g. verify found
+// issues), 2 usage / bad flag value, 3 invalid network spec or
+// unresolvable network, 4 internal error (invariant violation or
+// unexpected exception).
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 
+#include "cbrain/common/check.hpp"
 #include "cbrain/common/strings.hpp"
+#include "cbrain/fault/campaign.hpp"
 #include "cbrain/common/thread_pool.hpp"
 #include "cbrain/core/cbrain.hpp"
 #include "cbrain/core/oracle.hpp"
@@ -54,12 +63,17 @@ int usage() {
       stderr,
       "usage: cbrain_cli <command> [<net>] [--flag=value ...]\n"
       "commands: list | show | evaluate | compare | disasm | simulate | "
-      "oracle | timeline | verify | dot\n"
+      "oracle | timeline | verify | dot | fault-campaign\n"
       "flags: --policy=inter|intra|partition|adap-1|adap-2  --pe=16x16\n"
       "       --dram=<words/cycle>  --fc  --batch=N  --json  --seed=N  "
       "--max=N\n"
       "       --metric=cycles|energy  --jobs=N (worker threads; default "
-      "hardware concurrency, 1 = serial)\n");
+      "hardware concurrency, 1 = serial)\n"
+      "fault-campaign flags: --site=input,weight,bias,accum,dram,dma,pe\n"
+      "       --rate=<faults/Mword,...>  --recovery=none,parity,ecc\n"
+      "       --seed=N  --events (print the fault event log)  --csv\n"
+      "exit codes: 0 ok, 1 failure, 2 usage, 3 bad network spec, "
+      "4 internal\n");
   return 2;
 }
 
@@ -317,6 +331,74 @@ int cmd_oracle(const Network& net, const Options& opt) {
   return 0;
 }
 
+int cmd_fault_campaign(const Options& opt) {
+  CampaignSpec spec;
+  for (const std::string& name : split(opt.net, ',')) {
+    auto net = resolve_net(name);
+    if (!net) return 3;
+    const NetworkWorkload w = analyze_workload(*net);
+    if (w.total_macs > 50'000'000) {
+      std::fprintf(stderr,
+                   "error: %s has %lld MACs — too large for functional "
+                   "fault simulation\n",
+                   net->name().c_str(),
+                   static_cast<long long>(w.total_macs));
+      return 2;
+    }
+    spec.nets.push_back(std::move(*net));
+  }
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  spec.policy = *policy;
+  spec.config = resolve_config(opt);
+  for (const std::string& s : split(opt.get("site", "input,weight,dma"),
+                                    ',')) {
+    FaultSite site;
+    if (!fault_site_from_name(s, &site)) {
+      std::fprintf(stderr, "error: unknown fault site '%s'\n", s.c_str());
+      return 2;
+    }
+    spec.sites.push_back(site);
+  }
+  for (const std::string& r : split(opt.get("rate", "20"), ','))
+    spec.rates_per_mword.push_back(std::stod(r));
+  for (const std::string& r :
+       split(opt.get("recovery", "none,parity,ecc"), ',')) {
+    RecoveryPolicy p;
+    if (!recovery_policy_from_name(r, &p)) {
+      std::fprintf(stderr, "error: unknown recovery policy '%s'\n",
+                   r.c_str());
+      return 2;
+    }
+    spec.recoveries.push_back(p);
+  }
+  spec.seed = static_cast<u64>(opt.get_i64("seed", 1));
+
+  const auto points = run_fault_campaign(spec);
+  if (!points.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 points.status().to_string().c_str());
+    return points.status().code() == StatusCode::kResourceExhausted ? 3 : 4;
+  }
+  for (const FaultPointResult& p : points.value())
+    for (const CompileFallback& fb : p.fallbacks)
+      std::printf("# %s: %s\n", p.net.c_str(), fb.to_string().c_str());
+  const Table t = campaign_table(points.value());
+  std::printf("%s", opt.has("csv") ? t.to_csv().c_str()
+                                   : t.to_string().c_str());
+  if (opt.has("events")) {
+    for (const FaultPointResult& p : points.value()) {
+      if (p.events.empty()) continue;
+      std::printf("\n%s %s rate=%.3g %s:\n", p.net.c_str(),
+                  fault_site_name(p.spec.site), p.spec.rate_per_mword,
+                  recovery_policy_name(p.spec.recovery));
+      for (const FaultEvent& ev : p.events)
+        std::printf("  %s\n", ev.to_string().c_str());
+    }
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -340,8 +422,9 @@ int run(int argc, char** argv) {
   parallel::set_default_jobs(opt.get_i64("jobs", 0));
   if (opt.command == "list") return cmd_list();
   if (opt.net.empty()) return usage();
+  if (opt.command == "fault-campaign") return cmd_fault_campaign(opt);
   const auto net = resolve_net(opt.net);
-  if (!net) return 2;
+  if (!net) return 3;
   if (opt.command == "show") return cmd_show(*net);
   if (opt.command == "evaluate") return cmd_evaluate(*net, opt);
   if (opt.command == "compare") return cmd_compare(*net, opt);
@@ -357,11 +440,25 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace cbrain::cli
 
+// The single diagnostic boundary: library-level failures surface here as
+// one-line messages with documented exit codes instead of stack traces.
+// CheckError (violated invariant) and anything unexpected are "internal"
+// (4); stoll/stod failures from flag values are usage errors (2).
 int main(int argc, char** argv) {
   try {
     return cbrain::cli::run(argc, argv);
+  } catch (const cbrain::CheckError& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: bad flag or numeric value: %s\n",
+                 e.what());
+    return 2;
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "error: value out of range: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
   }
 }

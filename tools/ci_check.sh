@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: build and test the tree twice — a plain Release build, and a
+# CI gate: build and test the tree three times — a plain Release build, a
 # ThreadSanitizer build that exercises the parallel sweep engine (the
-# thread pool, the bench sweeps, and CBrain::compare_policies fan-out).
+# thread pool, the bench sweeps, and CBrain::compare_policies fan-out),
+# and an ASan+UBSan build that vets the fault-injection hooks and the
+# spec/program deserialization fuzz tests.
 #
 # usage: tools/ci_check.sh [jobs]
 set -euo pipefail
@@ -23,10 +25,19 @@ echo "=== ThreadSanitizer build ==="
 run_suite build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCBRAIN_SANITIZE=thread
 
+echo "=== AddressSanitizer+UBSan build ==="
+run_suite build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCBRAIN_SANITIZE=address
+
 echo "=== determinism: --jobs 1 vs --jobs N must print identical tables ==="
 ./build-ci-release/bench/bench_fig7_conv1 --jobs 1 > /tmp/cbrain_fig7_j1.txt
 ./build-ci-release/bench/bench_fig7_conv1 --jobs "$JOBS" \
   > /tmp/cbrain_fig7_jn.txt
 diff /tmp/cbrain_fig7_j1.txt /tmp/cbrain_fig7_jn.txt
+./build-ci-release/bench/bench_fault_campaign --jobs 1 \
+  > /tmp/cbrain_fault_j1.txt
+./build-ci-release/bench/bench_fault_campaign --jobs "$JOBS" \
+  > /tmp/cbrain_fault_jn.txt
+diff /tmp/cbrain_fault_j1.txt /tmp/cbrain_fault_jn.txt
 
 echo "ci_check: all suites passed"
