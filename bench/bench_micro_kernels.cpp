@@ -1,18 +1,41 @@
 // Microbenchmarks (google-benchmark): throughput of the building blocks —
 // the blocked GEMM behind the Table-4 CPU baseline, the fixed-point
-// primitives, the im2col transform, and the cycle-level simulator itself
-// (simulated MACs per host-second), so regressions in the infrastructure
-// are visible independently of the paper tables.
+// primitives, the im2col transform, the cbrain::simd kernel layer (per
+// backend), and the cycle-level simulator itself (simulated MACs per
+// host-second), so regressions in the infrastructure are visible
+// independently of the paper tables.
+//
+// Besides the default google-benchmark mode, the binary doubles as the
+// perf-regression harness behind tools/bench_compare.py:
+//
+//   bench_micro_kernels --perf-json[=path] [--quick]
+//
+// times dot_s16 / dot_s16_multi on every supported SIMD backend plus
+// whole-network simulator wall-clock (AlexNet under each backend, VGG16
+// under the best one; --quick drops VGG16 and shortens reps) and writes
+// the results as JSON (default: BENCH_kernels.json in the working
+// directory). CI runs the quick mode and diffs against the committed
+// baseline; the diff is informational, not a gate.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "cbrain/arch/pe_array.hpp"
 #include "cbrain/arch/sram.hpp"
+#include "cbrain/common/json.hpp"
 #include "cbrain/compiler/compiler.hpp"
+#include "cbrain/core/cbrain.hpp"
 #include "cbrain/model/network_model.hpp"
+#include "cbrain/nn/workload.hpp"
 #include "cbrain/nn/zoo.hpp"
 #include "cbrain/ref/im2col_gemm.hpp"
 #include "cbrain/ref/params.hpp"
 #include "cbrain/sim/executor.hpp"
+#include "cbrain/simd/simd.hpp"
 #include "cbrain/tensor/unroll.hpp"
 
 namespace {
@@ -153,6 +176,307 @@ void BM_AnalyticalModel(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyticalModel);
 
+// --- cbrain::simd kernel layer, per backend --------------------------------
+//
+// Registered at runtime (main) so only backends this build/CPU supports
+// appear: BM_DotS16/<backend>/n and BM_DotS16Multi/<backend>/n.
+
+std::vector<std::int16_t> random_s16(i64 n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int16_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int16_t>(rng.next_u64());
+  return v;
+}
+
+constexpr i64 kMultiRows = 16;
+
+void run_dot_bench(benchmark::State& state, simd::Backend b, i64 n) {
+  simd::select_backend(b);
+  const auto data = random_s16(n, 11);
+  const auto weights = random_s16(n, 12);
+  for (auto _ : state) {
+    Fixed16::acc_t acc = simd::dot_s16(data.data(), weights.data(), n);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      static_cast<double>(2 * sizeof(std::int16_t) * n) *
+          state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["MAC/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void run_dot_multi_bench(benchmark::State& state, simd::Backend b, i64 n) {
+  simd::select_backend(b);
+  const auto data = random_s16(n, 13);
+  const auto weights = random_s16(n * kMultiRows, 14);
+  std::vector<Fixed16::acc_t> out(static_cast<std::size_t>(kMultiRows));
+  for (auto _ : state) {
+    simd::dot_s16_multi(data.data(), weights.data(), n, kMultiRows, n,
+                        out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  // Bytes actually streamed: one data vector + kMultiRows weight rows.
+  state.counters["GB/s"] = benchmark::Counter(
+      static_cast<double>(sizeof(std::int16_t) * n * (1 + kMultiRows)) *
+          state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["MAC/s"] = benchmark::Counter(
+      static_cast<double>(n * kMultiRows) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void register_simd_benches() {
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+    if (!simd::backend_supported(b)) continue;
+    const std::string name = simd::backend_name(b);
+    for (i64 n : {64, 256, 1024}) {
+      benchmark::RegisterBenchmark(
+          ("BM_DotS16/" + name + "/" + std::to_string(n)).c_str(),
+          [b, n](benchmark::State& s) { run_dot_bench(s, b, n); });
+      benchmark::RegisterBenchmark(
+          ("BM_DotS16Multi/" + name + "/" + std::to_string(n)).c_str(),
+          [b, n](benchmark::State& s) { run_dot_multi_bench(s, b, n); });
+    }
+  }
+}
+
+// --- perf-regression harness (--perf-json) ---------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Best-of-`reps` wall time of `fn()` with `iters` inner calls per rep.
+template <typename Fn>
+double best_of(int reps, i64 iters, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    for (i64 i = 0; i < iters; ++i) fn();
+    const double dt = seconds_since(t0) / static_cast<double>(iters);
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string name;
+  std::string backend;
+  i64 n = 0;
+  double gbps = 0.0;
+  double mac_per_s = 0.0;
+  double secs = 0.0;
+};
+
+KernelResult measure_dot(simd::Backend b, i64 n, int reps, i64 iters) {
+  simd::select_backend(b);
+  const auto data = random_s16(n, 21);
+  const auto weights = random_s16(n, 22);
+  Fixed16::acc_t sink = 0;
+  const double secs = best_of(reps, iters, [&] {
+    sink += simd::dot_s16(data.data(), weights.data(), n);
+  });
+  benchmark::DoNotOptimize(sink);
+  KernelResult r;
+  r.name = "dot_s16";
+  r.backend = simd::backend_name(b);
+  r.n = n;
+  r.secs = secs;
+  r.gbps = static_cast<double>(2 * sizeof(std::int16_t) * n) / secs * 1e-9;
+  r.mac_per_s = static_cast<double>(n) / secs;
+  return r;
+}
+
+KernelResult measure_dot_multi(simd::Backend b, i64 n, int reps, i64 iters) {
+  simd::select_backend(b);
+  const auto data = random_s16(n, 23);
+  const auto weights = random_s16(n * kMultiRows, 24);
+  std::vector<Fixed16::acc_t> out(static_cast<std::size_t>(kMultiRows));
+  const double secs = best_of(reps, iters, [&] {
+    simd::dot_s16_multi(data.data(), weights.data(), n, kMultiRows, n,
+                        out.data());
+    benchmark::DoNotOptimize(out.data());
+  });
+  KernelResult r;
+  r.name = "dot_s16_multi";
+  r.backend = simd::backend_name(b);
+  r.n = n;
+  r.secs = secs;
+  r.gbps = static_cast<double>(sizeof(std::int16_t) * n * (1 + kMultiRows)) /
+           secs * 1e-9;
+  r.mac_per_s = static_cast<double>(n * kMultiRows) / secs;
+  return r;
+}
+
+struct WholeNetResult {
+  std::string net;
+  std::string backend;
+  double wall_ms = 0.0;
+  double sim_mac_per_s = 0.0;
+};
+
+WholeNetResult measure_whole_net(const Network& net, simd::Backend b) {
+  simd::select_backend(b);
+  CBrain brain(AcceleratorConfig::paper_16_16());
+  const NetworkWorkload w = analyze_workload(net);
+  const Clock::time_point t0 = Clock::now();
+  const SimResult res = brain.simulate(net, Policy::kAdaptive2, 42);
+  const double secs = seconds_since(t0);
+  benchmark::DoNotOptimize(res.final_output.size());
+  WholeNetResult r;
+  r.net = net.name();
+  r.backend = simd::backend_name(b);
+  r.wall_ms = secs * 1e3;
+  r.sim_mac_per_s = static_cast<double>(w.total_macs) / secs;
+  return r;
+}
+
+std::vector<simd::Backend> supported_backends() {
+  std::vector<simd::Backend> v;
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2})
+    if (simd::backend_supported(b)) v.push_back(b);
+  return v;
+}
+
+int run_perf_harness(const std::string& path, bool quick) {
+  const simd::Backend original = simd::active_backend();
+  const std::vector<simd::Backend> backends = supported_backends();
+  const int reps = quick ? 2 : 5;
+  // Iteration counts sized so each rep runs long enough (>~1 ms even on
+  // the scalar backend) for steady_clock to resolve the kernel.
+  const i64 dot_iters = quick ? 20'000 : 100'000;
+  const i64 multi_iters = quick ? 2'000 : 10'000;
+
+  std::vector<KernelResult> kernels;
+  for (simd::Backend b : backends) {
+    for (i64 n : {64, 256, 1024}) {
+      kernels.push_back(measure_dot(b, n, reps, dot_iters));
+      kernels.push_back(measure_dot_multi(b, n, reps, multi_iters));
+    }
+  }
+
+  // Whole-network simulator wall-clock: AlexNet once per backend (the
+  // cross-backend speedup is the headline number), VGG16 only on the best
+  // backend — at ~15.5G simulated MACs a scalar VGG16 run would dominate
+  // harness time without adding information. --quick drops VGG16.
+  std::vector<WholeNetResult> whole;
+  const Network anet = zoo::alexnet();
+  for (simd::Backend b : backends) whole.push_back(measure_whole_net(anet, b));
+  if (!quick)
+    whole.push_back(measure_whole_net(zoo::vgg16(), backends.back()));
+  simd::select_backend(original);
+
+  // dot_s16_multi speedup of each vector backend over scalar at the same
+  // n — the kernel-level acceptance number tracked across commits.
+  auto multi_secs = [&](const std::string& backend, i64 n) {
+    for (const KernelResult& k : kernels)
+      if (k.name == "dot_s16_multi" && k.backend == backend && k.n == n)
+        return k.secs;
+    return 0.0;
+  };
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("quick", quick);
+  w.key("backends").begin_array();
+  for (simd::Backend b : backends) w.value(simd::backend_name(b));
+  w.end_array();
+  w.kv("active_backend", simd::backend_name(original));
+  w.key("kernels").begin_array();
+  for (const KernelResult& k : kernels) {
+    w.begin_object();
+    w.kv("name", k.name);
+    w.kv("backend", k.backend);
+    w.kv("n", k.n);
+    w.kv("gbps", k.gbps);
+    w.kv("mac_per_s", k.mac_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("speedup_vs_scalar").begin_array();
+  for (simd::Backend b : backends) {
+    if (b == simd::Backend::kScalar) continue;
+    for (i64 n : {64, 256, 1024}) {
+      const double s = multi_secs("scalar", n);
+      const double v = multi_secs(simd::backend_name(b), n);
+      if (s <= 0.0 || v <= 0.0) continue;
+      w.begin_object();
+      w.kv("kernel", "dot_s16_multi");
+      w.kv("backend", simd::backend_name(b));
+      w.kv("n", n);
+      w.kv("speedup", s / v);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("whole_net").begin_array();
+  for (const WholeNetResult& r : whole) {
+    w.begin_object();
+    w.kv("net", r.net);
+    w.kv("policy", "adap-2");
+    w.kv("backend", r.backend);
+    w.kv("wall_ms", r.wall_ms);
+    w.kv("sim_mac_per_s", r.sim_mac_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_micro_kernels: cannot write %s\n",
+                 path.c_str());
+    return 1;
+  }
+  f << w.str() << "\n";
+  std::printf("wrote %s (%zu kernel points, %zu whole-net runs)\n",
+              path.c_str(), kernels.size(), whole.size());
+  for (const KernelResult& k : kernels)
+    std::printf("  %-14s %-6s n=%-5lld %8.2f GB/s %12.0f MAC/s\n",
+                k.name.c_str(), k.backend.c_str(),
+                static_cast<long long>(k.n), k.gbps, k.mac_per_s);
+  for (const WholeNetResult& r : whole)
+    std::printf("  sim %-9s %-6s %10.1f ms %14.0f simulated MAC/s\n",
+                r.net.c_str(), r.backend.c_str(), r.wall_ms, r.sim_mac_per_s);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool perf_mode = false;
+  bool quick = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--perf-json") {
+      perf_mode = true;
+      json_path = "BENCH_kernels.json";
+    } else if (arg.rfind("--perf-json=", 0) == 0) {
+      perf_mode = true;
+      json_path = arg.substr(std::strlen("--perf-json="));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (perf_mode) return run_perf_harness(json_path, quick);
+
+  register_simd_benches();
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "cbrain/arch/config.hpp"
 #include "cbrain/fault/fault.hpp"
 #include "cbrain/fixed/fixed16.hpp"
+#include "cbrain/simd/simd.hpp"
 
 namespace cbrain {
 
@@ -38,15 +39,12 @@ class PEArray {
                      i64 n);
 
   // Stat-free dot for batched hot loops; the caller accounts the work via
-  // count_mac afterwards.
+  // count_mac afterwards. Dispatches to the cbrain::simd kernel layer —
+  // bit-identical on every backend, and both pointers may be arbitrarily
+  // (element-)aligned: callers hand out offsets into SRAM-backed vectors.
   static Fixed16::acc_t dot_raw(const std::int16_t* data,
                                 const std::int16_t* weights, i64 n) {
-    Fixed16::acc_t acc = 0;
-    for (i64 i = 0; i < n; ++i) {
-      acc += static_cast<Fixed16::acc_t>(data[i]) *
-             static_cast<Fixed16::acc_t>(weights[i]);
-    }
-    return acc;
+    return simd::dot_s16(data, weights, n);
   }
 
   // Batched accounting for dot_raw work.

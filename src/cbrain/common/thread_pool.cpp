@@ -1,5 +1,6 @@
 #include "cbrain/common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <utility>
@@ -102,14 +103,19 @@ bool on_worker_thread() { return tl_on_worker; }
 namespace {
 
 // Shared state of one parallel_for call: an atomic index dispenser, a
-// completion latch, and the lowest-index exception. Workers claim indices
-// until the dispenser runs dry; every index runs even after a failure so
-// the rethrown exception does not depend on scheduling.
+// completion latch, and the lowest-index exception. Workers claim
+// *chunks* of `grain` consecutive indices per fetch_add — one contended
+// atomic per chunk instead of one per index, which matters when fn is
+// cheap (fine-grained sweeps) — and every index still runs even after a
+// failure so the rethrown exception does not depend on scheduling.
+// Chunking is invisible to callers: results land in their own slots, and
+// the lowest failing index wins regardless of chunk shape.
 struct ForState {
-  ForState(i64 total, const std::function<void(i64)>& f)
-      : n(total), fn(f) {}
+  ForState(i64 total, i64 grain_, const std::function<void(i64)>& f)
+      : n(total), grain(grain_), fn(f) {}
 
   const i64 n;
+  const i64 grain;
   const std::function<void(i64)>& fn;
   std::atomic<i64> next{0};
   std::atomic<i64> done{0};
@@ -120,18 +126,22 @@ struct ForState {
 
   void run_indices() {
     for (;;) {
-      const i64 i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (failed_index < 0 || i < failed_index) {
-          failed_index = i;
-          error = std::current_exception();
+      const i64 begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const i64 end = std::min(begin + grain, n);
+      for (i64 i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (failed_index < 0 || i < failed_index) {
+            failed_index = i;
+            error = std::current_exception();
+          }
         }
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      const i64 ran = end - begin;
+      if (done.fetch_add(ran, std::memory_order_acq_rel) + ran == n) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
       }
@@ -159,10 +169,14 @@ void parallel_for(i64 n, const std::function<void(i64)>& fn, i64 jobs) {
 
   ThreadPool& pool = ThreadPool::shared();
   pool.ensure_workers(j);
+  // Chunk size: ~4 chunks per lane balances dispenser traffic against
+  // load imbalance from uneven per-index cost. Grain never affects
+  // results — only which worker runs which index.
+  const i64 grain = std::max<i64>(1, n / (j * 4));
   // The caller is the j-th lane; j-1 pool tasks join it on the dispenser.
   // shared_ptr keeps the state alive until the last straggler task (one
-  // that lost the race for an index after wait() already returned) exits.
-  auto state = std::make_shared<ForState>(n, fn);
+  // that lost the race for a chunk after wait() already returned) exits.
+  auto state = std::make_shared<ForState>(n, grain, fn);
   for (i64 t = 0; t < j - 1; ++t)
     pool.submit([state] { state->run_indices(); });
   state->run_indices();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "cbrain/simd/simd.hpp"
+
 namespace cbrain {
 
 void sgemm(const float* a, const float* b, float* c, i64 m, i64 n, i64 k,
@@ -18,9 +20,9 @@ void sgemm(const float* a, const float* b, float* c, i64 m, i64 n, i64 k,
         for (i64 kk = k0; kk < k1; ++kk) {
           const float aik = a[i * k + kk];
           if (aik == 0.0f) continue;
-          const float* brow = b + kk * n;
-          float* crow = c + i * n;
-          for (i64 j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          // axpy micro-kernel: per-element mul+add (no FMA), so the sum
+          // stays bit-identical across SIMD backends.
+          simd::axpy_f32(aik, b + kk * n, c + i * n, n);
         }
       }
     }

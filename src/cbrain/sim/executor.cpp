@@ -4,6 +4,7 @@
 
 #include "cbrain/common/logging.hpp"
 #include "cbrain/ref/lrn_ref.hpp"
+#include "cbrain/simd/simd.hpp"
 #include "cbrain/tensor/unroll.hpp"
 
 namespace cbrain {
@@ -435,9 +436,8 @@ class Executor {
                 const std::int16_t* data =
                     band +
                     (in_band_addr(in, in.din0 + c0, y, x) - in.input_base);
-                for (i64 l = 0; l < L; ++l)
-                  acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
-                      data, wrow + l * kk * dins + c0, C);
+                simd::dot_s16_multi_acc(data, wrow + c0, kk * dins, L, C,
+                                        acc.data());
               }
             }
           }
@@ -529,14 +529,11 @@ class Executor {
                     (in_band_addr(in, in.din0 + c0, y, x) - in.input_base);
                 acc_t* out = partials + row_base + ox * douts;
                 if (first_pass) {
+                  simd::dot_s16_multi(data, wregs.data(), C, L, C, out);
                   for (i64 l = 0; l < L; ++l)
-                    out[l] = PEArray::dot_raw(
-                                 data, wregs.data() + l * C, C) +
-                             bias_regs[static_cast<std::size_t>(l)];
-                } else {
-                  for (i64 l = 0; l < L; ++l)  // add-and-store
-                    out[l] += PEArray::dot_raw(data, wregs.data() + l * C,
-                                               C);
+                    out[l] += bias_regs[static_cast<std::size_t>(l)];
+                } else {  // add-and-store
+                  simd::dot_s16_multi_acc(data, wregs.data(), C, L, C, out);
                 }
               }
             }
@@ -621,14 +618,13 @@ class Executor {
                   read_window(oy, ox);
                   acc_t* out = partials + pix * douts + (lane0 - in.dout0);
                   if (first_pass) {
+                    simd::dot_s16_multi(window.data(), wregs.data(), ss, L,
+                                        ss, out);
                     for (i64 l = 0; l < L; ++l)
-                      out[l] = PEArray::dot_raw(window.data(),
-                                                wregs.data() + l * ss, ss) +
-                               bias_regs[static_cast<std::size_t>(l)];
+                      out[l] += bias_regs[static_cast<std::size_t>(l)];
                   } else {
-                    for (i64 l = 0; l < L; ++l)
-                      out[l] += PEArray::dot_raw(
-                          window.data(), wregs.data() + l * ss, ss);
+                    simd::dot_s16_multi_acc(window.data(), wregs.data(), ss,
+                                            L, ss, out);
                   }
                 }
               }
@@ -644,9 +640,9 @@ class Executor {
                 std::fill(acc.begin(), acc.begin() + L, 0);
                 for (i64 j0 = 0; j0 < ss; j0 += tin) {
                   const i64 C = std::min(tin, ss - j0);
-                  for (i64 l = 0; l < L; ++l)
-                    acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
-                        window.data() + j0, wregs.data() + l * ss + j0, C);
+                  simd::dot_s16_multi_acc(window.data() + j0,
+                                          wregs.data() + j0, ss, L, C,
+                                          acc.data());
                 }
                 acc_t* out = partials + pix * douts + (lane0 - in.dout0);
                 for (i64 l = 0; l < L; ++l) {
@@ -727,13 +723,11 @@ class Executor {
             const i64 ox = pix % in.out_w;
             acc_t* out = partials + partial_index(in, oy, ox, lane0);
             if (first_pass) {
+              simd::dot_s16_multi(data, wregs.data(), kk, L, kk, out);
               for (i64 l = 0; l < L; ++l)
-                out[l] =
-                    PEArray::dot_raw(data, wregs.data() + l * kk, kk) +
-                    bias_regs[static_cast<std::size_t>(l)];
+                out[l] += bias_regs[static_cast<std::size_t>(l)];
             } else {
-              for (i64 l = 0; l < L; ++l)
-                out[l] += PEArray::dot_raw(data, wregs.data() + l * kk, kk);
+              simd::dot_s16_multi_acc(data, wregs.data(), kk, L, kk, out);
             }
           }
           m_.pe().begin_ops(ceil_div(npix, w), npix * kk * L);
@@ -748,9 +742,8 @@ class Executor {
             std::fill(acc.begin(), acc.begin() + L, 0);
             for (i64 j0 = 0; j0 < kk; j0 += tin) {
               const i64 C = std::min(tin, kk - j0);
-              for (i64 l = 0; l < L; ++l)
-                acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
-                    data + j0, wregs.data() + l * kk + j0, C);
+              simd::dot_s16_multi_acc(data + j0, wregs.data() + j0, kk, L,
+                                      C, acc.data());
             }
             acc_t* out = partials + partial_index(in, oy, ox, lane0);
             for (i64 l = 0; l < L; ++l) {
@@ -808,17 +801,18 @@ class Executor {
           std::fill(acc.begin(), acc.end(), 0);
           for (i64 y = y0; y < y1; ++y) {
             for (i64 x = x0; x < x1; ++x) {
-              // Band coordinates are padded: shift by pad.
+              // Band coordinates are padded: shift by pad. The L lanes of
+              // one position are contiguous in the band (depth-major).
               const std::int16_t* lanes =
                   band_row(lane0, y + in.pad, x + in.pad);
-              for (i64 l = 0; l < L; ++l) {
-                const std::int16_t v = lanes[l];
-                if (in.kind == PoolKind::kMax) {
-                  auto& b = best[static_cast<std::size_t>(l)];
-                  if (first || v > b) b = v;
-                } else {
-                  acc[static_cast<std::size_t>(l)] += v;
-                }
+              if (in.kind == PoolKind::kMax) {
+                if (first)
+                  std::copy(lanes, lanes + L, best.begin());
+                else
+                  simd::max_s16(lanes, best.data(), L);
+              } else {
+                for (i64 l = 0; l < L; ++l)
+                  acc[static_cast<std::size_t>(l)] += lanes[l];
               }
               first = false;
             }
@@ -870,10 +864,10 @@ class Executor {
                 : 0;
       for (i64 c0 = 0; c0 < dins; c0 += tin) {
         const i64 C = std::min(tin, dins - c0);
-        for (i64 l = 0; l < L; ++l)
-          // Weight sub-block layout: (dout-rel, din-chunk) row-major.
-          acc[static_cast<std::size_t>(l)] += PEArray::dot_raw(
-              ivec + c0, wbuf + (lane0 + l - in.dout0) * dins + c0, C);
+        // Weight sub-block layout: (dout-rel, din-chunk) row-major.
+        simd::dot_s16_multi_acc(ivec + c0,
+                                wbuf + (lane0 - in.dout0) * dins + c0, dins,
+                                L, C, acc.data());
       }
       // Batched accounting for this lane group's dins-long dot products.
       m_.pe().begin_ops(nchunks, dins * L);

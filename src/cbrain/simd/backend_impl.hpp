@@ -1,0 +1,36 @@
+// Internal to cbrain::simd — the function table one backend translation
+// unit exports. Each backend lives in its own .cpp so the build can apply
+// per-file ISA flags (-mavx2) without letting vector codegen leak into
+// the rest of the library; this header therefore depends on nothing but
+// <cstdint> (a TU compiled with -mavx2 must not instantiate inline
+// functions shared with plainly-compiled TUs).
+#pragma once
+
+#include <cstdint>
+
+namespace cbrain::simd::detail {
+
+struct KernelTable {
+  std::int64_t (*dot_s16)(const std::int16_t*, const std::int16_t*,
+                          std::int64_t);
+  void (*dot_s16_multi)(const std::int16_t*, const std::int16_t*,
+                        std::int64_t, std::int64_t, std::int64_t,
+                        std::int64_t*);
+  void (*dot_s16_multi_acc)(const std::int16_t*, const std::int16_t*,
+                            std::int64_t, std::int64_t, std::int64_t,
+                            std::int64_t*);
+  void (*add_sat_s16)(const std::int16_t*, const std::int16_t*,
+                      std::int16_t*, std::int64_t);
+  void (*relu_s16)(const std::int16_t*, std::int16_t*, std::int64_t);
+  void (*max_s16)(const std::int16_t*, std::int16_t*, std::int64_t);
+  void (*axpy_f32)(float, const float*, float*, std::int64_t);
+};
+
+// Always present; the behavioural reference the others must match.
+const KernelTable* scalar_table();
+// nullptr when the backend is not compiled into this build (non-x86
+// target, or a compiler without the ISA support).
+const KernelTable* sse2_table();
+const KernelTable* avx2_table();
+
+}  // namespace cbrain::simd::detail

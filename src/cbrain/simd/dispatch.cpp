@@ -1,0 +1,171 @@
+// Runtime backend dispatch for cbrain::simd (see simd.hpp for the
+// contract). Resolution happens once, on the first kernel call: the
+// CBRAIN_SIMD environment variable picks a backend, "auto" (or unset, or
+// anything unusable) resolves to the best the build and the CPU support.
+// Installation is an atomic pointer swap, so tests and the CLI can
+// switch backends mid-process; concurrent first-use resolution is
+// idempotent (every racer computes the same table).
+#include "cbrain/simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/common/logging.hpp"
+#include "cbrain/simd/backend_impl.hpp"
+
+namespace cbrain::simd {
+namespace {
+
+using detail::KernelTable;
+
+const KernelTable* table_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return detail::scalar_table();
+    case Backend::kSse2:
+      return detail::sse2_table();
+    case Backend::kAvx2:
+      return detail::avx2_table();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Backend b) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+Backend best_supported() {
+  if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
+  if (backend_supported(Backend::kSse2)) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_backend{static_cast<int>(Backend::kScalar)};
+
+void install(Backend b) {
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  g_table.store(table_for(b), std::memory_order_release);
+}
+
+bool parse_backend(const std::string& name, Backend* out) {
+  if (name == "scalar") return *out = Backend::kScalar, true;
+  if (name == "sse2") return *out = Backend::kSse2, true;
+  if (name == "avx2") return *out = Backend::kAvx2, true;
+  return false;
+}
+
+Backend resolve_from_env() {
+  const char* env = std::getenv("CBRAIN_SIMD");
+  if (env == nullptr || *env == '\0' || std::string(env) == "auto")
+    return best_supported();
+  Backend b;
+  if (!parse_backend(env, &b)) {
+    CBRAIN_LOG(kWarn) << "CBRAIN_SIMD='" << env
+                      << "' is not auto|avx2|sse2|scalar; using "
+                      << backend_name(best_supported());
+    return best_supported();
+  }
+  if (!backend_supported(b)) {
+    CBRAIN_LOG(kWarn) << "CBRAIN_SIMD=" << env
+                      << " not supported on this build/CPU; using "
+                      << backend_name(best_supported());
+    return best_supported();
+  }
+  return b;
+}
+
+const KernelTable* table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  install(resolve_from_env());
+  return g_table.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool backend_supported(Backend b) {
+  return table_for(b) != nullptr && cpu_supports(b);
+}
+
+Backend active_backend() {
+  table();  // force resolution
+  return static_cast<Backend>(g_backend.load(std::memory_order_relaxed));
+}
+
+bool select_backend(const std::string& name) {
+  if (name == "auto") {
+    install(best_supported());
+    return true;
+  }
+  Backend b;
+  if (!parse_backend(name, &b) || !backend_supported(b)) return false;
+  install(b);
+  return true;
+}
+
+void select_backend(Backend b) {
+  CBRAIN_CHECK(backend_supported(b),
+               "SIMD backend " << backend_name(b)
+                               << " not supported on this build/CPU");
+  install(b);
+}
+
+Fixed16::acc_t dot_s16(const std::int16_t* data, const std::int16_t* weights,
+                       i64 n) {
+  return table()->dot_s16(data, weights, n);
+}
+
+void dot_s16_multi(const std::int16_t* data, const std::int16_t* weights,
+                   i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out) {
+  table()->dot_s16_multi(data, weights, row_stride, rows, n, out);
+}
+
+void dot_s16_multi_acc(const std::int16_t* data, const std::int16_t* weights,
+                       i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out) {
+  table()->dot_s16_multi_acc(data, weights, row_stride, rows, n, out);
+}
+
+void add_sat_s16(const std::int16_t* a, const std::int16_t* b,
+                 std::int16_t* out, i64 n) {
+  table()->add_sat_s16(a, b, out, n);
+}
+
+void relu_s16(const std::int16_t* x, std::int16_t* out, i64 n) {
+  table()->relu_s16(x, out, n);
+}
+
+void max_s16(const std::int16_t* x, std::int16_t* inout, i64 n) {
+  table()->max_s16(x, inout, n);
+}
+
+void axpy_f32(float a, const float* x, float* y, i64 n) {
+  table()->axpy_f32(a, x, y, n);
+}
+
+}  // namespace cbrain::simd

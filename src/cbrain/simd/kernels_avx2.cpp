@@ -1,0 +1,144 @@
+// AVX2 backend. The build applies -mavx2 to this file only (see
+// src/CMakeLists.txt); without it __AVX2__ is unset and this TU exports
+// nullptr. Dispatch additionally gates on a runtime CPUID check, so a
+// binary built here still runs on SSE2-only hosts.
+//
+// Like the SSE2 backend, the dot kernels avoid _mm256_madd_epi16 — its
+// pairwise i32 sum wraps when both pair products are (-32768)² — and
+// instead widen exact 32-bit products (mullo/mulhi) to 64-bit lanes.
+// Integer accumulation in any lane order is exact, so results are
+// bit-identical to the scalar reference for every input. axpy uses
+// mul+add (never FMA: -mavx2 does not enable it, and a fused rounding
+// would diverge from the scalar path).
+#include "cbrain/simd/backend_impl.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace cbrain::simd::detail {
+namespace {
+
+using std::int16_t;
+using std::int64_t;
+
+// Sign-extends the eight i32 lanes of `v` into two 4×i64 accumulators.
+inline void accumulate_i32x8(__m256i v, __m256i& acc0, __m256i& acc1) {
+  acc0 = _mm256_add_epi64(
+      acc0, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+  acc1 = _mm256_add_epi64(
+      acc1, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+}
+
+int64_t dot_s16(const int16_t* data, const int16_t* weights, int64_t n) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(weights + i));
+    const __m256i lo = _mm256_mullo_epi16(d, w);
+    const __m256i hi = _mm256_mulhi_epi16(d, w);
+    // unpack interleaves within 128-bit halves; which product lands in
+    // which lane is irrelevant to an exact sum.
+    accumulate_i32x8(_mm256_unpacklo_epi16(lo, hi), acc0, acc1);
+    accumulate_i32x8(_mm256_unpackhi_epi16(lo, hi), acc0, acc1);
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                     _mm256_add_epi64(acc0, acc1));
+  int64_t acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i)
+    acc += static_cast<int64_t>(data[i]) * static_cast<int64_t>(weights[i]);
+  return acc;
+}
+
+void dot_s16_multi(const int16_t* data, const int16_t* weights,
+                   int64_t row_stride, int64_t rows, int64_t n,
+                   int64_t* out) {
+  for (int64_t l = 0; l < rows; ++l)
+    out[l] = dot_s16(data, weights + l * row_stride, n);
+}
+
+void dot_s16_multi_acc(const int16_t* data, const int16_t* weights,
+                       int64_t row_stride, int64_t rows, int64_t n,
+                       int64_t* out) {
+  for (int64_t l = 0; l < rows; ++l)
+    out[l] += dot_s16(data, weights + l * row_stride, n);
+}
+
+void add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
+                 int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_adds_epi16(va, vb));
+  }
+  for (; i < n; ++i) {
+    const int32_t s = static_cast<int32_t>(a[i]) + static_cast<int32_t>(b[i]);
+    out[i] = static_cast<int16_t>(s > 32767 ? 32767 : (s < -32768 ? -32768
+                                                                  : s));
+  }
+}
+
+void relu_s16(const int16_t* x, int16_t* out, int64_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_max_epi16(v, zero));
+  }
+  for (; i < n; ++i) out[i] = x[i] < 0 ? int16_t{0} : x[i];
+}
+
+void max_s16(const int16_t* x, int16_t* inout, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vio =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(inout + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(inout + i),
+                        _mm256_max_epi16(vx, vio));
+  }
+  for (; i < n; ++i)
+    if (x[i] > inout[i]) inout[i] = x[i];
+}
+
+void axpy_f32(float a, const float* x, float* y, int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+constexpr KernelTable kTable = {
+    dot_s16,  dot_s16_multi, dot_s16_multi_acc, add_sat_s16,
+    relu_s16, max_s16,       axpy_f32,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kTable; }
+
+}  // namespace cbrain::simd::detail
+
+#else  // !__AVX2__
+
+namespace cbrain::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace cbrain::simd::detail
+
+#endif

@@ -1,0 +1,65 @@
+// Portable scalar backend — the behavioural reference for every vector
+// backend and the only one compiled on non-x86 targets. Plain loops the
+// optimizer can still auto-vectorize where legal; correctness never
+// depends on that.
+#include "cbrain/simd/backend_impl.hpp"
+
+namespace cbrain::simd::detail {
+namespace {
+
+using std::int16_t;
+using std::int64_t;
+
+int64_t s_dot_s16(const int16_t* data, const int16_t* weights, int64_t n) {
+  int64_t acc = 0;
+  for (int64_t i = 0; i < n; ++i)
+    acc += static_cast<int64_t>(data[i]) * static_cast<int64_t>(weights[i]);
+  return acc;
+}
+
+void s_dot_s16_multi(const int16_t* data, const int16_t* weights,
+                     int64_t row_stride, int64_t rows, int64_t n,
+                     int64_t* out) {
+  for (int64_t l = 0; l < rows; ++l)
+    out[l] = s_dot_s16(data, weights + l * row_stride, n);
+}
+
+void s_dot_s16_multi_acc(const int16_t* data, const int16_t* weights,
+                         int64_t row_stride, int64_t rows, int64_t n,
+                         int64_t* out) {
+  for (int64_t l = 0; l < rows; ++l)
+    out[l] += s_dot_s16(data, weights + l * row_stride, n);
+}
+
+void s_add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
+                   int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t s = static_cast<int32_t>(a[i]) + static_cast<int32_t>(b[i]);
+    out[i] = static_cast<int16_t>(s > 32767 ? 32767 : (s < -32768 ? -32768
+                                                                  : s));
+  }
+}
+
+void s_relu_s16(const int16_t* x, int16_t* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] < 0 ? int16_t{0} : x[i];
+}
+
+void s_max_s16(const int16_t* x, int16_t* inout, int64_t n) {
+  for (int64_t i = 0; i < n; ++i)
+    if (x[i] > inout[i]) inout[i] = x[i];
+}
+
+void s_axpy_f32(float a, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+constexpr KernelTable kTable = {
+    s_dot_s16,     s_dot_s16_multi, s_dot_s16_multi_acc, s_add_sat_s16,
+    s_relu_s16,    s_max_s16,       s_axpy_f32,
+};
+
+}  // namespace
+
+const KernelTable* scalar_table() { return &kTable; }
+
+}  // namespace cbrain::simd::detail

@@ -1,0 +1,98 @@
+// cbrain::simd — the vectorized fixed-point kernel layer under every MAC
+// the functional simulator and the reference GEMM execute.
+//
+// The paper's datapath is 256 16-bit multipliers wide; the simulator's
+// equivalent hot operation is an int16×int16 dot product accumulated at
+// Fixed16::acc_t (int64) precision. This module provides that kernel —
+// plus the multi-row variant all five executor schemes and the FC path
+// actually use, and the elementwise int16 helpers (saturating add, ReLU,
+// max-pool reduction) — in three implementations selected at runtime:
+//
+//   * AVX2   — _mm256_madd_epi16 + i32→i64 widening (x86 only)
+//   * SSE2   — _mm_madd_epi16 + manual sign-extension (x86 only)
+//   * scalar — portable fallback, the behavioural reference
+//
+// Bit-exactness contract: every kernel here performs *integer* arithmetic
+// whose result is independent of evaluation order (addition over Z is
+// associative and commutative, and accumulators are wide enough never to
+// wrap — products of int16 are ≤ 2^30, acc_t is int64). All backends
+// therefore return bit-identical results for every input, and the
+// simulator's outputs, accumulators and traffic counters are byte-equal
+// under CBRAIN_SIMD=scalar|sse2|avx2. tests/test_simd.cpp enforces this.
+// The float axpy kernel keeps the same guarantee by computing each
+// element independently as y[i] + a*x[i] (no FMA, no reassociation).
+//
+// Alignment contract: every pointer parameter may have *element*
+// alignment only (alignof(int16_t) / alignof(float)). The executor hands
+// out arbitrary offsets into SRAM-backed vectors, so the vector backends
+// use unaligned loads/stores exclusively.
+//
+// Backend selection: resolved once, on first kernel call, from the
+// CBRAIN_SIMD environment variable (auto|avx2|sse2|scalar; auto = best
+// supported, the default). An unsupported request logs a warning and
+// falls back to the best supported backend. The CLI's --simd flag and
+// tests override programmatically via select_backend().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cbrain/common/math_util.hpp"
+#include "cbrain/fixed/fixed16.hpp"
+
+namespace cbrain::simd {
+
+enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* backend_name(Backend b);
+
+// True when the backend is both compiled in (x86 build with the matching
+// compiler support) and usable on this CPU. kScalar is always supported.
+bool backend_supported(Backend b);
+
+// The backend every kernel below currently dispatches to. Resolves the
+// CBRAIN_SIMD environment variable on first use.
+Backend active_backend();
+
+// Programmatic override (CLI --simd, tests). "auto" re-resolves to the
+// best supported backend. Returns false — leaving the active backend
+// unchanged — for an unknown name or an unsupported backend.
+bool select_backend(const std::string& name);
+// Forced variant; `b` must satisfy backend_supported(b).
+void select_backend(Backend b);
+
+// --- kernels ---------------------------------------------------------------
+// All pointers: arbitrary element alignment, caller guarantees n (and for
+// the multi-row forms, rows and row_stride) describe valid memory. n == 0
+// is a no-op (dot returns 0).
+
+// Sum of data[i]*weights[i] at accumulator precision.
+Fixed16::acc_t dot_s16(const std::int16_t* data, const std::int16_t* weights,
+                       i64 n);
+
+// One data vector against `rows` weight rows (row l starts at
+// weights + l*row_stride): out[l] = dot(data, row_l, n). This is the
+// shape of every conv/FC hot loop — one input window against a lane
+// group's resident weights.
+void dot_s16_multi(const std::int16_t* data, const std::int16_t* weights,
+                   i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out);
+
+// Accumulating variant: out[l] += dot(data, row_l, n).
+void dot_s16_multi_acc(const std::int16_t* data, const std::int16_t* weights,
+                       i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out);
+
+// Elementwise saturating int16 add: out[i] = sat(a[i] + b[i]).
+void add_sat_s16(const std::int16_t* a, const std::int16_t* b,
+                 std::int16_t* out, i64 n);
+
+// Elementwise ReLU: out[i] = max(x[i], 0). In-place (out == x) allowed.
+void relu_s16(const std::int16_t* x, std::int16_t* out, i64 n);
+
+// Vertical max-pool reduction: inout[i] = max(inout[i], x[i]).
+void max_s16(const std::int16_t* x, std::int16_t* inout, i64 n);
+
+// y[i] += a * x[i], each element rounded independently (no FMA): the
+// cache-blocked sgemm micro-kernel of ref/im2col_gemm.
+void axpy_f32(float a, const float* x, float* y, i64 n);
+
+}  // namespace cbrain::simd

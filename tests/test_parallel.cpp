@@ -139,6 +139,53 @@ TEST(ParallelSweep, Fig7StyleSweepMatchesSerialByteForByte) {
   }
 }
 
+// Worker count must never leak into results: the same sweep evaluated at
+// --jobs 1 (serial path), 4 and 16 (chunked dispenser, different grains
+// and schedules) yields byte-identical tables.
+TEST(ParallelSweep, SweepTableIdenticalAcrossJobCounts) {
+  const AcceleratorConfig config = AcceleratorConfig::with_pe(8, 8);
+  const std::vector<Network> nets = {zoo::tiny_cnn(), zoo::scheme_mix_cnn()};
+  const Policy schemes[] = {Policy::kFixedInter, Policy::kFixedIntra,
+                            Policy::kFixedPartition, Policy::kAdaptive2};
+
+  std::vector<std::pair<const Network*, Policy>> points;
+  for (const Network& net : nets)
+    for (Policy s : schemes) points.emplace_back(&net, s);
+  const i64 n = static_cast<i64>(points.size());
+
+  auto run_table = [&](i64 jobs) {
+    return parallel::parallel_map<NetworkModelResult>(
+        n,
+        [&](i64 i) {
+          CBrain brain(config);
+          return brain.evaluate(*points[static_cast<std::size_t>(i)].first,
+                                points[static_cast<std::size_t>(i)].second);
+        },
+        jobs);
+  };
+
+  const std::vector<NetworkModelResult> t1 = run_table(1);
+  for (i64 jobs : {4, 16}) {
+    const std::vector<NetworkModelResult> tj = run_table(jobs);
+    ASSERT_EQ(tj.size(), t1.size()) << "jobs " << jobs;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+      EXPECT_EQ(tj[i].cycles(), t1[i].cycles())
+          << "jobs " << jobs << " point " << i;
+      EXPECT_EQ(std::memcmp(&tj[i].totals, &t1[i].totals,
+                            sizeof(TrafficCounters)),
+                0)
+          << "jobs " << jobs << " point " << i;
+      ASSERT_EQ(tj[i].layers.size(), t1[i].layers.size());
+      for (std::size_t l = 0; l < t1[i].layers.size(); ++l)
+        EXPECT_EQ(std::memcmp(&tj[i].layers[l].counters,
+                              &t1[i].layers[l].counters,
+                              sizeof(TrafficCounters)),
+                  0)
+            << "jobs " << jobs << " point " << i << " layer " << l;
+    }
+  }
+}
+
 // Same guarantee for the functional simulator: concurrent SimExecutor
 // instances (one per task) must reproduce the serial run's counters and
 // output bits.

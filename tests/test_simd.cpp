@@ -1,0 +1,277 @@
+// cbrain::simd — the bit-exactness contract of the kernel layer. Every
+// backend (scalar reference, SSE2, AVX2) must return identical bits for
+// every input: fuzzed lengths 0..257 at every pointer misalignment,
+// extreme values (INT16_MIN * INT16_MIN pairs, where a pairwise-madd
+// implementation would wrap int32), long runs, and — end to end — a
+// whole-network AlexNet simulation whose outputs and counters may not
+// differ by a single bit between the scalar and AVX2 backends.
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "cbrain/common/rng.hpp"
+#include "cbrain/core/cbrain.hpp"
+#include "cbrain/simd/simd.hpp"
+#include "support.hpp"
+
+namespace cbrain {
+namespace {
+
+using simd::Backend;
+
+// Restores whatever backend was active before the test, so test order
+// never leaks a backend selection into unrelated suites.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::active_backend()) {}
+  ~BackendGuard() { simd::select_backend(saved_); }
+
+ private:
+  Backend saved_;
+};
+
+std::vector<Backend> vector_backends() {
+  std::vector<Backend> v;
+  for (Backend b : {Backend::kSse2, Backend::kAvx2})
+    if (simd::backend_supported(b)) v.push_back(b);
+  return v;
+}
+
+std::vector<std::int16_t> random_s16(i64 n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int16_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int16_t>(rng.next_u64());
+  return v;
+}
+
+// Independent plain-C++ references (not the scalar backend, so a bug in
+// kernels_scalar.cpp cannot hide by matching itself).
+Fixed16::acc_t ref_dot(const std::int16_t* a, const std::int16_t* b, i64 n) {
+  Fixed16::acc_t acc = 0;
+  for (i64 i = 0; i < n; ++i)
+    acc += static_cast<Fixed16::acc_t>(a[i]) * b[i];
+  return acc;
+}
+
+std::int16_t ref_add_sat(std::int16_t a, std::int16_t b) {
+  const int s = static_cast<int>(a) + b;
+  if (s > std::numeric_limits<std::int16_t>::max())
+    return std::numeric_limits<std::int16_t>::max();
+  if (s < std::numeric_limits<std::int16_t>::min())
+    return std::numeric_limits<std::int16_t>::min();
+  return static_cast<std::int16_t>(s);
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndNamed) {
+  EXPECT_TRUE(simd::backend_supported(Backend::kScalar));
+  EXPECT_STREQ(simd::backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(simd::backend_name(Backend::kSse2), "sse2");
+  EXPECT_STREQ(simd::backend_name(Backend::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, SelectByNameRejectsUnknown) {
+  BackendGuard guard;
+  EXPECT_FALSE(simd::select_backend("neon"));
+  EXPECT_FALSE(simd::select_backend(""));
+  EXPECT_TRUE(simd::select_backend("scalar"));
+  EXPECT_EQ(simd::active_backend(), Backend::kScalar);
+  EXPECT_TRUE(simd::select_backend("auto"));
+}
+
+// The alignment contract: every kernel accepts pointers at any element
+// offset. Fuzz all lengths 0..257 crossed with data/weight misalignments
+// 0..3 elements off a fresh heap allocation, on every backend, against
+// the independent reference.
+TEST(SimdBitExact, DotFuzzLengthsAndMisalignments) {
+  BackendGuard guard;
+  const std::vector<std::int16_t> data = random_s16(257 + 8, 101);
+  const std::vector<std::int16_t> weights = random_s16(257 + 8, 202);
+  for (Backend b : vector_backends()) {
+    simd::select_backend(b);
+    for (i64 n = 0; n <= 257; ++n) {
+      for (i64 da = 0; da < 4; ++da) {
+        for (i64 wa = 0; wa < 4; ++wa) {
+          const std::int16_t* d = data.data() + da;
+          const std::int16_t* w = weights.data() + wa;
+          ASSERT_EQ(simd::dot_s16(d, w, n), ref_dot(d, w, n))
+              << simd::backend_name(b) << " n=" << n << " da=" << da
+              << " wa=" << wa;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBitExact, DotMultiMatchesRowwiseReference) {
+  BackendGuard guard;
+  constexpr i64 kRows = 5;
+  constexpr i64 kMaxN = 130;
+  const std::vector<std::int16_t> data = random_s16(kMaxN + 4, 303);
+  const std::vector<std::int16_t> weights =
+      random_s16(kRows * (kMaxN + 3) + 4, 404);
+  for (Backend b : vector_backends()) {
+    simd::select_backend(b);
+    for (i64 n : {i64{0}, i64{1}, i64{7}, i64{16}, i64{33}, i64{130}}) {
+      const i64 stride = n + 3;  // rows deliberately non-contiguous
+      for (i64 off = 0; off < 3; ++off) {
+        std::vector<Fixed16::acc_t> out(kRows, -1);
+        simd::dot_s16_multi(data.data() + off, weights.data() + off, stride,
+                            kRows, n, out.data());
+        std::vector<Fixed16::acc_t> acc(kRows, 1000);
+        simd::dot_s16_multi_acc(data.data() + off, weights.data() + off,
+                                stride, kRows, n, acc.data());
+        for (i64 l = 0; l < kRows; ++l) {
+          const Fixed16::acc_t expect = ref_dot(
+              data.data() + off, weights.data() + off + l * stride, n);
+          EXPECT_EQ(out[static_cast<std::size_t>(l)], expect)
+              << simd::backend_name(b) << " n=" << n << " row=" << l;
+          EXPECT_EQ(acc[static_cast<std::size_t>(l)], 1000 + expect)
+              << simd::backend_name(b) << " n=" << n << " row=" << l
+              << " (acc)";
+        }
+      }
+    }
+  }
+}
+
+// INT16_MIN * INT16_MIN = 2^30; two such products per int32 pair is
+// exactly the case where a pairwise-multiply-add (pmaddwd) kernel wraps.
+// Every length up to 257 must hold the exact value.
+TEST(SimdBitExact, ExtremeValuesNoIntermediateOverflow) {
+  BackendGuard guard;
+  constexpr std::int16_t kMin = std::numeric_limits<std::int16_t>::min();
+  constexpr std::int16_t kMax = std::numeric_limits<std::int16_t>::max();
+  std::vector<std::int16_t> all_min(257, kMin);
+  // Alternating extremes: products +2^30 and -(2^15-1)*2^15 interleave.
+  std::vector<std::int16_t> alt(257);
+  for (std::size_t i = 0; i < alt.size(); ++i)
+    alt[i] = (i % 2 == 0) ? kMin : kMax;
+  for (Backend b : vector_backends()) {
+    simd::select_backend(b);
+    for (i64 n = 0; n <= 257; ++n) {
+      EXPECT_EQ(simd::dot_s16(all_min.data(), all_min.data(), n),
+                static_cast<Fixed16::acc_t>(n) * (1LL << 30))
+          << simd::backend_name(b) << " n=" << n;
+      EXPECT_EQ(simd::dot_s16(all_min.data(), alt.data(), n),
+                ref_dot(all_min.data(), alt.data(), n))
+          << simd::backend_name(b) << " n=" << n << " (alternating)";
+    }
+  }
+}
+
+// A long all-extremes run: 2^20 products of 2^30 reaches 2^50 — the
+// accumulator must carry it exactly (acc_t is int64), identically on
+// every backend.
+TEST(SimdBitExact, LongRunNearAccumulatorScale) {
+  BackendGuard guard;
+  constexpr i64 kN = 1 << 20;
+  constexpr std::int16_t kMin = std::numeric_limits<std::int16_t>::min();
+  std::vector<std::int16_t> v(static_cast<std::size_t>(kN), kMin);
+  const Fixed16::acc_t expect = static_cast<Fixed16::acc_t>(kN) * (1LL << 30);
+  for (Backend b : vector_backends()) {
+    simd::select_backend(b);
+    EXPECT_EQ(simd::dot_s16(v.data(), v.data(), kN), expect)
+        << simd::backend_name(b);
+  }
+  // And a long random run against the independent reference.
+  const std::vector<std::int16_t> a = random_s16(kN, 505);
+  const std::vector<std::int16_t> w = random_s16(kN, 606);
+  const Fixed16::acc_t want = ref_dot(a.data(), w.data(), kN);
+  for (Backend b : vector_backends()) {
+    simd::select_backend(b);
+    EXPECT_EQ(simd::dot_s16(a.data(), w.data(), kN), want)
+        << simd::backend_name(b);
+  }
+}
+
+TEST(SimdBitExact, ElementwiseKernelsFuzz) {
+  BackendGuard guard;
+  std::vector<std::int16_t> a = random_s16(257 + 4, 707);
+  std::vector<std::int16_t> b = random_s16(257 + 4, 808);
+  // Seed saturation cases into the operands.
+  b[0] = a[0] = std::numeric_limits<std::int16_t>::max();
+  b[1] = a[1] = std::numeric_limits<std::int16_t>::min();
+  for (Backend back : vector_backends()) {
+    for (i64 n = 0; n <= 257; n += (n < 20 ? 1 : 13)) {
+      for (i64 off = 0; off < 3; ++off) {
+        std::vector<std::int16_t> add_out(static_cast<std::size_t>(n));
+        std::vector<std::int16_t> relu_out(static_cast<std::size_t>(n));
+        std::vector<std::int16_t> max_io(b.begin() + off, b.begin() + off + n);
+        simd::select_backend(back);
+        simd::add_sat_s16(a.data() + off, b.data() + off, add_out.data(), n);
+        simd::relu_s16(a.data() + off, relu_out.data(), n);
+        simd::max_s16(a.data() + off, max_io.data(), n);
+        for (i64 i = 0; i < n; ++i) {
+          const std::size_t s = static_cast<std::size_t>(i);
+          const std::int16_t x = a[s + off], y = b[s + off];
+          EXPECT_EQ(add_out[s], ref_add_sat(x, y))
+              << simd::backend_name(back) << " add n=" << n << " i=" << i;
+          EXPECT_EQ(relu_out[s], x < 0 ? std::int16_t{0} : x)
+              << simd::backend_name(back) << " relu n=" << n << " i=" << i;
+          EXPECT_EQ(max_io[s], std::max(x, y))
+              << simd::backend_name(back) << " max n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBitExact, AxpyMatchesScalarBackendBitwise) {
+  BackendGuard guard;
+  Rng rng(909);
+  std::vector<float> x(261), y0(261);
+  for (auto& v : x) v = static_cast<float>(rng.next_double(-4, 4));
+  for (auto& v : y0) v = static_cast<float>(rng.next_double(-4, 4));
+  const float alpha = 0.7734f;
+  for (i64 n = 0; n <= 257; n += (n < 20 ? 1 : 11)) {
+    for (i64 off = 0; off < 3; ++off) {
+      simd::select_backend(Backend::kScalar);
+      std::vector<float> want(y0.begin() + off, y0.begin() + off + n);
+      simd::axpy_f32(alpha, x.data() + off, want.data(), n);
+      for (Backend b : vector_backends()) {
+        simd::select_backend(b);
+        std::vector<float> got(y0.begin() + off, y0.begin() + off + n);
+        simd::axpy_f32(alpha, x.data() + off, got.data(), n);
+        // memcmp: identical bits, not merely nearly-equal floats.
+        EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                              static_cast<std::size_t>(n) * sizeof(float)),
+                  0)
+            << simd::backend_name(b) << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+// The end-to-end guarantee the CLI smoke check relies on: a whole-network
+// AlexNet simulation under the scalar backend and under AVX2 produces the
+// same output tensor and the same counters, bit for bit.
+TEST(SimdWholeNet, AlexNetScalarVsAvx2Identical) {
+  if (!simd::backend_supported(Backend::kAvx2))
+    GTEST_SKIP() << "AVX2 not available on this build/CPU";
+  BackendGuard guard;
+  const Network net = zoo::alexnet();
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+
+  auto run = [&](Backend b) {
+    simd::select_backend(b);
+    CBrain brain(config);
+    return brain.simulate(net, Policy::kAdaptive2, 42);
+  };
+  const SimResult scalar = run(Backend::kScalar);
+  const SimResult avx2 = run(Backend::kAvx2);
+
+  ASSERT_EQ(scalar.per_layer.size(), avx2.per_layer.size());
+  for (std::size_t l = 0; l < scalar.per_layer.size(); ++l)
+    EXPECT_EQ(std::memcmp(&scalar.per_layer[l], &avx2.per_layer[l],
+                          sizeof(TrafficCounters)),
+              0)
+        << "layer " << l;
+  ASSERT_EQ(scalar.final_output.size(), avx2.final_output.size());
+  for (i64 i = 0; i < scalar.final_output.size(); ++i)
+    ASSERT_EQ(scalar.final_output.storage()[static_cast<std::size_t>(i)].raw(),
+              avx2.final_output.storage()[static_cast<std::size_t>(i)].raw())
+        << "element " << i;
+}
+
+}  // namespace
+}  // namespace cbrain

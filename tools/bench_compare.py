@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_kernels.json files from `bench_micro_kernels --perf-json`.
+
+usage: bench_compare.py BASELINE.json CURRENT.json [--threshold=0.8]
+
+Prints a side-by-side ratio table for every kernel point and whole-net
+run present in BOTH files (extra points on either side are listed, not
+compared — a --quick run legitimately omits VGG16). A point whose
+current throughput falls below threshold * baseline is flagged as a
+REGRESSION.
+
+This is an *informational* CI leg: machine load and CPU frequency swings
+make wall-clock comparisons noisy, so the exit code is 0 unless a file
+is missing or malformed (exit 2). Humans (or a stricter CI) read the
+flags.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def kernel_key(k):
+    return ("kernel", k["name"], k["backend"], k["n"])
+
+
+def wholenet_key(r):
+    return ("whole_net", r["net"], r["backend"])
+
+
+def index(doc):
+    points = {}
+    for k in doc.get("kernels", []):
+        # Higher is better for throughput.
+        points[kernel_key(k)] = ("gbps", k["gbps"])
+    for r in doc.get("whole_net", []):
+        # Convert wall_ms to a rate so "higher is better" holds uniformly.
+        points[wholenet_key(r)] = ("1/wall_ms", 1.0 / r["wall_ms"])
+    return points
+
+
+def fmt_key(key):
+    if key[0] == "kernel":
+        return f"{key[1]:<14} {key[2]:<6} n={key[3]}"
+    return f"sim {key[1]:<10} {key[2]:<6}"
+
+
+def main(argv):
+    threshold = 0.8
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base = index(load(paths[0]))
+    cur = index(load(paths[1]))
+    common = sorted(set(base) & set(cur), key=str)
+    regressions = []
+
+    print(f"{'point':<34} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for key in common:
+        metric, b = base[key]
+        _, c = cur[key]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio < threshold:
+            flag = "  REGRESSION"
+            regressions.append(key)
+        print(f"{fmt_key(key):<34} {b:>12.4g} {c:>12.4g} {ratio:>6.2f}x{flag}")
+
+    for name, only in (("baseline", set(base) - set(cur)),
+                       ("current", set(cur) - set(base))):
+        for key in sorted(only, key=str):
+            print(f"{fmt_key(key):<34} (only in {name})")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} point(s) below "
+              f"{threshold:.0%} of baseline (informational)")
+    else:
+        print("\nbench_compare: no regressions "
+              f"(threshold {threshold:.0%}, {len(common)} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

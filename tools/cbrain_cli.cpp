@@ -38,6 +38,7 @@
 #include "cbrain/report/json_export.hpp"
 #include "cbrain/report/table.hpp"
 #include "cbrain/report/timeline.hpp"
+#include "cbrain/simd/simd.hpp"
 
 namespace cbrain::cli {
 namespace {
@@ -69,6 +70,9 @@ int usage() {
       "--max=N\n"
       "       --metric=cycles|energy  --jobs=N (worker threads; default "
       "hardware concurrency, 1 = serial)\n"
+      "       --simd=auto|avx2|sse2|scalar (kernel backend; all produce "
+      "bit-identical results;\n"
+      "        default: CBRAIN_SIMD env var, else best supported)\n"
       "fault-campaign flags: --site=input,weight,bias,accum,dram,dma,pe\n"
       "       --rate=<faults/Mword,...>  --recovery=none,parity,ecc\n"
       "       --seed=N  --events (print the fault event log)  --csv\n"
@@ -420,6 +424,15 @@ int run(int argc, char** argv) {
   if (opt.command.empty()) return usage();
   // 0 = unset → hardware concurrency; --jobs=1 restores fully serial runs.
   parallel::set_default_jobs(opt.get_i64("jobs", 0));
+  // --simd overrides the CBRAIN_SIMD env var; every backend is
+  // bit-identical, so this only affects host-side speed.
+  if (opt.has("simd") && !simd::select_backend(opt.get("simd", "auto"))) {
+    std::fprintf(stderr,
+                 "error: --simd=%s is not auto|avx2|sse2|scalar or not "
+                 "supported on this build/CPU\n",
+                 opt.get("simd", "auto").c_str());
+    return 2;
+  }
   if (opt.command == "list") return cmd_list();
   if (opt.net.empty()) return usage();
   if (opt.command == "fault-campaign") return cmd_fault_campaign(opt);

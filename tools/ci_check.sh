@@ -21,6 +21,15 @@ run_suite() {
 echo "=== Release build ==="
 run_suite build-ci-release -DCMAKE_BUILD_TYPE=Release
 
+echo "=== SIMD backends: full suite under scalar and auto ==="
+# Every kernel backend must be bit-identical; the cheapest way to prove
+# the suite doesn't silently depend on one is to run it under both the
+# portable reference and whatever dispatch resolves to on this machine.
+CBRAIN_SIMD=scalar ctest --test-dir build-ci-release --output-on-failure \
+  -j "$JOBS"
+CBRAIN_SIMD=auto ctest --test-dir build-ci-release --output-on-failure \
+  -j "$JOBS"
+
 echo "=== ThreadSanitizer build ==="
 run_suite build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCBRAIN_SANITIZE=thread
@@ -39,5 +48,18 @@ diff /tmp/cbrain_fig7_j1.txt /tmp/cbrain_fig7_jn.txt
 ./build-ci-release/bench/bench_fault_campaign --jobs "$JOBS" \
   > /tmp/cbrain_fault_jn.txt
 diff /tmp/cbrain_fault_j1.txt /tmp/cbrain_fault_jn.txt
+
+echo "=== perf harness: kernel + whole-net throughput (informational) ==="
+# Quick harness run diffed against the committed baseline. Wall-clock on
+# shared CI hosts is noisy, so bench_compare never fails the gate; the
+# table is for humans watching trends.
+./build-ci-release/bench/bench_micro_kernels \
+  --perf-json=/tmp/cbrain_bench_kernels.json --quick
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_kernels.json ]; then
+  python3 tools/bench_compare.py BENCH_kernels.json \
+    /tmp/cbrain_bench_kernels.json || true
+else
+  echo "bench_compare skipped (no python3 or no committed baseline)"
+fi
 
 echo "ci_check: all suites passed"
