@@ -12,10 +12,12 @@
 //
 // times dot_s16 / dot_s16_multi on every supported SIMD backend plus
 // whole-network simulator wall-clock (AlexNet under each backend, VGG16
-// under the best one; --quick drops VGG16 and shortens reps) and writes
-// the results as JSON (default: BENCH_kernels.json in the working
-// directory). CI runs the quick mode and diffs against the committed
-// baseline; the diff is informational, not a gate.
+// under the best one; --quick drops VGG16 and shortens reps) and the
+// serving path (AlexNet through weight-resident engine sessions at jobs
+// 1 and N, vs the per-call simulate path), and writes the results as
+// JSON (default: BENCH_kernels.json in the working directory). CI runs
+// the quick mode and diffs against the committed baseline; the diff is
+// informational, not a gate.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -29,6 +31,7 @@
 #include "cbrain/common/json.hpp"
 #include "cbrain/compiler/compiler.hpp"
 #include "cbrain/core/cbrain.hpp"
+#include "cbrain/engine/engine.hpp"
 #include "cbrain/model/network_model.hpp"
 #include "cbrain/nn/workload.hpp"
 #include "cbrain/nn/zoo.hpp"
@@ -336,6 +339,69 @@ WholeNetResult measure_whole_net(const Network& net, simd::Backend b) {
   return r;
 }
 
+// Serving throughput: requests through a weight-resident session pool
+// (engine::run_many) versus the per-call path that rebuilds the machine
+// and re-materializes the weights on every request (CBrain::simulate).
+// The jobs=1 speedup is the acceptance number of the session refactor:
+// it isolates exactly the setup work a resident session amortizes away.
+struct ServeResult {
+  std::string net;
+  std::string backend;
+  i64 jobs = 0;
+  i64 requests = 0;
+  double infer_per_s = 0.0;
+  double per_call_infer_per_s = 0.0;  // 0 when not measured (jobs > 1)
+  double speedup_vs_per_call = 0.0;
+};
+
+std::vector<Tensor3<Fixed16>> serve_inputs(const Network& net, i64 n) {
+  std::vector<Tensor3<Fixed16>> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    v.push_back(random_input<Fixed16>(
+        net.layer(0).out_dims,
+        (42 ^ 0x1234) + 0x9E3779B97F4A7C15ull * static_cast<u64>(i)));
+  return v;
+}
+
+ServeResult measure_serve(const Network& net, simd::Backend b, i64 jobs,
+                          i64 requests, bool with_per_call) {
+  simd::select_backend(b);
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const auto params = init_net_params<Fixed16>(net, 42);
+  const auto inputs = serve_inputs(net, requests);
+
+  engine::Engine eng(config);
+  eng.compile(net, Policy::kAdaptive2);  // warm: serving, not compilation
+  engine::ServeStats stats;
+  const auto results =
+      eng.run_many(net, Policy::kAdaptive2, params, inputs, jobs, &stats);
+  benchmark::DoNotOptimize(results.size());
+
+  ServeResult r;
+  r.net = net.name();
+  r.backend = simd::backend_name(b);
+  r.jobs = jobs;
+  r.requests = requests;
+  r.infer_per_s = stats.infer_per_s();
+  if (with_per_call) {
+    CBrain brain(config);
+    brain.compile(net, Policy::kAdaptive2);
+    const Clock::time_point t0 = Clock::now();
+    for (const auto& input : inputs)
+      benchmark::DoNotOptimize(
+          brain.simulate(net, Policy::kAdaptive2, input, params)
+              .final_output.size());
+    const double secs = seconds_since(t0);
+    r.per_call_infer_per_s =
+        secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
+    r.speedup_vs_per_call = r.per_call_infer_per_s > 0.0
+                                ? r.infer_per_s / r.per_call_infer_per_s
+                                : 0.0;
+  }
+  return r;
+}
+
 std::vector<simd::Backend> supported_backends() {
   std::vector<simd::Backend> v;
   for (simd::Backend b :
@@ -370,6 +436,22 @@ int run_perf_harness(const std::string& path, bool quick) {
   for (simd::Backend b : backends) whole.push_back(measure_whole_net(anet, b));
   if (!quick)
     whole.push_back(measure_whole_net(zoo::vgg16(), backends.back()));
+
+  // Serving: AlexNet through weight-resident sessions on the best
+  // backend. jobs=1 carries the per-call comparison (the session-refactor
+  // acceptance number); jobs=4 exercises the session pool — a fixed pool
+  // size rather than hardware_jobs() so the JSON key is stable across
+  // hosts (on few-core machines it shows oversubscription, not scaling).
+  // Request counts are small — one AlexNet inference is ~1s of host
+  // time — but the paths they compare differ by whole machine builds, so
+  // the ratio is stable.
+  const i64 serve_jobs_n = 4;
+  std::vector<ServeResult> serve;
+  serve.push_back(measure_serve(anet, backends.back(), 1, quick ? 2 : 5,
+                                /*with_per_call=*/true));
+  serve.push_back(measure_serve(anet, backends.back(), serve_jobs_n,
+                                quick ? serve_jobs_n : 2 * serve_jobs_n,
+                                /*with_per_call=*/false));
   simd::select_backend(original);
 
   // dot_s16_multi speedup of each vector backend over scalar at the same
@@ -427,6 +509,22 @@ int run_perf_harness(const std::string& path, bool quick) {
     w.end_object();
   }
   w.end_array();
+  w.key("serve").begin_array();
+  for (const ServeResult& r : serve) {
+    w.begin_object();
+    w.kv("net", r.net);
+    w.kv("policy", "adap-2");
+    w.kv("backend", r.backend);
+    w.kv("jobs", r.jobs);
+    w.kv("requests", r.requests);
+    w.kv("infer_per_s", r.infer_per_s);
+    if (r.per_call_infer_per_s > 0.0) {
+      w.kv("per_call_infer_per_s", r.per_call_infer_per_s);
+      w.kv("speedup_vs_per_call", r.speedup_vs_per_call);
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 
   std::ofstream f(path);
@@ -436,8 +534,9 @@ int run_perf_harness(const std::string& path, bool quick) {
     return 1;
   }
   f << w.str() << "\n";
-  std::printf("wrote %s (%zu kernel points, %zu whole-net runs)\n",
-              path.c_str(), kernels.size(), whole.size());
+  std::printf("wrote %s (%zu kernel points, %zu whole-net runs, "
+              "%zu serve points)\n",
+              path.c_str(), kernels.size(), whole.size(), serve.size());
   for (const KernelResult& k : kernels)
     std::printf("  %-14s %-6s n=%-5lld %8.2f GB/s %12.0f MAC/s\n",
                 k.name.c_str(), k.backend.c_str(),
@@ -445,6 +544,15 @@ int run_perf_harness(const std::string& path, bool quick) {
   for (const WholeNetResult& r : whole)
     std::printf("  sim %-9s %-6s %10.1f ms %14.0f simulated MAC/s\n",
                 r.net.c_str(), r.backend.c_str(), r.wall_ms, r.sim_mac_per_s);
+  for (const ServeResult& r : serve) {
+    std::printf("  serve %-7s %-6s jobs=%-2lld %7.3f inf/s",
+                r.net.c_str(), r.backend.c_str(),
+                static_cast<long long>(r.jobs), r.infer_per_s);
+    if (r.per_call_infer_per_s > 0.0)
+      std::printf("  (per-call %.3f inf/s, session %.2fx)",
+                  r.per_call_infer_per_s, r.speedup_vs_per_call);
+    std::printf("\n");
+  }
   return 0;
 }
 

@@ -1,7 +1,5 @@
 #include "cbrain/core/cbrain.hpp"
 
-#include <algorithm>
-
 #include "cbrain/common/thread_pool.hpp"
 
 namespace cbrain {
@@ -27,30 +25,20 @@ double PolicyComparison::speedup(Policy a, Policy b) const {
 }
 
 const CompiledNetwork& CBrain::compile(const Network& net, Policy policy) {
-  const auto key = std::make_pair(net.name(), policy);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    auto compiled = compile_network(net, policy, config_);
-    CBRAIN_CHECK(compiled.is_ok(), "compile(" << net.name() << ", "
-                                              << policy_name(policy) << "): "
-                                              << compiled.status().to_string());
-    it = cache_
-             .emplace(key, std::make_unique<CompiledNetwork>(
-                               std::move(compiled).value()))
-             .first;
-  }
-  return *it->second;
+  // The engine's cache owns the program and never evicts, so the
+  // reference outlives the returned shared_ptr copy.
+  return *engine_.compile(net, policy);
 }
 
 NetworkModelResult CBrain::evaluate(const Network& net, Policy policy) {
-  return model_network(net, compile(net, policy), config_, options_);
+  return model_network(net, compile(net, policy), config(), options_);
 }
 
 SimResult CBrain::simulate(const Network& net, Policy policy,
                            const Tensor3<Fixed16>& input,
                            const NetParamsData<Fixed16>& params) {
-  SimExecutor sim(net, compile(net, policy), config_);
-  return sim.run(input, params);
+  auto session = engine_.open_session(net, policy, params);
+  return session->infer(input);
 }
 
 SimResult CBrain::simulate(const Network& net, Policy policy,
@@ -68,37 +56,14 @@ PolicyComparison CBrain::compare_policies(const Network& net) {
 PolicyComparison CBrain::compare_policies(
     const Network& net, const std::vector<Policy>& policies) {
   PolicyComparison cmp;
-  cmp.ideal_cycles = ideal_network_cycles(net, config_, options_);
-  // The compile cache is not thread-safe, so parallel tasks never touch
-  // it: missing programs are compiled concurrently into task-local slots
-  // and merged here, on the calling thread, before the modeling fan-out.
-  std::vector<Policy> missing;
-  for (Policy p : policies) {
-    const auto key = std::make_pair(net.name(), p);
-    if (cache_.find(key) == cache_.end() &&
-        std::find(missing.begin(), missing.end(), p) == missing.end())
-      missing.push_back(p);
-  }
-  auto fresh = parallel::parallel_map<std::unique_ptr<CompiledNetwork>>(
-      static_cast<i64>(missing.size()), [&](i64 i) {
-        const Policy p = missing[static_cast<std::size_t>(i)];
-        auto compiled = compile_network(net, p, config_);
-        CBRAIN_CHECK(compiled.is_ok(),
-                     "compile(" << net.name() << ", " << policy_name(p)
-                                << "): " << compiled.status().to_string());
-        return std::make_unique<CompiledNetwork>(
-            std::move(compiled).value());
-      });
-  for (std::size_t i = 0; i < missing.size(); ++i)
-    cache_.emplace(std::make_pair(net.name(), missing[i]),
-                   std::move(fresh[i]));
-
-  std::vector<const CompiledNetwork*> programs;
-  for (Policy p : policies) programs.push_back(&compile(net, p));
+  cmp.ideal_cycles = ideal_network_cycles(net, config(), options_);
+  // The engine's compile cache is thread-safe, so each task compiles (or
+  // fetches) its own program directly — no task-local merge dance.
   cmp.results = parallel::parallel_map<NetworkModelResult>(
       static_cast<i64>(policies.size()), [&](i64 i) {
-        return model_network(net, *programs[static_cast<std::size_t>(i)],
-                             config_, options_);
+        const Policy p = policies[static_cast<std::size_t>(i)];
+        return model_network(net, *engine_.compile(net, p), config(),
+                             options_);
       });
   return cmp;
 }

@@ -11,12 +11,16 @@
 //   * compare_policies(net)      — the paper's core experiment: one row
 //                                  per policy, plus the ideal bound.
 //
-// Compiled programs are cached per (network name, policy).
+// Compiled programs are cached in a thread-safe engine::Engine cache keyed
+// by a structural hash of (network topology, config, policy) — never by
+// name. For serving many inferences against resident weights, use the
+// engine() directly (open_session / run_many); simulate() is the one-shot
+// convenience over the same path.
 #pragma once
 
-#include <map>
 #include <memory>
 
+#include "cbrain/engine/engine.hpp"
 #include "cbrain/model/network_model.hpp"
 #include "cbrain/ref/params.hpp"
 #include "cbrain/sim/executor.hpp"
@@ -35,18 +39,24 @@ struct PolicyComparison {
 class CBrain {
  public:
   explicit CBrain(AcceleratorConfig config, ModelOptions options = {})
-      : config_(std::move(config)), options_(std::move(options)) {}
+      : engine_(std::move(config)), options_(std::move(options)) {}
 
-  const AcceleratorConfig& config() const { return config_; }
+  const AcceleratorConfig& config() const { return engine_.config(); }
   const ModelOptions& options() const { return options_; }
 
-  // Compile (cached) — exposed for inspection/disassembly.
+  // The serving layer underneath: weight-resident sessions, batched
+  // concurrent runs, and the shared compile cache.
+  engine::Engine& engine() { return engine_; }
+
+  // Compile (cached) — exposed for inspection/disassembly. The reference
+  // stays valid for the CBrain's lifetime (the cache never evicts).
   const CompiledNetwork& compile(const Network& net, Policy policy);
 
   // Analytical evaluation.
   NetworkModelResult evaluate(const Network& net, Policy policy);
 
   // Cycle-level functional simulation with explicit parameters and input.
+  // One-shot session: load_params once, infer once.
   SimResult simulate(const Network& net, Policy policy,
                      const Tensor3<Fixed16>& input,
                      const NetParamsData<Fixed16>& params);
@@ -61,10 +71,8 @@ class CBrain {
                                     const std::vector<Policy>& policies);
 
  private:
-  AcceleratorConfig config_;
+  engine::Engine engine_;
   ModelOptions options_;
-  std::map<std::pair<std::string, Policy>, std::unique_ptr<CompiledNetwork>>
-      cache_;
 };
 
 // The five policies of the paper's Figs. 8/10 in presentation order.

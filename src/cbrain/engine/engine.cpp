@@ -1,0 +1,305 @@
+#include "cbrain/engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/common/thread_pool.hpp"
+
+namespace cbrain::engine {
+namespace {
+
+// 64-bit FNV-1a accumulator. Everything that feeds the compile-cache key
+// goes through here as raw bytes; the mix_* helpers tag each field with a
+// one-byte type marker so adjacent fields can't alias (e.g. the i64 pair
+// (1, 2) hashes differently from (12, <nothing>)).
+struct Fnv1a {
+  u64 h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void tag(char t) { bytes(&t, 1); }
+  void mix_i64(i64 v) {
+    tag('i');
+    bytes(&v, sizeof(v));
+  }
+  void mix_u64(u64 v) {
+    tag('u');
+    bytes(&v, sizeof(v));
+  }
+  void mix_double(double v) {
+    // +0.0/-0.0 and NaN payloads are distinct bit patterns; config doubles
+    // are plain literals so bit-equality is the right identity here.
+    tag('d');
+    u64 bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(v));
+    bytes(&bits, sizeof(bits));
+  }
+  void mix_bool(bool v) { mix_i64(v ? 1 : 0); }
+};
+
+void mix_dims(Fnv1a& f, const MapDims& d) {
+  f.mix_i64(d.d);
+  f.mix_i64(d.h);
+  f.mix_i64(d.w);
+}
+
+void mix_layer(Fnv1a& f, const Layer& l) {
+  f.mix_i64(static_cast<i64>(l.kind));
+  f.mix_i64(static_cast<i64>(l.inputs.size()));
+  for (LayerId in : l.inputs) f.mix_i64(in);
+  mix_dims(f, l.in_dims);
+  mix_dims(f, l.out_dims);
+  switch (l.kind) {
+    case LayerKind::kInput: {
+      mix_dims(f, std::get<InputParams>(l.params).dims);
+      break;
+    }
+    case LayerKind::kConv: {
+      const ConvParams& p = l.conv();
+      f.mix_i64(p.dout);
+      f.mix_i64(p.k);
+      f.mix_i64(p.stride);
+      f.mix_i64(p.pad);
+      f.mix_i64(p.groups);
+      f.mix_bool(p.relu);
+      break;
+    }
+    case LayerKind::kPool: {
+      const PoolParams& p = l.pool();
+      f.mix_i64(static_cast<i64>(p.kind));
+      f.mix_i64(p.k);
+      f.mix_i64(p.stride);
+      f.mix_i64(p.pad);
+      break;
+    }
+    case LayerKind::kFC: {
+      const FCParams& p = l.fc();
+      f.mix_i64(p.dout);
+      f.mix_bool(p.relu);
+      break;
+    }
+    case LayerKind::kLRN: {
+      const LRNParams& p = l.lrn();
+      f.mix_i64(p.local_size);
+      f.mix_double(p.alpha);
+      f.mix_double(p.beta);
+      f.mix_double(p.bias);
+      break;
+    }
+    case LayerKind::kConcat:
+    case LayerKind::kSoftmax:
+      break;  // no parameters beyond wiring and shapes
+  }
+}
+
+void mix_buffer(Fnv1a& f, const BufferConfig& b) {
+  f.mix_i64(b.size_bytes);
+  f.mix_i64(b.words_per_cycle);
+}
+
+void mix_config(Fnv1a& f, const AcceleratorConfig& c) {
+  f.mix_i64(c.tin);
+  f.mix_i64(c.tout);
+  f.mix_double(c.clock_ghz);
+  mix_buffer(f, c.inout_buf);
+  mix_buffer(f, c.weight_buf);
+  mix_buffer(f, c.bias_buf);
+  f.mix_double(c.dram.words_per_cycle);
+  f.mix_i64(c.dram.latency_cycles);
+  f.mix_bool(c.dram.row_buffer_model);
+  f.mix_i64(c.dram.row_words);
+  f.mix_i64(c.dram.row_miss_cycles);
+  f.mix_i64(c.store_port_partials);
+}
+
+}  // namespace
+
+u64 structural_hash(const Network& net, Policy policy,
+                    const AcceleratorConfig& config) {
+  Fnv1a f;
+  f.mix_u64(0xcb7a140001ull);  // key-schema salt; bump when fields change
+  f.mix_i64(static_cast<i64>(policy));
+  mix_config(f, config);
+  f.mix_i64(net.size());
+  for (const Layer& l : net.layers()) mix_layer(f, l);
+  return f.h;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(Network net, std::shared_ptr<const CompiledNetwork> compiled,
+                 const AcceleratorConfig& config)
+    : net_(std::move(net)), compiled_(std::move(compiled)) {
+  CBRAIN_CHECK(compiled_ != nullptr, "Session needs a compiled program");
+  // exec_ holds references to net_ and *compiled_, both of which this
+  // Session owns (the program via shared_ptr) — hence non-copyable and
+  // constructed after the members it points at.
+  exec_ = std::make_unique<SimExecutor>(net_, *compiled_, config);
+}
+
+void Session::load_params(const NetParamsData<Fixed16>& params) {
+  exec_->load_params(params);
+}
+
+SimResult Session::infer(const Tensor3<Fixed16>& input) {
+  ++inferences_;
+  return exec_->infer(input);
+}
+
+void Session::attach_fault(FaultInjector* injector) {
+  exec_->attach_fault(injector);
+}
+
+// ---------------------------------------------------------------------------
+// ServeStats
+
+double ServeStats::infer_per_s() const {
+  if (latency_ms.empty() || wall_ms <= 0.0) return 0.0;
+  return static_cast<double>(latency_ms.size()) / (wall_ms / 1e3);
+}
+
+double ServeStats::latency_percentile_ms(double q) const {
+  if (latency_ms.empty()) return 0.0;
+  std::vector<double> sorted = latency_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: smallest value with cumulative frequency >= q.
+  auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return sorted[rank];
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+std::shared_ptr<const CompiledNetwork> Engine::compile(const Network& net,
+                                                       Policy policy) {
+  const u64 key = structural_hash(net, policy, config_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compile outside the lock — whole-net compilation is the expensive
+  // part and compile_network is pure. If two threads race on the same
+  // key, both compile (deterministically, to identical programs) and the
+  // first emplace wins; the loser's copy is discarded.
+  auto compiled = compile_network(net, policy, config_);
+  CBRAIN_CHECK(compiled.is_ok(), "compile(" << net.name() << ", "
+                                            << policy_name(policy) << "): "
+                                            << compiled.status().to_string());
+  auto owned = std::make_shared<const CompiledNetwork>(
+      std::move(compiled).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(key, std::move(owned));
+  return it->second;
+}
+
+std::unique_ptr<Session> Engine::open_session(const Network& net,
+                                              Policy policy) {
+  return std::make_unique<Session>(net, compile(net, policy), config_);
+}
+
+std::unique_ptr<Session> Engine::open_session(
+    const Network& net, Policy policy, const NetParamsData<Fixed16>& params) {
+  auto session = open_session(net, policy);
+  session->load_params(params);
+  return session;
+}
+
+std::vector<SimResult> Engine::run_many(
+    const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
+    const std::vector<Tensor3<Fixed16>>& inputs, i64 jobs,
+    ServeStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const auto n = static_cast<i64>(inputs.size());
+  if (n == 0) {
+    if (stats != nullptr) *stats = ServeStats{};
+    return {};
+  }
+  const i64 jobs_eff =
+      std::max<i64>(1, jobs > 0 ? jobs : parallel::default_jobs());
+  const i64 pool_n = std::min(jobs_eff, n);
+
+  // Weight-resident session pool. Sessions are interchangeable for
+  // results (a session's output doesn't depend on its serving history),
+  // so a simple mutex+condvar free-list is enough: any idle session
+  // serves the next request, and parallel_map's index-ordered slots give
+  // submission-ordered results regardless of which session ran what.
+  std::vector<std::unique_ptr<Session>> pool;
+  pool.reserve(static_cast<std::size_t>(pool_n));
+  for (i64 i = 0; i < pool_n; ++i)
+    pool.push_back(open_session(net, policy, params));
+
+  std::mutex pool_mu;
+  std::condition_variable pool_cv;
+  std::vector<Session*> free_list;
+  for (auto& s : pool) free_list.push_back(s.get());
+
+  std::vector<double> latency_ms(static_cast<std::size_t>(n), 0.0);
+  const auto batch_start = Clock::now();
+  auto results = parallel::parallel_map<SimResult>(
+      n,
+      [&](i64 i) {
+        Session* session = nullptr;
+        {
+          std::unique_lock<std::mutex> lock(pool_mu);
+          pool_cv.wait(lock, [&] { return !free_list.empty(); });
+          session = free_list.back();
+          free_list.pop_back();
+        }
+        const auto t0 = Clock::now();
+        SimResult r = session->infer(inputs[static_cast<std::size_t>(i)]);
+        latency_ms[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        {
+          std::lock_guard<std::mutex> lock(pool_mu);
+          free_list.push_back(session);
+        }
+        pool_cv.notify_one();
+        return r;
+      },
+      jobs_eff);
+  if (stats != nullptr) {
+    stats->latency_ms = std::move(latency_ms);
+    stats->wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - batch_start)
+            .count();
+    stats->sessions = pool_n;
+  }
+  return results;
+}
+
+i64 Engine::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<i64>(cache_.size());
+}
+
+i64 Engine::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+i64 Engine::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace cbrain::engine

@@ -1,0 +1,143 @@
+// cbrain::engine — the inference-serving layer over the cycle-level
+// simulator. The paper's accelerator is an inference engine: the host
+// loads a pre-trained model's weights into external memory once, then
+// streams input frames through the resident program. This module gives
+// the reproduction the same shape:
+//
+//   Engine  — owns the accelerator configuration and a thread-safe
+//             compiled-program cache keyed by a *structural* hash of
+//             (network topology, config, policy) — two structurally
+//             different networks that happen to share a name can never
+//             alias a program, and two structurally identical networks
+//             share one.
+//   Session — a weight-resident simulator instance: open_session()
+//             compiles (cached), builds the SimMachine, and materializes
+//             the parameters into simulated DRAM exactly once; infer()
+//             then streams one input image through with zero
+//             reallocation. infer ×N is bit- and counter-identical to N
+//             independent CBrain::simulate calls (tests/test_engine.cpp).
+//   run_many — fans a request batch across a pool of sessions via the
+//             cbrain::parallel thread pool. Results come back in
+//             submission order and are byte-identical at any --jobs,
+//             because a session's output is independent of what it
+//             served before.
+//
+// Determinism contract: a Session mutates only state that the next
+// inference fully rewrites before reading (input cubes, SRAM bands,
+// partial sums) or never reads (monotonic stats, attributed as deltas),
+// so which session of a pool serves a request cannot affect its bytes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cbrain/compiler/compiler.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/sim/executor.hpp"
+
+namespace cbrain::engine {
+
+// Order-sensitive FNV-1a over the network's topology (layer kinds,
+// parameters, wiring, shapes — NOT names), the accelerator configuration,
+// and the policy. This is the compile-cache key: anything that can change
+// the emitted program must feed the hash.
+u64 structural_hash(const Network& net, Policy policy,
+                    const AcceleratorConfig& config);
+
+// A weight-resident simulation session. Not thread-safe: one request at
+// a time per session (Engine::run_many pools sessions for concurrency).
+class Session {
+ public:
+  // `compiled` must have been produced for `net` under `config`.
+  Session(Network net, std::shared_ptr<const CompiledNetwork> compiled,
+          const AcceleratorConfig& config);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const Network& net() const { return net_; }
+  const CompiledNetwork& compiled() const { return *compiled_; }
+
+  // Materializes weights/biases into the session's simulated DRAM. Must
+  // run before the first infer(); may run again to hot-swap parameters.
+  void load_params(const NetParamsData<Fixed16>& params);
+  bool params_loaded() const { return exec_->params_loaded(); }
+
+  // Streams one input image through the resident machine. Bit- and
+  // counter-identical to a fresh single-shot simulate of the same input.
+  SimResult infer(const Tensor3<Fixed16>& input);
+
+  // Attaches (nullptr detaches) a fault injector to the session's
+  // machine, enabling checkpoint/replay recovery exactly as on the
+  // single-shot path. Attach before load_params for a fault sequence
+  // identical to SimExecutor::run with the same injector.
+  void attach_fault(FaultInjector* injector);
+
+  // Inferences served since open (diagnostics).
+  i64 inferences() const { return inferences_; }
+
+ private:
+  Network net_;  // owned copy: sessions outlive their construction site
+  std::shared_ptr<const CompiledNetwork> compiled_;
+  std::unique_ptr<SimExecutor> exec_;
+  i64 inferences_ = 0;
+};
+
+// Per-batch serving metrics from Engine::run_many.
+struct ServeStats {
+  std::vector<double> latency_ms;  // per request, submission order
+  double wall_ms = 0.0;            // whole-batch wall clock
+  i64 sessions = 0;                // pool size used
+
+  double infer_per_s() const;
+  // Nearest-rank percentile over latency_ms; q in [0, 1].
+  double latency_percentile_ms(double q) const;
+};
+
+class Engine {
+ public:
+  explicit Engine(AcceleratorConfig config) : config_(std::move(config)) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const AcceleratorConfig& config() const { return config_; }
+
+  // Compile-or-fetch under the structural key. Thread-safe: concurrent
+  // callers for the same key receive the same shared program (a lost
+  // insertion race discards the duplicate). CHECK-fails when the network
+  // cannot be tiled into the configured buffers.
+  std::shared_ptr<const CompiledNetwork> compile(const Network& net,
+                                                 Policy policy);
+
+  // Opens a weight-resident session (compile is cached). The two-arg
+  // form leaves parameters to a later load_params() — needed when a
+  // fault injector must observe the materialization writes.
+  std::unique_ptr<Session> open_session(const Network& net, Policy policy);
+  std::unique_ptr<Session> open_session(const Network& net, Policy policy,
+                                        const NetParamsData<Fixed16>& params);
+
+  // Serves a request batch across a session pool of min(jobs, #inputs)
+  // weight-resident sessions (jobs <= 0 uses parallel::default_jobs()).
+  // Results land in submission order and are byte-identical at any jobs
+  // count. `stats`, when given, receives per-request latencies and batch
+  // throughput.
+  std::vector<SimResult> run_many(const Network& net, Policy policy,
+                                  const NetParamsData<Fixed16>& params,
+                                  const std::vector<Tensor3<Fixed16>>& inputs,
+                                  i64 jobs = 0, ServeStats* stats = nullptr);
+
+  // Cache observability (diagnostics and tests).
+  i64 cache_size() const;
+  i64 cache_hits() const;
+  i64 cache_misses() const;
+
+ private:
+  AcceleratorConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<u64, std::shared_ptr<const CompiledNetwork>> cache_;
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+};
+
+}  // namespace cbrain::engine

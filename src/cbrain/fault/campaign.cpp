@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "cbrain/common/thread_pool.hpp"
+#include "cbrain/engine/engine.hpp"
 #include "cbrain/ref/params.hpp"
 #include "cbrain/sim/executor.hpp"
 
@@ -62,6 +64,94 @@ std::string fmt(const char* f, double v) {
   return buf;
 }
 
+// Everything a campaign shares across the grid points of one network:
+// the resilient compile (with its fallback log), the fixed workload, and
+// the fault-free reference run. Before the session split the baseline
+// simulation re-ran inside *every* grid point; now it runs once per net
+// through a weight-resident engine::Session and every point diffs
+// against the shared result — bit-identical, since the baseline is
+// deterministic in (net, policy, config, seeds).
+struct NetBaseline {
+  std::shared_ptr<const CompiledNetwork> compiled;
+  std::vector<CompileFallback> fallbacks;
+  NetParamsData<Fixed16> params;
+  Tensor3<Fixed16> input;
+  SimResult base;
+  i64 baseline_cycles = 0;
+  double baseline_pj = 0.0;
+};
+
+Result<NetBaseline> make_net_baseline(const Network& net, Policy policy,
+                                      const AcceleratorConfig& config,
+                                      const EnergyParams& energy) {
+  NetBaseline ctx;
+  Result<CompiledNetwork> compiled =
+      compile_network_resilient(net, policy, config, &ctx.fallbacks);
+  if (!compiled.is_ok()) return compiled.status();
+  ctx.compiled = std::make_shared<const CompiledNetwork>(
+      std::move(compiled).value());
+
+  ctx.params = init_net_params<Fixed16>(net, kParamsSeed);
+  ctx.input = random_input<Fixed16>(net.layer(0).out_dims, kInputSeed);
+
+  engine::Session session(net, ctx.compiled, config);
+  session.load_params(ctx.params);
+  ctx.base = session.infer(ctx.input);
+  ctx.baseline_cycles = sum_total_cycles(ctx.base);
+  ctx.baseline_pj =
+      compute_energy(sum_counters(ctx.base), energy).total_pj();
+  return ctx;
+}
+
+// The injected half of a point. Always a *fresh* executor: a faulty run
+// corrupts simulated DRAM (weights included), so unlike the fault-free
+// baseline it can never share a weight-resident machine across points.
+// The injector attaches before run() so materialization writes are
+// subject to faults, exactly as on the historical single-shot path.
+FaultPointResult run_faulty_half(const Network& net,
+                                 const AcceleratorConfig& config,
+                                 const FaultPointSpec& spec,
+                                 const EnergyParams& energy,
+                                 const NetBaseline& ctx) {
+  FaultPointResult out;
+  out.net = net.name();
+  out.spec = spec;
+  out.fallbacks = ctx.fallbacks;
+  out.baseline_cycles = ctx.baseline_cycles;
+  out.baseline_pj = ctx.baseline_pj;
+
+  FaultConfig fc;
+  fc.seed = spec.seed;
+  fc.recovery = spec.recovery;
+  fc.site(spec.site).per_mword = spec.rate_per_mword;
+  fc.site(spec.site).mode = spec.mode;
+  FaultInjector injector(fc);
+
+  SimExecutor faulty(net, *ctx.compiled, config);
+  faulty.attach_fault(&injector);
+  const SimResult hit = faulty.run(ctx.input, ctx.params);
+  out.faulty_cycles = sum_total_cycles(hit);
+  out.faulty_pj = compute_energy(sum_counters(hit), energy).total_pj() +
+                  protection_pj(injector.stats(), energy);
+  out.stats = injector.stats();
+  out.events = injector.events();
+
+  const Tensor3<Fixed16>& a = ctx.base.final_output;
+  const Tensor3<Fixed16>& b = hit.final_output;
+  for (i64 d = 0; d < a.dims().d; ++d)
+    for (i64 y = 0; y < a.dims().h; ++y)
+      for (i64 x = 0; x < a.dims().w; ++x) {
+        ++out.outputs;
+        const int da = a.at(d, y, x).raw();
+        const int db = b.at(d, y, x).raw();
+        if (da == db) continue;
+        ++out.mismatched_outputs;
+        out.max_abs_err =
+            std::max(out.max_abs_err, std::abs(da - db) / 256.0);
+      }
+  return out;
+}
+
 }  // namespace
 
 FaultMode default_fault_mode(FaultSite site) {
@@ -90,68 +180,48 @@ Result<FaultPointResult> run_fault_point(const Network& net, Policy policy,
                                          const AcceleratorConfig& config,
                                          const FaultPointSpec& spec,
                                          const EnergyParams& energy) {
-  FaultPointResult out;
-  out.net = net.name();
-  out.spec = spec;
-
-  Result<CompiledNetwork> compiled =
-      compile_network_resilient(net, policy, config, &out.fallbacks);
-  if (!compiled.is_ok()) return compiled.status();
-
-  const auto params = init_net_params<Fixed16>(net, kParamsSeed);
-  const auto input =
-      random_input<Fixed16>(net.layer(0).out_dims, kInputSeed);
-
-  SimExecutor baseline(net, compiled.value(), config);
-  const SimResult base = baseline.run(input, params);
-  out.baseline_cycles = sum_total_cycles(base);
-  out.baseline_pj = compute_energy(sum_counters(base), energy).total_pj();
-
-  FaultConfig fc;
-  fc.seed = spec.seed;
-  fc.recovery = spec.recovery;
-  fc.site(spec.site).per_mword = spec.rate_per_mword;
-  fc.site(spec.site).mode = spec.mode;
-  FaultInjector injector(fc);
-
-  SimExecutor faulty(net, compiled.value(), config);
-  faulty.attach_fault(&injector);
-  const SimResult hit = faulty.run(input, params);
-  out.faulty_cycles = sum_total_cycles(hit);
-  out.faulty_pj = compute_energy(sum_counters(hit), energy).total_pj() +
-                  protection_pj(injector.stats(), energy);
-  out.stats = injector.stats();
-  out.events = injector.events();
-
-  const Tensor3<Fixed16>& a = base.final_output;
-  const Tensor3<Fixed16>& b = hit.final_output;
-  for (i64 d = 0; d < a.dims().d; ++d)
-    for (i64 y = 0; y < a.dims().h; ++y)
-      for (i64 x = 0; x < a.dims().w; ++x) {
-        ++out.outputs;
-        const int da = a.at(d, y, x).raw();
-        const int db = b.at(d, y, x).raw();
-        if (da == db) continue;
-        ++out.mismatched_outputs;
-        out.max_abs_err =
-            std::max(out.max_abs_err, std::abs(da - db) / 256.0);
-      }
-  return out;
+  Result<NetBaseline> ctx = make_net_baseline(net, policy, config, energy);
+  if (!ctx.is_ok()) return ctx.status();
+  return run_faulty_half(net, config, spec, energy, ctx.value());
 }
 
 Result<std::vector<FaultPointResult>> run_fault_campaign(
     const CampaignSpec& spec) {
+  // Baselines first: one resilient compile + one fault-free session run
+  // per *network*, shared by every grid point of that net (they all use
+  // identical seeds, so the shared result is bit-identical to the
+  // per-point rerun it replaces).
+  struct BaselineSlot {
+    NetBaseline ctx;
+    Status status;
+  };
+  const auto n_nets = static_cast<i64>(spec.nets.size());
+  std::vector<BaselineSlot> baselines = parallel::parallel_map<BaselineSlot>(
+      n_nets, [&](i64 i) {
+        BaselineSlot s;
+        Result<NetBaseline> r =
+            make_net_baseline(spec.nets[static_cast<std::size_t>(i)],
+                              spec.policy, spec.config, spec.energy);
+        if (r.is_ok())
+          s.ctx = std::move(r).value();
+        else
+          s.status = r.status();
+        return s;
+      });
+  for (const BaselineSlot& s : baselines)
+    if (!s.status.is_ok()) return s.status;
+
   struct Point {
-    const Network* net = nullptr;
+    std::size_t net_index = 0;
     FaultPointSpec fp;
   };
   std::vector<Point> grid;
-  for (const Network& net : spec.nets)
+  for (std::size_t ni = 0; ni < spec.nets.size(); ++ni)
     for (const FaultSite site : spec.sites)
       for (const double rate : spec.rates_per_mword)
         for (const RecoveryPolicy recovery : spec.recoveries) {
           Point p;
-          p.net = &net;
+          p.net_index = ni;
           p.fp.site = site;
           p.fp.mode = default_fault_mode(site);
           p.fp.rate_per_mword = rate;
@@ -160,32 +230,14 @@ Result<std::vector<FaultPointResult>> run_fault_campaign(
           grid.push_back(p);
         }
 
-  // parallel_map slots must be default-constructible, so carry the Status
-  // alongside and surface the lowest failed index afterwards (matching
-  // the pool's own deterministic-failure contract).
-  struct Slot {
-    FaultPointResult point;
-    Status status;
-  };
-  const std::vector<Slot> slots = parallel::parallel_map<Slot>(
-      static_cast<i64>(grid.size()), [&](i64 i) {
-        const Point& p = grid[static_cast<std::size_t>(i)];
-        Result<FaultPointResult> r = run_fault_point(
-            *p.net, spec.policy, spec.config, p.fp, spec.energy);
-        Slot s;
-        if (r.is_ok())
-          s.point = std::move(r).value();
-        else
-          s.status = r.status();
-        return s;
-      });
-
-  std::vector<FaultPointResult> points;
-  points.reserve(slots.size());
-  for (const Slot& s : slots) {
-    if (!s.status.is_ok()) return s.status;
-    points.push_back(s.point);
-  }
+  std::vector<FaultPointResult> points =
+      parallel::parallel_map<FaultPointResult>(
+          static_cast<i64>(grid.size()), [&](i64 i) {
+            const Point& p = grid[static_cast<std::size_t>(i)];
+            return run_faulty_half(spec.nets[p.net_index], spec.config,
+                                   p.fp, spec.energy,
+                                   baselines[p.net_index].ctx);
+          });
   return points;
 }
 

@@ -50,6 +50,47 @@ class Executor {
   SimResult run(const Tensor3<Fixed16>& input,
                 const NetParamsData<Fixed16>& params) {
     materialize_params(params);
+    return infer(input);
+  }
+
+  // Writes every layer's weights and biases into simulated DRAM. Split
+  // out of run() so a weight-resident session can pay this (and the
+  // machine construction) once and then stream inputs through infer().
+  void materialize_params(const NetParamsData<Fixed16>& params) {
+    for (const Layer& l : net_.layers()) {
+      const auto idx = static_cast<std::size_t>(l.id);
+      const auto& pd = params.per_layer[idx];
+      const i64 waddr = compiled_.layout.weight_addr[idx];
+      if (l.is_conv()) {
+        const Scheme scheme = compiled_.layout.scheme_of(l.id);
+        const ConvParams& p = l.conv();
+        const i64 din_g = p.din_per_group(l.in_dims.d);
+        const i64 kw = (scheme == Scheme::kPartition)
+                           ? PartitionSpec::from(p.k, p.stride).padded_k()
+                           : p.k;
+        i64 a = waddr;
+        for (i64 o = 0; o < p.dout; ++o)
+          for (i64 d = 0; d < din_g; ++d)
+            for (i64 y = 0; y < kw; ++y)
+              for (i64 x = 0; x < kw; ++x, ++a)
+                m_.dram().write(a, (y < p.k && x < p.k)
+                                       ? pd.weights.at(o, d, y, x).raw()
+                                       : std::int16_t{0});
+        write_bias(l, pd);
+      } else if (l.is_fc()) {
+        i64 a = waddr;
+        const i64 din = l.in_dims.count();
+        for (i64 o = 0; o < l.fc().dout; ++o)
+          for (i64 d = 0; d < din; ++d, ++a)
+            m_.dram().write(a, pd.weights.at(o, d, 0, 0).raw());
+        write_bias(l, pd);
+      }
+    }
+  }
+
+  // Executes the whole program against the current DRAM contents
+  // (parameters must already be resident) for one input image.
+  SimResult infer(const Tensor3<Fixed16>& input) {
     inject_input(input);
 
     SimResult result;
@@ -188,38 +229,6 @@ class Executor {
   }
 
   // --- setup -------------------------------------------------------------
-
-  void materialize_params(const NetParamsData<Fixed16>& params) {
-    for (const Layer& l : net_.layers()) {
-      const auto idx = static_cast<std::size_t>(l.id);
-      const auto& pd = params.per_layer[idx];
-      const i64 waddr = compiled_.layout.weight_addr[idx];
-      if (l.is_conv()) {
-        const Scheme scheme = compiled_.layout.scheme_of(l.id);
-        const ConvParams& p = l.conv();
-        const i64 din_g = p.din_per_group(l.in_dims.d);
-        const i64 kw = (scheme == Scheme::kPartition)
-                           ? PartitionSpec::from(p.k, p.stride).padded_k()
-                           : p.k;
-        i64 a = waddr;
-        for (i64 o = 0; o < p.dout; ++o)
-          for (i64 d = 0; d < din_g; ++d)
-            for (i64 y = 0; y < kw; ++y)
-              for (i64 x = 0; x < kw; ++x, ++a)
-                m_.dram().write(a, (y < p.k && x < p.k)
-                                       ? pd.weights.at(o, d, y, x).raw()
-                                       : std::int16_t{0});
-        write_bias(l, pd);
-      } else if (l.is_fc()) {
-        i64 a = waddr;
-        const i64 din = l.in_dims.count();
-        for (i64 o = 0; o < l.fc().dout; ++o)
-          for (i64 d = 0; d < din; ++d, ++a)
-            m_.dram().write(a, pd.weights.at(o, d, 0, 0).raw());
-        write_bias(l, pd);
-      }
-    }
-  }
 
   void write_bias(const Layer& l, const LayerParamsData<Fixed16>& pd) {
     const i64 baddr =
@@ -980,8 +989,25 @@ SimExecutor::SimExecutor(const Network& net, const CompiledNetwork& compiled,
 
 SimResult SimExecutor::run(const Tensor3<Fixed16>& input,
                            const NetParamsData<Fixed16>& params) {
+  load_params(params);
+  return infer(input);
+}
+
+void SimExecutor::load_params(const NetParamsData<Fixed16>& params) {
   Executor ex(net_, compiled_, *machine_, fault_);
-  return ex.run(input, params);
+  ex.materialize_params(params);
+  params_loaded_ = true;
+}
+
+SimResult SimExecutor::infer(const Tensor3<Fixed16>& input) {
+  CBRAIN_CHECK(params_loaded_,
+               "SimExecutor::infer called before load_params");
+  // A fresh interpreter per inference: the per-instruction manual
+  // counters start at zero, and all machine stats are attributed via
+  // before/after deltas, so infer ×N on one machine is counter-identical
+  // to N single-shot runs.
+  Executor ex(net_, compiled_, *machine_, fault_);
+  return ex.infer(input);
 }
 
 void SimExecutor::attach_fault(FaultInjector* injector) {

@@ -30,10 +30,26 @@ class SimExecutor {
   SimExecutor(const Network& net, const CompiledNetwork& compiled,
               const AcceleratorConfig& config);
 
-  // Materializes parameters and the input image in simulated DRAM, then
-  // runs the whole program.
+  // One-shot convenience: load_params(params) then infer(input). The
+  // historical single-call path — bit- and counter-identical to the
+  // explicit two-step sequence below.
   SimResult run(const Tensor3<Fixed16>& input,
                 const NetParamsData<Fixed16>& params);
+
+  // Materializes every layer's weights and biases into simulated DRAM.
+  // Called once per set of parameters; subsequent infer() calls reuse the
+  // resident weights (the inference-serving split — engine::Session).
+  void load_params(const NetParamsData<Fixed16>& params);
+
+  // Streams one input image through the already-loaded machine.
+  // Requires load_params() first. Repeated calls are independent: every
+  // word an inference reads is either written by that same inference,
+  // parameter data from load_params(), or never-written zero padding, so
+  // infer(x) returns bit-identical tensors and counters no matter how
+  // many inferences ran before it (tests/test_engine.cpp).
+  SimResult infer(const Tensor3<Fixed16>& input);
+
+  bool params_loaded() const { return params_loaded_; }
 
   // Attaches a fault injector to every machine component and enables the
   // executor's macro-instruction checkpoint/replay recovery. Pass nullptr
@@ -52,6 +68,7 @@ class SimExecutor {
   const CompiledNetwork& compiled_;
   std::unique_ptr<SimMachine> machine_;
   FaultInjector* fault_ = nullptr;
+  bool params_loaded_ = false;
 };
 
 }  // namespace cbrain

@@ -1,14 +1,14 @@
 // Runtime backend dispatch for cbrain::simd (see simd.hpp for the
-// contract). Resolution happens once, on the first kernel call: the
-// CBRAIN_SIMD environment variable picks a backend, "auto" (or unset, or
-// anything unusable) resolves to the best the build and the CPU support.
-// Installation is an atomic pointer swap, so tests and the CLI can
-// switch backends mid-process; concurrent first-use resolution is
-// idempotent (every racer computes the same table).
+// contract). Resolution happens exactly once, on the first kernel call,
+// under std::call_once: the CBRAIN_SIMD environment variable picks a
+// backend, "auto" (or unset, or anything unusable) resolves to the best
+// the build and the CPU support. Installation is an atomic pointer swap,
+// so tests and the CLI can switch backends mid-process.
 #include "cbrain/simd/simd.hpp"
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 #include "cbrain/common/check.hpp"
 #include "cbrain/common/logging.hpp"
@@ -88,14 +88,35 @@ Backend resolve_from_env() {
   return b;
 }
 
+// First-use env resolution. A bare load-then-install here would let two
+// threads racing on first use both run resolve_from_env() + install()
+// (double-logging any CBRAIN_SIMD warning and double-installing), so the
+// resolution is serialized through std::call_once: exactly one thread
+// resolves, everyone else blocks until the table is visible. Later
+// select_backend() overrides still go straight through install() — the
+// once-flag only guards the *implicit* env resolution.
+std::once_flag g_env_resolve_once;
+std::atomic<int> g_env_resolve_count{0};
+
 const KernelTable* table() {
   const KernelTable* t = g_table.load(std::memory_order_acquire);
   if (t != nullptr) return t;
-  install(resolve_from_env());
-  return g_table.load(std::memory_order_relaxed);
+  std::call_once(g_env_resolve_once, [] {
+    // select_backend() may have installed a table between our load and
+    // this call_once; env resolution must not clobber that explicit
+    // choice.
+    if (g_table.load(std::memory_order_acquire) != nullptr) return;
+    g_env_resolve_count.fetch_add(1, std::memory_order_relaxed);
+    install(resolve_from_env());
+  });
+  return g_table.load(std::memory_order_acquire);
 }
 
 }  // namespace
+
+int env_resolve_count() {
+  return g_env_resolve_count.load(std::memory_order_relaxed);
+}
 
 const char* backend_name(Backend b) {
   switch (b) {

@@ -61,6 +61,11 @@ bool select_backend(const std::string& name);
 // Forced variant; `b` must satisfy backend_supported(b).
 void select_backend(Backend b);
 
+// How many times first-use environment resolution ran (0 before any
+// kernel call, then exactly 1 for the process lifetime — the install is
+// guarded by std::call_once). Test hook for the init race.
+int env_resolve_count();
+
 // --- kernels ---------------------------------------------------------------
 // All pointers: arbitrary element alignment, caller guarantees n (and for
 // the multi-row forms, rows and row_stride) describe valid memory. n == 0

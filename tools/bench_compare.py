@@ -36,6 +36,10 @@ def wholenet_key(r):
     return ("whole_net", r["net"], r["backend"])
 
 
+def serve_key(r):
+    return ("serve", r["net"], r["backend"], r["jobs"])
+
+
 def index(doc):
     points = {}
     for k in doc.get("kernels", []):
@@ -44,12 +48,16 @@ def index(doc):
     for r in doc.get("whole_net", []):
         # Convert wall_ms to a rate so "higher is better" holds uniformly.
         points[wholenet_key(r)] = ("1/wall_ms", 1.0 / r["wall_ms"])
+    for r in doc.get("serve", []):
+        points[serve_key(r)] = ("infer_per_s", r["infer_per_s"])
     return points
 
 
 def fmt_key(key):
     if key[0] == "kernel":
         return f"{key[1]:<14} {key[2]:<6} n={key[3]}"
+    if key[0] == "serve":
+        return f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]}"
     return f"sim {key[1]:<10} {key[2]:<6}"
 
 

@@ -6,6 +6,8 @@
 //   cbrain_cli compare   <net> [--pe=TinxTout]
 //   cbrain_cli disasm    <net> [--policy=P] [--max=N]
 //   cbrain_cli simulate  <net> [--policy=P] [--seed=N] [--pe=TinxTout]
+//   cbrain_cli serve-bench <net> [--policy=P] [--requests=N] [--jobs=N]
+//                          [--seed=N] [--baseline]
 //   cbrain_cli oracle    <net> [--metric=cycles|energy]
 //   cbrain_cli fault-campaign <net[,net...]> [--site=S,..] [--rate=R,..]
 //                             [--recovery=none|parity|ecc,..] [--seed=N]
@@ -17,6 +19,7 @@
 // issues), 2 usage / bad flag value, 3 invalid network spec or
 // unresolvable network, 4 internal error (invariant violation or
 // unexpected exception).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -64,7 +67,7 @@ int usage() {
       stderr,
       "usage: cbrain_cli <command> [<net>] [--flag=value ...]\n"
       "commands: list | show | evaluate | compare | disasm | simulate | "
-      "oracle | timeline | verify | dot | fault-campaign\n"
+      "serve-bench | oracle | timeline | verify | dot | fault-campaign\n"
       "flags: --policy=inter|intra|partition|adap-1|adap-2  --pe=16x16\n"
       "       --dram=<words/cycle>  --fc  --batch=N  --json  --seed=N  "
       "--max=N\n"
@@ -73,6 +76,9 @@ int usage() {
       "       --simd=auto|avx2|sse2|scalar (kernel backend; all produce "
       "bit-identical results;\n"
       "        default: CBRAIN_SIMD env var, else best supported)\n"
+      "serve-bench flags: --requests=N (default 8)  --baseline (also time "
+      "the\n"
+      "       per-call simulate path and report the session speedup)\n"
       "fault-campaign flags: --site=input,weight,bias,accum,dram,dma,pe\n"
       "       --rate=<faults/Mword,...>  --recovery=none,parity,ecc\n"
       "       --seed=N  --events (print the fault event log)  --csv\n"
@@ -270,6 +276,87 @@ int cmd_simulate(const Network& net, const Options& opt) {
   return 0;
 }
 
+// Serving benchmark: N requests through a weight-resident session pool.
+// Unlike `simulate` there is no MAC-count cap — the whole point is to
+// measure the amortized cost of streaming many inputs through a machine
+// that was built and weight-loaded once, so AlexNet-scale nets are fair
+// game (one request costs the same as one `simulate`, minus setup).
+int cmd_serve_bench(const Network& net, const Options& opt) {
+  using Clock = std::chrono::steady_clock;
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  const AcceleratorConfig config = resolve_config(opt);
+  const i64 requests = std::max<i64>(1, opt.get_i64("requests", 8));
+  const auto seed = static_cast<u64>(opt.get_i64("seed", 42));
+  const i64 jobs = opt.get_i64("jobs", 0);
+
+  const auto params = init_net_params<Fixed16>(net, seed);
+  std::vector<Tensor3<Fixed16>> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  for (i64 i = 0; i < requests; ++i)
+    inputs.push_back(random_input<Fixed16>(
+        net.layer(0).out_dims,
+        (seed ^ 0x1234) + 0x9E3779B97F4A7C15ull * static_cast<u64>(i)));
+
+  engine::Engine engine(config);
+  engine.compile(net, *policy);  // warm: measure serving, not compilation
+
+  engine::ServeStats stats;
+  const std::vector<SimResult> results =
+      engine.run_many(net, *policy, params, inputs, jobs, &stats);
+
+  std::printf("serve-bench %s under %s on %s\n", net.name().c_str(),
+              policy_name(*policy), config.to_string().c_str());
+  std::printf("requests=%lld jobs=%lld sessions=%lld\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(jobs > 0 ? jobs
+                                              : parallel::default_jobs()),
+              static_cast<long long>(stats.sessions));
+  std::printf("wall %.2f s   %.3f inferences/s   "
+              "latency p50 %.1f ms  p99 %.1f ms\n",
+              stats.wall_ms / 1e3, stats.infer_per_s(),
+              stats.latency_percentile_ms(0.50),
+              stats.latency_percentile_ms(0.99));
+
+  if (opt.has("baseline")) {
+    // The pre-refactor serving story: one full CBrain::simulate per
+    // request (fresh machine + weight materialization every time),
+    // serial. Outputs must match the session results byte-for-byte.
+    CBrain brain(config);
+    brain.compile(net, *policy);  // warm, same as the session path
+    const auto t0 = Clock::now();
+    for (i64 i = 0; i < requests; ++i) {
+      const SimResult r = brain.simulate(
+          net, *policy, inputs[static_cast<std::size_t>(i)], params);
+      const auto& a = r.final_output.storage();
+      const auto& b =
+          results[static_cast<std::size_t>(i)].final_output.storage();
+      if (a.size() != b.size() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Fixed16)) !=
+              0) {
+        std::fprintf(stderr,
+                     "error: per-call output diverges from session "
+                     "output at request %lld\n",
+                     static_cast<long long>(i));
+        return 1;
+      }
+    }
+    const double percall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    const double percall_ips =
+        percall_ms > 0.0
+            ? static_cast<double>(requests) / (percall_ms / 1e3)
+            : 0.0;
+    std::printf("per-call path: %.2f s   %.3f inferences/s   "
+                "session speedup %.2fx (outputs byte-identical)\n",
+                percall_ms / 1e3, percall_ips,
+                percall_ips > 0.0 ? stats.infer_per_s() / percall_ips
+                                  : 0.0);
+  }
+  return 0;
+}
+
 int cmd_dot(const Network& net, const Options& opt) {
   const auto policy = resolve_policy(opt.get("policy", "adap-2"));
   if (!policy) return 2;
@@ -443,6 +530,7 @@ int run(int argc, char** argv) {
   if (opt.command == "compare") return cmd_compare(*net, opt);
   if (opt.command == "disasm") return cmd_disasm(*net, opt);
   if (opt.command == "simulate") return cmd_simulate(*net, opt);
+  if (opt.command == "serve-bench") return cmd_serve_bench(*net, opt);
   if (opt.command == "oracle") return cmd_oracle(*net, opt);
   if (opt.command == "timeline") return cmd_timeline(*net, opt);
   if (opt.command == "verify") return cmd_verify(*net, opt);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI gate: build and test the tree three times — a plain Release build, a
 # ThreadSanitizer build that exercises the parallel sweep engine (the
-# thread pool, the bench sweeps, and CBrain::compare_policies fan-out),
-# and an ASan+UBSan build that vets the fault-injection hooks and the
-# spec/program deserialization fuzz tests.
+# thread pool, the bench sweeps, CBrain::compare_policies fan-out, and
+# the engine's shared compile cache + session pool), and an ASan+UBSan
+# build that vets the fault-injection hooks, the spec/program
+# deserialization fuzz tests, and session-reuse lifetimes (test_engine
+# runs in every leg via ctest).
 #
 # usage: tools/ci_check.sh [jobs]
 set -euo pipefail
@@ -49,7 +51,17 @@ diff /tmp/cbrain_fig7_j1.txt /tmp/cbrain_fig7_jn.txt
   > /tmp/cbrain_fault_jn.txt
 diff /tmp/cbrain_fault_j1.txt /tmp/cbrain_fault_jn.txt
 
-echo "=== perf harness: kernel + whole-net throughput (informational) ==="
+echo "=== serve-bench: session pool vs per-call path (small net) ==="
+# The serving path end-to-end: a weight-resident session pool must beat
+# the rebuild-everything per-call loop and produce byte-identical
+# outputs (--baseline verifies and fails otherwise). Also re-run under
+# ASan to catch session-reuse lifetime bugs in the pooled fan-out.
+./build-ci-release/tools/cbrain_cli serve-bench tiny_cnn \
+  --requests=8 --jobs="$JOBS" --baseline
+./build-ci-asan/tools/cbrain_cli serve-bench tiny_cnn \
+  --requests=4 --jobs=2 --baseline
+
+echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on
 # shared CI hosts is noisy, so bench_compare never fails the gate; the
 # table is for humans watching trends.
