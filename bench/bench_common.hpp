@@ -12,10 +12,43 @@
 #include "cbrain/common/strings.hpp"
 #include "cbrain/core/cbrain.hpp"
 #include "cbrain/nn/zoo.hpp"
+#include "cbrain/obs/chrome_trace.hpp"
+#include "cbrain/obs/tracer.hpp"
 #include "cbrain/report/experiment.hpp"
 #include "cbrain/report/table.hpp"
 
 namespace cbrain::bench {
+
+// Environment-driven observability for every bench, with zero per-bench
+// wiring: CBRAIN_TRACE_OUT=FILE enables the span tracer for the whole
+// run and writes the Chrome trace at exit; CBRAIN_METRICS_OUT=FILE dumps
+// the metrics registry (".prom" extension selects Prometheus text).
+// Unset — the default, and what BENCH_kernels.json baselines are
+// recorded under — leaves tracing disabled: the instrumented paths then
+// cost one relaxed atomic load per guard.
+class EnvObsSession {
+ public:
+  EnvObsSession() {
+    const char* t = std::getenv("CBRAIN_TRACE_OUT");
+    const char* m = std::getenv("CBRAIN_METRICS_OUT");
+    trace_out_ = t == nullptr ? "" : t;
+    metrics_out_ = m == nullptr ? "" : m;
+    if (!trace_out_.empty()) obs::Tracer::global().enable();
+  }
+  ~EnvObsSession() {
+    if (!trace_out_.empty()) {
+      obs::Tracer::global().disable();
+      obs::write_chrome_trace(trace_out_);
+    }
+    if (!metrics_out_.empty()) obs::write_metrics(metrics_out_);
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
+inline EnvObsSession g_env_obs_session;
 
 // The paper's short network labels, in its order.
 inline const char* net_label(const std::string& name) {

@@ -2,11 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace cbrain {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+constexpr int kUnsetLevel = -1;
+
+// -1 until the first log_level()/set_log_level() call resolves it; then
+// holds a LogLevel. The lazy default lets CBRAIN_LOG_LEVEL take effect
+// without every entry point having to call set_log_level explicitly.
+std::atomic<int> g_level{kUnsetLevel};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,16 +31,69 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+LogLevel default_level() {
+  const char* env = std::getenv("CBRAIN_LOG_LEVEL");
+  LogLevel level = LogLevel::kWarn;
+  if (env != nullptr) parse_log_level(env, &level);
+  return level;
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex* mu = new std::mutex();  // leaked: usable at exit
+  return *mu;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level));
+}
+
+LogLevel log_level() {
+  int v = g_level.load();
+  if (v == kUnsetLevel) {
+    // Benign race: concurrent first calls all resolve the same env
+    // value; whichever store wins, the result is identical.
+    v = static_cast<int>(default_level());
+    g_level.store(v);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name)
+    s.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                     : c);
+  if (s == "debug")
+    *out = LogLevel::kDebug;
+  else if (s == "info")
+    *out = LogLevel::kInfo;
+  else if (s == "warn" || s == "warning")
+    *out = LogLevel::kWarn;
+  else if (s == "error")
+    *out = LogLevel::kError;
+  else if (s == "off" || s == "none")
+    *out = LogLevel::kOff;
+  else
+    return false;
+  return true;
+}
 
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[cbrain %s] %s\n", level_tag(level), msg.c_str());
+  // One formatted line per call, written under a mutex so concurrent
+  // engine workers can't interleave fragments of their lines.
+  std::string line = "[cbrain ";
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fputs(line.c_str(), stderr);
 }
 
 }  // namespace detail

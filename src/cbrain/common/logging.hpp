@@ -10,9 +10,16 @@ namespace cbrain {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-// Process-wide minimum level; messages below it are discarded.
+// Process-wide minimum level; messages below it are discarded. Until
+// set_log_level is called, the level defaults to the CBRAIN_LOG_LEVEL
+// environment variable (debug|info|warn|error|off, case-insensitive)
+// and falls back to kWarn when unset or unparseable.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses a level name as accepted by CBRAIN_LOG_LEVEL. Returns false
+// (and leaves *out untouched) on unrecognized input.
+bool parse_log_level(const std::string& name, LogLevel* out);
 
 namespace detail {
 

@@ -1,5 +1,11 @@
 #include "cbrain/compiler/adaptive.hpp"
 
+#include <string>
+
+#include "cbrain/compiler/scheme_trace.hpp"
+#include "cbrain/obs/metrics.hpp"
+#include "cbrain/obs/tracer.hpp"
+
 namespace cbrain {
 
 Scheme scheme_for_layer(const Layer& conv, Policy policy,
@@ -15,9 +21,15 @@ std::vector<Scheme> assign_schemes(const Network& net, Policy policy,
                               Scheme::kInter);
   for (const Layer& l : net.layers()) {
     if (!l.is_conv()) continue;
-    schemes[static_cast<std::size_t>(l.id)] =
-        scheme_for_layer(l, policy, config);
+    const Scheme chosen = scheme_for_layer(l, policy, config);
+    schemes[static_cast<std::size_t>(l.id)] = chosen;
+    obs::Registry::global()
+        .counter(std::string("compiler.scheme_selected.") +
+                 scheme_name(chosen))
+        .inc();
   }
+  if (obs::Tracer::global().enabled())
+    trace_scheme_selection(net, policy, config, schemes);
   return schemes;
 }
 

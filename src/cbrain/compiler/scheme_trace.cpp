@@ -1,0 +1,110 @@
+#include "cbrain/compiler/scheme_trace.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "cbrain/obs/tracer.hpp"
+
+namespace cbrain {
+namespace {
+
+// Closed-form operation-count estimate for one conv layer under one
+// scheme, mirroring the simulator's begin_ops accounting (executor.cpp):
+// how many PE operations the tile loops issue, ignoring DMA overlap.
+// Integer arithmetic only, so the traced per-candidate costs are
+// deterministic; the simulator remains the source of truth.
+i64 estimate_conv_cycles(const Layer& l, Scheme scheme,
+                         const AcceleratorConfig& config) {
+  const ConvParams& p = l.conv();
+  const i64 din = p.din_per_group(l.in_dims.d);
+  const i64 npix = l.out_dims.h * l.out_dims.w;
+  const i64 kk = p.k * p.k;
+  const i64 lane_groups = ceil_div(p.dout, config.tout);
+  const i64 nchunks = ceil_div(din, config.tin);
+  switch (scheme) {
+    case Scheme::kInter:
+      return lane_groups * npix * kk * nchunks;
+    case Scheme::kInterImproved:
+      // Same op count plus one register-load cycle per weight pass.
+      return lane_groups * (npix + 1) * kk * nchunks;
+    case Scheme::kIntraUnroll: {
+      const i64 per_din =
+          kk <= config.tin
+              ? ceil_div(npix, std::max<i64>(1, config.tin / kk))
+              : npix * ceil_div(kk, config.tin);
+      // Plus the serial im2col host staging pass at DRAM speed (words
+      // moved: raw cube in, unrolled cube out).
+      const i64 staging = l.in_dims.count() + npix * kk * l.in_dims.d;
+      return lane_groups * din * per_din + staging;
+    }
+    case Scheme::kIntraSliding:
+    case Scheme::kPartition: {
+      const PartitionSpec part = PartitionSpec::from(p.k, p.stride);
+      const i64 ss = part.sub_words();
+      const i64 per_pass =
+          ss <= config.tin
+              ? ceil_div(npix, std::max<i64>(1, config.tin / ss))
+              : npix * ceil_div(ss, config.tin);
+      return lane_groups * part.pieces() * din * per_pass;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void trace_scheme_selection(const Network& net, Policy policy,
+                            const AcceleratorConfig& config,
+                            const std::vector<Scheme>& schemes) {
+  // Candidate spans are laid out sequentially with their *estimated*
+  // cycle cost as duration, so a Perfetto view of the compile row reads
+  // as "what each alternative would have cost" with the winner flagged.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const int track =
+      tracer.add_track(obs::Domain::kCycles, "compile:" + net.name());
+  static const Scheme kCandidates[] = {
+      Scheme::kInter, Scheme::kInterImproved, Scheme::kIntraUnroll,
+      Scheme::kIntraSliding, Scheme::kPartition};
+  i64 cursor = 0;
+
+  for (const Layer& l : net.layers()) {
+    if (!l.is_conv()) continue;
+    const Scheme chosen = schemes[static_cast<std::size_t>(l.id)];
+    const i64 layer_start = cursor;
+    for (Scheme cand : kCandidates) {
+      obs::Span s;
+      s.track = track;
+      s.depth = 2;
+      s.start = cursor;
+      s.dur = estimate_conv_cycles(l, cand, config);
+      s.name = scheme_name(cand);
+      s.cat = "candidate";
+      s.args.emplace_back("est_cycles", std::to_string(s.dur));
+      s.args.emplace_back("chosen", cand == chosen ? "true" : "false");
+      cursor += s.dur;
+      tracer.record(std::move(s));
+    }
+    obs::Span ls;
+    ls.track = track;
+    ls.depth = 1;
+    ls.start = layer_start;
+    ls.dur = cursor - layer_start;
+    ls.name = l.name;
+    ls.cat = "select-scheme";
+    ls.args.emplace_back("chosen", scheme_name(chosen));
+    tracer.record(std::move(ls));
+  }
+
+  if (cursor > 0) {
+    obs::Span top;
+    top.track = track;
+    top.depth = 0;
+    top.start = 0;
+    top.dur = cursor;
+    top.name = std::string("assign-schemes:") + policy_name(policy);
+    top.cat = "compile";
+    tracer.record(std::move(top));
+  }
+}
+
+}  // namespace cbrain

@@ -1,0 +1,24 @@
+// Span-trace emission for the scheme-selection pass (obs cycle domain).
+// Lives in its own translation unit so the selection logic in
+// adaptive.cpp stays a leaf the optimizer sees unchanged; assign_schemes
+// calls trace_scheme_selection only when the global tracer is enabled.
+#pragma once
+
+#include <vector>
+
+#include "cbrain/arch/config.hpp"
+#include "cbrain/compiler/scheme.hpp"
+#include "cbrain/nn/network.hpp"
+
+namespace cbrain {
+
+// Records one "compile:<net>" cycle-domain track: per conv layer a
+// depth-1 select-scheme span containing a depth-2 candidate span for
+// each of the five schemes, sized by its estimated cycle cost with the
+// chosen one flagged in args, plus a depth-0 span over the whole pass.
+// `schemes` is assign_schemes' per-layer result (indexed by layer id).
+void trace_scheme_selection(const Network& net, Policy policy,
+                            const AcceleratorConfig& config,
+                            const std::vector<Scheme>& schemes);
+
+}  // namespace cbrain

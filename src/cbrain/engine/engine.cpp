@@ -8,6 +8,8 @@
 
 #include "cbrain/common/check.hpp"
 #include "cbrain/common/thread_pool.hpp"
+#include "cbrain/obs/metrics.hpp"
+#include "cbrain/obs/tracer.hpp"
 
 namespace cbrain::engine {
 namespace {
@@ -171,14 +173,9 @@ double ServeStats::infer_per_s() const {
 
 double ServeStats::latency_percentile_ms(double q) const {
   if (latency_ms.empty()) return 0.0;
-  std::vector<double> sorted = latency_ms;
-  std::sort(sorted.begin(), sorted.end());
-  const double clamped = std::min(1.0, std::max(0.0, q));
-  // Nearest-rank: smallest value with cumulative frequency >= q.
-  auto rank = static_cast<std::size_t>(
-      std::ceil(clamped * static_cast<double>(sorted.size())));
-  if (rank > 0) --rank;
-  return sorted[rank];
+  obs::Histogram h;
+  for (double v : latency_ms) h.observe(v);
+  return h.percentile(std::min(1.0, std::max(0.0, q)));
 }
 
 // ---------------------------------------------------------------------------
@@ -192,14 +189,25 @@ std::shared_ptr<const CompiledNetwork> Engine::compile(const Network& net,
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      obs::Registry::global().counter("engine.compile_cache_hits").inc();
       return it->second;
     }
     ++misses_;
+    obs::Registry::global().counter("engine.compile_cache_misses").inc();
   }
   // Compile outside the lock — whole-net compilation is the expensive
   // part and compile_network is pure. If two threads race on the same
   // key, both compile (deterministically, to identical programs) and the
-  // first emplace wins; the loser's copy is discarded.
+  // first emplace wins; the loser's copy is discarded. Under tracing the
+  // race would also duplicate the compile track's spans, so misses are
+  // serialized and the cache rechecked once the compile lock is held.
+  std::unique_lock<std::mutex> serialize;
+  if (obs::Tracer::global().enabled()) {
+    serialize = std::unique_lock<std::mutex>(compile_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
   auto compiled = compile_network(net, policy, config_);
   CBRAIN_CHECK(compiled.is_ok(), "compile(" << net.name() << ", "
                                             << policy_name(policy) << "): "
@@ -252,11 +260,46 @@ std::vector<SimResult> Engine::run_many(
   std::vector<Session*> free_list;
   for (auto& s : pool) free_list.push_back(s.get());
 
+  // Request-lifecycle telemetry. The histograms record always (request
+  // granularity — a few mutex-guarded observes next to milliseconds of
+  // simulation); wall-domain spans record only while the tracer is on.
+  // Each session gets its own wall track: a session serves one request
+  // at a time, so request spans on a session track never overlap. The
+  // pre-acquire waits (queue, free-session) can overlap across requests
+  // and are reported as span args + histograms instead of spans.
+  auto& reg = obs::Registry::global();
+  reg.counter("engine.run_many_total").inc();
+  reg.counter("engine.requests_total").inc(n);
+  reg.gauge("engine.session_pool").set(static_cast<double>(pool_n));
+  auto& queue_wait_h = reg.histogram("engine.queue_wait_ms");
+  auto& acquire_h = reg.histogram("engine.session_acquire_ms");
+  auto& infer_h = reg.histogram("engine.infer_ms");
+  auto& request_h = reg.histogram("engine.request_latency_ms");
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  std::vector<int> session_track(static_cast<std::size_t>(pool_n), 0);
+  std::unordered_map<const Session*, int> track_of;
+  int batch_track = 0;
+  if (tracing) {
+    batch_track = tracer.add_track(obs::Domain::kWall,
+                                   "engine:" + net.name() + " batch");
+    for (i64 j = 0; j < pool_n; ++j) {
+      session_track[static_cast<std::size_t>(j)] = tracer.add_track(
+          obs::Domain::kWall,
+          "engine:" + net.name() + " session " + std::to_string(j));
+      track_of[pool[static_cast<std::size_t>(j)].get()] =
+          session_track[static_cast<std::size_t>(j)];
+    }
+  }
+
   std::vector<double> latency_ms(static_cast<std::size_t>(n), 0.0);
   const auto batch_start = Clock::now();
+  const i64 batch_start_us = tracing ? tracer.wall_now_us() : 0;
   auto results = parallel::parallel_map<SimResult>(
       n,
       [&](i64 i) {
+        const auto task_start = Clock::now();
         Session* session = nullptr;
         {
           std::unique_lock<std::mutex> lock(pool_mu);
@@ -264,19 +307,56 @@ std::vector<SimResult> Engine::run_many(
           session = free_list.back();
           free_list.pop_back();
         }
+        const auto acquired = Clock::now();
+        const i64 acquired_us = tracing ? tracer.wall_now_us() : 0;
         const auto t0 = Clock::now();
         SimResult r = session->infer(inputs[static_cast<std::size_t>(i)]);
-        latency_ms[static_cast<std::size_t>(i)] =
-            std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                .count();
+        const auto t1 = Clock::now();
         {
           std::lock_guard<std::mutex> lock(pool_mu);
           free_list.push_back(session);
         }
         pool_cv.notify_one();
+
+        using Ms = std::chrono::duration<double, std::milli>;
+        const double queue_wait = Ms(task_start - batch_start).count();
+        const double acquire = Ms(acquired - task_start).count();
+        const double infer = Ms(t1 - t0).count();
+        latency_ms[static_cast<std::size_t>(i)] = infer;
+        queue_wait_h.observe(queue_wait);
+        acquire_h.observe(acquire);
+        infer_h.observe(infer);
+        request_h.observe(Ms(t1 - task_start).count());
+        if (tracing) {
+          obs::Span s;
+          s.domain = obs::Domain::kWall;
+          s.track = track_of[session];
+          s.start = acquired_us;
+          s.dur = tracer.wall_now_us() - acquired_us;
+          if (s.dur < 0) s.dur = 0;
+          s.name = "request";
+          s.cat = "request";
+          s.args.emplace_back("index", std::to_string(i));
+          s.args.emplace_back("queue_wait_ms", std::to_string(queue_wait));
+          s.args.emplace_back("session_acquire_ms", std::to_string(acquire));
+          s.args.emplace_back("infer_ms", std::to_string(infer));
+          tracer.record(std::move(s));
+        }
         return r;
       },
       jobs_eff);
+  if (tracing) {
+    obs::Span s;
+    s.domain = obs::Domain::kWall;
+    s.track = batch_track;
+    s.start = batch_start_us;
+    s.dur = tracer.wall_now_us() - batch_start_us;
+    s.name = "run_many:" + net.name();
+    s.cat = "batch";
+    s.args.emplace_back("requests", std::to_string(n));
+    s.args.emplace_back("sessions", std::to_string(pool_n));
+    tracer.record(std::move(s));
+  }
   if (stats != nullptr) {
     stats->latency_ms = std::move(latency_ms);
     stats->wall_ms =

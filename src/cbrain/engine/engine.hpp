@@ -91,7 +91,9 @@ struct ServeStats {
   i64 sessions = 0;                // pool size used
 
   double infer_per_s() const;
-  // Nearest-rank percentile over latency_ms; q in [0, 1].
+  // Nearest-rank percentile over latency_ms via obs::Histogram's
+  // log-scale buckets (±9% relative resolution, exact at the extremes);
+  // q in [0, 1].
   double latency_percentile_ms(double q) const;
 };
 
@@ -135,6 +137,11 @@ class Engine {
  private:
   AcceleratorConfig config_;
   mutable std::mutex mu_;
+  // Serializes cache-miss compiles while the span tracer is enabled, so a
+  // racing pair of threads can't both run assign_schemes and emit the
+  // same compile track twice. Never taken when tracing is off — the
+  // benign both-compile race stays on the fast path.
+  std::mutex compile_mu_;
   std::unordered_map<u64, std::shared_ptr<const CompiledNetwork>> cache_;
   i64 hits_ = 0;
   i64 misses_ = 0;

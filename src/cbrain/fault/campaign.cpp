@@ -7,6 +7,7 @@
 
 #include "cbrain/common/thread_pool.hpp"
 #include "cbrain/engine/engine.hpp"
+#include "cbrain/obs/metrics.hpp"
 #include "cbrain/ref/params.hpp"
 #include "cbrain/sim/executor.hpp"
 
@@ -135,6 +136,19 @@ FaultPointResult run_faulty_half(const Network& net,
                   protection_pj(injector.stats(), energy);
   out.stats = injector.stats();
   out.events = injector.events();
+
+  // Campaign-wide recovery telemetry: per-point integer deltas summed
+  // into the registry, so campaign totals are identical at any --jobs.
+  auto& reg = obs::Registry::global();
+  reg.counter("fault.points_total").inc();
+  reg.counter("fault.injected_total").inc(out.stats.total_injected());
+  reg.counter("fault.detected_total").inc(out.stats.detected);
+  reg.counter("fault.corrected_total").inc(out.stats.corrected);
+  reg.counter("fault.uncorrected_total").inc(out.stats.uncorrected);
+  reg.counter("fault.silent_total").inc(out.stats.silent);
+  reg.counter("fault.instruction_replays_total")
+      .inc(out.stats.instruction_replays);
+  reg.counter("fault.dma_retries_total").inc(out.stats.dma_retries);
 
   const Tensor3<Fixed16>& a = ctx.base.final_output;
   const Tensor3<Fixed16>& b = hit.final_output;

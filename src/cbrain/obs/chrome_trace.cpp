@@ -1,0 +1,127 @@
+#include "cbrain/obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+#include "cbrain/common/json.hpp"
+#include "cbrain/common/logging.hpp"
+#include "cbrain/obs/metrics.hpp"
+
+namespace cbrain::obs {
+
+namespace {
+
+constexpr int kCyclesPid = 1;
+constexpr int kWallPid = 2;
+
+int pid_for(Domain d) { return d == Domain::kCycles ? kCyclesPid : kWallPid; }
+
+void emit_args(JsonWriter& w,
+               const std::vector<std::pair<std::string, std::string>>& args) {
+  w.key("args");
+  w.begin_object();
+  for (const auto& [k, v] : args) w.kv(k, v);
+  w.end_object();
+}
+
+void emit_meta(JsonWriter& w, int pid, int tid, const std::string& what,
+               const std::string& name) {
+  w.begin_object();
+  w.kv("name", what);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  if (what == "process_sort_index" || what == "thread_sort_index")
+    w.kv("sort_index", static_cast<std::int64_t>(std::stoll(name)));
+  else
+    w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TraceData& data) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  emit_meta(w, kCyclesPid, 0, "process_name", "simulated cycles");
+  emit_meta(w, kCyclesPid, 0, "process_sort_index", "1");
+  emit_meta(w, kWallPid, 0, "process_name", "wall clock");
+  emit_meta(w, kWallPid, 0, "process_sort_index", "2");
+  for (const auto& t : data.tracks) {
+    // tid 0 is reserved for the process metadata rows above.
+    emit_meta(w, pid_for(t.domain), t.id + 1, "thread_name", t.name);
+    emit_meta(w, pid_for(t.domain), t.id + 1, "thread_sort_index",
+              std::to_string(t.id + 1));
+  }
+
+  for (const auto& s : data.spans) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("cat", s.cat.empty() ? std::string("span") : s.cat);
+    w.kv("ph", "X");
+    w.kv("pid", pid_for(s.domain));
+    w.kv("tid", s.track + 1);
+    w.kv("ts", static_cast<std::int64_t>(s.start));
+    w.kv("dur", static_cast<std::int64_t>(s.dur));
+    if (!s.args.empty()) emit_args(w, s.args);
+    w.end_object();
+  }
+  for (const auto& e : data.instants) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", e.cat.empty() ? std::string("instant") : e.cat);
+    w.kv("ph", "i");
+    w.kv("s", "t");  // scope: thread
+    w.kv("pid", pid_for(e.domain));
+    w.kv("tid", e.track + 1);
+    w.kv("ts", static_cast<std::int64_t>(e.ts));
+    if (!e.args.empty()) emit_args(w, e.args);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& body,
+                const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    CBRAIN_LOG(kError) << "obs: cannot open " << what << " output '"
+                       << path << "'";
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    CBRAIN_LOG(kError) << "obs: short write to " << what << " output '"
+                       << path << "'";
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path) {
+  TraceData data = Tracer::global().drain();
+  return write_file(path, to_chrome_trace_json(data), "trace");
+}
+
+bool write_metrics(const std::string& path) {
+  const bool prom = path.size() > 5 &&
+                    path.compare(path.size() - 5, 5, ".prom") == 0;
+  Registry& reg = Registry::global();
+  return write_file(path, prom ? reg.to_prometheus() : reg.to_json(),
+                    "metrics");
+}
+
+}  // namespace cbrain::obs

@@ -1,0 +1,26 @@
+// cbrain::obs — Chrome trace-event JSON export. The output loads in
+// chrome://tracing and Perfetto (legacy JSON importer). Layout:
+//   pid 1 "simulated cycles"  — cycle-domain tracks (1 cycle = 1 "us")
+//   pid 2 "wall clock"        — wall-domain tracks (real microseconds)
+// Each Track becomes a tid with a thread_name metadata record; spans
+// become complete ("X") events and instants become "i" events. Events
+// are emitted in drained order, so equal TraceData yields equal bytes.
+#pragma once
+
+#include <string>
+
+#include "cbrain/obs/tracer.hpp"
+
+namespace cbrain::obs {
+
+std::string to_chrome_trace_json(const TraceData& data);
+
+// Drains the global tracer and writes its Chrome-trace JSON to `path`.
+// Returns false (and logs) on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+// Writes Registry::global() JSON (or Prometheus text when `path` ends
+// in ".prom") to `path`. Returns false (and logs) on I/O failure.
+bool write_metrics(const std::string& path);
+
+}  // namespace cbrain::obs

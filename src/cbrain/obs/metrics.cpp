@@ -1,0 +1,216 @@
+#include "cbrain/obs/metrics.hpp"
+
+#include <cmath>
+
+#include "cbrain/common/json.hpp"
+
+namespace cbrain::obs {
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN clamp to bucket 0
+  int exp = 0;
+  double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  // Position of frac within its octave, in quarter-octave steps. The
+  // comparison constants are exact powers of 2^0.25 rounded once at
+  // compile time; frexp itself is exact, so the mapping is deterministic.
+  static const double kQ1 = 0.59460355750136051;   // 2^-0.75
+  static const double kQ2 = 0.70710678118654757;   // 2^-0.5
+  static const double kQ3 = 0.84089641525371454;   // 2^-0.25
+  int sub = frac < kQ2 ? (frac < kQ1 ? 0 : 1) : (frac < kQ3 ? 2 : 3);
+  int idx = (exp - 1 - kMinExp) * kSubBuckets + sub;
+  if (idx < 0) return 0;
+  if (idx >= kBuckets) return kBuckets - 1;
+  return idx;
+}
+
+double Histogram::bucket_upper(int i) {
+  // Upper edge of quarter-octave bucket i: 2^(kMinExp + (i+1)/4).
+  return std::ldexp(std::pow(2.0, ((i + 1) % kSubBuckets) / 4.0),
+                    kMinExp + (i + 1) / kSubBuckets);
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.count == 0) {
+    s_.min = v;
+    s_.max = v;
+  } else {
+    if (v < s_.min) s_.min = v;
+    if (v > s_.max) s_.max = v;
+  }
+  s_.count += 1;
+  s_.sum += v;
+  s_.buckets[static_cast<std::size_t>(bucket_index(v))] += 1;
+}
+
+double Histogram::Snapshot::percentile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: smallest bucket whose cumulative count reaches
+  // ceil(q * count).
+  i64 rank = static_cast<i64>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  i64 cum = 0;
+  int idx = kBuckets - 1;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets[static_cast<std::size_t>(i)];
+    if (cum >= rank) {
+      idx = i;
+      break;
+    }
+  }
+  // Geometric midpoint of the bucket, clamped to the observed range.
+  double lo = idx == 0 ? bucket_upper(0) / 2.0 : bucket_upper(idx - 1);
+  double mid = std::sqrt(lo * bucket_upper(idx));
+  if (mid < min) mid = min;
+  if (mid > max) mid = max;
+  return mid;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_ = Snapshot{};
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    auto s = h->snapshot();
+    w.key(name);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("p50", s.percentile(0.50));
+    w.kv("p90", s.percentile(0.90));
+    w.kv("p99", s.percentile(0.99));
+    w.key("buckets");
+    w.begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      i64 n = s.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      w.begin_array();
+      w.value(Histogram::bucket_upper(i));
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and dashes in
+// registry names become underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "cbrain_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " ";
+    append_double(out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    auto s = h->snapshot();
+    std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " histogram\n";
+    i64 cum = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      i64 n = s.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;  // cumulative values still correct: cum carries
+      cum += n;
+      out += pn + "_bucket{le=\"";
+      append_double(out, Histogram::bucket_upper(i));
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+    out += pn + "_sum ";
+    append_double(out, s.sum);
+    out += "\n";
+    out += pn + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace cbrain::obs

@@ -1,0 +1,122 @@
+// cbrain::obs — metrics: named counters, gauges and fixed-bucket
+// log-scale histograms behind a process-wide thread-safe registry,
+// exportable as JSON and as Prometheus text format.
+//
+// Design rules (DESIGN.md §11):
+//  * Instruments are never destroyed: counter()/gauge()/histogram()
+//    return references that stay valid for the process lifetime, so hot
+//    paths look them up once and then touch only the instrument itself.
+//  * A Counter increment is one relaxed atomic add — cheap enough to
+//    record always, no "enabled" switch. Histograms take a short
+//    uncontended mutex per observe(); they sit on per-request paths
+//    (milliseconds of work per observation), never in simulator loops.
+//  * Counters recorded from deterministic sources (simulated cycles,
+//    traffic words, scheme choices) are integer sums of per-task deltas,
+//    so their exported values are byte-identical at any --jobs count and
+//    under any SIMD backend (tests/test_obs.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cbrain/common/math_util.hpp"
+
+namespace cbrain::obs {
+
+class Counter {
+ public:
+  void inc(i64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket log-scale histogram: quarter-octave buckets (ratio 2^0.25,
+// ±9% relative resolution) spanning 2^-20 .. 2^20 (~1e-6 .. ~1e6), which
+// covers microsecond queue waits through multi-minute batch walls in one
+// layout. Out-of-range observations clamp into the edge buckets; exact
+// count/sum/min/max are tracked alongside so the extremes stay loss-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 160;
+  static constexpr int kSubBuckets = 4;   // buckets per octave
+  static constexpr int kMinExp = -20;     // bucket 0 starts at 2^kMinExp
+
+  // Bucket index an observation lands in (pure, deterministic: computed
+  // from frexp + integer compares — no libm rounding in the data path).
+  static int bucket_index(double v);
+  // Inclusive upper bound of bucket i ("le" in Prometheus terms).
+  static double bucket_upper(int i);
+
+  void observe(double v);
+
+  struct Snapshot {
+    i64 count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<i64, kBuckets> buckets{};
+
+    // Nearest-rank percentile (q in [0,1]) over the bucketed counts; the
+    // result is the geometric midpoint of the selected bucket, clamped to
+    // the exact [min, max] so degenerate distributions round-trip.
+    double percentile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+  i64 count() const { return snapshot().count; }
+  double percentile(double q) const { return snapshot().percentile(q); }
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot s_;
+};
+
+// Process-wide instrument registry. Thread-safe; instruments are created
+// on first use and never removed. Export iterates in name order, so the
+// same instrument values always serialize to the same bytes.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  // max,p50,p90,p99,buckets:[[le,count],...]}}} — empty buckets elided.
+  std::string to_json() const;
+  // Prometheus text exposition: cbrain_<sanitized-name> with # TYPE
+  // lines; histograms emit cumulative _bucket{le=...}, _sum and _count.
+  std::string to_prometheus() const;
+
+  // Zeroes every instrument in place (references stay valid). Tests and
+  // fresh measurement epochs; not meant for concurrent use with writers.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cbrain::obs

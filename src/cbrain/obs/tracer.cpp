@@ -1,0 +1,154 @@
+#include "cbrain/obs/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cbrain::obs {
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: outlives static dtors
+  return *t;
+}
+
+void Tracer::enable() {
+  wall_epoch_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+int Tracer::add_track(Domain domain, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Track t;
+  t.id = static_cast<int>(tracks_.size());
+  t.domain = domain;
+  t.name = name;
+  tracks_.push_back(t);
+  return t.id;
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // One buffer per (thread, process): the tracer is a singleton, so a
+  // plain thread_local slot suffices. The shared_ptr registered under
+  // mu_ keeps the buffer reachable by drain() after the thread exits.
+  thread_local std::shared_ptr<Buffer> tl;
+  if (!tl) {
+    tl = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(tl);
+  }
+  return *tl;
+}
+
+void Tracer::record(Span s) {
+  if (!enabled()) return;
+  Buffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.spans.push_back(std::move(s));
+}
+
+void Tracer::record(Instant e) {
+  if (!enabled()) return;
+  Buffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.instants.push_back(std::move(e));
+}
+
+i64 Tracer::wall_now_us() const {
+  i64 now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+  return (now - wall_epoch_ns_.load(std::memory_order_relaxed)) / 1000;
+}
+
+TraceData Tracer::drain() {
+  TraceData out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.tracks = std::move(tracks_);
+    tracks_.clear();
+    for (auto& b : buffers_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      out.spans.insert(out.spans.end(),
+                       std::make_move_iterator(b->spans.begin()),
+                       std::make_move_iterator(b->spans.end()));
+      out.instants.insert(out.instants.end(),
+                          std::make_move_iterator(b->instants.begin()),
+                          std::make_move_iterator(b->instants.end()));
+      b->spans.clear();
+      b->instants.clear();
+    }
+  }
+
+  // Renumber tracks by (domain, name, allocation id) so equal workloads
+  // produce equal ids regardless of which thread registered first.
+  std::vector<Track> sorted = out.tracks;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Track& a, const Track& b) {
+              if (a.domain != b.domain) return a.domain < b.domain;
+              if (a.name != b.name) return a.name < b.name;
+              return a.id < b.id;
+            });
+  std::vector<int> remap(out.tracks.size(), 0);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    remap[static_cast<std::size_t>(sorted[i].id)] = static_cast<int>(i);
+    sorted[i].id = static_cast<int>(i);
+  }
+  out.tracks = std::move(sorted);
+  auto map_track = [&remap](int id) {
+    return id >= 0 && static_cast<std::size_t>(id) < remap.size()
+               ? remap[static_cast<std::size_t>(id)]
+               : id;
+  };
+  for (auto& s : out.spans) s.track = map_track(s.track);
+  for (auto& e : out.instants) e.track = map_track(e.track);
+
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const Span& a, const Span& b) {
+              if (a.domain != b.domain) return a.domain < b.domain;
+              if (a.track != b.track) return a.track < b.track;
+              if (a.start != b.start) return a.start < b.start;
+              if (a.dur != b.dur) return a.dur > b.dur;  // parent first
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.name < b.name;
+            });
+  std::sort(out.instants.begin(), out.instants.end(),
+            [](const Instant& a, const Instant& b) {
+              if (a.domain != b.domain) return a.domain < b.domain;
+              if (a.track != b.track) return a.track < b.track;
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+WallSpan::WallSpan(int track, int depth, std::string name,
+                   std::string cat) {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  active_ = true;
+  span_.domain = Domain::kWall;
+  span_.track = track;
+  span_.depth = depth;
+  span_.start = t.wall_now_us();
+  span_.name = std::move(name);
+  span_.cat = std::move(cat);
+}
+
+WallSpan::~WallSpan() {
+  if (!active_) return;
+  Tracer& t = Tracer::global();
+  span_.dur = t.wall_now_us() - span_.start;
+  if (span_.dur < 0) span_.dur = 0;
+  t.record(std::move(span_));
+}
+
+void WallSpan::arg(const std::string& k, const std::string& v) {
+  if (active_) span_.args.emplace_back(k, v);
+}
+
+}  // namespace cbrain::obs

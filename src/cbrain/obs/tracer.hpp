@@ -1,0 +1,139 @@
+// cbrain::obs — span tracer: hierarchical spans in two clock domains.
+//
+//  * Domain::kCycles — timestamps are simulated cycles, produced by the
+//    compiler (scheme selection) and the simulator (layer / tile / DMA /
+//    drain). Cycle spans are a pure function of (network, config, seed),
+//    so a cycle-domain trace is byte-identical across runs, --jobs
+//    counts and SIMD backends.
+//  * Domain::kWall — timestamps are microseconds since the tracer was
+//    enabled (steady_clock), produced by the serving engine's request
+//    lifecycle. Wall spans are inherently run-dependent and are kept on
+//    separate tracks (and a separate Chrome pid) from cycle spans.
+//
+// Concurrency model: each recording thread appends to its own buffer
+// (thread_local slot registered with the global tracer); drain() merges
+// all buffers and sorts deterministically, so tracing never introduces
+// cross-thread synchronization on the hot path. Tracks are allocated
+// with add_track(); each tracing session (one simulated inference, one
+// scheme-selection pass, one engine worker) gets fresh track ids so
+// concurrent sessions never interleave spans on one timeline row.
+//
+// Overhead policy (DESIGN.md §11): when the tracer is disabled —
+// the default — instrumented code paths cost one relaxed atomic load
+// (enabled()) per guard, and the simulator's per-instruction guard is a
+// single null-pointer test on state captured once per inference.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cbrain/common/math_util.hpp"
+
+namespace cbrain::obs {
+
+enum class Domain : int { kCycles = 0, kWall = 1 };
+
+struct Span {
+  Domain domain = Domain::kCycles;
+  int track = 0;       // timeline row; see Tracer::add_track
+  int depth = 0;       // nesting level within the track (0 = outermost)
+  i64 start = 0;       // cycles, or microseconds since tracer enable
+  i64 dur = 0;
+  std::string name;
+  std::string cat;     // coarse category: "layer", "dma", "compute", ...
+  // Optional key/value annotations, emitted as Chrome-trace "args".
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// An instantaneous event (Chrome "i" phase) — fault replays, retries.
+struct Instant {
+  Domain domain = Domain::kCycles;
+  int track = 0;
+  i64 ts = 0;
+  std::string name;
+  std::string cat;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct Track {
+  int id = 0;
+  Domain domain = Domain::kCycles;
+  std::string name;
+};
+
+struct TraceData {
+  std::vector<Track> tracks;
+  std::vector<Span> spans;
+  std::vector<Instant> instants;
+  bool empty() const { return spans.empty() && instants.empty(); }
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  // enable() rebases the wall epoch and starts accepting spans; spans
+  // recorded while disabled are dropped at the record() call site.
+  void enable();
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Allocates a timeline row. Thread-safe; ids are dense and unique for
+  // the life of the tracer (reset by drain()). Deterministic track
+  // naming is the caller's job — under --jobs N, allocation *order*
+  // varies, so drain() reassigns ids by sorted (domain, name).
+  int add_track(Domain domain, const std::string& name);
+
+  void record(Span s);
+  void record(Instant e);
+
+  // Microseconds since enable() on the steady clock (wall domain).
+  i64 wall_now_us() const;
+
+  // Moves out everything recorded so far, merged across threads and
+  // deterministically ordered: tracks by (domain, name), spans by
+  // (domain, track, start, -dur, depth, name), instants by
+  // (domain, track, ts, name). Track ids are renumbered to match the
+  // sorted track order so equal workloads yield equal bytes.
+  TraceData drain();
+
+ private:
+  Tracer() = default;
+
+  struct Buffer {
+    std::mutex mu;  // uncontended: owner thread vs. drain
+    std::vector<Span> spans;
+    std::vector<Instant> instants;
+  };
+  Buffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<i64> wall_epoch_ns_{0};
+
+  std::mutex mu_;  // guards tracks_ and buffers_ (registration/drain)
+  std::vector<Track> tracks_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+// RAII wall-clock span: records [ctor, dtor] on the given track.
+class WallSpan {
+ public:
+  WallSpan(int track, int depth, std::string name, std::string cat);
+  ~WallSpan();
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  void arg(const std::string& k, const std::string& v);
+
+ private:
+  bool active_ = false;
+  Span span_;
+};
+
+}  // namespace cbrain::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "cbrain/common/logging.hpp"
+#include "cbrain/compiler/scheme.hpp"
+#include "cbrain/obs/metrics.hpp"
+#include "cbrain/obs/tracer.hpp"
 #include "cbrain/ref/lrn_ref.hpp"
 #include "cbrain/simd/simd.hpp"
 #include "cbrain/tensor/unroll.hpp"
@@ -91,6 +94,7 @@ class Executor {
   // Executes the whole program against the current DRAM contents
   // (parameters must already be resident) for one input image.
   SimResult infer(const Tensor3<Fixed16>& input) {
+    if (obs::Tracer::global().enabled()) begin_tracing();
     inject_input(input);
 
     SimResult result;
@@ -101,11 +105,14 @@ class Executor {
           result.per_layer[static_cast<std::size_t>(l.id)];
       const auto [begin, end] = compiled_.program.layer_range(l.id);
       const StatSnapshot layer_before = StatSnapshot::take(m_);
+      const i64 layer_cursor = trace_ ? trace_->cursor : 0;
       i64 pending_dma = 0;
       for (i64 i = begin; i < end; ++i) {
         const Instruction& instr = compiled_.program.at(i);
         if (const auto* load = std::get_if<LoadInstr>(&instr)) {
-          pending_dma += exec_load(*load, lc);
+          const i64 t = exec_load(*load, lc);
+          if (trace_) trace_dma(*load, pending_dma, t);
+          pending_dma += t;
           continue;
         }
         if (std::holds_alternative<BarrierInstr>(instr)) continue;
@@ -130,17 +137,25 @@ class Executor {
             (m_.pe().stats().ops - pe_ops_before) + manual_cycles_;
         lc.compute_cycles += compute;
         lc.total_cycles += std::max(pending_dma, compute) + manual_serial_;
+        if (trace_) trace_compute(instr, pending_dma, compute,
+                                  manual_serial_);
         pending_dma = 0;
         lc.dram_writes += manual_dram_writes_;
         lc.dram_reads += manual_dram_reads_;
         lc.mul_ops += manual_muls_;
       }
       lc.total_cycles += pending_dma;
+      if (trace_) {
+        trace_->cursor += pending_dma;  // trailing DMA drains serially
+        trace_layer(l, layer_cursor);
+      }
       apply_delta(lc, layer_before, StatSnapshot::take(m_));
     }
 
     result.final_output = read_cube(compiled_.layout.result_cube,
                                     net_.layer(net_.size() - 1).out_dims);
+    finish_tracing();
+    record_metrics(result);
     return result;
   }
 
@@ -218,14 +233,167 @@ class Executor {
       if (!fault_->replay_pending()) break;
       if (attempt >= fault_->config().max_retries) {
         fault_->abandon_pending();
+        if (trace_) trace_fault_event(l, "replay-abandoned");
         break;
       }
       fault_->heal_pending();
       fault_->note_instruction_replay();
+      if (trace_) trace_fault_event(l, "replay");
       if (pr.count > 0)
         std::copy(ckpt.begin(), ckpt.end(),
                   m_.output_buf().raw_span(pr.base, pr.count));
     }
+  }
+
+  // --- tracing (cycle domain) ---------------------------------------------
+  // Helpers below run only when trace_ is non-null; the disabled-path cost
+  // in the instruction loop is one null test per instruction. The cursor
+  // mirrors the total_cycles arithmetic exactly, so span edges are a pure
+  // function of the deterministic cycle accounting — byte-identical across
+  // runs, --jobs counts and SIMD backends.
+
+  struct Tracing {
+    obs::Tracer* tracer = nullptr;
+    int sim_track = 0;
+    int dma_track = 0;
+    i64 cursor = 0;
+  };
+
+  void begin_tracing() {
+    trace_ = std::make_unique<Tracing>();
+    trace_->tracer = &obs::Tracer::global();
+    trace_->sim_track =
+        trace_->tracer->add_track(obs::Domain::kCycles, "sim:" + net_.name());
+    trace_->dma_track = trace_->tracer->add_track(
+        obs::Domain::kCycles, "sim:" + net_.name() + " dma");
+  }
+
+  static const char* buffer_label(BufferId id) {
+    switch (id) {
+      case BufferId::kInput:
+        return "input";
+      case BufferId::kWeight:
+        return "weight";
+      case BufferId::kBias:
+        return "bias";
+      case BufferId::kOutput:
+        return "output";
+    }
+    return "?";
+  }
+
+  static std::string instr_label(const Instruction& instr) {
+    if (const auto* conv = std::get_if<ConvTileInstr>(&instr))
+      return std::string("conv:") + scheme_name(conv->scheme);
+    if (std::holds_alternative<PoolTileInstr>(instr)) return "pool";
+    if (std::holds_alternative<FcTileInstr>(instr)) return "fc";
+    if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
+      switch (host->kind) {
+        case HostOpKind::kUnroll:
+          return "host:unroll";
+        case HostOpKind::kLrn:
+          return "host:lrn";
+        case HostOpKind::kSoftmax:
+          return "host:softmax";
+      }
+    }
+    return "instr";
+  }
+
+  // Loads issue back-to-back from the last sync point, overlapping the
+  // next compute instruction; the span starts after the DMA time already
+  // pending in this window.
+  void trace_dma(const LoadInstr& li, i64 pending_before, i64 cycles) {
+    obs::Span s;
+    s.track = trace_->dma_track;
+    s.start = trace_->cursor + pending_before;
+    s.dur = cycles;
+    s.name = std::string("dma:") + buffer_label(li.dst);
+    s.cat = "dma";
+    s.args.emplace_back("words", std::to_string(li.words));
+    trace_->tracer->record(std::move(s));
+  }
+
+  void trace_compute(const Instruction& instr, i64 pending_dma, i64 compute,
+                     i64 serial) {
+    if (compute > 0) {
+      obs::Span s;
+      s.track = trace_->sim_track;
+      s.depth = 2;
+      s.start = trace_->cursor;
+      s.dur = compute;
+      s.name = instr_label(instr);
+      s.cat = "compute";
+      trace_->tracer->record(std::move(s));
+    }
+    trace_->cursor += std::max(pending_dma, compute);
+    if (serial > 0) {
+      obs::Span s;
+      s.track = trace_->sim_track;
+      s.depth = 2;
+      s.start = trace_->cursor;
+      s.dur = serial;
+      s.name = "serial:" + instr_label(instr);
+      s.cat = "serial";
+      trace_->tracer->record(std::move(s));
+      trace_->cursor += serial;
+    }
+  }
+
+  void trace_layer(const Layer& l, i64 layer_cursor) {
+    if (trace_->cursor <= layer_cursor) return;  // zero-cycle layer
+    obs::Span s;
+    s.track = trace_->sim_track;
+    s.depth = 1;
+    s.start = layer_cursor;
+    s.dur = trace_->cursor - layer_cursor;
+    s.name = l.name;
+    s.cat = layer_kind_name(l.kind);
+    if (l.is_conv())
+      s.args.emplace_back("scheme",
+                          scheme_name(compiled_.layout.scheme_of(l.id)));
+    trace_->tracer->record(std::move(s));
+  }
+
+  void trace_fault_event(const Layer& l, const char* what) {
+    obs::Instant e;
+    e.track = trace_->sim_track;
+    e.ts = trace_->cursor;
+    e.name = what;
+    e.cat = "fault";
+    e.args.emplace_back("layer", l.name);
+    trace_->tracer->record(std::move(e));
+  }
+
+  void finish_tracing() {
+    if (!trace_) return;
+    obs::Span s;
+    s.track = trace_->sim_track;
+    s.depth = 0;
+    s.start = 0;
+    s.dur = trace_->cursor;
+    s.name = "infer:" + net_.name();
+    s.cat = "infer";
+    trace_->tracer->record(std::move(s));
+    trace_.reset();
+  }
+
+  // Always-on per-inference counters: a handful of relaxed atomic adds —
+  // invisible next to the millions of simulated operations they describe.
+  void record_metrics(const SimResult& result) const {
+    i64 cycles = 0, dram_r = 0, dram_w = 0, muls = 0;
+    for (const TrafficCounters& lc : result.per_layer) {
+      cycles += lc.total_cycles;
+      dram_r += lc.dram_reads;
+      dram_w += lc.dram_writes;
+      muls += lc.mul_ops;
+    }
+    auto& reg = obs::Registry::global();
+    reg.counter("sim.infers_total").inc();
+    reg.counter("sim.cycles_total").inc(cycles);
+    reg.counter("sim.dram_reads_total").inc(dram_r);
+    reg.counter("sim.dram_writes_total").inc(dram_w);
+    reg.counter("sim.mul_ops_total").inc(muls);
   }
 
   // --- setup -------------------------------------------------------------
@@ -969,6 +1137,7 @@ class Executor {
   const CompiledNetwork& compiled_;
   SimMachine& m_;
   FaultInjector* fault_ = nullptr;
+  std::unique_ptr<Tracing> trace_;
   bool pe_filter_ = false;
   i64 manual_cycles_ = 0;
   i64 manual_dram_writes_ = 0;

@@ -38,6 +38,9 @@
 #include "cbrain/nn/spec_parser.hpp"
 #include "cbrain/nn/workload.hpp"
 #include "cbrain/nn/zoo.hpp"
+#include "cbrain/obs/chrome_trace.hpp"
+#include "cbrain/obs/metrics.hpp"
+#include "cbrain/obs/tracer.hpp"
 #include "cbrain/report/json_export.hpp"
 #include "cbrain/report/table.hpp"
 #include "cbrain/report/timeline.hpp"
@@ -76,6 +79,11 @@ int usage() {
       "       --simd=auto|avx2|sse2|scalar (kernel backend; all produce "
       "bit-identical results;\n"
       "        default: CBRAIN_SIMD env var, else best supported)\n"
+      "       --trace-out=FILE (Chrome trace-event JSON of the run — load "
+      "in Perfetto)\n"
+      "       --metrics-out=FILE (metrics registry dump; .prom extension "
+      "selects\n"
+      "        Prometheus text format, anything else JSON)\n"
       "serve-bench flags: --requests=N (default 8)  --baseline (also time "
       "the\n"
       "       per-call simulate path and report the session speedup)\n"
@@ -244,7 +252,10 @@ int cmd_simulate(const Network& net, const Options& opt) {
   const auto policy = resolve_policy(opt.get("policy", "adap-2"));
   if (!policy) return 2;
   const NetworkWorkload w = analyze_workload(net);
-  if (w.total_macs > 50'000'000) {
+  // AlexNet-scale nets (~724M MACs, a second or two of host time) are in
+  // scope — tracing a full AlexNet inference is the observability demo.
+  // VGG-scale (15.5G MACs) stays out.
+  if (w.total_macs > 2'000'000'000) {
     std::fprintf(stderr,
                  "error: %s has %lld MACs — too large for functional "
                  "simulation; use 'evaluate' (analytical)\n",
@@ -312,11 +323,16 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
               static_cast<long long>(jobs > 0 ? jobs
                                               : parallel::default_jobs()),
               static_cast<long long>(stats.sessions));
+  // Latency stats come from the metrics registry: run_many feeds every
+  // request into the engine.* histograms, and the same obs::Histogram
+  // buckets back both this line and a --metrics-out export.
+  const auto lat =
+      obs::Registry::global().histogram("engine.infer_ms").snapshot();
   std::printf("wall %.2f s   %.3f inferences/s   "
-              "latency p50 %.1f ms  p99 %.1f ms\n",
+              "latency p50 %.1f ms  p90 %.1f ms  p99 %.1f ms\n",
               stats.wall_ms / 1e3, stats.infer_per_s(),
-              stats.latency_percentile_ms(0.50),
-              stats.latency_percentile_ms(0.99));
+              lat.percentile(0.50), lat.percentile(0.90),
+              lat.percentile(0.99));
 
   if (opt.has("baseline")) {
     // The pre-refactor serving story: one full CBrain::simulate per
@@ -389,6 +405,21 @@ int cmd_timeline(const Network& net, const Options& opt) {
       trace_network(net, brain.compile(net, *policy), config);
   TimelineOptions topt;
   topt.width = static_cast<int>(opt.get_i64("width", 64));
+  // Under --trace-out, feed the analytical span data into the global
+  // tracer so the exported Chrome trace carries the same timeline the
+  // ASCII Gantt below renders (plus the compile spans recorded above).
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    obs::TraceData data = trace_to_spans(net, trace);
+    std::vector<int> track_map;
+    track_map.reserve(data.tracks.size());
+    for (const obs::Track& t : data.tracks)
+      track_map.push_back(tracer.add_track(t.domain, t.name));
+    for (obs::Span& s : data.spans) {
+      s.track = track_map[static_cast<std::size_t>(s.track)];
+      tracer.record(std::move(s));
+    }
+  }
   std::printf("%s under %s\n\n%s", net.name().c_str(),
               policy_name(*policy),
               render_timeline(net, trace, topt).c_str());
@@ -490,6 +521,25 @@ int cmd_fault_campaign(const Options& opt) {
   return 0;
 }
 
+int dispatch(const Options& opt) {
+  if (opt.command == "list") return cmd_list();
+  if (opt.net.empty()) return usage();
+  if (opt.command == "fault-campaign") return cmd_fault_campaign(opt);
+  const auto net = resolve_net(opt.net);
+  if (!net) return 3;
+  if (opt.command == "show") return cmd_show(*net);
+  if (opt.command == "evaluate") return cmd_evaluate(*net, opt);
+  if (opt.command == "compare") return cmd_compare(*net, opt);
+  if (opt.command == "disasm") return cmd_disasm(*net, opt);
+  if (opt.command == "simulate") return cmd_simulate(*net, opt);
+  if (opt.command == "serve-bench") return cmd_serve_bench(*net, opt);
+  if (opt.command == "oracle") return cmd_oracle(*net, opt);
+  if (opt.command == "timeline") return cmd_timeline(*net, opt);
+  if (opt.command == "verify") return cmd_verify(*net, opt);
+  if (opt.command == "dot") return cmd_dot(*net, opt);
+  return usage();
+}
+
 int run(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -520,22 +570,23 @@ int run(int argc, char** argv) {
                  opt.get("simd", "auto").c_str());
     return 2;
   }
-  if (opt.command == "list") return cmd_list();
-  if (opt.net.empty()) return usage();
-  if (opt.command == "fault-campaign") return cmd_fault_campaign(opt);
-  const auto net = resolve_net(opt.net);
-  if (!net) return 3;
-  if (opt.command == "show") return cmd_show(*net);
-  if (opt.command == "evaluate") return cmd_evaluate(*net, opt);
-  if (opt.command == "compare") return cmd_compare(*net, opt);
-  if (opt.command == "disasm") return cmd_disasm(*net, opt);
-  if (opt.command == "simulate") return cmd_simulate(*net, opt);
-  if (opt.command == "serve-bench") return cmd_serve_bench(*net, opt);
-  if (opt.command == "oracle") return cmd_oracle(*net, opt);
-  if (opt.command == "timeline") return cmd_timeline(*net, opt);
-  if (opt.command == "verify") return cmd_verify(*net, opt);
-  if (opt.command == "dot") return cmd_dot(*net, opt);
-  return usage();
+
+  // Observability sinks. Tracing is off unless --trace-out asks for it —
+  // the instrumented paths then cost one atomic load per guard; metrics
+  // record unconditionally and --metrics-out merely dumps the registry.
+  const bool want_trace = opt.has("trace-out");
+  const bool want_metrics = opt.has("metrics-out");
+  if (want_trace) obs::Tracer::global().enable();
+  int rc = dispatch(opt);
+  if (want_trace) {
+    obs::Tracer::global().disable();
+    if (!obs::write_chrome_trace(opt.get("trace-out", "")) && rc == 0)
+      rc = 1;
+  }
+  if (want_metrics && !obs::write_metrics(opt.get("metrics-out", "")) &&
+      rc == 0)
+    rc = 1;
+  return rc;
 }
 
 }  // namespace

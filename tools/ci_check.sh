@@ -35,6 +35,12 @@ CBRAIN_SIMD=auto ctest --test-dir build-ci-release --output-on-failure \
 echo "=== ThreadSanitizer build ==="
 run_suite build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCBRAIN_SANITIZE=thread
+# The observability hot paths (per-thread tracer buffers, registry
+# instruments, the engine's traced run_many) are the newest concurrent
+# code; run their suites explicitly under TSan so a ctest sharding or
+# filter change can never silently drop them.
+./build-ci-tsan/tests/test_engine
+./build-ci-tsan/tests/test_obs
 
 echo "=== AddressSanitizer+UBSan build ==="
 run_suite build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -60,6 +66,25 @@ echo "=== serve-bench: session pool vs per-call path (small net) ==="
   --requests=8 --jobs="$JOBS" --baseline
 ./build-ci-asan/tools/cbrain_cli serve-bench tiny_cnn \
   --requests=4 --jobs=2 --baseline
+
+echo "=== observability: traces validate and are byte-deterministic ==="
+# The cycle-domain trace is a pure function of (network, config, seed):
+# two runs at different --jobs must produce identical bytes, and both the
+# Chrome trace and the metrics dump must satisfy the structural contract
+# (well-formed JSON, required fields, monotone span nesting per row).
+./build-ci-release/tools/cbrain_cli simulate alexnet --jobs=1 \
+  --trace-out=/tmp/cbrain_trace_j1.json > /dev/null
+./build-ci-release/tools/cbrain_cli simulate alexnet --jobs="$JOBS" \
+  --trace-out=/tmp/cbrain_trace_jn.json > /dev/null
+diff /tmp/cbrain_trace_j1.json /tmp/cbrain_trace_jn.json
+./build-ci-release/tools/cbrain_cli serve-bench tiny_cnn --requests=8 \
+  --jobs="$JOBS" --metrics-out=/tmp/cbrain_metrics.json > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/validate_trace.py /tmp/cbrain_trace_j1.json
+  python3 tools/validate_trace.py /tmp/cbrain_metrics.json --metrics
+else
+  echo "validate_trace skipped (no python3)"
+fi
 
 echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate cbrain observability artifacts.
+
+Default mode checks a Chrome trace-event JSON file (as written by
+`cbrain_cli --trace-out=FILE` or the bench CBRAIN_TRACE_OUT hook):
+
+  * the file is well-formed JSON with a `traceEvents` array;
+  * every event carries the required Chrome-trace fields for its phase
+    (`name`, `ph`, `pid`, `tid`, plus `ts`/`dur` for complete events and
+    `ts`/`s` for instants);
+  * complete ("X") spans on each (pid, tid) timeline nest monotonically:
+    any two spans are either disjoint or one fully contains the other —
+    partial overlap on one timeline row is a malformed trace.
+
+`--metrics` mode instead checks a metrics-registry JSON dump
+(`--metrics-out=FILE`): counters/gauges/histograms sections with sane
+histogram invariants (count == bucket sum, min <= p50 <= p99 <= max).
+
+Exit code 0 when valid; 1 with a diagnostic on stderr otherwise.
+
+usage: validate_trace.py FILE [--metrics]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("validate_trace: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def validate_trace(doc):
+    require(isinstance(doc, dict), "top level must be a JSON object")
+    require("traceEvents" in doc, "missing traceEvents")
+    events = doc["traceEvents"]
+    require(isinstance(events, list), "traceEvents must be an array")
+
+    spans_by_row = {}
+    n_spans = 0
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        require(isinstance(ev, dict), "%s: event must be an object" % where)
+        for field in ("name", "ph", "pid", "tid"):
+            require(field in ev, "%s: missing %r" % (where, field))
+        require(isinstance(ev["name"], str), "%s: name must be a string" % where)
+        require(is_int(ev["pid"]) and is_int(ev["tid"]),
+                "%s: pid/tid must be integers" % where)
+        ph = ev["ph"]
+        if ph == "X":
+            for field in ("ts", "dur"):
+                require(field in ev and is_int(ev[field]),
+                        "%s: X event needs integer %r" % (where, field))
+            require(ev["dur"] >= 0, "%s: negative dur" % where)
+            spans_by_row.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], ev["ts"] + ev["dur"], ev["name"]))
+            n_spans += 1
+        elif ph == "i":
+            require("ts" in ev and is_int(ev["ts"]),
+                    "%s: i event needs integer ts" % where)
+            require(ev.get("s") in ("t", "p", "g"),
+                    "%s: i event needs scope s in t/p/g" % where)
+        elif ph == "M":
+            require("args" in ev and isinstance(ev["args"], dict),
+                    "%s: M event needs args object" % where)
+        else:
+            fail("%s: unsupported phase %r" % (where, ph))
+
+    # Monotone nesting per timeline row: walk spans in (start, -length)
+    # order with a containment stack; every span must fit entirely inside
+    # the innermost open span (or open a new top-level region).
+    for (pid, tid), spans in spans_by_row.items():
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0]), s[2]))
+        stack = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack:
+                o_start, o_end, o_name = stack[-1]
+                require(start >= o_start and end <= o_end,
+                        "pid %s tid %s: span %r [%d,%d) partially overlaps "
+                        "%r [%d,%d)" % (pid, tid, name, start, end,
+                                        o_name, o_start, o_end))
+            stack.append((start, end, name))
+
+    print("trace ok: %d events, %d spans, %d timeline rows"
+          % (len(events), n_spans, len(spans_by_row)))
+
+
+def validate_metrics(doc):
+    require(isinstance(doc, dict), "top level must be a JSON object")
+    for section in ("counters", "gauges", "histograms"):
+        require(section in doc and isinstance(doc[section], dict),
+                "missing %r section" % section)
+    for name, v in doc["counters"].items():
+        require(is_int(v), "counter %r must be an integer" % name)
+    for name, v in doc["gauges"].items():
+        require(isinstance(v, (int, float)) and not isinstance(v, bool),
+                "gauge %r must be a number" % name)
+    for name, h in doc["histograms"].items():
+        where = "histogram %r" % name
+        require(isinstance(h, dict), "%s must be an object" % where)
+        for field in ("count", "sum", "min", "max", "p50", "p90", "p99",
+                      "buckets"):
+            require(field in h, "%s: missing %r" % (where, field))
+        require(is_int(h["count"]) and h["count"] >= 0,
+                "%s: bad count" % where)
+        total = 0
+        for b in h["buckets"]:
+            require(isinstance(b, list) and len(b) == 2,
+                    "%s: bucket entries must be [le, count]" % where)
+            require(is_int(b[1]) and b[1] > 0, "%s: bad bucket count" % where)
+            total += b[1]
+        require(total == h["count"],
+                "%s: bucket counts sum to %d, count is %d"
+                % (where, total, h["count"]))
+        if h["count"] > 0:
+            require(h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"],
+                    "%s: percentiles not monotone within [min, max]" % where)
+
+    print("metrics ok: %d counters, %d gauges, %d histograms"
+          % (len(doc["counters"]), len(doc["gauges"]),
+             len(doc["histograms"])))
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--metrics"]
+    metrics_mode = "--metrics" in argv[1:]
+    if len(args) != 1:
+        fail("usage: validate_trace.py FILE [--metrics]")
+    try:
+        with open(args[0], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot parse %s: %s" % (args[0], e))
+    if metrics_mode:
+        validate_metrics(doc)
+    else:
+        validate_trace(doc)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
