@@ -10,19 +10,22 @@
 //
 //   bench_micro_kernels --perf-json[=path] [--quick]
 //
-// times dot_s16 / dot_s16_multi on every supported SIMD backend plus
-// whole-network simulator wall-clock (AlexNet under each backend, VGG16
-// under the best one; --quick drops VGG16 and shortens reps) and the
-// serving path (AlexNet through weight-resident engine sessions at jobs
-// 1 and N, vs the per-call simulate path), and writes the results as
-// JSON (default: BENCH_kernels.json in the working directory). CI runs
-// the quick mode and diffs against the committed baseline; the diff is
-// informational, not a gate.
+// times dot_s16 / dot_s16_multi / dot_s16_multi_nw on every supported
+// SIMD backend plus whole-network wall-clock at both execution tiers
+// (cycle: full simulate per backend for AlexNet, VGG16 under the best
+// one; functional: warm weight-resident forward pass, with its speedup
+// over the cycle tier) and the serving path (AlexNet through
+// weight-resident engine sessions at jobs 1 and N, at both fidelities,
+// vs the per-call simulate path), and writes the results as JSON
+// (default: BENCH_kernels.json in the working directory). --quick drops
+// VGG16 and shortens reps. CI runs the quick mode and diffs against the
+// committed baseline; the diff is informational, not a gate.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -316,11 +319,40 @@ KernelResult measure_dot_multi(simd::Backend b, i64 n, int reps, i64 iters) {
   return r;
 }
 
+// The no-wrap fast path behind the functional tier's GEMM. Weights are
+// sanitized to honour the contract (no -32768); data keeps full range.
+KernelResult measure_dot_multi_nw(simd::Backend b, i64 n, int reps,
+                                  i64 iters) {
+  simd::select_backend(b);
+  const auto data = random_s16(n, 25);
+  auto weights = random_s16(n * kMultiRows, 26);
+  for (auto& w : weights)
+    if (w == std::numeric_limits<std::int16_t>::min()) w = -32767;
+  std::vector<Fixed16::acc_t> out(static_cast<std::size_t>(kMultiRows));
+  const double secs = best_of(reps, iters, [&] {
+    simd::dot_s16_multi_nw(data.data(), weights.data(), n, kMultiRows, n,
+                           out.data());
+    benchmark::DoNotOptimize(out.data());
+  });
+  KernelResult r;
+  r.name = "dot_s16_multi_nw";
+  r.backend = simd::backend_name(b);
+  r.n = n;
+  r.secs = secs;
+  r.gbps = static_cast<double>(sizeof(std::int16_t) * n * (1 + kMultiRows)) /
+           secs * 1e-9;
+  r.mac_per_s = static_cast<double>(n * kMultiRows) / secs;
+  return r;
+}
+
 struct WholeNetResult {
   std::string net;
   std::string backend;
+  std::string tier = "cycle";
   double wall_ms = 0.0;
   double sim_mac_per_s = 0.0;
+  double cycle_wall_ms = 0.0;      // functional tier: the cycle wall it beats
+  double speedup_vs_cycle = 0.0;   // functional tier only
 };
 
 WholeNetResult measure_whole_net(const Network& net, simd::Backend b) {
@@ -339,6 +371,40 @@ WholeNetResult measure_whole_net(const Network& net, simd::Backend b) {
   return r;
 }
 
+// Functional-tier whole-net wall: one warm forward pass through a
+// weight-resident session. The speedup basis is deliberate: the cycle
+// number above is the per-inference cost of the status-quo single-shot
+// path (machine build + param materialization + simulate — what each
+// request paid before the tier split), and the functional number is what
+// a request pays on the new tier once weights are resident. The
+// warm-vs-warm ratio (both tiers session-resident) is the serve-tier
+// comparison below — both bases are recorded side by side.
+WholeNetResult measure_whole_net_functional(const Network& net,
+                                            simd::Backend b,
+                                            double cycle_wall_ms) {
+  simd::select_backend(b);
+  const NetworkWorkload w = analyze_workload(net);
+  engine::Engine eng(AcceleratorConfig::paper_16_16());
+  const auto params = init_net_params<Fixed16>(net, 42);
+  auto session = eng.open_session(net, Policy::kAdaptive2, params,
+                                  Fidelity::kFunctional);
+  const auto input =
+      random_input<Fixed16>(net.layer(0).out_dims, 42 ^ 0x1234);
+  benchmark::DoNotOptimize(session->infer(input).final_output.size());  // warm
+  const double secs = best_of(2, 1, [&] {
+    benchmark::DoNotOptimize(session->infer(input).final_output.size());
+  });
+  WholeNetResult r;
+  r.net = net.name();
+  r.backend = simd::backend_name(b);
+  r.tier = "functional";
+  r.wall_ms = secs * 1e3;
+  r.sim_mac_per_s = static_cast<double>(w.total_macs) / secs;
+  r.cycle_wall_ms = cycle_wall_ms;
+  r.speedup_vs_cycle = r.wall_ms > 0.0 ? cycle_wall_ms / r.wall_ms : 0.0;
+  return r;
+}
+
 // Serving throughput: requests through a weight-resident session pool
 // (engine::run_many) versus the per-call path that rebuilds the machine
 // and re-materializes the weights on every request (CBrain::simulate).
@@ -347,11 +413,13 @@ WholeNetResult measure_whole_net(const Network& net, simd::Backend b) {
 struct ServeResult {
   std::string net;
   std::string backend;
+  std::string tier = "cycle";
   i64 jobs = 0;
   i64 requests = 0;
   double infer_per_s = 0.0;
   double per_call_infer_per_s = 0.0;  // 0 when not measured (jobs > 1)
   double speedup_vs_per_call = 0.0;
+  double speedup_vs_cycle = 0.0;  // functional tier: warm-vs-warm, same jobs
 };
 
 std::vector<Tensor3<Fixed16>> serve_inputs(const Network& net, i64 n) {
@@ -365,22 +433,24 @@ std::vector<Tensor3<Fixed16>> serve_inputs(const Network& net, i64 n) {
 }
 
 ServeResult measure_serve(const Network& net, simd::Backend b, i64 jobs,
-                          i64 requests, bool with_per_call) {
+                          i64 requests, bool with_per_call,
+                          Fidelity fidelity = Fidelity::kCycle) {
   simd::select_backend(b);
   const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
   const auto params = init_net_params<Fixed16>(net, 42);
   const auto inputs = serve_inputs(net, requests);
 
   engine::Engine eng(config);
-  eng.compile(net, Policy::kAdaptive2);  // warm: serving, not compilation
+  eng.compile(net, Policy::kAdaptive2, fidelity);  // warm: serving, not compile
   engine::ServeStats stats;
-  const auto results =
-      eng.run_many(net, Policy::kAdaptive2, params, inputs, jobs, &stats);
+  const auto results = eng.run_many(net, Policy::kAdaptive2, params, inputs,
+                                    jobs, &stats, fidelity);
   benchmark::DoNotOptimize(results.size());
 
   ServeResult r;
   r.net = net.name();
   r.backend = simd::backend_name(b);
+  r.tier = fidelity_name(fidelity);
   r.jobs = jobs;
   r.requests = requests;
   r.infer_per_s = stats.infer_per_s();
@@ -424,6 +494,7 @@ int run_perf_harness(const std::string& path, bool quick) {
     for (i64 n : {64, 256, 1024}) {
       kernels.push_back(measure_dot(b, n, reps, dot_iters));
       kernels.push_back(measure_dot_multi(b, n, reps, multi_iters));
+      kernels.push_back(measure_dot_multi_nw(b, n, reps, multi_iters));
     }
   }
 
@@ -436,6 +507,20 @@ int run_perf_harness(const std::string& path, bool quick) {
   for (simd::Backend b : backends) whole.push_back(measure_whole_net(anet, b));
   if (!quick)
     whole.push_back(measure_whole_net(zoo::vgg16(), backends.back()));
+
+  // Functional tier: same nets, warm weight-resident forward pass, paired
+  // with the cycle wall just measured on the same backend.
+  {
+    const std::size_t cycle_count = whole.size();
+    for (std::size_t i = 0; i < cycle_count; ++i) {
+      const Network& net = whole[i].net == "vgg16" ? zoo::vgg16() : anet;
+      simd::Backend b = simd::Backend::kScalar;
+      for (simd::Backend cand : backends)
+        if (simd::backend_name(cand) == whole[i].backend) b = cand;
+      whole.push_back(
+          measure_whole_net_functional(net, b, whole[i].wall_ms));
+    }
+  }
 
   // Serving: AlexNet through weight-resident sessions on the best
   // backend. jobs=1 carries the per-call comparison (the session-refactor
@@ -452,6 +537,22 @@ int run_perf_harness(const std::string& path, bool quick) {
   serve.push_back(measure_serve(anet, backends.back(), serve_jobs_n,
                                 quick ? serve_jobs_n : 2 * serve_jobs_n,
                                 /*with_per_call=*/false));
+  // Functional tier at the same jobs points — this is the warm-vs-warm
+  // comparison (both tiers weight-resident), the honest steady-state
+  // serving ratio. More requests per point: each is ~10x cheaper.
+  {
+    const std::size_t cycle_serve = serve.size();
+    for (std::size_t i = 0; i < cycle_serve; ++i) {
+      ServeResult f = measure_serve(
+          anet, backends.back(), serve[i].jobs,
+          quick ? 4 * serve[i].requests : 8 * serve[i].requests,
+          /*with_per_call=*/false, Fidelity::kFunctional);
+      f.speedup_vs_cycle = serve[i].infer_per_s > 0.0
+                               ? f.infer_per_s / serve[i].infer_per_s
+                               : 0.0;
+      serve.push_back(std::move(f));
+    }
+  }
   simd::select_backend(original);
 
   // dot_s16_multi speedup of each vector backend over scalar at the same
@@ -504,8 +605,15 @@ int run_perf_harness(const std::string& path, bool quick) {
     w.kv("net", r.net);
     w.kv("policy", "adap-2");
     w.kv("backend", r.backend);
+    w.kv("tier", r.tier);
     w.kv("wall_ms", r.wall_ms);
     w.kv("sim_mac_per_s", r.sim_mac_per_s);
+    if (r.speedup_vs_cycle > 0.0) {
+      // Basis: cycle_wall_ms is the single-shot per-inference cost the
+      // functional tier replaces; the warm-vs-warm ratio is in "serve".
+      w.kv("cycle_wall_ms", r.cycle_wall_ms);
+      w.kv("speedup_vs_cycle", r.speedup_vs_cycle);
+    }
     w.end_object();
   }
   w.end_array();
@@ -515,6 +623,7 @@ int run_perf_harness(const std::string& path, bool quick) {
     w.kv("net", r.net);
     w.kv("policy", "adap-2");
     w.kv("backend", r.backend);
+    w.kv("tier", r.tier);
     w.kv("jobs", r.jobs);
     w.kv("requests", r.requests);
     w.kv("infer_per_s", r.infer_per_s);
@@ -522,6 +631,8 @@ int run_perf_harness(const std::string& path, bool quick) {
       w.kv("per_call_infer_per_s", r.per_call_infer_per_s);
       w.kv("speedup_vs_per_call", r.speedup_vs_per_call);
     }
+    if (r.speedup_vs_cycle > 0.0)
+      w.kv("speedup_vs_cycle", r.speedup_vs_cycle);
     w.end_object();
   }
   w.end_array();
@@ -541,16 +652,23 @@ int run_perf_harness(const std::string& path, bool quick) {
     std::printf("  %-14s %-6s n=%-5lld %8.2f GB/s %12.0f MAC/s\n",
                 k.name.c_str(), k.backend.c_str(),
                 static_cast<long long>(k.n), k.gbps, k.mac_per_s);
-  for (const WholeNetResult& r : whole)
-    std::printf("  sim %-9s %-6s %10.1f ms %14.0f simulated MAC/s\n",
-                r.net.c_str(), r.backend.c_str(), r.wall_ms, r.sim_mac_per_s);
+  for (const WholeNetResult& r : whole) {
+    std::printf("  sim %-9s %-6s [%-10s] %10.1f ms %14.0f MAC/s",
+                r.net.c_str(), r.backend.c_str(), r.tier.c_str(), r.wall_ms,
+                r.sim_mac_per_s);
+    if (r.speedup_vs_cycle > 0.0)
+      std::printf("  (%.1fx vs cycle single-shot)", r.speedup_vs_cycle);
+    std::printf("\n");
+  }
   for (const ServeResult& r : serve) {
-    std::printf("  serve %-7s %-6s jobs=%-2lld %7.3f inf/s",
-                r.net.c_str(), r.backend.c_str(),
+    std::printf("  serve %-7s %-6s [%-10s] jobs=%-2lld %7.3f inf/s",
+                r.net.c_str(), r.backend.c_str(), r.tier.c_str(),
                 static_cast<long long>(r.jobs), r.infer_per_s);
     if (r.per_call_infer_per_s > 0.0)
       std::printf("  (per-call %.3f inf/s, session %.2fx)",
                   r.per_call_infer_per_s, r.speedup_vs_per_call);
+    if (r.speedup_vs_cycle > 0.0)
+      std::printf("  (%.2fx vs cycle serve)", r.speedup_vs_cycle);
     std::printf("\n");
   }
   return 0;

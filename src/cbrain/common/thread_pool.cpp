@@ -181,7 +181,16 @@ void parallel_for(i64 n, const std::function<void(i64)>& fn, i64 jobs) {
     pool.submit([state] { state->run_indices(); });
   state->run_indices();
   state->wait();
-  if (state->error) std::rethrow_exception(state->error);
+  // Move the error out under the mutex that guarded its write: the plain
+  // read was unsynchronized, and leaving the exception_ptr in ForState
+  // let a straggler task destroy it on a worker thread while the caller
+  // was still unwinding the rethrown exception.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    error = std::move(state->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace cbrain::parallel

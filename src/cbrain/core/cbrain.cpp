@@ -36,17 +36,18 @@ NetworkModelResult CBrain::evaluate(const Network& net, Policy policy) {
 
 SimResult CBrain::simulate(const Network& net, Policy policy,
                            const Tensor3<Fixed16>& input,
-                           const NetParamsData<Fixed16>& params) {
-  auto session = engine_.open_session(net, policy, params);
+                           const NetParamsData<Fixed16>& params,
+                           Fidelity fidelity) {
+  auto session = engine_.open_session(net, policy, params, fidelity);
   return session->infer(input);
 }
 
 SimResult CBrain::simulate(const Network& net, Policy policy,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, Fidelity fidelity) {
   const auto params = init_net_params<Fixed16>(net, seed);
   const auto input =
       random_input<Fixed16>(net.layer(0).out_dims, seed ^ 0x1234);
-  return simulate(net, policy, input, params);
+  return simulate(net, policy, input, params, fidelity);
 }
 
 PolicyComparison CBrain::compare_policies(const Network& net) {

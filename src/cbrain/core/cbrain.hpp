@@ -55,15 +55,19 @@ class CBrain {
   // Analytical evaluation.
   NetworkModelResult evaluate(const Network& net, Policy policy);
 
-  // Cycle-level functional simulation with explicit parameters and input.
-  // One-shot session: load_params once, infer once.
+  // One-shot inference with explicit parameters and input: load_params
+  // once, infer once. Fidelity::kCycle runs the cycle-level simulator;
+  // Fidelity::kFunctional runs the fast tier — same output bytes, model
+  // counter estimates (DESIGN.md §12).
   SimResult simulate(const Network& net, Policy policy,
                      const Tensor3<Fixed16>& input,
-                     const NetParamsData<Fixed16>& params);
+                     const NetParamsData<Fixed16>& params,
+                     Fidelity fidelity = Fidelity::kCycle);
 
   // Convenience: seeded parameters/input.
   SimResult simulate(const Network& net, Policy policy,
-                     std::uint64_t seed = 42);
+                     std::uint64_t seed = 42,
+                     Fidelity fidelity = Fidelity::kCycle);
 
   // Evaluates every given policy (defaults to the paper's five).
   PolicyComparison compare_policies(const Network& net);

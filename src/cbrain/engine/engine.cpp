@@ -127,10 +127,11 @@ void mix_config(Fnv1a& f, const AcceleratorConfig& c) {
 }  // namespace
 
 u64 structural_hash(const Network& net, Policy policy,
-                    const AcceleratorConfig& config) {
+                    const AcceleratorConfig& config, Fidelity fidelity) {
   Fnv1a f;
-  f.mix_u64(0xcb7a140001ull);  // key-schema salt; bump when fields change
+  f.mix_u64(0xcb7a140002ull);  // key-schema salt; bump when fields change
   f.mix_i64(static_cast<i64>(policy));
+  f.mix_i64(static_cast<i64>(fidelity));
   mix_config(f, config);
   f.mix_i64(net.size());
   for (const Layer& l : net.layers()) mix_layer(f, l);
@@ -141,25 +142,40 @@ u64 structural_hash(const Network& net, Policy policy,
 // Session
 
 Session::Session(Network net, std::shared_ptr<const CompiledNetwork> compiled,
-                 const AcceleratorConfig& config)
-    : net_(std::move(net)), compiled_(std::move(compiled)) {
+                 const AcceleratorConfig& config, Fidelity fidelity)
+    : net_(std::move(net)),
+      compiled_(std::move(compiled)),
+      fidelity_(fidelity) {
   CBRAIN_CHECK(compiled_ != nullptr, "Session needs a compiled program");
-  // exec_ holds references to net_ and *compiled_, both of which this
-  // Session owns (the program via shared_ptr) — hence non-copyable and
-  // constructed after the members it points at.
-  exec_ = std::make_unique<SimExecutor>(net_, *compiled_, config);
+  // The executors hold references to net_ and *compiled_, both of which
+  // this Session owns (the program via shared_ptr) — hence non-copyable
+  // and constructed after the members they point at.
+  if (fidelity_ == Fidelity::kFunctional)
+    func_ = std::make_unique<func::FuncExecutor>(net_, *compiled_, config);
+  else
+    exec_ = std::make_unique<SimExecutor>(net_, *compiled_, config);
 }
 
 void Session::load_params(const NetParamsData<Fixed16>& params) {
-  exec_->load_params(params);
+  if (func_)
+    func_->load_params(params);
+  else
+    exec_->load_params(params);
+}
+
+bool Session::params_loaded() const {
+  return func_ ? func_->params_loaded() : exec_->params_loaded();
 }
 
 SimResult Session::infer(const Tensor3<Fixed16>& input) {
   ++inferences_;
-  return exec_->infer(input);
+  return func_ ? func_->infer(input) : exec_->infer(input);
 }
 
 void Session::attach_fault(FaultInjector* injector) {
+  CBRAIN_CHECK(fidelity_ == Fidelity::kCycle,
+               "fault injection requires the cycle-exact tier; the "
+               "functional executor has no simulated components");
   exec_->attach_fault(injector);
 }
 
@@ -182,8 +198,9 @@ double ServeStats::latency_percentile_ms(double q) const {
 // Engine
 
 std::shared_ptr<const CompiledNetwork> Engine::compile(const Network& net,
-                                                       Policy policy) {
-  const u64 key = structural_hash(net, policy, config_);
+                                                       Policy policy,
+                                                       Fidelity fidelity) {
+  const u64 key = structural_hash(net, policy, config_, fidelity);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -220,21 +237,24 @@ std::shared_ptr<const CompiledNetwork> Engine::compile(const Network& net,
 }
 
 std::unique_ptr<Session> Engine::open_session(const Network& net,
-                                              Policy policy) {
-  return std::make_unique<Session>(net, compile(net, policy), config_);
+                                              Policy policy,
+                                              Fidelity fidelity) {
+  return std::make_unique<Session>(net, compile(net, policy, fidelity),
+                                   config_, fidelity);
 }
 
 std::unique_ptr<Session> Engine::open_session(
-    const Network& net, Policy policy, const NetParamsData<Fixed16>& params) {
-  auto session = open_session(net, policy);
+    const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
+    Fidelity fidelity) {
+  auto session = open_session(net, policy, fidelity);
   session->load_params(params);
   return session;
 }
 
 std::vector<SimResult> Engine::run_many(
     const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
-    const std::vector<Tensor3<Fixed16>>& inputs, i64 jobs,
-    ServeStats* stats) {
+    const std::vector<Tensor3<Fixed16>>& inputs, i64 jobs, ServeStats* stats,
+    Fidelity fidelity) {
   using Clock = std::chrono::steady_clock;
   const auto n = static_cast<i64>(inputs.size());
   if (n == 0) {
@@ -253,7 +273,7 @@ std::vector<SimResult> Engine::run_many(
   std::vector<std::unique_ptr<Session>> pool;
   pool.reserve(static_cast<std::size_t>(pool_n));
   for (i64 i = 0; i < pool_n; ++i)
-    pool.push_back(open_session(net, policy, params));
+    pool.push_back(open_session(net, policy, params, fidelity));
 
   std::mutex pool_mu;
   std::condition_variable pool_cv;
@@ -336,6 +356,7 @@ std::vector<SimResult> Engine::run_many(
           if (s.dur < 0) s.dur = 0;
           s.name = "request";
           s.cat = "request";
+          s.args.emplace_back("tier", fidelity_name(fidelity));
           s.args.emplace_back("index", std::to_string(i));
           s.args.emplace_back("queue_wait_ms", std::to_string(queue_wait));
           s.args.emplace_back("session_acquire_ms", std::to_string(acquire));
@@ -353,6 +374,7 @@ std::vector<SimResult> Engine::run_many(
     s.dur = tracer.wall_now_us() - batch_start_us;
     s.name = "run_many:" + net.name();
     s.cat = "batch";
+    s.args.emplace_back("tier", fidelity_name(fidelity));
     s.args.emplace_back("requests", std::to_string(n));
     s.args.emplace_back("sessions", std::to_string(pool_n));
     tracer.record(std::move(s));

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "cbrain/compiler/compiler.hpp"
+#include "cbrain/func/executor.hpp"
+#include "cbrain/func/fidelity.hpp"
 #include "cbrain/ref/params.hpp"
 #include "cbrain/sim/executor.hpp"
 
@@ -41,37 +43,49 @@ namespace cbrain::engine {
 
 // Order-sensitive FNV-1a over the network's topology (layer kinds,
 // parameters, wiring, shapes — NOT names), the accelerator configuration,
-// and the policy. This is the compile-cache key: anything that can change
-// the emitted program must feed the hash.
+// the policy, and the execution fidelity. This is the compile-cache key:
+// anything that can change the emitted program — or which tier a cached
+// entry was fetched for — must feed the hash.
 u64 structural_hash(const Network& net, Policy policy,
-                    const AcceleratorConfig& config);
+                    const AcceleratorConfig& config,
+                    Fidelity fidelity = Fidelity::kCycle);
 
-// A weight-resident simulation session. Not thread-safe: one request at
-// a time per session (Engine::run_many pools sessions for concurrency).
+// A weight-resident session at either fidelity. Not thread-safe: one
+// request at a time per session (Engine::run_many pools sessions for
+// concurrency). Fidelity::kCycle wraps the cycle-exact SimExecutor;
+// Fidelity::kFunctional wraps func::FuncExecutor — bit-identical outputs,
+// analytical counter estimates, ~10x+ faster (DESIGN.md §12).
 class Session {
  public:
   // `compiled` must have been produced for `net` under `config`.
   Session(Network net, std::shared_ptr<const CompiledNetwork> compiled,
-          const AcceleratorConfig& config);
+          const AcceleratorConfig& config,
+          Fidelity fidelity = Fidelity::kCycle);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   const Network& net() const { return net_; }
   const CompiledNetwork& compiled() const { return *compiled_; }
+  Fidelity fidelity() const { return fidelity_; }
 
-  // Materializes weights/biases into the session's simulated DRAM. Must
-  // run before the first infer(); may run again to hot-swap parameters.
+  // Materializes weights/biases into the session's simulated DRAM
+  // (cycle) or packed GEMM rows (functional). Must run before the first
+  // infer(); may run again to hot-swap parameters.
   void load_params(const NetParamsData<Fixed16>& params);
-  bool params_loaded() const { return exec_->params_loaded(); }
+  bool params_loaded() const;
 
-  // Streams one input image through the resident machine. Bit- and
-  // counter-identical to a fresh single-shot simulate of the same input.
+  // Streams one input image through the resident executor. At either
+  // fidelity the output bytes match a fresh single-shot cycle simulate
+  // of the same input; counters are exact (cycle) or model estimates
+  // (functional).
   SimResult infer(const Tensor3<Fixed16>& input);
 
   // Attaches (nullptr detaches) a fault injector to the session's
   // machine, enabling checkpoint/replay recovery exactly as on the
   // single-shot path. Attach before load_params for a fault sequence
-  // identical to SimExecutor::run with the same injector.
+  // identical to SimExecutor::run with the same injector. Cycle fidelity
+  // only: the functional tier has no simulated components to corrupt
+  // (CHECK-fails on a functional session).
   void attach_fault(FaultInjector* injector);
 
   // Inferences served since open (diagnostics).
@@ -80,7 +94,9 @@ class Session {
  private:
   Network net_;  // owned copy: sessions outlive their construction site
   std::shared_ptr<const CompiledNetwork> compiled_;
-  std::unique_ptr<SimExecutor> exec_;
+  Fidelity fidelity_ = Fidelity::kCycle;
+  std::unique_ptr<SimExecutor> exec_;         // kCycle
+  std::unique_ptr<func::FuncExecutor> func_;  // kFunctional
   i64 inferences_ = 0;
 };
 
@@ -105,29 +121,36 @@ class Engine {
 
   const AcceleratorConfig& config() const { return config_; }
 
-  // Compile-or-fetch under the structural key. Thread-safe: concurrent
-  // callers for the same key receive the same shared program (a lost
-  // insertion race discards the duplicate). CHECK-fails when the network
-  // cannot be tiled into the configured buffers.
-  std::shared_ptr<const CompiledNetwork> compile(const Network& net,
-                                                 Policy policy);
+  // Compile-or-fetch under the structural key (which includes the
+  // fidelity — the two tiers never alias a cache entry). Thread-safe:
+  // concurrent callers for the same key receive the same shared program
+  // (a lost insertion race discards the duplicate). CHECK-fails when the
+  // network cannot be tiled into the configured buffers.
+  std::shared_ptr<const CompiledNetwork> compile(
+      const Network& net, Policy policy,
+      Fidelity fidelity = Fidelity::kCycle);
 
-  // Opens a weight-resident session (compile is cached). The two-arg
-  // form leaves parameters to a later load_params() — needed when a
-  // fault injector must observe the materialization writes.
-  std::unique_ptr<Session> open_session(const Network& net, Policy policy);
+  // Opens a weight-resident session at the given fidelity (compile is
+  // cached). The params-less forms leave parameters to a later
+  // load_params() — needed when a fault injector must observe the
+  // materialization writes.
   std::unique_ptr<Session> open_session(const Network& net, Policy policy,
-                                        const NetParamsData<Fixed16>& params);
+                                        Fidelity fidelity = Fidelity::kCycle);
+  std::unique_ptr<Session> open_session(const Network& net, Policy policy,
+                                        const NetParamsData<Fixed16>& params,
+                                        Fidelity fidelity = Fidelity::kCycle);
 
   // Serves a request batch across a session pool of min(jobs, #inputs)
   // weight-resident sessions (jobs <= 0 uses parallel::default_jobs()).
   // Results land in submission order and are byte-identical at any jobs
-  // count. `stats`, when given, receives per-request latencies and batch
+  // count — and, because the tiers are bit-identical, at any fidelity.
+  // `stats`, when given, receives per-request latencies and batch
   // throughput.
   std::vector<SimResult> run_many(const Network& net, Policy policy,
                                   const NetParamsData<Fixed16>& params,
                                   const std::vector<Tensor3<Fixed16>>& inputs,
-                                  i64 jobs = 0, ServeStats* stats = nullptr);
+                                  i64 jobs = 0, ServeStats* stats = nullptr,
+                                  Fidelity fidelity = Fidelity::kCycle);
 
   // Cache observability (diagnostics and tests).
   i64 cache_size() const;

@@ -1,0 +1,205 @@
+#include "cbrain/func/executor.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/func/kernels.hpp"
+#include "cbrain/obs/metrics.hpp"
+#include "cbrain/obs/tracer.hpp"
+#include "cbrain/ref/lrn_ref.hpp"
+#include "cbrain/ref/pool_ref.hpp"
+
+namespace cbrain::func {
+namespace {
+
+// Host-side steps, duplicated from ref/executor.cpp's file-local kernels
+// with identical semantics: the same double math in the same order, so
+// func and sim quantize identically.
+Tensor3<Fixed16> softmax_func(const Tensor3<Fixed16>& input) {
+  using Tr = ArithTraits<Fixed16>;
+  Tensor3<Fixed16> out(input.dims(), input.order());
+  double max_v = -1e300;
+  for (const auto& v : input.storage())
+    max_v = std::max(max_v, Tr::to_real(v));
+  double denom = 0.0;
+  for (const auto& v : input.storage())
+    denom += std::exp(Tr::to_real(v) - max_v);
+  for (std::size_t i = 0; i < input.storage().size(); ++i)
+    out.storage()[i] = Tr::from_real(
+        std::exp(Tr::to_real(input.storage()[i]) - max_v) / denom);
+  return out;
+}
+
+Tensor3<Fixed16> concat_func(const std::vector<const Tensor3<Fixed16>*>& ins,
+                             const MapDims& out_dims) {
+  Tensor3<Fixed16> out(out_dims, DataOrder::kSpatialMajor);
+  i64 d_base = 0;
+  for (const Tensor3<Fixed16>* in : ins) {
+    for (i64 d = 0; d < in->dims().d; ++d)
+      for (i64 y = 0; y < in->dims().h; ++y)
+        for (i64 x = 0; x < in->dims().w; ++x)
+          out.at(d_base + d, y, x) = in->at(d, y, x);
+    d_base += in->dims().d;
+  }
+  return out;
+}
+
+}  // namespace
+
+FuncExecutor::FuncExecutor(const Network& net, const CompiledNetwork& compiled,
+                           const AcceleratorConfig& config)
+    : net_(net), config_(config) {
+  // Counter estimates are a pure function of (net, compiled, config):
+  // computed once here, copied into every infer()'s result.
+  model_ = model_network(net, compiled, config);
+}
+
+void FuncExecutor::load_params(const NetParamsData<Fixed16>& params) {
+  CBRAIN_CHECK(static_cast<i64>(params.per_layer.size()) == net_.size(),
+               "parameter table does not match network");
+  packed_.assign(static_cast<std::size_t>(net_.size()), PackedLayer{});
+  for (const Layer& l : net_.layers()) {
+    if (!l.is_conv() && !l.is_fc()) continue;
+    const auto idx = static_cast<std::size_t>(l.id);
+    const auto& pdata = params.per_layer[idx];
+    const KernelDims wd = pdata.weights.dims();
+    CBRAIN_CHECK(wd == l.weight_dims(),
+                 "weight dims mismatch for layer " << l.name);
+    // Tensor4 storage is already contiguous (din, ky, kx) rows per output
+    // map — exactly the GEMM row layout — so packing is a raw re-type.
+    PackedLayer& pl = packed_[idx];
+    pl.weights.resize(static_cast<std::size_t>(wd.count()));
+    const Fixed16* w = pdata.weights.raw_data();
+    bool no_wrap = true;
+    for (std::size_t i = 0; i < pl.weights.size(); ++i) {
+      pl.weights[i] = w[i].raw();
+      no_wrap &= pl.weights[i] != std::numeric_limits<std::int16_t>::min();
+    }
+    pl.no_wrap = no_wrap;
+    pl.bias = pdata.bias;
+  }
+  params_loaded_ = true;
+}
+
+SimResult FuncExecutor::infer(const Tensor3<Fixed16>& input) {
+  CBRAIN_CHECK(params_loaded_, "load_params before infer");
+  outputs_.assign(static_cast<std::size_t>(net_.size()), Tensor3<Fixed16>{});
+
+  SimResult result;
+  result.per_layer.resize(static_cast<std::size_t>(net_.size()));
+
+  using Clock = std::chrono::steady_clock;
+  auto& reg = obs::Registry::global();
+  for (const Layer& l : net_.layers()) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const PackedLayer& pl = packed_[idx];
+    const Clock::time_point t0 = Clock::now();
+    switch (l.kind) {
+      case LayerKind::kInput:
+        CBRAIN_CHECK(input.dims() == l.out_dims,
+                     "input dims " << input.dims().to_string()
+                                   << " != network input "
+                                   << l.out_dims.to_string());
+        outputs_[idx] = input.to_order(DataOrder::kSpatialMajor);
+        break;
+      case LayerKind::kConv:
+        outputs_[idx] = conv2d_func(output(l.inputs[0]), pl.weights, pl.bias,
+                                    l.conv(), pl.no_wrap);
+        break;
+      case LayerKind::kPool:
+        outputs_[idx] = pool2d_ref(output(l.inputs[0]), l.pool());
+        break;
+      case LayerKind::kFC:
+        outputs_[idx] = fc_func(output(l.inputs[0]), pl.weights, pl.bias,
+                                l.fc(), pl.no_wrap);
+        break;
+      case LayerKind::kLRN:
+        outputs_[idx] = lrn_ref(output(l.inputs[0]), l.lrn());
+        break;
+      case LayerKind::kConcat: {
+        std::vector<const Tensor3<Fixed16>*> ins;
+        ins.reserve(l.inputs.size());
+        for (LayerId id : l.inputs) ins.push_back(&output(id));
+        outputs_[idx] = concat_func(ins, l.out_dims);
+        break;
+      }
+      case LayerKind::kSoftmax:
+        outputs_[idx] = softmax_func(output(l.inputs[0]));
+        break;
+    }
+    // Per-kind host wall time: where the functional tier actually spends
+    // its milliseconds, as opposed to the modelled accelerator cycles.
+    reg.counter(std::string("func.wall_us.") + layer_kind_name(l.kind))
+        .inc(std::chrono::duration_cast<std::chrono::microseconds>(
+                 Clock::now() - t0)
+                 .count());
+    result.per_layer[idx] = model_.layer(l.id).counters;
+  }
+  result.final_output = outputs_.back();
+
+  // Mirror of SimExecutor's observability under the functional tier's
+  // prefix; cycle numbers are the model estimates.
+  i64 cycles = 0, dram_r = 0, dram_w = 0, muls = 0;
+  for (const TrafficCounters& lc : result.per_layer) {
+    cycles += lc.total_cycles;
+    dram_r += lc.dram_reads;
+    dram_w += lc.dram_writes;
+    muls += lc.mul_ops;
+  }
+  reg.counter("func.infers_total").inc();
+  reg.counter("func.cycles_total").inc(cycles);
+  reg.counter("func.dram_reads_total").inc(dram_r);
+  reg.counter("func.dram_writes_total").inc(dram_w);
+  reg.counter("func.mul_ops_total").inc(muls);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Same span shape as the sim tier (depth-0 infer, depth-1 layers in
+    // the cycle domain), edges from the model's estimates — a pure
+    // function of (net, compiled, config), hence byte-deterministic.
+    const int track = tracer.add_track(obs::Domain::kCycles,
+                                       "func:" + net_.name());
+    i64 cursor = 0;
+    for (const Layer& l : net_.layers()) {
+      const LayerModelResult& lm = model_.layer(l.id);
+      if (lm.counters.total_cycles <= 0) continue;
+      obs::Span s;
+      s.track = track;
+      s.depth = 1;
+      s.start = cursor;
+      s.dur = lm.counters.total_cycles;
+      s.name = l.name;
+      s.cat = layer_kind_name(l.kind);
+      s.args.emplace_back("tier", "functional");
+      if (l.is_conv())
+        s.args.emplace_back("scheme", scheme_name(lm.scheme));
+      tracer.record(std::move(s));
+      cursor += lm.counters.total_cycles;
+    }
+    obs::Span s;
+    s.track = track;
+    s.depth = 0;
+    s.start = 0;
+    s.dur = cursor;
+    s.name = "infer:" + net_.name();
+    s.cat = "infer";
+    s.args.emplace_back("tier", "functional");
+    tracer.record(std::move(s));
+  }
+  return result;
+}
+
+const Tensor3<Fixed16>& FuncExecutor::output(LayerId id) const {
+  CBRAIN_CHECK(id >= 0 && id < static_cast<i64>(outputs_.size()),
+               "no output for layer " << id);
+  const auto& t = outputs_[static_cast<std::size_t>(id)];
+  CBRAIN_CHECK(!t.empty(), "layer " << id << " has not been executed");
+  return t;
+}
+
+}  // namespace cbrain::func

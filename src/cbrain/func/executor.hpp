@@ -1,0 +1,79 @@
+// FuncExecutor — the functional (fast) tier behind Fidelity::kFunctional.
+//
+// Drop-in sibling of SimExecutor with the same load_params/infer surface
+// and the same SimResult type, so engine::Session can hold either behind
+// one interface. Outputs are bit-identical to the simulator: every layer
+// runs the identical fixed-point arithmetic (func/kernels for conv/FC,
+// the ref/ kernels for pool/LRN, and the same host-side double math for
+// LRN/softmax), and the Q16.16 accumulation contract makes the result
+// independent of summation order. Cycle/energy numbers in the returned
+// counters are *estimates* from the analytical model — which the test
+// suite holds to exact agreement with the simulator's accounting
+// (tests/test_fidelity.cpp), so "estimate" here measures the model's
+// fidelity, not a looser contract.
+//
+// Observability mirrors the sim tier's schema under the func.* prefix
+// (func.infers_total, func.cycles_total, ...) and emits the same
+// cycle-domain span shape on a "func:<net>" track, each span tagged
+// tier=functional; span edges come from the model's per-layer cycle
+// estimates, so traces stay byte-deterministic across jobs and backends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cbrain/compiler/compiler.hpp"
+#include "cbrain/func/fidelity.hpp"
+#include "cbrain/model/network_model.hpp"
+#include "cbrain/ref/params.hpp"
+#include "cbrain/sim/executor.hpp"
+
+namespace cbrain::func {
+
+class FuncExecutor {
+ public:
+  // `compiled` must have been produced for `net` under `config`; the
+  // program is not interpreted here but its scheme/tiling choices drive
+  // the analytical counter estimates.
+  FuncExecutor(const Network& net, const CompiledNetwork& compiled,
+               const AcceleratorConfig& config);
+
+  // Packs each conv/FC layer's weights into contiguous int16 GEMM rows.
+  // May run again to hot-swap parameters (engine::Session contract).
+  void load_params(const NetParamsData<Fixed16>& params);
+  bool params_loaded() const { return params_loaded_; }
+
+  // Runs one input through the layer graph. Bit-identical final_output
+  // and per-layer tensors to SimExecutor::infer on the same (net,
+  // compiled, params, input); per_layer counters are the analytical
+  // model's estimates.
+  SimResult infer(const Tensor3<Fixed16>& input);
+
+  // Per-layer output read-back for cross-validation (valid after
+  // infer(); same logical cubes the simulator materializes in DRAM).
+  const Tensor3<Fixed16>& output(LayerId id) const;
+
+  // The model estimates backing this executor's counters.
+  const NetworkModelResult& model() const { return model_; }
+
+ private:
+  struct PackedLayer {
+    std::vector<std::int16_t> weights;  // GEMM rows, Tensor4 storage order
+    std::vector<Fixed16> bias;
+    // True when `weights` contains no -32768: the pmaddwd pair sum then
+    // cannot wrap and the GEMM takes simd::dot_s16_multi_nw. Checked once
+    // per pack; a -32768 weight (unreachable via init_net_params but
+    // legal in a hand-built NetParamsData) falls back to the full-range
+    // kernel, keeping outputs identical either way.
+    bool no_wrap = false;
+  };
+
+  const Network& net_;
+  AcceleratorConfig config_;
+  NetworkModelResult model_;
+  std::vector<PackedLayer> packed_;  // indexed by LayerId
+  std::vector<Tensor3<Fixed16>> outputs_;
+  bool params_loaded_ = false;
+};
+
+}  // namespace cbrain::func

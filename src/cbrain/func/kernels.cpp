@@ -1,0 +1,173 @@
+#include "cbrain/func/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cbrain/common/check.hpp"
+#include "cbrain/ref/arith_traits.hpp"
+#include "cbrain/simd/simd.hpp"
+
+namespace cbrain::func {
+
+static_assert(sizeof(Fixed16) == sizeof(std::int16_t),
+              "im2row copies Fixed16 rows as raw int16 bytes");
+
+namespace {
+
+// Weight rows handed to one dot_s16_multi call. Matches the simulator's
+// lane-group width (kMultiRows in the scheme executors): a band of ~16
+// rows × a few-hundred-word patch stays L2-resident while the patch
+// streams.
+constexpr i64 kRowChunk = 16;
+
+// Elements (int16) per im2row band buffer: bounds the gather scratch at
+// ~2 MB and amortizes each weight chunk over thousands of pixels.
+constexpr i64 kBandElems = i64{1} << 20;
+
+i64 pixels_per_band(i64 krow, i64 cols) {
+  const i64 by_mem = std::max<i64>(i64{1}, kBandElems / std::max<i64>(
+                                               i64{1}, krow));
+  return std::min(cols, by_mem);
+}
+
+}  // namespace
+
+void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
+                const ConvParams& p, i64 pix0, i64 npix,
+                std::int16_t* patches) {
+  const MapDims in = input.dims();
+  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 krow = din_count * p.k * p.k;
+  // Zero first: padded taps then contribute exact zero products, the same
+  // value at_padded() feeds the golden loop nest.
+  std::fill(patches, patches + npix * krow, std::int16_t{0});
+
+  const Fixed16* base = input.raw_data();
+  for (i64 t = 0; t < npix; ++t) {
+    const i64 pix = pix0 + t;
+    const i64 base_y = (pix / ow) * p.stride - p.pad;
+    const i64 base_x = (pix % ow) * p.stride - p.pad;
+    // Clip the kernel window against the input once per pixel; the
+    // interior (no-pad) common case copies whole kx rows.
+    const i64 ky_lo = std::max<i64>(i64{0}, -base_y);
+    const i64 ky_hi = std::min(p.k, in.h - base_y);
+    const i64 kx_lo = std::max<i64>(i64{0}, -base_x);
+    const i64 kx_hi = std::min(p.k, in.w - base_x);
+    std::int16_t* patch = patches + t * krow;
+    for (i64 id = 0; id < din_count; ++id) {
+      const Fixed16* plane =
+          base + (din_begin + id) * in.h * in.w;
+      std::int16_t* dst_plane = patch + id * p.k * p.k;
+      for (i64 ky = ky_lo; ky < ky_hi; ++ky) {
+        const Fixed16* row = plane + (base_y + ky) * in.w + base_x;
+        // Fixed16 is a single int16 (standard layout), so a whole clipped
+        // kx row copies as raw bytes.
+        std::memcpy(dst_plane + ky * p.k + kx_lo, row + kx_lo,
+                    static_cast<std::size_t>(kx_hi - kx_lo) *
+                        sizeof(std::int16_t));
+      }
+    }
+  }
+}
+
+Tensor3<Fixed16> conv2d_func(const Tensor3<Fixed16>& input,
+                             const std::vector<std::int16_t>& packed_weights,
+                             const std::vector<Fixed16>& bias,
+                             const ConvParams& p, bool no_wrap_weights) {
+  using Tr = ArithTraits<Fixed16>;
+  CBRAIN_CHECK(input.order() == DataOrder::kSpatialMajor,
+               "conv2d_func expects spatial-major input");
+  const MapDims in = input.dims();
+  const i64 din_g = p.din_per_group(in.d);
+  const i64 dout_g = p.dout_per_group();
+  const i64 krow = din_g * p.k * p.k;
+  CBRAIN_CHECK(static_cast<i64>(packed_weights.size()) == p.dout * krow,
+               "packed weight size mismatch");
+  CBRAIN_CHECK(bias.empty() || static_cast<i64>(bias.size()) == p.dout,
+               "bias size mismatch");
+
+  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 cols = oh * ow;
+  Tensor3<Fixed16> out({p.dout, oh, ow}, DataOrder::kSpatialMajor);
+  Fixed16* oraw = out.raw_data();
+
+  // Bias promoted once to accumulator (Q16.16) scale; adding it after the
+  // product sum is the same integer as seeding the accumulator with it.
+  std::vector<Fixed16::acc_t> bias_acc(static_cast<std::size_t>(p.dout), 0);
+  if (!bias.empty())
+    for (i64 o = 0; o < p.dout; ++o)
+      bias_acc[static_cast<std::size_t>(o)] =
+          Tr::from_value(bias[static_cast<std::size_t>(o)]);
+
+  const i64 pix_block = pixels_per_band(krow, cols);
+  std::vector<std::int16_t> band(
+      static_cast<std::size_t>(pix_block * krow));
+  Fixed16::acc_t accs[kRowChunk];
+  const auto dot_multi =
+      no_wrap_weights ? simd::dot_s16_multi_nw : simd::dot_s16_multi;
+
+  for (i64 g = 0; g < p.groups; ++g) {
+    for (i64 pix0 = 0; pix0 < cols; pix0 += pix_block) {
+      const i64 npix = std::min(pix_block, cols - pix0);
+      im2row_s16(input, g * din_g, din_g, p, pix0, npix, band.data());
+      for (i64 od0 = 0; od0 < dout_g; od0 += kRowChunk) {
+        const i64 rows = std::min(kRowChunk, dout_g - od0);
+        const std::int16_t* wchunk =
+            packed_weights.data() + (g * dout_g + od0) * krow;
+        for (i64 t = 0; t < npix; ++t) {
+          dot_multi(band.data() + t * krow, wchunk, krow, rows, krow, accs);
+          for (i64 l = 0; l < rows; ++l) {
+            const i64 dout_abs = g * dout_g + od0 + l;
+            oraw[dout_abs * cols + pix0 + t] = Tr::finalize(
+                accs[l] + bias_acc[static_cast<std::size_t>(dout_abs)],
+                p.relu);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3<Fixed16> fc_func(const Tensor3<Fixed16>& input,
+                         const std::vector<std::int16_t>& packed_weights,
+                         const std::vector<Fixed16>& bias, const FCParams& p,
+                         bool no_wrap_weights) {
+  using Tr = ArithTraits<Fixed16>;
+  CBRAIN_CHECK(input.order() == DataOrder::kSpatialMajor,
+               "fc_func expects canonical spatial-major flatten order");
+  const i64 din = input.size();
+  CBRAIN_CHECK(static_cast<i64>(packed_weights.size()) == p.dout * din,
+               "fc packed weight size mismatch");
+  CBRAIN_CHECK(bias.empty() || static_cast<i64>(bias.size()) == p.dout,
+               "fc bias size mismatch");
+
+  // The flattened activation vector as raw int16 — one copy, reused by
+  // every output row.
+  std::vector<std::int16_t> flat(static_cast<std::size_t>(din));
+  const Fixed16* in_flat = input.raw_data();
+  for (i64 i = 0; i < din; ++i)
+    flat[static_cast<std::size_t>(i)] =
+        in_flat[static_cast<std::size_t>(i)].raw();
+
+  Tensor3<Fixed16> out({p.dout, 1, 1}, DataOrder::kSpatialMajor);
+  Fixed16* oraw = out.raw_data();
+  Fixed16::acc_t accs[kRowChunk];
+  const auto dot_multi =
+      no_wrap_weights ? simd::dot_s16_multi_nw : simd::dot_s16_multi;
+  for (i64 o0 = 0; o0 < p.dout; o0 += kRowChunk) {
+    const i64 rows = std::min(kRowChunk, p.dout - o0);
+    dot_multi(flat.data(), packed_weights.data() + o0 * din, din, rows, din,
+              accs);
+    for (i64 l = 0; l < rows; ++l) {
+      const i64 o = o0 + l;
+      const Fixed16::acc_t b =
+          bias.empty() ? 0 : Tr::from_value(bias[static_cast<std::size_t>(o)]);
+      oraw[o] = Tr::finalize(accs[l] + b, p.relu);
+    }
+  }
+  return out;
+}
+
+}  // namespace cbrain::func

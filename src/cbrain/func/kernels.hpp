@@ -1,0 +1,64 @@
+// cbrain::func — fixed-point functional kernels: the fast-tier execution
+// path behind FuncExecutor (DESIGN.md §12).
+//
+// The cycle-level simulator computes every layer on simulated buffer
+// contents, which is what makes it an oracle and what makes it slow
+// (~1.5 s per AlexNet inference). These kernels compute the *same*
+// fixed-point arithmetic directly on host memory: im2col ("im2row",
+// patch-major) gathers + a blocked GEMM whose inner product is
+// simd::dot_s16_multi — the identical kernel the simulator's schemes
+// dispatch to — with bias promotion and single-point rounding exactly as
+// in ArithTraits<Fixed16>.
+//
+// Bit-exactness: every product is int16*int16 accumulated at int64
+// (Fixed16::acc_t) with no intermediate rounding, so the sum is
+// independent of accumulation order and blocking — identical to
+// conv2d_ref / fc_ref and therefore to the simulator's outputs
+// (tests/test_fidelity.cpp). Zero-padding contributes zero products, so
+// gathering padded zeros into patches changes nothing.
+//
+// Layout contract: inputs and outputs are spatial-major Tensor3 cubes —
+// the canonical order RefExecutor and the simulator's result read-back
+// use. Weights arrive pre-packed as raw int16 rows of length
+// din_g*k*k (conv) or din_total (FC), i.e. exactly the Tensor4 storage
+// order, so weight rows line up with patch vectors by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cbrain/fixed/fixed16.hpp"
+#include "cbrain/nn/layer.hpp"
+#include "cbrain/tensor/tensor.hpp"
+
+namespace cbrain::func {
+
+// Patch-major im2col for a band of output pixels [pix0, pix0+npix) of one
+// group: patch t (pixel pix0+t) occupies
+//   patches[t*din_count*k*k ... ] laid out (din, ky, kx)
+// — the same order as a packed weight row. Out-of-bounds taps gather 0.
+// `patches` must hold npix * din_count * k * k elements.
+void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
+                const ConvParams& p, i64 pix0, i64 npix,
+                std::int16_t* patches);
+
+// Convolution via im2row + blocked GEMM over simd::dot_s16_multi.
+// `packed_weights` is the raw Tensor4 storage: groups*dout_g rows of
+// din_g*k*k int16 words. Bit-identical to conv2d_ref<Fixed16>.
+// `no_wrap_weights` asserts the weight buffer contains no -32768 (the
+// executor checks once at pack time), unlocking the pmaddwd fast path
+// (simd::dot_s16_multi_nw) — same results, ~3x the GEMM throughput.
+Tensor3<Fixed16> conv2d_func(const Tensor3<Fixed16>& input,
+                             const std::vector<std::int16_t>& packed_weights,
+                             const std::vector<Fixed16>& bias,
+                             const ConvParams& p, bool no_wrap_weights = false);
+
+// Fully-connected layer over the flattened (spatial-major) input cube.
+// `packed_weights` is dout rows of din_total int16 words. Bit-identical
+// to fc_ref<Fixed16>. `no_wrap_weights` as in conv2d_func.
+Tensor3<Fixed16> fc_func(const Tensor3<Fixed16>& input,
+                         const std::vector<std::int16_t>& packed_weights,
+                         const std::vector<Fixed16>& bias, const FCParams& p,
+                         bool no_wrap_weights = false);
+
+}  // namespace cbrain::func

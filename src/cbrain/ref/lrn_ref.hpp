@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "cbrain/nn/layer.hpp"
 #include "cbrain/ref/arith_traits.hpp"
@@ -18,19 +19,32 @@ Tensor3<T> lrn_ref(const Tensor3<T>& input, const LRNParams& p) {
   const MapDims in = input.dims();
   Tensor3<T> out(in, input.order());
   const i64 half = p.local_size / 2;
+  // alpha/n is the same double every element; computing it once is the
+  // identical value the per-element division produced.
+  const double alpha_over_n =
+      p.alpha / static_cast<double>(p.local_size);
+  // Per-(y,x) column scratch: each channel's real value and square are
+  // computed once instead of once per window they fall in. The window
+  // sums below add the same doubles in the same lo→hi order as the naive
+  // nest, so outputs are bit-identical — the simulator and the functional
+  // tier both run this kernel.
+  std::vector<double> vals(static_cast<std::size_t>(in.d));
+  std::vector<double> sq(static_cast<std::size_t>(in.d));
   for (i64 y = 0; y < in.h; ++y) {
     for (i64 x = 0; x < in.w; ++x) {
+      for (i64 d = 0; d < in.d; ++d) {
+        const double v = Tr::to_real(input.at(d, y, x));
+        vals[static_cast<std::size_t>(d)] = v;
+        sq[static_cast<std::size_t>(d)] = v * v;
+      }
       for (i64 d = 0; d < in.d; ++d) {
         double sum_sq = 0.0;
         const i64 lo = std::max<i64>(0, d - half);
         const i64 hi = std::min<i64>(in.d - 1, d + half);
-        for (i64 j = lo; j <= hi; ++j) {
-          const double v = Tr::to_real(input.at(j, y, x));
-          sum_sq += v * v;
-        }
-        const double scale =
-            p.bias + p.alpha / static_cast<double>(p.local_size) * sum_sq;
-        const double v = Tr::to_real(input.at(d, y, x)) /
+        for (i64 j = lo; j <= hi; ++j)
+          sum_sq += sq[static_cast<std::size_t>(j)];
+        const double scale = p.bias + alpha_over_n * sum_sq;
+        const double v = vals[static_cast<std::size_t>(d)] /
                          std::pow(scale, p.beta);
         out.at(d, y, x) = Tr::from_real(v);
       }

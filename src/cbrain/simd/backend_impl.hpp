@@ -19,6 +19,9 @@ struct KernelTable {
   void (*dot_s16_multi_acc)(const std::int16_t*, const std::int16_t*,
                             std::int64_t, std::int64_t, std::int64_t,
                             std::int64_t*);
+  void (*dot_s16_multi_nw)(const std::int16_t*, const std::int16_t*,
+                           std::int64_t, std::int64_t, std::int64_t,
+                           std::int64_t*);
   void (*add_sat_s16)(const std::int16_t*, const std::int16_t*,
                       std::int16_t*, std::int64_t);
   void (*relu_s16)(const std::int16_t*, std::int16_t*, std::int64_t);

@@ -172,6 +172,11 @@ void dot_s16_multi_acc(const std::int16_t* data, const std::int16_t* weights,
   table()->dot_s16_multi_acc(data, weights, row_stride, rows, n, out);
 }
 
+void dot_s16_multi_nw(const std::int16_t* data, const std::int16_t* weights,
+                      i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out) {
+  table()->dot_s16_multi_nw(data, weights, row_stride, rows, n, out);
+}
+
 void add_sat_s16(const std::int16_t* a, const std::int16_t* b,
                  std::int16_t* out, i64 n) {
   table()->add_sat_s16(a, b, out, n);

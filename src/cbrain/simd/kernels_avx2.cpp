@@ -69,6 +69,48 @@ void dot_s16_multi_acc(const int16_t* data, const int16_t* weights,
     out[l] += dot_s16(data, weights + l * row_stride, n);
 }
 
+// No-wrap fast path (see simd.hpp): with the caller guaranteeing that no
+// pmaddwd pair sum reaches +2^31, madd's pairwise i32 result is exact and
+// the expensive sign-extending widen (unpack/cvt, all port-5 shuffles)
+// collapses to an unsigned widen: xor the i32 lanes with 0x80000000 —
+// which adds 2^31 mod 2^32, mapping signed lanes to their biased unsigned
+// bit pattern — then mask/shift the 64-bit halves apart and subtract the
+// accumulated bias once at the end. Integer sums in any order are exact,
+// so the result is bit-identical to the scalar reference.
+int64_t dot_s16_nw(const int16_t* data, const int16_t* weights, int64_t n) {
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  __m256i acc_lo = _mm256_setzero_si256();
+  __m256i acc_hi = _mm256_setzero_si256();
+  int64_t i = 0;
+  int64_t groups = 0;
+  for (; i + 16 <= n; i += 16, ++groups) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(weights + i));
+    const __m256i u = _mm256_xor_si256(_mm256_madd_epi16(d, w), sign);
+    acc_lo = _mm256_add_epi64(acc_lo, _mm256_and_si256(u, lo32));
+    acc_hi = _mm256_add_epi64(acc_hi, _mm256_srli_epi64(u, 32));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                     _mm256_add_epi64(acc_lo, acc_hi));
+  // 8 biased lanes per group, 2^31 bias each.
+  int64_t acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) -
+                groups * (int64_t{8} << 31);
+  for (; i < n; ++i)
+    acc += static_cast<int64_t>(data[i]) * static_cast<int64_t>(weights[i]);
+  return acc;
+}
+
+void dot_s16_multi_nw(const int16_t* data, const int16_t* weights,
+                      int64_t row_stride, int64_t rows, int64_t n,
+                      int64_t* out) {
+  for (int64_t l = 0; l < rows; ++l)
+    out[l] = dot_s16_nw(data, weights + l * row_stride, n);
+}
+
 void add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
                  int64_t n) {
   int64_t i = 0;
@@ -125,8 +167,8 @@ void axpy_f32(float a, const float* x, float* y, int64_t n) {
 }
 
 constexpr KernelTable kTable = {
-    dot_s16,  dot_s16_multi, dot_s16_multi_acc, add_sat_s16,
-    relu_s16, max_s16,       axpy_f32,
+    dot_s16,     dot_s16_multi, dot_s16_multi_acc, dot_s16_multi_nw,
+    add_sat_s16, relu_s16,      max_s16,           axpy_f32,
 };
 
 }  // namespace

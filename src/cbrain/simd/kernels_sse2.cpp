@@ -66,6 +66,43 @@ void dot_s16_multi_acc(const int16_t* data, const int16_t* weights,
     out[l] += dot_s16(data, weights + l * row_stride, n);
 }
 
+// No-wrap fast path (see simd.hpp / the AVX2 twin): the caller rules out
+// the one pmaddwd-wrapping input, so the pairwise i32 sums are exact and
+// widen via xor-bias to unsigned + mask/shift instead of sign-extending
+// unpacks; the accumulated 2^31-per-lane bias comes off once at the end.
+int64_t dot_s16_nw(const int16_t* data, const int16_t* weights, int64_t n) {
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  const __m128i lo32 = _mm_set1_epi64x(0xFFFFFFFFll);
+  __m128i acc_lo = _mm_setzero_si128();
+  __m128i acc_hi = _mm_setzero_si128();
+  int64_t i = 0;
+  int64_t groups = 0;
+  for (; i + 8 <= n; i += 8, ++groups) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i w =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(weights + i));
+    const __m128i u = _mm_xor_si128(_mm_madd_epi16(d, w), sign);
+    acc_lo = _mm_add_epi64(acc_lo, _mm_and_si128(u, lo32));
+    acc_hi = _mm_add_epi64(acc_hi, _mm_srli_epi64(u, 32));
+  }
+  alignas(16) int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
+                  _mm_add_epi64(acc_lo, acc_hi));
+  // 4 biased lanes per group, 2^31 bias each.
+  int64_t acc = lanes[0] + lanes[1] - groups * (int64_t{4} << 31);
+  for (; i < n; ++i)
+    acc += static_cast<int64_t>(data[i]) * static_cast<int64_t>(weights[i]);
+  return acc;
+}
+
+void dot_s16_multi_nw(const int16_t* data, const int16_t* weights,
+                      int64_t row_stride, int64_t rows, int64_t n,
+                      int64_t* out) {
+  for (int64_t l = 0; l < rows; ++l)
+    out[l] = dot_s16_nw(data, weights + l * row_stride, n);
+}
+
 void add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
                  int64_t n) {
   int64_t i = 0;
@@ -122,8 +159,8 @@ void axpy_f32(float a, const float* x, float* y, int64_t n) {
 }
 
 constexpr KernelTable kTable = {
-    dot_s16,  dot_s16_multi, dot_s16_multi_acc, add_sat_s16,
-    relu_s16, max_s16,       axpy_f32,
+    dot_s16,     dot_s16_multi, dot_s16_multi_acc, dot_s16_multi_nw,
+    add_sat_s16, relu_s16,      max_s16,           axpy_f32,
 };
 
 }  // namespace

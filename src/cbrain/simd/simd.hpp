@@ -86,6 +86,18 @@ void dot_s16_multi(const std::int16_t* data, const std::int16_t* weights,
 void dot_s16_multi_acc(const std::int16_t* data, const std::int16_t* weights,
                        i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out);
 
+// dot_s16_multi under a narrower input contract that unlocks the fast
+// pmaddwd path: the caller guarantees no 16-bit *pair* (positions 2i,
+// 2i+1 of a row) has both products equal to +2^30 — i.e. the pairwise
+// i32 sum pmaddwd computes can never wrap. Sufficient (and what the
+// functional executor checks once per weight tensor): `weights` contains
+// no -32768. Results are bit-identical to dot_s16_multi for every input
+// satisfying the contract; inputs violating it are undefined. Roughly 3x
+// the multi-row throughput on AVX2 — the i32→i64 widening drops from
+// port-5 shuffles to xor-bias + mask/shift.
+void dot_s16_multi_nw(const std::int16_t* data, const std::int16_t* weights,
+                      i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out);
+
 // Elementwise saturating int16 add: out[i] = sat(a[i] + b[i]).
 void add_sat_s16(const std::int16_t* a, const std::int16_t* b,
                  std::int16_t* out, i64 n);

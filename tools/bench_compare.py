@@ -5,9 +5,12 @@ usage: bench_compare.py BASELINE.json CURRENT.json [--threshold=0.8]
 
 Prints a side-by-side ratio table for every kernel point and whole-net
 run present in BOTH files (extra points on either side are listed, not
-compared — a --quick run legitimately omits VGG16). A point whose
-current throughput falls below threshold * baseline is flagged as a
-REGRESSION.
+compared — a --quick run legitimately omits VGG16, and a baseline from
+before the two-tier split simply has no functional-tier entries; those
+show up as "new entry", never as regressions). whole_net/serve points
+are keyed by execution tier, with missing "tier" fields defaulting to
+"cycle" so old baselines stay comparable. A point whose current
+throughput falls below threshold * baseline is flagged as a REGRESSION.
 
 This is an *informational* CI leg: machine load and CPU frequency swings
 make wall-clock comparisons noisy, so the exit code is 0 unless a file
@@ -32,24 +35,32 @@ def kernel_key(k):
     return ("kernel", k["name"], k["backend"], k["n"])
 
 
+# whole_net/serve entries are keyed by execution tier since the two-tier
+# split; files written before it carry no "tier" field and default to the
+# cycle tier, so old baselines keep lining up with new runs.
 def wholenet_key(r):
-    return ("whole_net", r["net"], r["backend"])
+    return ("whole_net", r["net"], r["backend"], r.get("tier", "cycle"))
 
 
 def serve_key(r):
-    return ("serve", r["net"], r["backend"], r["jobs"])
+    return ("serve", r["net"], r["backend"], r["jobs"],
+            r.get("tier", "cycle"))
 
 
 def index(doc):
     points = {}
     for k in doc.get("kernels", []):
-        # Higher is better for throughput.
-        points[kernel_key(k)] = ("gbps", k["gbps"])
+        # Higher is better for throughput. Entries missing their metric
+        # (older harness versions) are skipped rather than fatal.
+        if "gbps" in k:
+            points[kernel_key(k)] = ("gbps", k["gbps"])
     for r in doc.get("whole_net", []):
         # Convert wall_ms to a rate so "higher is better" holds uniformly.
-        points[wholenet_key(r)] = ("1/wall_ms", 1.0 / r["wall_ms"])
+        if r.get("wall_ms"):
+            points[wholenet_key(r)] = ("1/wall_ms", 1.0 / r["wall_ms"])
     for r in doc.get("serve", []):
-        points[serve_key(r)] = ("infer_per_s", r["infer_per_s"])
+        if "infer_per_s" in r:
+            points[serve_key(r)] = ("infer_per_s", r["infer_per_s"])
     return points
 
 
@@ -57,8 +68,8 @@ def fmt_key(key):
     if key[0] == "kernel":
         return f"{key[1]:<14} {key[2]:<6} n={key[3]}"
     if key[0] == "serve":
-        return f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]}"
-    return f"sim {key[1]:<10} {key[2]:<6}"
+        return f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]} [{key[4]}]"
+    return f"sim {key[1]:<10} {key[2]:<6} [{key[3]}]"
 
 
 def main(argv):
@@ -89,10 +100,12 @@ def main(argv):
             regressions.append(key)
         print(f"{fmt_key(key):<34} {b:>12.4g} {c:>12.4g} {ratio:>6.2f}x{flag}")
 
-    for name, only in (("baseline", set(base) - set(cur)),
-                       ("current", set(cur) - set(base))):
-        for key in sorted(only, key=str):
-            print(f"{fmt_key(key):<34} (only in {name})")
+    for key in sorted(set(base) - set(cur), key=str):
+        print(f"{fmt_key(key):<34} (only in baseline)")
+    # Points the baseline predates — e.g. the first run after a new tier
+    # or kernel lands — are reported as new, never as regressions.
+    for key in sorted(set(cur) - set(base), key=str):
+        print(f"{fmt_key(key):<34} (new entry — no baseline yet)")
 
     if regressions:
         print(f"\nbench_compare: {len(regressions)} point(s) below "

@@ -6,8 +6,11 @@
 //   cbrain_cli compare   <net> [--pe=TinxTout]
 //   cbrain_cli disasm    <net> [--policy=P] [--max=N]
 //   cbrain_cli simulate  <net> [--policy=P] [--seed=N] [--pe=TinxTout]
+//                          [--fidelity=cycle|functional]
 //   cbrain_cli serve-bench <net> [--policy=P] [--requests=N] [--jobs=N]
 //                          [--seed=N] [--baseline]
+//                          [--fidelity=cycle|functional|both]
+//   cbrain_cli fidelity-check <net> [--policy=P] [--seed=N]
 //   cbrain_cli oracle    <net> [--metric=cycles|energy]
 //   cbrain_cli fault-campaign <net[,net...]> [--site=S,..] [--rate=R,..]
 //                             [--recovery=none|parity|ecc,..] [--seed=N]
@@ -31,6 +34,7 @@
 #include "cbrain/common/thread_pool.hpp"
 #include "cbrain/core/cbrain.hpp"
 #include "cbrain/core/oracle.hpp"
+#include "cbrain/func/crosscheck.hpp"
 #include "cbrain/compiler/verifier.hpp"
 #include "cbrain/isa/disassembler.hpp"
 #include "cbrain/model/trace.hpp"
@@ -70,7 +74,8 @@ int usage() {
       stderr,
       "usage: cbrain_cli <command> [<net>] [--flag=value ...]\n"
       "commands: list | show | evaluate | compare | disasm | simulate | "
-      "serve-bench | oracle | timeline | verify | dot | fault-campaign\n"
+      "serve-bench | fidelity-check | oracle | timeline | verify | dot | "
+      "fault-campaign\n"
       "flags: --policy=inter|intra|partition|adap-1|adap-2  --pe=16x16\n"
       "       --dram=<words/cycle>  --fc  --batch=N  --json  --seed=N  "
       "--max=N\n"
@@ -84,9 +89,18 @@ int usage() {
       "       --metrics-out=FILE (metrics registry dump; .prom extension "
       "selects\n"
       "        Prometheus text format, anything else JSON)\n"
+      "       --fidelity=cycle|functional (execution tier: cycle-exact "
+      "oracle or the\n"
+      "        bit-identical fast path with model-estimated counters; "
+      "default cycle)\n"
       "serve-bench flags: --requests=N (default 8)  --baseline (also time "
       "the\n"
       "       per-call simulate path and report the session speedup)\n"
+      "       --fidelity=both (serve at both tiers, report side by side)\n"
+      "fidelity-check: cross-validate the tiers — bit-compare outputs and "
+      "print the\n"
+      "       per-layer model-vs-sim cycle/energy error table (exit 1 on "
+      "divergence)\n"
       "fault-campaign flags: --site=input,weight,bias,accum,dram,dma,pe\n"
       "       --rate=<faults/Mword,...>  --recovery=none,parity,ecc\n"
       "       --seed=N  --events (print the fault event log)  --csv\n"
@@ -121,6 +135,32 @@ std::optional<Policy> resolve_policy(const std::string& name) {
   if (name == "ideal") return Policy::kIdeal;
   std::fprintf(stderr, "error: unknown policy '%s'\n", name.c_str());
   return std::nullopt;
+}
+
+// `allow_both`: serve-bench accepts --fidelity=both (returned as nullopt
+// with ok=true); everywhere else "both" is a usage error.
+struct FidelityChoice {
+  bool ok = false;
+  bool both = false;
+  Fidelity fidelity = Fidelity::kCycle;
+};
+
+FidelityChoice resolve_fidelity(const Options& opt, bool allow_both = false) {
+  FidelityChoice c;
+  const std::string name = opt.get("fidelity", "cycle");
+  if (allow_both && name == "both") {
+    c.ok = c.both = true;
+    return c;
+  }
+  const auto f = parse_fidelity(name);
+  if (!f) {
+    std::fprintf(stderr, "error: --fidelity=%s is not cycle|functional%s\n",
+                 name.c_str(), allow_both ? "|both" : "");
+    return c;
+  }
+  c.ok = true;
+  c.fidelity = *f;
+  return c;
 }
 
 AcceleratorConfig resolve_config(const Options& opt) {
@@ -251,21 +291,28 @@ int cmd_disasm(const Network& net, const Options& opt) {
 int cmd_simulate(const Network& net, const Options& opt) {
   const auto policy = resolve_policy(opt.get("policy", "adap-2"));
   if (!policy) return 2;
+  const FidelityChoice fid = resolve_fidelity(opt);
+  if (!fid.ok) return 2;
   const NetworkWorkload w = analyze_workload(net);
   // AlexNet-scale nets (~724M MACs, a second or two of host time) are in
   // scope — tracing a full AlexNet inference is the observability demo.
-  // VGG-scale (15.5G MACs) stays out.
-  if (w.total_macs > 2'000'000'000) {
+  // VGG-scale (15.5G MACs) stays out of the cycle tier; the functional
+  // tier computes the same bytes ~10x+ faster, so it takes any net.
+  if (fid.fidelity == Fidelity::kCycle && w.total_macs > 2'000'000'000) {
     std::fprintf(stderr,
-                 "error: %s has %lld MACs — too large for functional "
-                 "simulation; use 'evaluate' (analytical)\n",
+                 "error: %s has %lld MACs — too large for cycle-level "
+                 "simulation; use 'evaluate' (analytical) or "
+                 "--fidelity=functional\n",
                  net.name().c_str(),
                  static_cast<long long>(w.total_macs));
     return 2;
   }
   CBrain brain(resolve_config(opt));
-  const SimResult r =
-      brain.simulate(net, *policy, opt.get_i64("seed", 42));
+  const SimResult r = brain.simulate(net, *policy, opt.get_i64("seed", 42),
+                                     fid.fidelity);
+  if (fid.fidelity == Fidelity::kFunctional)
+    std::printf("fidelity=functional: outputs exact, counters are "
+                "analytical estimates\n");
   Table t({"layer", "cycles", "buf reads", "buf writes", "dram words"});
   TrafficCounters totals;
   for (const Layer& l : net.layers()) {
@@ -296,6 +343,8 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
   using Clock = std::chrono::steady_clock;
   const auto policy = resolve_policy(opt.get("policy", "adap-2"));
   if (!policy) return 2;
+  const FidelityChoice fid = resolve_fidelity(opt, /*allow_both=*/true);
+  if (!fid.ok) return 2;
   const AcceleratorConfig config = resolve_config(opt);
   const i64 requests = std::max<i64>(1, opt.get_i64("requests", 8));
   const auto seed = static_cast<u64>(opt.get_i64("seed", 42));
@@ -310,40 +359,92 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
         (seed ^ 0x1234) + 0x9E3779B97F4A7C15ull * static_cast<u64>(i)));
 
   engine::Engine engine(config);
-  engine.compile(net, *policy);  // warm: measure serving, not compilation
 
-  engine::ServeStats stats;
-  const std::vector<SimResult> results =
-      engine.run_many(net, *policy, params, inputs, jobs, &stats);
+  // One tier through the session pool. Per-tier latency percentiles come
+  // from the batch's own ServeStats, not the (cumulative, tier-mixing)
+  // registry histograms.
+  struct TierRun {
+    engine::ServeStats stats;
+    std::vector<SimResult> results;
+  };
+  auto serve_tier = [&](Fidelity f) {
+    engine.compile(net, *policy, f);  // warm: serving, not compilation
+    TierRun run;
+    run.results = engine.run_many(net, *policy, params, inputs, jobs,
+                                  &run.stats, f);
+    return run;
+  };
+  auto print_tier = [](const char* label, const engine::ServeStats& s) {
+    std::printf("%-10s wall %.2f s   %.3f inferences/s   "
+                "latency p50 %.1f ms  p99 %.1f ms\n",
+                label, s.wall_ms / 1e3, s.infer_per_s(),
+                s.latency_percentile_ms(0.50),
+                s.latency_percentile_ms(0.99));
+  };
 
   std::printf("serve-bench %s under %s on %s\n", net.name().c_str(),
               policy_name(*policy), config.to_string().c_str());
+
+  TierRun cycle, functional;
+  if (fid.both || fid.fidelity == Fidelity::kCycle)
+    cycle = serve_tier(Fidelity::kCycle);
+  if (fid.both || fid.fidelity == Fidelity::kFunctional)
+    functional = serve_tier(Fidelity::kFunctional);
+  const TierRun& primary =
+      (!fid.both && fid.fidelity == Fidelity::kFunctional) ? functional
+                                                           : cycle;
+  const engine::ServeStats& stats = primary.stats;
+  const std::vector<SimResult>& results = primary.results;
+
   std::printf("requests=%lld jobs=%lld sessions=%lld\n",
               static_cast<long long>(requests),
               static_cast<long long>(jobs > 0 ? jobs
                                               : parallel::default_jobs()),
               static_cast<long long>(stats.sessions));
-  // Latency stats come from the metrics registry: run_many feeds every
-  // request into the engine.* histograms, and the same obs::Histogram
-  // buckets back both this line and a --metrics-out export.
-  const auto lat =
-      obs::Registry::global().histogram("engine.infer_ms").snapshot();
-  std::printf("wall %.2f s   %.3f inferences/s   "
-              "latency p50 %.1f ms  p90 %.1f ms  p99 %.1f ms\n",
-              stats.wall_ms / 1e3, stats.infer_per_s(),
-              lat.percentile(0.50), lat.percentile(0.90),
-              lat.percentile(0.99));
+  if (fid.both) {
+    // Side-by-side tier report; the tiers must agree byte-for-byte
+    // before any speedup claim means anything.
+    for (i64 i = 0; i < requests; ++i) {
+      const auto& a =
+          cycle.results[static_cast<std::size_t>(i)].final_output.storage();
+      const auto& b = functional.results[static_cast<std::size_t>(i)]
+                          .final_output.storage();
+      if (a.size() != b.size() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Fixed16)) != 0) {
+        std::fprintf(stderr,
+                     "error: functional output diverges from cycle "
+                     "output at request %lld\n",
+                     static_cast<long long>(i));
+        return 1;
+      }
+    }
+    print_tier("cycle", cycle.stats);
+    print_tier("functional", functional.stats);
+    const double speedup =
+        cycle.stats.infer_per_s() > 0.0
+            ? functional.stats.infer_per_s() / cycle.stats.infer_per_s()
+            : 0.0;
+    std::printf("functional speedup %.2fx (outputs byte-identical)\n",
+                speedup);
+  } else {
+    print_tier(fidelity_name(fid.fidelity), stats);
+  }
 
   if (opt.has("baseline")) {
     // The pre-refactor serving story: one full CBrain::simulate per
     // request (fresh machine + weight materialization every time),
-    // serial. Outputs must match the session results byte-for-byte.
+    // serial, at the primary tier. Outputs must match the session
+    // results byte-for-byte.
+    const Fidelity base_fid =
+        fid.both ? Fidelity::kCycle : fid.fidelity;
     CBrain brain(config);
-    brain.compile(net, *policy);  // warm, same as the session path
+    // Warm the primary tier's cache key, same as the session path.
+    brain.engine().compile(net, *policy, base_fid);
     const auto t0 = Clock::now();
     for (i64 i = 0; i < requests; ++i) {
-      const SimResult r = brain.simulate(
-          net, *policy, inputs[static_cast<std::size_t>(i)], params);
+      const SimResult r =
+          brain.simulate(net, *policy, inputs[static_cast<std::size_t>(i)],
+                         params, base_fid);
       const auto& a = r.final_output.storage();
       const auto& b =
           results[static_cast<std::size_t>(i)].final_output.storage();
@@ -369,6 +470,29 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
                 percall_ms / 1e3, percall_ips,
                 percall_ips > 0.0 ? stats.infer_per_s() / percall_ips
                                   : 0.0);
+  }
+  return 0;
+}
+
+// Cross-validates the two execution tiers on one net: bit-compares the
+// functional executor's output against the cycle-exact simulator and
+// prints the per-layer model-vs-sim cycle/energy error table. Exit 1 on
+// any output divergence — this is the CI hook that keeps the fast tier
+// honest.
+int cmd_fidelity_check(const Network& net, const Options& opt) {
+  const auto policy = resolve_policy(opt.get("policy", "adap-2"));
+  if (!policy) return 2;
+  const func::FidelityReport report =
+      func::cross_validate(net, *policy, resolve_config(opt),
+                           static_cast<u64>(opt.get_i64("seed", 42)));
+  std::printf("%s", report.table().c_str());
+  if (!report.outputs_identical) {
+    std::fprintf(stderr,
+                 "error: functional tier diverged from the cycle-exact "
+                 "simulator (%lld/%lld words)\n",
+                 static_cast<long long>(report.mismatched_words),
+                 static_cast<long long>(report.total_words));
+    return 1;
   }
   return 0;
 }
@@ -533,6 +657,7 @@ int dispatch(const Options& opt) {
   if (opt.command == "disasm") return cmd_disasm(*net, opt);
   if (opt.command == "simulate") return cmd_simulate(*net, opt);
   if (opt.command == "serve-bench") return cmd_serve_bench(*net, opt);
+  if (opt.command == "fidelity-check") return cmd_fidelity_check(*net, opt);
   if (opt.command == "oracle") return cmd_oracle(*net, opt);
   if (opt.command == "timeline") return cmd_timeline(*net, opt);
   if (opt.command == "verify") return cmd_verify(*net, opt);

@@ -86,6 +86,19 @@ else
   echo "validate_trace skipped (no python3)"
 fi
 
+echo "=== fidelity: functional tier cross-validated against the oracle ==="
+# The two execution tiers must stay bit-identical (DESIGN.md §12). The
+# cross-validation suite runs the whole zoo through both executors; run
+# it under ASan+UBSan so the packed-GEMM buffers, the im2row copies and
+# the no-wrap kernel's widening arithmetic are vetted, not just
+# compared. fidelity-check then diffs one net end-to-end through the
+# release CLI (it exits non-zero on any output mismatch), and TSan
+# covers the functional tier under the pooled run_many fan-out.
+./build-ci-asan/tests/test_fidelity
+./build-ci-release/tools/cbrain_cli fidelity-check scheme_mix
+./build-ci-tsan/tools/cbrain_cli serve-bench tiny_cnn --requests=8 \
+  --jobs="$JOBS" --fidelity=functional > /dev/null
+
 echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on
 # shared CI hosts is noisy, so bench_compare never fails the gate; the
