@@ -14,6 +14,8 @@ const char* status_code_name(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

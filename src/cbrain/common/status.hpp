@@ -18,6 +18,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnsupported,
   kResourceExhausted,  // e.g. tile does not fit in any legal buffer split
+  kTimeout,            // a bounded wait expired (e.g. session-pool acquire)
   kInternal,
 };
 
@@ -42,6 +43,9 @@ class Status {
   }
   static Status resource_exhausted(std::string msg) {
     return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status timeout(std::string msg) {
+    return {StatusCode::kTimeout, std::move(msg)};
   }
   static Status internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};

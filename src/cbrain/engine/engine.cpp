@@ -5,6 +5,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <exception>
 
 #include "cbrain/common/check.hpp"
 #include "cbrain/common/thread_pool.hpp"
@@ -180,6 +181,55 @@ void Session::attach_fault(FaultInjector* injector) {
 }
 
 // ---------------------------------------------------------------------------
+// SessionPool
+
+void SessionPool::add(std::unique_ptr<Session> session) {
+  CBRAIN_CHECK(session != nullptr, "SessionPool::add(nullptr)");
+  free_.push_back(session.get());
+  sessions_.push_back(std::move(session));
+}
+
+i64 SessionPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<i64>(free_.size());
+}
+
+Session* SessionPool::acquire() {
+  CBRAIN_CHECK(!sessions_.empty(), "acquire() on an empty SessionPool");
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !free_.empty(); });
+  Session* s = free_.back();
+  free_.pop_back();
+  return s;
+}
+
+Result<Session*> SessionPool::acquire_for(i64 timeout_us) {
+  CBRAIN_CHECK(!sessions_.empty(), "acquire_for() on an empty SessionPool");
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool got = cv_.wait_for(
+      lock, std::chrono::microseconds(std::max<i64>(0, timeout_us)),
+      [&] { return !free_.empty(); });
+  if (!got) {
+    obs::Registry::global().counter("engine.pool_acquire_timeouts").inc();
+    return Status::timeout("session pool: no free session within " +
+                           std::to_string(timeout_us) + "us (" +
+                           std::to_string(sessions_.size()) +
+                           " sessions, all busy)");
+  }
+  Session* s = free_.back();
+  free_.pop_back();
+  return s;
+}
+
+void SessionPool::release(Session* session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(session);
+  }
+  cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
 // ServeStats
 
 double ServeStats::infer_per_s() const {
@@ -251,12 +301,23 @@ std::unique_ptr<Session> Engine::open_session(
   return session;
 }
 
+std::unique_ptr<SessionPool> Engine::open_pool(
+    const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
+    i64 n, Fidelity fidelity) {
+  auto pool = std::make_unique<SessionPool>();
+  for (i64 i = 0; i < std::max<i64>(1, n); ++i)
+    pool->add(open_session(net, policy, params, fidelity));
+  return pool;
+}
+
 std::vector<SimResult> Engine::run_many(
     const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
     const std::vector<Tensor3<Fixed16>>& inputs, i64 jobs, ServeStats* stats,
-    Fidelity fidelity) {
+    Fidelity fidelity, std::vector<Status>* statuses) {
   using Clock = std::chrono::steady_clock;
   const auto n = static_cast<i64>(inputs.size());
+  if (statuses != nullptr)
+    statuses->assign(static_cast<std::size_t>(n), Status::ok());
   if (n == 0) {
     if (stats != nullptr) *stats = ServeStats{};
     return {};
@@ -267,18 +328,10 @@ std::vector<SimResult> Engine::run_many(
 
   // Weight-resident session pool. Sessions are interchangeable for
   // results (a session's output doesn't depend on its serving history),
-  // so a simple mutex+condvar free-list is enough: any idle session
-  // serves the next request, and parallel_map's index-ordered slots give
+  // so the SessionPool free-list is enough: any idle session serves the
+  // next request, and parallel_map's index-ordered slots give
   // submission-ordered results regardless of which session ran what.
-  std::vector<std::unique_ptr<Session>> pool;
-  pool.reserve(static_cast<std::size_t>(pool_n));
-  for (i64 i = 0; i < pool_n; ++i)
-    pool.push_back(open_session(net, policy, params, fidelity));
-
-  std::mutex pool_mu;
-  std::condition_variable pool_cv;
-  std::vector<Session*> free_list;
-  for (auto& s : pool) free_list.push_back(s.get());
+  auto pool = open_pool(net, policy, params, pool_n, fidelity);
 
   // Request-lifecycle telemetry. The histograms record always (request
   // granularity — a few mutex-guarded observes next to milliseconds of
@@ -308,10 +361,17 @@ std::vector<SimResult> Engine::run_many(
       session_track[static_cast<std::size_t>(j)] = tracer.add_track(
           obs::Domain::kWall,
           "engine:" + net.name() + " session " + std::to_string(j));
-      track_of[pool[static_cast<std::size_t>(j)].get()] =
-          session_track[static_cast<std::size_t>(j)];
+      track_of[pool->at(j)] = session_track[static_cast<std::size_t>(j)];
     }
   }
+
+  // Per-request failure isolation: infer() runs under a try so one
+  // malformed request (CHECK-failed input dims, a poisoned spec) cannot
+  // abandon its siblings through parallel_for's first-failure barrier.
+  // Failures surface as per-request Status (or a deferred rethrow of the
+  // lowest index when the caller didn't ask for statuses).
+  std::mutex fail_mu;
+  std::vector<std::pair<i64, std::exception_ptr>> failures;
 
   std::vector<double> latency_ms(static_cast<std::size_t>(n), 0.0);
   const auto batch_start = Clock::now();
@@ -320,23 +380,25 @@ std::vector<SimResult> Engine::run_many(
       n,
       [&](i64 i) {
         const auto task_start = Clock::now();
-        Session* session = nullptr;
-        {
-          std::unique_lock<std::mutex> lock(pool_mu);
-          pool_cv.wait(lock, [&] { return !free_list.empty(); });
-          session = free_list.back();
-          free_list.pop_back();
-        }
+        Session* session = pool->acquire();
         const auto acquired = Clock::now();
         const i64 acquired_us = tracing ? tracer.wall_now_us() : 0;
         const auto t0 = Clock::now();
-        SimResult r = session->infer(inputs[static_cast<std::size_t>(i)]);
-        const auto t1 = Clock::now();
-        {
-          std::lock_guard<std::mutex> lock(pool_mu);
-          free_list.push_back(session);
+        SimResult r;
+        try {
+          r = session->infer(inputs[static_cast<std::size_t>(i)]);
+        } catch (...) {
+          // A failed inference leaves no state the next one can read
+          // (infer fully rewrites its inputs), so the session goes
+          // straight back into rotation.
+          pool->release(session);
+          reg.counter("engine.request_failures").inc();
+          std::lock_guard<std::mutex> lock(fail_mu);
+          failures.emplace_back(i, std::current_exception());
+          return r;
         }
-        pool_cv.notify_one();
+        const auto t1 = Clock::now();
+        pool->release(session);
 
         using Ms = std::chrono::duration<double, std::milli>;
         const double queue_wait = Ms(task_start - batch_start).count();
@@ -366,6 +428,26 @@ std::vector<SimResult> Engine::run_many(
         return r;
       },
       jobs_eff);
+  if (!failures.empty()) {
+    std::sort(failures.begin(), failures.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Historical contract: no status channel → the lowest failed index
+    // rethrows (deterministically, independent of scheduling) once every
+    // sibling has drained.
+    if (statuses == nullptr) std::rethrow_exception(failures.front().second);
+    for (auto& [idx, ep] : failures) {
+      Status st = Status::internal("unknown exception");
+      try {
+        std::rethrow_exception(ep);
+      } catch (const CheckError& e) {
+        st = Status::invalid_argument(e.what());
+      } catch (const std::exception& e) {
+        st = Status::internal(e.what());
+      } catch (...) {
+      }
+      (*statuses)[static_cast<std::size_t>(idx)] = std::move(st);
+    }
+  }
   if (tracing) {
     obs::Span s;
     s.domain = obs::Domain::kWall;

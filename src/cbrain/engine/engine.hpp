@@ -28,11 +28,13 @@
 // so which session of a pool serves a request cannot affect its bytes.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "cbrain/common/status.hpp"
 #include "cbrain/compiler/compiler.hpp"
 #include "cbrain/func/executor.hpp"
 #include "cbrain/func/fidelity.hpp"
@@ -100,6 +102,49 @@ class Session {
   i64 inferences_ = 0;
 };
 
+// A fixed set of interchangeable weight-resident sessions behind a
+// mutex/condvar free-list. Any idle session may serve any request (a
+// session's output is independent of its serving history — the Session
+// determinism contract above), so acquire() hands back whichever session
+// freed most recently. Thread-safe; sessions are owned by the pool.
+//
+// acquire() blocks indefinitely; acquire_for() is the deadline-aware
+// variant that returns Status kTimeout once the wait budget expires —
+// the primitive the serving front end (serve::Scheduler) and any caller
+// with an SLO uses instead of queuing forever on an exhausted pool.
+class SessionPool {
+ public:
+  SessionPool() = default;
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  // Adds a session to the pool (idle). Not thread-safe against
+  // concurrent acquire/release; populate before sharing.
+  void add(std::unique_ptr<Session> session);
+
+  i64 size() const { return static_cast<i64>(sessions_.size()); }
+  i64 idle() const;
+  // i-th pooled session (diagnostics / track naming); does not acquire.
+  Session* at(i64 i) const { return sessions_[static_cast<std::size_t>(i)].get(); }
+
+  // Blocks until a session is free. Pool must be non-empty.
+  Session* acquire();
+  // Waits at most timeout_us microseconds (<= 0: no wait — poll). On
+  // timeout returns Status::timeout without dequeuing anything; the
+  // caller sheds or retries.
+  Result<Session*> acquire_for(i64 timeout_us);
+  // Returns a session obtained from acquire()/acquire_for(). Safe to call
+  // after a failed infer: the next inference fully rewrites every word it
+  // reads, so a session that threw is indistinguishable from an idle one.
+  void release(Session* session);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<Session*> free_;
+};
+
 // Per-batch serving metrics from Engine::run_many.
 struct ServeStats {
   std::vector<double> latency_ms;  // per request, submission order
@@ -140,17 +185,33 @@ class Engine {
                                         const NetParamsData<Fixed16>& params,
                                         Fidelity fidelity = Fidelity::kCycle);
 
+  // Opens a pool of `n` weight-resident sessions over one shared compiled
+  // program (compile is cached once, weights materialize per session).
+  std::unique_ptr<SessionPool> open_pool(const Network& net, Policy policy,
+                                         const NetParamsData<Fixed16>& params,
+                                         i64 n,
+                                         Fidelity fidelity = Fidelity::kCycle);
+
   // Serves a request batch across a session pool of min(jobs, #inputs)
   // weight-resident sessions (jobs <= 0 uses parallel::default_jobs()).
   // Results land in submission order and are byte-identical at any jobs
   // count — and, because the tiers are bit-identical, at any fidelity.
   // `stats`, when given, receives per-request latencies and batch
   // throughput.
+  //
+  // Failure isolation: a request whose inference throws (e.g. malformed
+  // input dims) does not poison its siblings — every other request still
+  // runs to completion. With `statuses` given, it receives one Status per
+  // request (failed slots keep a default SimResult) and run_many never
+  // throws for per-request failures; with statuses == nullptr the
+  // lowest-index failure is rethrown after the batch drains, preserving
+  // the historical contract.
   std::vector<SimResult> run_many(const Network& net, Policy policy,
                                   const NetParamsData<Fixed16>& params,
                                   const std::vector<Tensor3<Fixed16>>& inputs,
                                   i64 jobs = 0, ServeStats* stats = nullptr,
-                                  Fidelity fidelity = Fidelity::kCycle);
+                                  Fidelity fidelity = Fidelity::kCycle,
+                                  std::vector<Status>* statuses = nullptr);
 
   // Cache observability (diagnostics and tests).
   i64 cache_size() const;

@@ -43,6 +43,50 @@ double FidelityReport::max_energy_rel_err() const {
   return m;
 }
 
+namespace {
+
+double nearest_rank(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+ErrorAggregate FidelityReport::cycle_errors() const {
+  ErrorAggregate a;
+  double sim_total = 0.0, model_total = 0.0;
+  std::vector<double> errs;
+  for (const auto& l : layers) {
+    sim_total += static_cast<double>(l.sim_cycles);
+    model_total += static_cast<double>(l.model_cycles);
+    errs.push_back(l.cycle_rel_err());
+  }
+  a.whole_net = rel_err(model_total, sim_total);
+  a.p50 = nearest_rank(errs, 0.50);
+  a.p90 = nearest_rank(errs, 0.90);
+  a.max = max_cycle_rel_err();
+  return a;
+}
+
+ErrorAggregate FidelityReport::energy_errors() const {
+  ErrorAggregate a;
+  double sim_total = 0.0, model_total = 0.0;
+  std::vector<double> errs;
+  for (const auto& l : layers) {
+    sim_total += l.sim_energy_uj;
+    model_total += l.model_energy_uj;
+    errs.push_back(l.energy_rel_err());
+  }
+  a.whole_net = rel_err(model_total, sim_total);
+  a.p50 = nearest_rank(errs, 0.50);
+  a.p90 = nearest_rank(errs, 0.90);
+  a.max = max_energy_rel_err();
+  return a;
+}
+
 std::string FidelityReport::table() const {
   std::ostringstream os;
   os << "fidelity: " << network << " (" << policy_name(policy) << ")\n";
@@ -66,6 +110,13 @@ std::string FidelityReport::table() const {
   os << "  max error: cycles " << std::fixed << std::setprecision(2)
      << 100.0 * max_cycle_rel_err() << "%, energy "
      << 100.0 * max_energy_rel_err() << "%\n";
+  const ErrorAggregate c = cycle_errors();
+  const ErrorAggregate e = energy_errors();
+  os << "  aggregate: cycles whole-net " << 100.0 * c.whole_net
+     << "% p50 " << 100.0 * c.p50 << "% p90 " << 100.0 * c.p90 << "% max "
+     << 100.0 * c.max << "% | energy whole-net " << 100.0 * e.whole_net
+     << "% p50 " << 100.0 * e.p50 << "% p90 " << 100.0 * e.p90 << "% max "
+     << 100.0 * e.max << "%\n";
   return os.str();
 }
 

@@ -39,6 +39,17 @@ struct LayerFidelity {
   double energy_rel_err() const;
 };
 
+// Distribution of model-vs-sim error across a whole report: the
+// whole-net aggregate (errors of opposite sign cancel, as they do in
+// any end-to-end estimate) next to nearest-rank percentiles of the
+// per-layer distribution (where they don't).
+struct ErrorAggregate {
+  double whole_net = 0.0;  // |Σ model − Σ sim| / Σ sim
+  double p50 = 0.0;        // per-layer nearest-rank percentiles
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
 struct FidelityReport {
   std::string network;
   Policy policy = Policy::kAdaptive2;
@@ -49,6 +60,8 @@ struct FidelityReport {
 
   double max_cycle_rel_err() const;
   double max_energy_rel_err() const;
+  ErrorAggregate cycle_errors() const;
+  ErrorAggregate energy_errors() const;
 
   // Fig.-style per-layer model-vs-sim error table plus the output
   // verdict, ready for the CLI.

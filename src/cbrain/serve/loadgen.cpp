@@ -1,0 +1,170 @@
+#include "cbrain/serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain::serve {
+namespace {
+
+// Exponential inter-arrival gap for a Poisson process at `rate_qps`,
+// floored at 1 virtual microsecond so the clock always advances.
+i64 exp_gap_us(Rng& rng, double rate_qps) {
+  const double u = std::max(1e-12, 1.0 - rng.next_double());
+  const double gap = -std::log(u) * 1e6 / rate_qps;
+  return std::max<i64>(1, std::llround(gap));
+}
+
+}  // namespace
+
+std::vector<Request> open_loop_trace(const std::vector<TenantLoad>& tenants,
+                                     double qps, i64 duration_us, u64 seed) {
+  CBRAIN_CHECK(qps > 0.0, "open_loop_trace needs a positive rate");
+  CBRAIN_CHECK(!tenants.empty(), "open_loop_trace needs tenants");
+  double total_share = 0.0;
+  for (const TenantLoad& t : tenants) total_share += t.share;
+  CBRAIN_CHECK(total_share > 0.0, "tenant shares must sum > 0");
+
+  // One independent Poisson stream per tenant (split property: thinning
+  // a Poisson process yields Poisson processes), each with its own
+  // seeded Rng so adding a tenant never perturbs another's arrivals.
+  std::vector<Request> trace;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantLoad& t = tenants[i];
+    const double rate = qps * t.share / total_share;
+    if (rate <= 0.0) continue;
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + i + 1);
+    i64 at = 0;
+    while (true) {
+      at += exp_gap_us(rng, rate);
+      if (at >= duration_us) break;
+      Request r;
+      r.tenant = static_cast<i64>(i);
+      r.model = t.model;
+      r.tier = t.tier;
+      r.arrival_us = at;
+      r.deadline_us = t.deadline_us > 0 ? at + t.deadline_us : kNoDeadline;
+      r.input_seed = rng.next_u64();
+      trace.push_back(r);
+    }
+  }
+  // Merge the per-tenant streams into global arrival order. Stable key
+  // (arrival, tenant, seed) so the trace is unique and reproducible.
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) {
+              if (a.arrival_us != b.arrival_us)
+                return a.arrival_us < b.arrival_us;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.input_seed < b.input_seed;
+            });
+  return trace;
+}
+
+ClosedLoopSource::ClosedLoopSource(std::vector<Client> clients,
+                                   i64 duration_us, u64 seed)
+    : clients_(std::move(clients)), duration_us_(duration_us), rng_(seed) {
+  CBRAIN_CHECK(!clients_.empty(), "closed loop needs at least one client");
+}
+
+Request ClosedLoopSource::make_request(i64 client, i64 at_us) {
+  const Client& c = clients_[static_cast<std::size_t>(client)];
+  Request r;
+  r.tenant = c.tenant >= 0 ? c.tenant : client;
+  r.model = c.load.model;
+  r.tier = c.load.tier;
+  r.arrival_us = at_us;
+  r.deadline_us =
+      c.load.deadline_us > 0 ? at_us + c.load.deadline_us : kNoDeadline;
+  r.input_seed = rng_.next_u64();
+  r.client = client;
+  ++issued_;
+  return r;
+}
+
+std::vector<Request> ClosedLoopSource::start() {
+  std::vector<Request> out;
+  out.reserve(clients_.size());
+  // Stagger initial arrivals by a small deterministic jitter so clients
+  // don't arrive as one synchronized burst.
+  for (std::size_t i = 0; i < clients_.size(); ++i)
+    out.push_back(make_request(static_cast<i64>(i),
+                               static_cast<i64>(rng_.next_below(1000))));
+  return out;
+}
+
+std::vector<Request> ClosedLoopSource::on_response(const Response& r,
+                                                   i64 now_us) {
+  if (r.request.client < 0) return {};
+  const Client& c = clients_[static_cast<std::size_t>(r.request.client)];
+  const i64 next_at = now_us + std::max<i64>(1, c.think_time_us);
+  if (next_at >= duration_us_) return {};
+  return {make_request(r.request.client, next_at)};
+}
+
+SweepResult sweep(Scheduler& scheduler,
+                  const std::vector<TenantLoad>& tenants,
+                  const SweepConfig& config, i64 jobs) {
+  CBRAIN_CHECK(!config.qps_ladder.empty(), "sweep needs a QPS ladder");
+  SweepResult out;
+  for (double qps : config.qps_ladder) {
+    auto trace =
+        open_loop_trace(tenants, qps, config.duration_us, config.seed);
+    RunResult run = scheduler.run(trace, jobs);
+    SweepPoint pt;
+    pt.offered_qps = qps;
+    pt.p50_us = run.stats.percentile_us(0.50);
+    pt.p99_us = run.stats.percentile_us(0.99);
+    pt.p999_us = run.stats.percentile_us(0.999);
+    pt.hi_p99_us = run.stats.cls(Priority::kHigh).percentile_us(0.99);
+    pt.goodput_qps = run.stats.goodput_qps();
+    pt.shed_rate = run.stats.shed_rate();
+    pt.degrade_rate = run.stats.degrade_rate();
+    pt.stats = std::move(run.stats);
+    out.points.push_back(std::move(pt));
+  }
+
+  // Knee: first ladder point where the high-priority p99 blows past the
+  // unloaded baseline, or where goodput stops tracking offered load.
+  const SweepPoint& base = out.points.front();
+  for (std::size_t i = 1; i < out.points.size(); ++i) {
+    const SweepPoint& pt = out.points[i];
+    const bool latency_knee =
+        base.hi_p99_us > 0 &&
+        static_cast<double>(pt.hi_p99_us) >
+            config.knee_latency_factor * static_cast<double>(base.hi_p99_us);
+    const bool goodput_knee =
+        pt.goodput_qps < config.knee_goodput_floor * pt.offered_qps;
+    if (latency_knee || goodput_knee) {
+      out.knee = static_cast<i64>(i);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string SweepResult::to_table() const {
+  std::ostringstream os;
+  os << "  offered_qps   goodput   p50_us    p99_us   p999_us  hi_p99_us"
+        "   shed%  degr%  util%\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %10.1f %9.1f %8lld %9lld %9lld %10lld %7.2f %6.2f %6.1f",
+                  p.offered_qps, p.goodput_qps,
+                  static_cast<long long>(p.p50_us),
+                  static_cast<long long>(p.p99_us),
+                  static_cast<long long>(p.p999_us),
+                  static_cast<long long>(p.hi_p99_us), 100.0 * p.shed_rate,
+                  100.0 * p.degrade_rate, 100.0 * p.stats.utilization());
+    os << line;
+    if (knee == static_cast<i64>(i)) os << "   <-- knee";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cbrain::serve

@@ -1,0 +1,106 @@
+// cbrain::serve — deterministic load generation and the
+// latency-under-load sweep (DESIGN.md §13, "Serving under load").
+//
+// Two generator shapes, both seeded and fully reproducible:
+//
+//  * open loop   — arrivals follow a Poisson process at a fixed offered
+//    QPS regardless of how the server responds (exponential gaps from a
+//    seeded Rng). This is the honest way to probe saturation: a closed
+//    loop self-throttles past the knee and hides the queue blowup.
+//  * closed loop — N clients, each keeping one request in flight and
+//    issuing the next think_time_us after its response (admitted or
+//    rejected). Models SDK callers; offered load adapts to capacity.
+//
+// sweep() drives the open-loop generator across an offered-QPS ladder
+// and reports per-point latency percentiles, shed/degrade rates and
+// goodput, plus the saturation knee — the first point where the
+// high-priority p99 exceeds knee_latency_factor x the unloaded baseline
+// or admitted goodput stops tracking offered load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cbrain/common/rng.hpp"
+#include "cbrain/serve/scheduler.hpp"
+
+namespace cbrain::serve {
+
+// One tenant's traffic pattern inside a scenario.
+struct TenantLoad {
+  TenantConfig config;
+  double share = 1.0;       // fraction of total offered QPS
+  i64 model = 0;            // registered model index
+  Fidelity tier = Fidelity::kFunctional;
+  // Relative deadline assigned to each request (virtual us from arrival);
+  // <= 0 means no deadline.
+  i64 deadline_us = 0;
+};
+
+// Open-loop Poisson trace: total `qps` split across tenants by share,
+// for `duration_us` of virtual time. Deterministic for a given seed.
+std::vector<Request> open_loop_trace(const std::vector<TenantLoad>& tenants,
+                                     double qps, i64 duration_us, u64 seed);
+
+// Closed-loop source: `clients` concurrent callers per tenant entry,
+// each re-issuing think_time_us after its previous response completes.
+class ClosedLoopSource : public ClientSource {
+ public:
+  struct Client {
+    TenantLoad load;
+    i64 tenant = -1;  // scheduler tenant index; -1 = the client's own slot
+    i64 think_time_us = 0;
+  };
+
+  ClosedLoopSource(std::vector<Client> clients, i64 duration_us, u64 seed);
+
+  std::vector<Request> start() override;
+  std::vector<Request> on_response(const Response& r, i64 now_us) override;
+
+ private:
+  Request make_request(i64 client, i64 at_us);
+  std::vector<Client> clients_;
+  i64 duration_us_;
+  Rng rng_;
+  i64 issued_ = 0;
+};
+
+// One point of the latency-under-load curve.
+struct SweepPoint {
+  double offered_qps = 0.0;
+  LoadStats stats;
+  i64 p50_us = 0;
+  i64 p99_us = 0;
+  i64 p999_us = 0;
+  i64 hi_p99_us = 0;  // admitted high-priority p99 (the SLO the
+                      // degradation machinery exists to protect)
+  double goodput_qps = 0.0;
+  double shed_rate = 0.0;
+  double degrade_rate = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  // Index of the saturation knee in `points` (-1 if the ladder never
+  // saturates): first point whose hi-priority p99 exceeds
+  // knee_latency_factor x the first point's, or whose goodput falls
+  // below knee_goodput_floor x offered.
+  i64 knee = -1;
+  std::string to_table() const;  // aligned text table for the CLI
+};
+
+struct SweepConfig {
+  std::vector<double> qps_ladder;  // offered totals to probe
+  i64 duration_us = 2'000'000;     // virtual time per point
+  u64 seed = 1;
+  double knee_latency_factor = 2.0;
+  double knee_goodput_floor = 0.9;
+};
+
+// Runs one Scheduler::run per ladder point (fresh trace each point, same
+// seed => reproducible curve). The scheduler's tenant/model tables must
+// already match `tenants` (tenant i <-> tenants[i]).
+SweepResult sweep(Scheduler& scheduler, const std::vector<TenantLoad>& tenants,
+                  const SweepConfig& config, i64 jobs = 0);
+
+}  // namespace cbrain::serve

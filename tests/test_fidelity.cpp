@@ -177,6 +177,25 @@ TEST(ModelAccuracyReport, CrossValidateTableHoldsTolerance) {
   EXPECT_NE(report.table().find("bit-identical"), std::string::npos);
 }
 
+// Aggregate model-error view: per-layer percentiles are ordered, the max
+// matches the per-layer max, and the whole-net estimate (where per-layer
+// errors of opposite sign partially cancel) is no worse than the worst
+// layer.
+TEST(ModelAccuracyReport, AggregateErrorPercentiles) {
+  const func::FidelityReport report = func::cross_validate(
+      zoo::scheme_mix_cnn(), Policy::kAdaptive2, AcceleratorConfig{}, kSeed);
+  for (const func::ErrorAggregate& a :
+       {report.cycle_errors(), report.energy_errors()}) {
+    EXPECT_LE(a.p50, a.p90);
+    EXPECT_LE(a.p90, a.max);
+    EXPECT_LE(a.whole_net, a.max + 1e-12);
+    EXPECT_GE(a.whole_net, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(report.cycle_errors().max, report.max_cycle_rel_err());
+  EXPECT_DOUBLE_EQ(report.energy_errors().max, report.max_energy_rel_err());
+  EXPECT_NE(report.table().find("aggregate:"), std::string::npos);
+}
+
 // The satellite's named targets (AlexNet/VGG16/GoogLeNet/NiN) are the
 // heavy entries; the small nets keep the property covered under
 // sanitizers too.

@@ -1,0 +1,435 @@
+// The multi-tenant serving front end (cbrain::serve): determinism of the
+// discrete-event scheduler across reruns and --jobs, EDF dispatch order,
+// token-bucket quota accounting, watermark-driven shed/degrade behavior,
+// and byte-identity of scheduler-executed outputs against direct
+// Session::infer.
+#include "cbrain/serve/scheduler.hpp"
+
+#include <map>
+
+#include "cbrain/core/cbrain.hpp"
+#include "cbrain/serve/loadgen.hpp"
+#include "support.hpp"
+
+namespace cbrain {
+namespace {
+
+using serve::Priority;
+using serve::RejectReason;
+using serve::Request;
+using serve::Response;
+using serve::TenantConfig;
+using test::tensors_equal;
+using test::tiny_config;
+
+Network serve_net(const std::string& name = "serve_tiny") {
+  Network net(name);
+  const LayerId in = net.add_input({3, 8, 8});
+  const LayerId c1 =
+      net.add_conv(in, "c1", {.dout = 8, .k = 3, .stride = 1, .pad = 1});
+  net.add_fc(c1, "fc", {.dout = 10});
+  return net;
+}
+
+// A scheduler over the tiny config with decision-friendly parameters:
+// execution off by default (decisions are identical either way), small
+// watermarks so tests can push it through every pressure state.
+struct Harness {
+  engine::Engine engine{tiny_config()};
+  serve::SchedulerConfig config;
+  std::unique_ptr<serve::Scheduler> sched;
+
+  explicit Harness(bool execute = false) {
+    config.servers = 2;
+    config.execute = execute;
+    config.low_watermark = 2;
+    config.degrade_watermark = 4;
+    config.shed_watermark = 8;
+    config.batch_wait_us = 500;
+    // The test nets are tiny; a visible per-request cost keeps virtual
+    // service times (~5ms) large against arrival gaps so the tests can
+    // overload the scheduler with modest request counts.
+    config.service.per_request_us = 5000.0;
+    sched = std::make_unique<serve::Scheduler>(engine, config);
+  }
+};
+
+Request make_req(i64 tenant, i64 model, i64 arrival_us, i64 deadline_us,
+                 u64 seed, Fidelity tier = Fidelity::kFunctional) {
+  Request r;
+  r.tenant = tenant;
+  r.model = model;
+  r.tier = tier;
+  r.arrival_us = arrival_us;
+  r.deadline_us = deadline_us;
+  r.input_seed = seed;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: byte-identical responses, stats, and shed decisions at
+// any jobs count and across reruns — the scheduler's core contract.
+
+TEST(ServeDeterminism, ByteIdenticalAcrossJobsAndReruns) {
+  std::vector<std::string> renderings;
+  for (i64 jobs : {1, 1, 4, 16}) {  // first twice: rerun determinism
+    Harness h(/*execute=*/true);
+    const i64 model =
+        h.sched->add_model(serve_net(), Policy::kAdaptive2, 42);
+    h.sched->add_tenant({"hi", Priority::kHigh, 0.0, 8.0, 64});
+    h.sched->add_tenant({"be", Priority::kBestEffort, 0.0, 8.0, 64});
+
+    // Best-effort cycle-tier traffic dominates so the pressure comes
+    // from the degradable class: its requests both reroute (DEGRADED)
+    // and get refused/evicted (REJECTED) once shedding starts.
+    std::vector<serve::TenantLoad> loads(2);
+    loads[0].config = h.sched->tenant(0);
+    loads[0].share = 0.25;
+    loads[0].model = model;
+    loads[0].tier = Fidelity::kFunctional;
+    loads[0].deadline_us = 40'000;
+    loads[1].config = h.sched->tenant(1);
+    loads[1].share = 0.75;
+    loads[1].model = model;
+    loads[1].tier = Fidelity::kCycle;  // degradation candidate
+    loads[1].deadline_us = 200'000;
+    // ~2x the two-server capacity so shed/degrade decisions happen.
+    const double qps =
+        4e6 / static_cast<double>(
+                  h.sched->unit_us(model, Fidelity::kFunctional));
+    const auto trace =
+        serve::open_loop_trace(loads, qps, 200'000, /*seed=*/7);
+    ASSERT_GT(trace.size(), 20u);
+
+    const serve::RunResult run = h.sched->run(trace, jobs);
+    std::string all = run.stats.to_string();
+    for (const Response& r : run.responses) all += r.to_string() + "\n";
+    renderings.push_back(std::move(all));
+  }
+  for (std::size_t i = 1; i < renderings.size(); ++i)
+    EXPECT_EQ(renderings[0], renderings[i]) << "variant " << i;
+  // The run must actually have exercised the interesting machinery, or
+  // the byte-compare proves nothing.
+  EXPECT_NE(renderings[0].find("DEGRADED"), std::string::npos);
+  EXPECT_NE(renderings[0].find("REJECTED"), std::string::npos);
+  EXPECT_NE(renderings[0].find("digest="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EDF dispatch order within a class, strict priority across classes.
+
+TEST(ServeDispatch, EdfWithinClassStrictPriorityAcross) {
+  Harness h;
+  // Dispatch one request at a time, immediately: batching holds would
+  // otherwise reorder the timeline this test pins down.
+  h.config.max_batch = 1;
+  h.config.max_batch_cycle = 1;
+  h.config.batch_wait_us = 0;
+  h.sched = std::make_unique<serve::Scheduler>(h.engine, h.config);
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  const i64 hi = h.sched->add_tenant({"hi", Priority::kHigh, 0.0, 8.0, 64});
+  const i64 lo =
+      h.sched->add_tenant({"lo", Priority::kBestEffort, 0.0, 8.0, 64});
+
+  // All arrive while both servers are busy (a warm-up pair pins them),
+  // so the queue drains strictly by dispatch policy. Deadlines are
+  // deliberately anti-correlated with arrival order.
+  std::vector<Request> trace;
+  trace.push_back(make_req(lo, model, 0, 900'000, 100));  // server 0
+  trace.push_back(make_req(lo, model, 0, 900'000, 101));  // server 1
+  trace.push_back(make_req(lo, model, 10, 800'000, 1));
+  trace.push_back(make_req(hi, model, 11, 700'000, 2));   // latest hi ddl
+  trace.push_back(make_req(hi, model, 12, 500'000, 3));
+  trace.push_back(make_req(hi, model, 13, 300'000, 4));   // earliest hi ddl
+  const serve::RunResult run = h.sched->run(trace, 1);
+
+  // Queued work dispatches: all high before the best-effort straggler,
+  // and the high class in deadline order (ids 5, 4, 3).
+  std::map<i64, i64> dispatch_of;  // id -> dispatch time
+  for (const Response& r : run.responses) {
+    ASSERT_TRUE(r.admitted) << r.to_string();
+    dispatch_of[r.id] = r.dispatch_us;
+  }
+  EXPECT_LE(dispatch_of[5], dispatch_of[4]);
+  EXPECT_LE(dispatch_of[4], dispatch_of[3]);
+  EXPECT_LE(dispatch_of[3], dispatch_of[2]);  // class beats deadline
+}
+
+// ---------------------------------------------------------------------------
+// Token-bucket quota: burst admits, sustained rate above quota rejects
+// with kQuota, and tokens refill with virtual time.
+
+TEST(ServeAdmission, TokenBucketQuotaAccounting) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  // 100 qps, burst 4: a token every 10ms, 4 available at t=0.
+  const i64 t = h.sched->add_tenant({"q", Priority::kNormal, 100.0, 4.0, 64});
+
+  std::vector<Request> trace;
+  // Burst of 6 at t=0: exactly burst(4) admitted, 2 rejected kQuota.
+  for (u64 i = 0; i < 6; ++i)
+    trace.push_back(make_req(t, model, 0, serve::kNoDeadline, i));
+  // At t=30ms, 3 tokens have refilled: 3 admitted, 1 rejected.
+  for (u64 i = 0; i < 4; ++i)
+    trace.push_back(make_req(t, model, 30'000, serve::kNoDeadline, 10 + i));
+  const serve::RunResult run = h.sched->run(trace, 1);
+
+  const auto& cs = run.stats.cls(Priority::kNormal);
+  EXPECT_EQ(cs.offered, 10);
+  EXPECT_EQ(cs.admitted, 7);
+  EXPECT_EQ(cs.rejected_quota, 3);
+  // The rejects are precisely the over-burst tail in id order.
+  for (i64 id : {4, 5, 9}) {
+    const Response& r = run.responses[static_cast<std::size_t>(id)];
+    EXPECT_FALSE(r.admitted);
+    EXPECT_EQ(r.reject, RejectReason::kQuota) << r.to_string();
+  }
+}
+
+TEST(ServeAdmission, BoundedTenantQueueRejectsQueueFull) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  const i64 t = h.sched->add_tenant({"cap", Priority::kHigh, 0.0, 8.0, 3});
+
+  // 8 simultaneous arrivals against queue_cap=3: two dispatch straight
+  // onto the idle servers, three queue, the rest bounce kQueueFull.
+  std::vector<Request> trace;
+  for (u64 i = 0; i < 8; ++i)
+    trace.push_back(make_req(t, model, 0, serve::kNoDeadline, i));
+  const serve::RunResult run = h.sched->run(trace, 1);
+  i64 queue_full = 0;
+  for (const Response& r : run.responses)
+    if (!r.admitted && r.reject == RejectReason::kQueueFull) ++queue_full;
+  EXPECT_GE(queue_full, 2);
+  EXPECT_EQ(run.stats.admitted + run.stats.rejected(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Expired deadlines shed before execution, never after.
+
+TEST(ServeDispatch, ExpiredDeadlinesShedBeforeExecution) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  const i64 t = h.sched->add_tenant({"d", Priority::kNormal, 0.0, 16.0, 64});
+
+  // Ten simultaneous requests whose deadline lands inside the batch-hold
+  // window: a full batch of 8 dispatches immediately, the two left-over
+  // requests expire while held for coalescing and are shed unexecuted.
+  const i64 deadline = h.config.batch_wait_us - 100;
+  ASSERT_GT(deadline, 0);
+  std::vector<Request> trace;
+  for (u64 i = 0; i < 10; ++i)
+    trace.push_back(make_req(t, model, 0, deadline, i));
+  const serve::RunResult run = h.sched->run(trace, 1);
+  EXPECT_GT(run.stats.shed_deadline, 0);
+  for (const Response& r : run.responses) {
+    if (r.admitted) continue;
+    EXPECT_EQ(r.reject, RejectReason::kDeadline);
+    // Shed strictly before any server time was spent on it.
+    EXPECT_EQ(r.batch_size, 0) << r.to_string();
+  }
+  // Everything that did execute met its configured accounting.
+  EXPECT_EQ(run.stats.admitted + run.stats.shed_deadline, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Watermarks: pressure degrades best-effort cycle work to the functional
+// tier first, then sheds it entirely; hysteresis exits cleanly.
+
+TEST(ServeBackpressure, DegradeThenShedThenRecover) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  const i64 be =
+      h.sched->add_tenant({"be", Priority::kBestEffort, 0.0, 64.0, 64});
+
+  // A tight burst of cycle-tier best-effort work drives the queue
+  // through degrade_wm(4) and shed_wm(8); later stragglers arrive after
+  // the queue drained back under the low watermark.
+  std::vector<Request> trace;
+  for (u64 i = 0; i < 16; ++i)
+    trace.push_back(
+        make_req(be, model, static_cast<i64>(i), serve::kNoDeadline, i,
+                 Fidelity::kCycle));
+  const i64 unit_c = h.sched->unit_us(model, Fidelity::kCycle);
+  trace.push_back(make_req(be, model, 64 * unit_c, serve::kNoDeadline, 99,
+                           Fidelity::kCycle));
+  const serve::RunResult run = h.sched->run(trace, 1);
+
+  EXPECT_GT(run.stats.degraded, 0);
+  EXPECT_GT(run.stats.rejected_queue_full, 0);  // kShedding refusals
+  EXPECT_GE(run.stats.degrade_transitions, 1);
+  EXPECT_GE(run.stats.shed_transitions, 1);
+
+  // Degraded requests kept their identity but moved tiers — visible to
+  // the client via tier != requested.
+  bool saw_degraded = false;
+  for (const Response& r : run.responses) {
+    if (!r.admitted || !r.degraded) continue;
+    saw_degraded = true;
+    EXPECT_EQ(r.request.tier, Fidelity::kCycle);
+    EXPECT_EQ(r.tier, Fidelity::kFunctional);
+  }
+  EXPECT_TRUE(saw_degraded);
+
+  // The post-drain straggler saw a recovered scheduler: admitted, not
+  // degraded, at its requested tier.
+  const Response& last = run.responses.back();
+  EXPECT_TRUE(last.admitted) << last.to_string();
+  EXPECT_FALSE(last.degraded);
+  EXPECT_EQ(last.tier, Fidelity::kCycle);
+}
+
+// Under kShedding a higher-class arrival evicts the slackest-deadline
+// lower-class entry instead of being refused itself.
+
+TEST(ServeBackpressure, HighClassEvictsLowerClassUnderShedding) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  const i64 hi = h.sched->add_tenant({"hi", Priority::kHigh, 0.0, 64.0, 64});
+  const i64 be =
+      h.sched->add_tenant({"be", Priority::kBestEffort, 0.0, 64.0, 64});
+
+  // Cycle-tier best-effort floods the queue past shed_wm(8) before the
+  // first batch-hold expires (cycle batches drain only 2 at a time), so
+  // the high-priority arrival lands squarely in kShedding.
+  std::vector<Request> trace;
+  for (u64 i = 0; i < 12; ++i)
+    trace.push_back(
+        make_req(be, model, static_cast<i64>(i), 500'000 + static_cast<i64>(i),
+                 i, Fidelity::kCycle));
+  trace.push_back(make_req(hi, model, 20, 400'000, 50));
+  const serve::RunResult run = h.sched->run(trace, 1);
+
+  EXPECT_GT(run.stats.evictions, 0);
+  const Response& high = run.responses.back();
+  EXPECT_TRUE(high.admitted) << high.to_string();
+  // The evicted victim reports kQueueFull with its queue residency.
+  bool saw_victim = false;
+  for (const Response& r : run.responses)
+    if (!r.admitted && r.reject == RejectReason::kQueueFull &&
+        r.latency_us > 0)
+      saw_victim = true;
+  EXPECT_TRUE(saw_victim);
+}
+
+// ---------------------------------------------------------------------------
+// Executed outputs are byte-identical to direct Session::infer — at both
+// tiers, degraded or not.
+
+TEST(ServeExecution, OutputsByteIdenticalToDirectInfer) {
+  Harness h(/*execute=*/true);
+  h.config.collect_outputs = true;
+  h.sched = std::make_unique<serve::Scheduler>(h.engine, h.config);
+  const Network net = serve_net();
+  const i64 model = h.sched->add_model(net, Policy::kAdaptive2, 42);
+  const i64 t = h.sched->add_tenant({"t", Priority::kNormal, 0.0, 16.0, 64});
+
+  std::vector<Request> trace;
+  for (u64 i = 0; i < 5; ++i)
+    trace.push_back(make_req(t, model, static_cast<i64>(i * 10),
+                             serve::kNoDeadline, 777 + i,
+                             i % 2 ? Fidelity::kCycle
+                                   : Fidelity::kFunctional));
+  const serve::RunResult run = h.sched->run(trace, 4);
+
+  const auto params = init_net_params<Fixed16>(net, 42);
+  engine::Engine fresh(tiny_config());
+  auto session = fresh.open_session(net, Policy::kAdaptive2, params);
+  for (const Response& r : run.responses) {
+    ASSERT_TRUE(r.admitted) << r.to_string();
+    EXPECT_NE(r.output_digest, 0u);
+    const auto direct = session->infer(random_input<Fixed16>(
+        net.layer(0).out_dims, r.request.input_seed));
+    EXPECT_TRUE(tensors_equal(
+        run.outputs[static_cast<std::size_t>(r.id)], direct.final_output))
+        << r.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loadgen: traces are deterministic, closed-loop keeps one request in
+// flight per client, and the sweep finds a knee on an overloaded ladder.
+
+TEST(ServeLoadgen, OpenLoopTraceIsDeterministic) {
+  std::vector<serve::TenantLoad> loads(1);
+  loads[0].config = {"t", Priority::kNormal, 0.0, 8.0, 64};
+  loads[0].share = 1.0;
+  loads[0].deadline_us = 10'000;
+  const auto a = serve::open_loop_trace(loads, 500.0, 100'000, 3);
+  const auto b = serve::open_loop_trace(loads, 500.0, 100'000, 3);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].input_seed, b[i].input_seed);
+    EXPECT_EQ(a[i].deadline_us, a[i].arrival_us + 10'000);
+  }
+  // Different seed, different trace.
+  const auto c = serve::open_loop_trace(loads, 500.0, 100'000, 4);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].arrival_us != c[i].arrival_us;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ServeLoadgen, ClosedLoopKeepsOneRequestInFlightPerClient) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  std::vector<serve::ClosedLoopSource::Client> clients;
+  for (int i = 0; i < 3; ++i) {
+    serve::ClosedLoopSource::Client c;
+    c.load.config = {"cl" + std::to_string(i), Priority::kNormal, 0.0, 8.0,
+                     64};
+    c.load.model = model;
+    c.load.tier = Fidelity::kFunctional;
+    c.tenant = h.sched->add_tenant(c.load.config);
+    c.think_time_us = 100;
+    clients.push_back(std::move(c));
+  }
+  serve::ClosedLoopSource source(clients, 50'000, 11);
+  const serve::RunResult run = h.sched->run(source, 1);
+  ASSERT_GT(run.stats.offered, 6);
+  EXPECT_EQ(run.stats.rejected(), 0);  // self-throttled: no overload
+  // Per client, responses never overlap in time: completion(n) <=
+  // arrival(n+1).
+  std::map<i64, i64> last_completion;
+  for (const Response& r : run.responses) {
+    const i64 cl = r.request.client;
+    ASSERT_GE(cl, 0);
+    if (last_completion.count(cl)) {
+      EXPECT_GE(r.request.arrival_us, last_completion[cl])
+          << r.to_string();
+    }
+    last_completion[cl] = r.completion_us;
+  }
+}
+
+TEST(ServeLoadgen, SweepFindsSaturationKnee) {
+  Harness h;
+  const i64 model = h.sched->add_model(serve_net(), Policy::kAdaptive2, 1);
+  std::vector<serve::TenantLoad> loads(1);
+  loads[0].config = {"t", Priority::kHigh, 0.0, 8.0, 64};
+  loads[0].share = 1.0;
+  loads[0].model = model;
+  loads[0].tier = Fidelity::kFunctional;
+  const i64 unit = h.sched->unit_us(model, Fidelity::kFunctional);
+  loads[0].deadline_us =
+      h.config.batch_wait_us + h.config.max_batch * unit + 4 * unit;
+  h.sched->add_tenant(loads[0].config);
+
+  // 2 servers: capacity ~ 2e6/unit qps. Ladder from comfortable to 4x.
+  const double cap = 2e6 / static_cast<double>(unit);
+  serve::SweepConfig sw;
+  sw.qps_ladder = {0.4 * cap, 0.8 * cap, 2.0 * cap, 4.0 * cap};
+  sw.duration_us = 300'000;
+  sw.seed = 5;
+  const serve::SweepResult result = serve::sweep(*h.sched, loads, sw, 1);
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_GT(result.knee, 0);
+  // Past the knee the scheduler sheds rather than queueing unboundedly.
+  EXPECT_GT(result.points.back().shed_rate, 0.05);
+  EXPECT_FALSE(result.to_table().empty());
+}
+
+}  // namespace
+}  // namespace cbrain

@@ -47,6 +47,20 @@ def serve_key(r):
             r.get("tier", "cycle"))
 
 
+# serve-load ladder points (from `cbrain_cli serve-load --perf-json`) are
+# virtual-time measurements: goodput at a given offered load is exactly
+# reproducible, so regressions here are scheduler behavior changes, not
+# machine noise. The knee entry tracks where the saturation curve breaks.
+def serve_load_key(r):
+    return ("serve_load", r["net"], r.get("scenario", "mixed"),
+            r["servers"], round(r["offered_qps"], 1))
+
+
+def serve_knee_key(r):
+    return ("serve_load_knee", r["net"], r.get("scenario", "mixed"),
+            r["servers"])
+
+
 def index(doc):
     points = {}
     for k in doc.get("kernels", []):
@@ -61,6 +75,12 @@ def index(doc):
     for r in doc.get("serve", []):
         if "infer_per_s" in r:
             points[serve_key(r)] = ("infer_per_s", r["infer_per_s"])
+    for r in doc.get("serve_load", []):
+        if "goodput_qps" in r:
+            points[serve_load_key(r)] = ("goodput_qps", r["goodput_qps"])
+    for r in doc.get("serve_load_knee", []):
+        if "knee_qps" in r:
+            points[serve_knee_key(r)] = ("knee_qps", r["knee_qps"])
     return points
 
 
@@ -69,6 +89,10 @@ def fmt_key(key):
         return f"{key[1]:<14} {key[2]:<6} n={key[3]}"
     if key[0] == "serve":
         return f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]} [{key[4]}]"
+    if key[0] == "serve_load":
+        return f"load {key[1]:<8} {key[2]}/s{key[3]} @{key[4]:g}qps"
+    if key[0] == "serve_load_knee":
+        return f"knee {key[1]:<8} {key[2]}/s{key[3]}"
     return f"sim {key[1]:<10} {key[2]:<6} [{key[3]}]"
 
 

@@ -5,7 +5,8 @@
 # the engine's shared compile cache + session pool), and an ASan+UBSan
 # build that vets the fault-injection hooks, the spec/program
 # deserialization fuzz tests, and session-reuse lifetimes (test_engine
-# runs in every leg via ctest).
+# runs in every leg via ctest). The multi-tenant serve-load scheduler
+# gets its own determinism diff plus TSan/ASan legs further down.
 #
 # usage: tools/ci_check.sh [jobs]
 set -euo pipefail
@@ -98,6 +99,25 @@ echo "=== fidelity: functional tier cross-validated against the oracle ==="
 ./build-ci-release/tools/cbrain_cli fidelity-check scheme_mix
 ./build-ci-tsan/tools/cbrain_cli serve-bench tiny_cnn --requests=8 \
   --jobs="$JOBS" --fidelity=functional > /dev/null
+
+echo "=== serve-load: scheduler determinism + sanitizer legs ==="
+# The multi-tenant scheduler is a discrete-event simulation: every
+# admission, dispatch, shed, and degrade decision must be a pure function
+# of (trace, config), so a full sweep with per-request responses and real
+# execution must be byte-identical at any --jobs. The TSan leg runs the
+# load generator + deferred run_many fan-out under the race detector, and
+# the ASan leg vets the response/batch bookkeeping lifetimes.
+./build-ci-release/tools/cbrain_cli serve-load tiny_cnn --qps=3000,12000 \
+  --duration=1 --execute --responses --jobs=1 > /tmp/cbrain_serve_j1.txt
+./build-ci-release/tools/cbrain_cli serve-load tiny_cnn --qps=3000,12000 \
+  --duration=1 --execute --responses --jobs="$JOBS" > /tmp/cbrain_serve_jn.txt
+diff /tmp/cbrain_serve_j1.txt /tmp/cbrain_serve_jn.txt
+./build-ci-tsan/tools/cbrain_cli serve-load tiny_cnn \
+  --qps=2000,8000 --duration=1 --execute --jobs="$JOBS" > /dev/null
+./build-ci-asan/tools/cbrain_cli serve-load tiny_cnn \
+  --qps=2000,8000 --duration=1 --execute --jobs=2 > /dev/null
+./build-ci-tsan/tests/test_serve
+./build-ci-asan/tests/test_serve
 
 echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on
