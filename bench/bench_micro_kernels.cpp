@@ -345,6 +345,53 @@ KernelResult measure_dot_multi_nw(simd::Backend b, i64 n, int reps,
   return r;
 }
 
+// The multi-RHS GEMM kernels behind the batched functional tier: one
+// packed weight panel against kMrhsCols im2row columns per call. Three
+// contract tiers share the measurement shape; `mode` picks the entry
+// point and sanitizes the weights to honour its precondition (nw: no
+// -32768; dw: additionally the deep-window magnitude bound, checked
+// with simd::deep_window_ok rather than assumed).
+constexpr i64 kMrhsCols = 8;
+
+KernelResult measure_dot_mrhs(simd::Backend b, const char* mode, i64 n,
+                              int reps, i64 iters) {
+  simd::select_backend(b);
+  const auto data = random_s16(n * kMrhsCols, 27);
+  auto weights = random_s16(n * kMultiRows, 28);
+  const bool nw = std::strcmp(mode, "nw") == 0;
+  const bool dw = std::strcmp(mode, "dw") == 0;
+  if (nw || dw)
+    for (auto& w : weights)
+      if (w == std::numeric_limits<std::int16_t>::min()) w = -32767;
+  if (dw) {
+    // Trained-net magnitudes: small enough that every 16-group window
+    // stays under the 32-bit lane bound.
+    for (auto& w : weights) w = static_cast<std::int16_t>(w % 1024);
+    CBRAIN_CHECK(simd::deep_window_ok(weights.data(), n, kMultiRows, n),
+                 "dw bench weights must satisfy the deep-window bound");
+  }
+  std::vector<Fixed16::acc_t> out(
+      static_cast<std::size_t>(kMultiRows * kMrhsCols));
+  auto fn = dw ? simd::dot_s16_mrhs_dw
+               : nw ? simd::dot_s16_mrhs_nw : simd::dot_s16_mrhs;
+  const double secs = best_of(reps, iters, [&] {
+    fn(data.data(), n, kMrhsCols, weights.data(), n, kMultiRows, n,
+       out.data(), kMrhsCols);
+    benchmark::DoNotOptimize(out.data());
+  });
+  KernelResult r;
+  r.name = std::string("dot_s16_mrhs") + (dw ? "_dw" : nw ? "_nw" : "");
+  r.backend = simd::backend_name(b);
+  r.n = n;
+  r.secs = secs;
+  // Bytes streamed: kMrhsCols data columns + kMultiRows weight rows.
+  r.gbps = static_cast<double>(sizeof(std::int16_t) * n *
+                               (kMrhsCols + kMultiRows)) /
+           secs * 1e-9;
+  r.mac_per_s = static_cast<double>(n * kMultiRows * kMrhsCols) / secs;
+  return r;
+}
+
 struct WholeNetResult {
   std::string net;
   std::string backend;
@@ -420,6 +467,9 @@ struct ServeResult {
   double per_call_infer_per_s = 0.0;  // 0 when not measured (jobs > 1)
   double speedup_vs_per_call = 0.0;
   double speedup_vs_cycle = 0.0;  // functional tier: warm-vs-warm, same jobs
+  i64 b = 1;           // execution batch size (infer_batch multi-image calls)
+  i64 intra_jobs = 1;  // worker fan-out inside each layer call
+  double speedup_vs_base = 0.0;  // ladder point vs its (b=1, intra=1) base
 };
 
 std::vector<Tensor3<Fixed16>> serve_inputs(const Network& net, i64 n) {
@@ -472,6 +522,52 @@ ServeResult measure_serve(const Network& net, simd::Backend b, i64 jobs,
   return r;
 }
 
+// Batched serving throughput: the same warm weight-resident session, but
+// requests chunked into fixed-size groups executed as one multi-image
+// infer_batch each (engine::run_batches). jobs=1 throughout — the point
+// is the per-call amortization (weight panels stream once per layer per
+// batch), not pool parallelism. intra_jobs fans each layer call across
+// workers; outputs are byte-identical at any (b, intra_jobs).
+ServeResult measure_serve_batched(const Network& net, simd::Backend b,
+                                  i64 batch, i64 intra_jobs, i64 requests) {
+  simd::select_backend(b);
+  const AcceleratorConfig config = AcceleratorConfig::paper_16_16();
+  const auto params = init_net_params<Fixed16>(net, 42);
+  const auto inputs = serve_inputs(net, requests);
+  std::vector<std::vector<i64>> batches;
+  for (i64 i = 0; i < requests; i += batch) {
+    batches.emplace_back();
+    for (i64 j = i; j < std::min(requests, i + batch); ++j)
+      batches.back().push_back(j);
+  }
+
+  engine::Engine eng(config);
+  eng.compile(net, Policy::kAdaptive2, Fidelity::kFunctional);
+  // Warm pass: the first batch through a fresh session grows its scratch
+  // arena and output slots; steady-state serving never reallocates.
+  engine::ServeStats warm;
+  benchmark::DoNotOptimize(
+      eng.run_batches(net, Policy::kAdaptive2, params, inputs, batches, 1,
+                      &warm, Fidelity::kFunctional, nullptr, intra_jobs)
+          .size());
+  engine::ServeStats stats;
+  const auto results =
+      eng.run_batches(net, Policy::kAdaptive2, params, inputs, batches, 1,
+                      &stats, Fidelity::kFunctional, nullptr, intra_jobs);
+  benchmark::DoNotOptimize(results.size());
+
+  ServeResult r;
+  r.net = net.name();
+  r.backend = simd::backend_name(b);
+  r.tier = "functional";
+  r.jobs = 1;
+  r.requests = requests;
+  r.b = batch;
+  r.intra_jobs = intra_jobs;
+  r.infer_per_s = stats.infer_per_s();
+  return r;
+}
+
 std::vector<simd::Backend> supported_backends() {
   std::vector<simd::Backend> v;
   for (simd::Backend b :
@@ -495,6 +591,9 @@ int run_perf_harness(const std::string& path, bool quick) {
       kernels.push_back(measure_dot(b, n, reps, dot_iters));
       kernels.push_back(measure_dot_multi(b, n, reps, multi_iters));
       kernels.push_back(measure_dot_multi_nw(b, n, reps, multi_iters));
+      kernels.push_back(measure_dot_mrhs(b, "", n, reps, multi_iters));
+      kernels.push_back(measure_dot_mrhs(b, "nw", n, reps, multi_iters));
+      kernels.push_back(measure_dot_mrhs(b, "dw", n, reps, multi_iters));
     }
   }
 
@@ -551,6 +650,36 @@ int run_perf_harness(const std::string& path, bool quick) {
                                ? f.infer_per_s / serve[i].infer_per_s
                                : 0.0;
       serve.push_back(std::move(f));
+    }
+  }
+
+  // Batched execution ladders (functional tier, jobs=1): B=1/2/4/8 on
+  // AlexNet (and VGG16 in full mode) through engine::run_batches — the
+  // acceptance curve for the multi-image GEMM path — plus intra-op
+  // scaling at B=1. The intra curve is recorded whatever this host's
+  // core count is; on a single-core machine it is honestly flat.
+  {
+    auto ladder = [&](const Network& net, i64 requests) {
+      double base = 0.0;
+      for (i64 bsz : {1, 2, 4, 8}) {
+        ServeResult r = measure_serve_batched(net, backends.back(), bsz,
+                                              /*intra_jobs=*/1, requests);
+        if (bsz == 1)
+          base = r.infer_per_s;
+        else
+          r.speedup_vs_base = base > 0.0 ? r.infer_per_s / base : 0.0;
+        serve.push_back(std::move(r));
+      }
+      return base;
+    };
+    const double alex_b1 = ladder(anet, quick ? 8 : 16);
+    if (!quick) ladder(zoo::vgg16(), 8);
+    for (i64 ij : {2, 4, 8}) {
+      ServeResult r = measure_serve_batched(anet, backends.back(),
+                                            /*batch=*/1, ij, quick ? 8 : 16);
+      r.speedup_vs_base =
+          alex_b1 > 0.0 ? r.infer_per_s / alex_b1 : 0.0;
+      serve.push_back(std::move(r));
     }
   }
   simd::select_backend(original);
@@ -633,6 +762,12 @@ int run_perf_harness(const std::string& path, bool quick) {
     }
     if (r.speedup_vs_cycle > 0.0)
       w.kv("speedup_vs_cycle", r.speedup_vs_cycle);
+    // Batched-ladder points: keys omitted at 1 so pre-batching baselines
+    // keep matching the unbatched entries (bench_compare missing-key=1).
+    if (r.b != 1) w.kv("b", r.b);
+    if (r.intra_jobs != 1) w.kv("intra_jobs", r.intra_jobs);
+    if (r.speedup_vs_base > 0.0)
+      w.kv("speedup_vs_base", r.speedup_vs_base);
     w.end_object();
   }
   w.end_array();
@@ -664,11 +799,16 @@ int run_perf_harness(const std::string& path, bool quick) {
     std::printf("  serve %-7s %-6s [%-10s] jobs=%-2lld %7.3f inf/s",
                 r.net.c_str(), r.backend.c_str(), r.tier.c_str(),
                 static_cast<long long>(r.jobs), r.infer_per_s);
+    if (r.b != 1 || r.intra_jobs != 1)
+      std::printf("  b=%lld ij=%lld", static_cast<long long>(r.b),
+                  static_cast<long long>(r.intra_jobs));
     if (r.per_call_infer_per_s > 0.0)
       std::printf("  (per-call %.3f inf/s, session %.2fx)",
                   r.per_call_infer_per_s, r.speedup_vs_per_call);
     if (r.speedup_vs_cycle > 0.0)
       std::printf("  (%.2fx vs cycle serve)", r.speedup_vs_cycle);
+    if (r.speedup_vs_base > 0.0)
+      std::printf("  (%.2fx vs b=1)", r.speedup_vs_base);
     std::printf("\n");
   }
   return 0;

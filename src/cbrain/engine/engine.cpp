@@ -173,6 +173,39 @@ SimResult Session::infer(const Tensor3<Fixed16>& input) {
   return func_ ? func_->infer(input) : exec_->infer(input);
 }
 
+std::vector<SimResult> Session::infer_batch(
+    const std::vector<const Tensor3<Fixed16>*>& inputs,
+    std::vector<Status>* statuses) {
+  inferences_ += static_cast<i64>(inputs.size());
+  if (func_) return func_->infer_batch(inputs, statuses);
+  // Cycle tier: the simulator streams one image at a time by design, so
+  // a batch is a loop — same results, same per-slot Status isolation.
+  std::vector<SimResult> results(inputs.size());
+  if (statuses) statuses->assign(inputs.size(), Status::ok());
+  for (std::size_t b = 0; b < inputs.size(); ++b) {
+    if (statuses == nullptr) {
+      CBRAIN_CHECK(inputs[b] != nullptr, "infer_batch: null input");
+      results[b] = exec_->infer(*inputs[b]);
+      continue;
+    }
+    try {
+      CBRAIN_CHECK(inputs[b] != nullptr, "infer_batch: null input");
+      results[b] = exec_->infer(*inputs[b]);
+    } catch (const CheckError& e) {
+      (*statuses)[b] = Status::invalid_argument(e.what());
+    } catch (const std::exception& e) {
+      (*statuses)[b] = Status::internal(e.what());
+    }
+  }
+  return results;
+}
+
+void Session::set_intra_jobs(i64 jobs) {
+  if (func_) func_->set_intra_jobs(jobs);
+}
+
+i64 Session::intra_jobs() const { return func_ ? func_->intra_jobs() : 1; }
+
 void Session::attach_fault(FaultInjector* injector) {
   CBRAIN_CHECK(fidelity_ == Fidelity::kCycle,
                "fault injection requires the cycle-exact tier; the "
@@ -313,7 +346,7 @@ std::unique_ptr<SessionPool> Engine::open_pool(
 std::vector<SimResult> Engine::run_many(
     const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
     const std::vector<Tensor3<Fixed16>>& inputs, i64 jobs, ServeStats* stats,
-    Fidelity fidelity, std::vector<Status>* statuses) {
+    Fidelity fidelity, std::vector<Status>* statuses, i64 intra_jobs) {
   using Clock = std::chrono::steady_clock;
   const auto n = static_cast<i64>(inputs.size());
   if (statuses != nullptr)
@@ -332,6 +365,7 @@ std::vector<SimResult> Engine::run_many(
   // next request, and parallel_map's index-ordered slots give
   // submission-ordered results regardless of which session ran what.
   auto pool = open_pool(net, policy, params, pool_n, fidelity);
+  for (i64 j = 0; j < pool_n; ++j) pool->at(j)->set_intra_jobs(intra_jobs);
 
   // Request-lifecycle telemetry. The histograms record always (request
   // granularity — a few mutex-guarded observes next to milliseconds of
@@ -458,6 +492,187 @@ std::vector<SimResult> Engine::run_many(
     s.cat = "batch";
     s.args.emplace_back("tier", fidelity_name(fidelity));
     s.args.emplace_back("requests", std::to_string(n));
+    s.args.emplace_back("sessions", std::to_string(pool_n));
+    tracer.record(std::move(s));
+  }
+  if (stats != nullptr) {
+    stats->latency_ms = std::move(latency_ms);
+    stats->wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - batch_start)
+            .count();
+    stats->sessions = pool_n;
+  }
+  return results;
+}
+
+std::vector<SimResult> Engine::run_batches(
+    const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
+    const std::vector<Tensor3<Fixed16>>& inputs,
+    const std::vector<std::vector<i64>>& batches, i64 jobs, ServeStats* stats,
+    Fidelity fidelity, std::vector<Status>* statuses, i64 intra_jobs) {
+  using Clock = std::chrono::steady_clock;
+  const auto n = static_cast<i64>(inputs.size());
+  if (statuses != nullptr)
+    statuses->assign(static_cast<std::size_t>(n), Status::ok());
+
+  // The batch list must partition [0, n) exactly: every request served
+  // once, by exactly one batch.
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  i64 covered = 0;
+  for (const auto& batch : batches) {
+    CBRAIN_CHECK(!batch.empty(), "run_batches: empty batch");
+    for (i64 idx : batch) {
+      CBRAIN_CHECK(idx >= 0 && idx < n,
+                   "run_batches: request index " << idx << " out of range");
+      CBRAIN_CHECK(!seen[static_cast<std::size_t>(idx)],
+                   "run_batches: request " << idx << " in two batches");
+      seen[static_cast<std::size_t>(idx)] = 1;
+      ++covered;
+    }
+  }
+  CBRAIN_CHECK(covered == n,
+               "run_batches: batches cover " << covered << " of " << n
+                                             << " requests");
+  if (n == 0) {
+    if (stats != nullptr) *stats = ServeStats{};
+    return {};
+  }
+
+  const auto nb = static_cast<i64>(batches.size());
+  const i64 jobs_eff =
+      std::max<i64>(1, jobs > 0 ? jobs : parallel::default_jobs());
+  const i64 pool_n = std::min(jobs_eff, nb);
+  auto pool = open_pool(net, policy, params, pool_n, fidelity);
+  for (i64 j = 0; j < pool_n; ++j) pool->at(j)->set_intra_jobs(intra_jobs);
+
+  auto& reg = obs::Registry::global();
+  reg.counter("engine.run_batches_total").inc();
+  reg.counter("engine.requests_total").inc(n);
+  reg.gauge("engine.session_pool").set(static_cast<double>(pool_n));
+  auto& batch_size_h = reg.histogram("engine.batch_size");
+  auto& infer_h = reg.histogram("engine.infer_ms");
+  auto& request_h = reg.histogram("engine.request_latency_ms");
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  std::unordered_map<const Session*, int> track_of;
+  int batch_track = 0;
+  if (tracing) {
+    batch_track = tracer.add_track(obs::Domain::kWall,
+                                   "engine:" + net.name() + " batches");
+    for (i64 j = 0; j < pool_n; ++j)
+      track_of[pool->at(j)] = tracer.add_track(
+          obs::Domain::kWall,
+          "engine:" + net.name() + " session " + std::to_string(j));
+  }
+
+  // Whole-batch failures (only reachable without a status channel, or
+  // from a non-Check exception): deferred, lowest global index rethrows.
+  std::mutex fail_mu;
+  std::vector<std::pair<i64, std::exception_ptr>> failures;
+
+  std::vector<SimResult> results(static_cast<std::size_t>(n));
+  std::vector<double> latency_ms(static_cast<std::size_t>(n), 0.0);
+  const auto batch_start = Clock::now();
+  const i64 batch_start_us = tracing ? tracer.wall_now_us() : 0;
+  parallel::parallel_for(
+      nb,
+      [&](i64 bi) {
+        const auto& members = batches[static_cast<std::size_t>(bi)];
+        const auto bsz = static_cast<i64>(members.size());
+        Session* session = pool->acquire();
+        const i64 acquired_us = tracing ? tracer.wall_now_us() : 0;
+
+        std::vector<const Tensor3<Fixed16>*> ptrs;
+        ptrs.reserve(members.size());
+        for (i64 idx : members)
+          ptrs.push_back(&inputs[static_cast<std::size_t>(idx)]);
+
+        const auto t0 = Clock::now();
+        std::vector<Status> batch_statuses;
+        std::vector<SimResult> batch_results;
+        try {
+          batch_results = session->infer_batch(
+              ptrs, statuses != nullptr ? &batch_statuses : nullptr);
+        } catch (...) {
+          pool->release(session);
+          reg.counter("engine.request_failures").inc(bsz);
+          if (statuses != nullptr) {
+            // Per-request failures never throw through a status channel,
+            // so this is an unexpected whole-batch error: report it on
+            // every member rather than aborting the sibling batches.
+            Status st = Status::internal("unknown exception");
+            try {
+              throw;
+            } catch (const CheckError& e) {
+              st = Status::invalid_argument(e.what());
+            } catch (const std::exception& e) {
+              st = Status::internal(e.what());
+            } catch (...) {
+            }
+            for (i64 idx : members)
+              (*statuses)[static_cast<std::size_t>(idx)] = st;
+            return;
+          }
+          const i64 lowest = *std::min_element(members.begin(), members.end());
+          std::lock_guard<std::mutex> lock(fail_mu);
+          failures.emplace_back(lowest, std::current_exception());
+          return;
+        }
+        const auto t1 = Clock::now();
+        pool->release(session);
+
+        using Ms = std::chrono::duration<double, std::milli>;
+        const double infer = Ms(t1 - t0).count();
+        batch_size_h.observe(static_cast<double>(bsz));
+        infer_h.observe(infer);
+        // A member's serving latency is its batch's inference time: the
+        // whole batch starts and finishes together.
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          const auto idx = static_cast<std::size_t>(members[m]);
+          results[idx] = std::move(batch_results[m]);
+          latency_ms[idx] = infer;
+          request_h.observe(infer);
+          if (statuses != nullptr) {
+            if (!batch_statuses[m].is_ok())
+              reg.counter("engine.request_failures").inc();
+            (*statuses)[idx] = std::move(batch_statuses[m]);
+          }
+        }
+        if (tracing) {
+          obs::Span s;
+          s.domain = obs::Domain::kWall;
+          s.track = track_of[session];
+          s.start = acquired_us;
+          s.dur = tracer.wall_now_us() - acquired_us;
+          if (s.dur < 0) s.dur = 0;
+          s.name = "batch";
+          s.cat = "batch";
+          s.args.emplace_back("tier", fidelity_name(fidelity));
+          s.args.emplace_back("batch_size", std::to_string(bsz));
+          s.args.emplace_back("infer_ms", std::to_string(infer));
+          tracer.record(std::move(s));
+        }
+      },
+      jobs_eff);
+  if (!failures.empty()) {
+    // Only reachable without a status channel: the lowest failed global
+    // index rethrows (deterministically) once every batch has drained.
+    std::sort(failures.begin(), failures.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(failures.front().second);
+  }
+  if (tracing) {
+    obs::Span s;
+    s.domain = obs::Domain::kWall;
+    s.track = batch_track;
+    s.start = batch_start_us;
+    s.dur = tracer.wall_now_us() - batch_start_us;
+    s.name = "run_batches:" + net.name();
+    s.cat = "batch";
+    s.args.emplace_back("tier", fidelity_name(fidelity));
+    s.args.emplace_back("requests", std::to_string(n));
+    s.args.emplace_back("batches", std::to_string(nb));
     s.args.emplace_back("sessions", std::to_string(pool_n));
     tracer.record(std::move(s));
   }

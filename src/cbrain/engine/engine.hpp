@@ -82,6 +82,23 @@ class Session {
   // (functional).
   SimResult infer(const Tensor3<Fixed16>& input);
 
+  // Runs B inputs as one batched call: the functional tier executes them
+  // layer-wise as multi-image GEMMs (weights stream once per layer per
+  // batch), the cycle tier falls back to a sequential loop. Per-slot
+  // results are bit-identical to B sequential infer() calls. With
+  // `statuses` non-null a malformed input fails only its slot (empty
+  // SimResult + non-OK Status); with statuses null the historical
+  // CHECK/throw contract applies. inferences() advances by B.
+  std::vector<SimResult> infer_batch(
+      const std::vector<const Tensor3<Fixed16>*>& inputs,
+      std::vector<Status>* statuses = nullptr);
+
+  // Worker fan-out *within* one layer call (functional tier; no-op on
+  // cycle sessions). Nested parallel regions run inline on pool workers,
+  // so this composes with run_many/run_batches' request-level fan-out.
+  void set_intra_jobs(i64 jobs);
+  i64 intra_jobs() const;
+
   // Attaches (nullptr detaches) a fault injector to the session's
   // machine, enabling checkpoint/replay recovery exactly as on the
   // single-shot path. Attach before load_params for a fault sequence
@@ -206,12 +223,36 @@ class Engine {
   // throws for per-request failures; with statuses == nullptr the
   // lowest-index failure is rethrown after the batch drains, preserving
   // the historical contract.
+  // `intra_jobs` is forwarded to every pooled session (functional tier):
+  // worker fan-out within each layer call, composing with the
+  // request-level fan-out here. Outputs are byte-identical at any value.
   std::vector<SimResult> run_many(const Network& net, Policy policy,
                                   const NetParamsData<Fixed16>& params,
                                   const std::vector<Tensor3<Fixed16>>& inputs,
                                   i64 jobs = 0, ServeStats* stats = nullptr,
                                   Fidelity fidelity = Fidelity::kCycle,
-                                  std::vector<Status>* statuses = nullptr);
+                                  std::vector<Status>* statuses = nullptr,
+                                  i64 intra_jobs = 1);
+
+  // Serves pre-formed batches: `batches` must partition [0, #inputs)
+  // exactly (every index once, no empties). Each batch executes as one
+  // Session::infer_batch call on one pooled session — the functional
+  // tier's multi-image GEMM path — with batches fanned across
+  // min(jobs, #batches) sessions. Results land in submission order and
+  // are byte-identical to run_many / sequential infer at any jobs,
+  // intra_jobs, batch shape, or fidelity.
+  //
+  // Failure isolation: with `statuses`, a malformed input fails only its
+  // slot (its batch siblings still run) and run_batches never throws for
+  // per-request failures; with statuses == nullptr the lowest-index
+  // failure is rethrown after every batch drains. `stats`, when given,
+  // records each request's latency as its batch's inference time.
+  std::vector<SimResult> run_batches(
+      const Network& net, Policy policy, const NetParamsData<Fixed16>& params,
+      const std::vector<Tensor3<Fixed16>>& inputs,
+      const std::vector<std::vector<i64>>& batches, i64 jobs = 0,
+      ServeStats* stats = nullptr, Fidelity fidelity = Fidelity::kCycle,
+      std::vector<Status>* statuses = nullptr, i64 intra_jobs = 1);
 
   // Cache observability (diagnostics and tests).
   i64 cache_size() const;

@@ -3,12 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
-#include <limits>
 #include <string>
 #include <utility>
 
 #include "cbrain/common/check.hpp"
-#include "cbrain/func/kernels.hpp"
+#include "cbrain/common/thread_pool.hpp"
 #include "cbrain/obs/metrics.hpp"
 #include "cbrain/obs/tracer.hpp"
 #include "cbrain/ref/lrn_ref.hpp"
@@ -19,10 +18,10 @@ namespace {
 
 // Host-side steps, duplicated from ref/executor.cpp's file-local kernels
 // with identical semantics: the same double math in the same order, so
-// func and sim quantize identically.
-Tensor3<Fixed16> softmax_func(const Tensor3<Fixed16>& input) {
+// func and sim quantize identically. The _into forms rewrite a resident
+// pre-shaped output tensor and allocate nothing.
+void softmax_func_into(const Tensor3<Fixed16>& input, Tensor3<Fixed16>& out) {
   using Tr = ArithTraits<Fixed16>;
-  Tensor3<Fixed16> out(input.dims(), input.order());
   double max_v = -1e300;
   for (const auto& v : input.storage())
     max_v = std::max(max_v, Tr::to_real(v));
@@ -32,12 +31,10 @@ Tensor3<Fixed16> softmax_func(const Tensor3<Fixed16>& input) {
   for (std::size_t i = 0; i < input.storage().size(); ++i)
     out.storage()[i] = Tr::from_real(
         std::exp(Tr::to_real(input.storage()[i]) - max_v) / denom);
-  return out;
 }
 
-Tensor3<Fixed16> concat_func(const std::vector<const Tensor3<Fixed16>*>& ins,
-                             const MapDims& out_dims) {
-  Tensor3<Fixed16> out(out_dims, DataOrder::kSpatialMajor);
+void concat_func_into(const std::vector<const Tensor3<Fixed16>*>& ins,
+                      Tensor3<Fixed16>& out) {
   i64 d_base = 0;
   for (const Tensor3<Fixed16>* in : ins) {
     for (i64 d = 0; d < in->dims().d; ++d)
@@ -46,7 +43,19 @@ Tensor3<Fixed16> concat_func(const std::vector<const Tensor3<Fixed16>*>& ins,
           out.at(d_base + d, y, x) = in->at(d, y, x);
     d_base += in->dims().d;
   }
-  return out;
+}
+
+// Input staging: canonical spatial-major copy into the resident slot.
+void copy_input_into(const Tensor3<Fixed16>& in, Tensor3<Fixed16>& out) {
+  if (in.order() == DataOrder::kSpatialMajor) {
+    std::memcpy(out.raw_data(), in.raw_data(),
+                static_cast<std::size_t>(in.size()) * sizeof(Fixed16));
+  } else {
+    const MapDims d = in.dims();
+    for (i64 c = 0; c < d.d; ++c)
+      for (i64 y = 0; y < d.h; ++y)
+        for (i64 x = 0; x < d.w; ++x) out.at(c, y, x) = in.at(c, y, x);
+  }
 }
 
 }  // namespace
@@ -71,65 +80,165 @@ void FuncExecutor::load_params(const NetParamsData<Fixed16>& params) {
     CBRAIN_CHECK(wd == l.weight_dims(),
                  "weight dims mismatch for layer " << l.name);
     // Tensor4 storage is already contiguous (din, ky, kx) rows per output
-    // map — exactly the GEMM row layout — so packing is a raw re-type.
+    // map — exactly the GEMM row layout — so packing re-types each row
+    // into its zero-padded gemm_row_stride slot (the padding keeps the
+    // multi-RHS kernels out of their scalar remainder loop; padded taps
+    // multiply the matching zero-padded patch tail, contributing 0).
     PackedLayer& pl = packed_[idx];
-    pl.weights.resize(static_cast<std::size_t>(wd.count()));
+    const i64 dout = l.is_conv() ? l.conv().dout : l.fc().dout;
+    const i64 row_len = wd.count() / dout;
+    const i64 stride = gemm_row_stride(row_len);
+    pl.weights.assign(static_cast<std::size_t>(dout * stride), 0);
     const Fixed16* w = pdata.weights.raw_data();
-    bool no_wrap = true;
-    for (std::size_t i = 0; i < pl.weights.size(); ++i) {
-      pl.weights[i] = w[i].raw();
-      no_wrap &= pl.weights[i] != std::numeric_limits<std::int16_t>::min();
-    }
-    pl.no_wrap = no_wrap;
-    pl.bias = pdata.bias;
+    for (i64 o = 0; o < dout; ++o)
+      for (i64 i = 0; i < row_len; ++i)
+        pl.weights[static_cast<std::size_t>(o * stride + i)] =
+            w[o * row_len + i].raw();
+    pl.mode = classify_weights(pl.weights.data(), dout, stride);
+    pl.bias_acc = promote_bias(pdata.bias, dout);
   }
   params_loaded_ = true;
 }
 
-SimResult FuncExecutor::infer(const Tensor3<Fixed16>& input) {
-  CBRAIN_CHECK(params_loaded_, "load_params before infer");
-  outputs_.assign(static_cast<std::size_t>(net_.size()), Tensor3<Fixed16>{});
+Tensor3<Fixed16>& FuncExecutor::slot(std::size_t layer, std::size_t image,
+                                     const MapDims& dims) {
+  // The per-image vector was grown to the batch size by infer_batch
+  // before any pointers were taken — never resized here.
+  auto& per_image = outputs_[layer];
+  CBRAIN_CHECK(image < per_image.size(), "slot beyond batch");
+  Tensor3<Fixed16>& t = per_image[image];
+  if (t.empty() || t.dims() != dims ||
+      t.order() != DataOrder::kSpatialMajor) {
+    t = Tensor3<Fixed16>(dims, DataOrder::kSpatialMajor);
+    ++tensor_growths_;
+  }
+  return t;
+}
 
-  SimResult result;
-  result.per_layer.resize(static_cast<std::size_t>(net_.size()));
+SimResult FuncExecutor::infer(const Tensor3<Fixed16>& input) {
+  return std::move(infer_batch({&input}).front());
+}
+
+std::vector<SimResult> FuncExecutor::infer_batch(
+    const std::vector<const Tensor3<Fixed16>*>& inputs,
+    std::vector<Status>* statuses) {
+  CBRAIN_CHECK(params_loaded_, "load_params before infer");
+  const auto batch = inputs.size();
+  CBRAIN_CHECK(batch > 0, "infer_batch needs at least one input");
+  if (outputs_.size() != static_cast<std::size_t>(net_.size()))
+    outputs_.resize(static_cast<std::size_t>(net_.size()));
+  // Grow every per-image vector up front: in_ptrs_/out_ptrs_ hold raw
+  // pointers into these vectors, so they must not reallocate mid-batch.
+  for (auto& per_image : outputs_)
+    if (per_image.size() < batch) per_image.resize(batch);
+
+  // Upfront per-slot validation against the network's input layer, so a
+  // malformed input fails only its slot and never reaches a kernel.
+  MapDims in_dims = net_.layers().front().out_dims;
+  for (const Layer& l : net_.layers())
+    if (l.kind == LayerKind::kInput) {
+      in_dims = l.out_dims;
+      break;
+    }
+  if (statuses) statuses->assign(batch, Status::ok());
+  std::vector<std::size_t> active;
+  active.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const bool good = inputs[b] != nullptr && inputs[b]->dims() == in_dims;
+    if (good) {
+      active.push_back(b);
+      continue;
+    }
+    const std::string msg =
+        "input dims " +
+        (inputs[b] ? inputs[b]->dims().to_string() : std::string("<null>")) +
+        " != network input " + in_dims.to_string();
+    if (statuses)
+      (*statuses)[b] = Status::invalid_argument(msg);
+    else
+      CBRAIN_CHECK(false, msg);
+  }
+
+  std::vector<SimResult> results(batch);
+  if (active.empty()) return results;
+  const i64 nact = static_cast<i64>(active.size());
 
   using Clock = std::chrono::steady_clock;
   auto& reg = obs::Registry::global();
   for (const Layer& l : net_.layers()) {
     const auto idx = static_cast<std::size_t>(l.id);
     const PackedLayer& pl = packed_[idx];
+    // Stage the batch's resident output tensors (and source pointers)
+    // for this layer; steady state reconstructs nothing.
+    in_ptrs_.clear();
+    out_ptrs_.clear();
+    for (std::size_t b : active) {
+      out_ptrs_.push_back(&slot(idx, b, l.out_dims));
+      if (l.kind != LayerKind::kInput && l.kind != LayerKind::kConcat)
+        in_ptrs_.push_back(
+            &outputs_[static_cast<std::size_t>(l.inputs[0])][b]);
+    }
     const Clock::time_point t0 = Clock::now();
     switch (l.kind) {
       case LayerKind::kInput:
-        CBRAIN_CHECK(input.dims() == l.out_dims,
-                     "input dims " << input.dims().to_string()
-                                   << " != network input "
-                                   << l.out_dims.to_string());
-        outputs_[idx] = input.to_order(DataOrder::kSpatialMajor);
+        for (i64 i = 0; i < nact; ++i)
+          copy_input_into(*inputs[active[static_cast<std::size_t>(i)]],
+                          *out_ptrs_[static_cast<std::size_t>(i)]);
         break;
       case LayerKind::kConv:
-        outputs_[idx] = conv2d_func(output(l.inputs[0]), pl.weights, pl.bias,
-                                    l.conv(), pl.no_wrap);
-        break;
-      case LayerKind::kPool:
-        outputs_[idx] = pool2d_ref(output(l.inputs[0]), l.pool());
+        conv2d_func_batch(in_ptrs_, pl.weights, pl.bias_acc, l.conv(),
+                          pl.mode, intra_jobs_, scratch_, out_ptrs_);
         break;
       case LayerKind::kFC:
-        outputs_[idx] = fc_func(output(l.inputs[0]), pl.weights, pl.bias,
-                                l.fc(), pl.no_wrap);
+        fc_func_batch(in_ptrs_, pl.weights, pl.bias_acc, l.fc(), pl.mode,
+                      intra_jobs_, scratch_, out_ptrs_);
+        break;
+      case LayerKind::kPool:
+        // One image: partition planes within it. Several: an image per
+        // task is the better grain. Either way each output element is
+        // computed entirely by one task — bit-identical at any jobs.
+        if (nact == 1) {
+          pool2d_ref_into(*in_ptrs_[0], l.pool(), *out_ptrs_[0],
+                          intra_jobs_);
+        } else {
+          parallel::parallel_for(
+              nact,
+              [&](i64 i) {
+                pool2d_ref_into(*in_ptrs_[static_cast<std::size_t>(i)],
+                                l.pool(),
+                                *out_ptrs_[static_cast<std::size_t>(i)]);
+              },
+              intra_jobs_);
+        }
         break;
       case LayerKind::kLRN:
-        outputs_[idx] = lrn_ref(output(l.inputs[0]), l.lrn());
+        if (nact == 1) {
+          lrn_ref_into(*in_ptrs_[0], l.lrn(), *out_ptrs_[0], intra_jobs_);
+        } else {
+          parallel::parallel_for(
+              nact,
+              [&](i64 i) {
+                lrn_ref_into(*in_ptrs_[static_cast<std::size_t>(i)],
+                             l.lrn(),
+                             *out_ptrs_[static_cast<std::size_t>(i)]);
+              },
+              intra_jobs_);
+        }
         break;
-      case LayerKind::kConcat: {
-        std::vector<const Tensor3<Fixed16>*> ins;
-        ins.reserve(l.inputs.size());
-        for (LayerId id : l.inputs) ins.push_back(&output(id));
-        outputs_[idx] = concat_func(ins, l.out_dims);
+      case LayerKind::kConcat:
+        for (i64 i = 0; i < nact; ++i) {
+          const std::size_t b = active[static_cast<std::size_t>(i)];
+          std::vector<const Tensor3<Fixed16>*> ins;
+          ins.reserve(l.inputs.size());
+          for (LayerId id : l.inputs)
+            ins.push_back(&outputs_[static_cast<std::size_t>(id)][b]);
+          concat_func_into(ins, *out_ptrs_[static_cast<std::size_t>(i)]);
+        }
         break;
-      }
       case LayerKind::kSoftmax:
-        outputs_[idx] = softmax_func(output(l.inputs[0]));
+        for (i64 i = 0; i < nact; ++i)
+          softmax_func_into(*in_ptrs_[static_cast<std::size_t>(i)],
+                            *out_ptrs_[static_cast<std::size_t>(i)]);
         break;
     }
     // Per-kind host wall time: where the functional tier actually spends
@@ -138,68 +247,80 @@ SimResult FuncExecutor::infer(const Tensor3<Fixed16>& input) {
         .inc(std::chrono::duration_cast<std::chrono::microseconds>(
                  Clock::now() - t0)
                  .count());
-    result.per_layer[idx] = model_.layer(l.id).counters;
+    for (std::size_t b : active) {
+      if (results[b].per_layer.empty())
+        results[b].per_layer.resize(static_cast<std::size_t>(net_.size()));
+      results[b].per_layer[idx] = model_.layer(l.id).counters;
+    }
   }
-  result.final_output = outputs_.back();
+  for (std::size_t b : active)
+    results[b].final_output = outputs_.back()[b];
 
   // Mirror of SimExecutor's observability under the functional tier's
-  // prefix; cycle numbers are the model estimates.
+  // prefix; cycle numbers are the model estimates, scaled by the number
+  // of images that actually ran.
   i64 cycles = 0, dram_r = 0, dram_w = 0, muls = 0;
-  for (const TrafficCounters& lc : result.per_layer) {
+  for (const Layer& l : net_.layers()) {
+    const TrafficCounters& lc = model_.layer(l.id).counters;
     cycles += lc.total_cycles;
     dram_r += lc.dram_reads;
     dram_w += lc.dram_writes;
     muls += lc.mul_ops;
   }
-  reg.counter("func.infers_total").inc();
-  reg.counter("func.cycles_total").inc(cycles);
-  reg.counter("func.dram_reads_total").inc(dram_r);
-  reg.counter("func.dram_writes_total").inc(dram_w);
-  reg.counter("func.mul_ops_total").inc(muls);
+  reg.counter("func.infers_total").inc(nact);
+  reg.counter("func.cycles_total").inc(cycles * nact);
+  reg.counter("func.dram_reads_total").inc(dram_r * nact);
+  reg.counter("func.dram_writes_total").inc(dram_w * nact);
+  reg.counter("func.mul_ops_total").inc(muls * nact);
 
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
     // Same span shape as the sim tier (depth-0 infer, depth-1 layers in
-    // the cycle domain), edges from the model's estimates — a pure
-    // function of (net, compiled, config), hence byte-deterministic.
-    const int track = tracer.add_track(obs::Domain::kCycles,
-                                       "func:" + net_.name());
-    i64 cursor = 0;
-    for (const Layer& l : net_.layers()) {
-      const LayerModelResult& lm = model_.layer(l.id);
-      if (lm.counters.total_cycles <= 0) continue;
+    // the cycle domain), one track per image — a batch of B traces
+    // exactly like B sequential infers; edges from the model's
+    // estimates, a pure function of (net, compiled, config), hence
+    // byte-deterministic.
+    for (i64 img = 0; img < nact; ++img) {
+      const int track = tracer.add_track(obs::Domain::kCycles,
+                                         "func:" + net_.name());
+      i64 cursor = 0;
+      for (const Layer& l : net_.layers()) {
+        const LayerModelResult& lm = model_.layer(l.id);
+        if (lm.counters.total_cycles <= 0) continue;
+        obs::Span s;
+        s.track = track;
+        s.depth = 1;
+        s.start = cursor;
+        s.dur = lm.counters.total_cycles;
+        s.name = l.name;
+        s.cat = layer_kind_name(l.kind);
+        s.args.emplace_back("tier", "functional");
+        if (l.is_conv())
+          s.args.emplace_back("scheme", scheme_name(lm.scheme));
+        tracer.record(std::move(s));
+        cursor += lm.counters.total_cycles;
+      }
       obs::Span s;
       s.track = track;
-      s.depth = 1;
-      s.start = cursor;
-      s.dur = lm.counters.total_cycles;
-      s.name = l.name;
-      s.cat = layer_kind_name(l.kind);
+      s.depth = 0;
+      s.start = 0;
+      s.dur = cursor;
+      s.name = "infer:" + net_.name();
+      s.cat = "infer";
       s.args.emplace_back("tier", "functional");
-      if (l.is_conv())
-        s.args.emplace_back("scheme", scheme_name(lm.scheme));
       tracer.record(std::move(s));
-      cursor += lm.counters.total_cycles;
     }
-    obs::Span s;
-    s.track = track;
-    s.depth = 0;
-    s.start = 0;
-    s.dur = cursor;
-    s.name = "infer:" + net_.name();
-    s.cat = "infer";
-    s.args.emplace_back("tier", "functional");
-    tracer.record(std::move(s));
   }
-  return result;
+  return results;
 }
 
 const Tensor3<Fixed16>& FuncExecutor::output(LayerId id) const {
   CBRAIN_CHECK(id >= 0 && id < static_cast<i64>(outputs_.size()),
                "no output for layer " << id);
-  const auto& t = outputs_[static_cast<std::size_t>(id)];
-  CBRAIN_CHECK(!t.empty(), "layer " << id << " has not been executed");
-  return t;
+  const auto& per_image = outputs_[static_cast<std::size_t>(id)];
+  CBRAIN_CHECK(!per_image.empty() && !per_image.front().empty(),
+               "layer " << id << " has not been executed");
+  return per_image.front();
 }
 
 }  // namespace cbrain::func

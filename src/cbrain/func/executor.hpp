@@ -12,18 +12,36 @@
 // (tests/test_fidelity.cpp), so "estimate" here measures the model's
 // fidelity, not a looser contract.
 //
+// Batched execution (DESIGN.md §14): infer_batch runs B images through
+// the layer graph one *layer* at a time, so each conv/FC weight panel
+// streams through cache once per layer per batch instead of once per
+// image. Every output element is still one exact int64 dot computed by
+// one task, so each per-request SimResult is bit-identical to what a
+// sequential infer() of that input would return, at any batch size,
+// intra_jobs count, or SIMD backend. A malformed input fails only its
+// slot (Status isolation) when `statuses` is provided.
+//
+// Steady-state allocation: per-layer per-image output tensors and the
+// GEMM scratch arena are owned by the executor and sized on first use;
+// warm infer_batch calls at a stable batch size allocate only the
+// returned SimResults (tests/test_batch.cpp pins this with a counting
+// allocator and the scratch_growths() hook).
+//
 // Observability mirrors the sim tier's schema under the func.* prefix
 // (func.infers_total, func.cycles_total, ...) and emits the same
-// cycle-domain span shape on a "func:<net>" track, each span tagged
-// tier=functional; span edges come from the model's per-layer cycle
-// estimates, so traces stay byte-deterministic across jobs and backends.
+// cycle-domain span shape on a "func:<net>" track per image, each span
+// tagged tier=functional; span edges come from the model's per-layer
+// cycle estimates, so traces stay byte-deterministic across jobs and
+// backends.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "cbrain/common/status.hpp"
 #include "cbrain/compiler/compiler.hpp"
 #include "cbrain/func/fidelity.hpp"
+#include "cbrain/func/kernels.hpp"
 #include "cbrain/model/network_model.hpp"
 #include "cbrain/ref/params.hpp"
 #include "cbrain/sim/executor.hpp"
@@ -38,8 +56,10 @@ class FuncExecutor {
   FuncExecutor(const Network& net, const CompiledNetwork& compiled,
                const AcceleratorConfig& config);
 
-  // Packs each conv/FC layer's weights into contiguous int16 GEMM rows.
-  // May run again to hot-swap parameters (engine::Session contract).
+  // Packs each conv/FC layer's weights into contiguous int16 GEMM rows,
+  // promotes biases to accumulator scale and classifies each weight
+  // tensor for the fastest admissible multi-RHS kernel. May run again to
+  // hot-swap parameters (engine::Session contract).
   void load_params(const NetParamsData<Fixed16>& params);
   bool params_loaded() const { return params_loaded_; }
 
@@ -49,8 +69,33 @@ class FuncExecutor {
   // model's estimates.
   SimResult infer(const Tensor3<Fixed16>& input);
 
+  // Runs B inputs through the layer graph as layer-wise batched calls.
+  // Returns one SimResult per slot, each bit-identical to a sequential
+  // infer() of that input. With `statuses` non-null, a slot whose input
+  // does not match the network's input dims gets a non-OK Status and an
+  // empty SimResult while the other slots still execute; with `statuses`
+  // null a bad input fails the whole call (CBRAIN_CHECK), matching
+  // infer()'s historical contract.
+  std::vector<SimResult> infer_batch(
+      const std::vector<const Tensor3<Fixed16>*>& inputs,
+      std::vector<Status>* statuses = nullptr);
+
+  // Worker-thread fan-out *within* one layer call (GEMM row chunks,
+  // im2row gather slices, pool/LRN planes). 1 = serial. Composes with
+  // the engine's request-level parallelism: nested parallel regions run
+  // inline on pool workers.
+  void set_intra_jobs(i64 jobs) { intra_jobs_ = jobs <= 0 ? 1 : jobs; }
+  i64 intra_jobs() const { return intra_jobs_; }
+
+  // Total buffer (re)allocation events across the executor's resident
+  // state: GEMM scratch growth + per-layer output tensor reconstruction.
+  // Stable across warm same-shape calls — test hook for the zero
+  // steady-state-allocation contract.
+  i64 scratch_growths() const { return scratch_.growths + tensor_growths_; }
+
   // Per-layer output read-back for cross-validation (valid after
-  // infer(); same logical cubes the simulator materializes in DRAM).
+  // infer(); image 0 of the most recent batch — same logical cubes the
+  // simulator materializes in DRAM).
   const Tensor3<Fixed16>& output(LayerId id) const;
 
   // The model estimates backing this executor's counters.
@@ -59,20 +104,32 @@ class FuncExecutor {
  private:
   struct PackedLayer {
     std::vector<std::int16_t> weights;  // GEMM rows, Tensor4 storage order
-    std::vector<Fixed16> bias;
-    // True when `weights` contains no -32768: the pmaddwd pair sum then
-    // cannot wrap and the GEMM takes simd::dot_s16_multi_nw. Checked once
-    // per pack; a -32768 weight (unreachable via init_net_params but
-    // legal in a hand-built NetParamsData) falls back to the full-range
-    // kernel, keeping outputs identical either way.
-    bool no_wrap = false;
+    // Bias promoted to accumulator (Q16.16) scale, zero-padded to dout.
+    std::vector<Fixed16::acc_t> bias_acc;
+    // Fastest multi-RHS kernel tier this weight tensor qualifies for
+    // (deep-window ⊃ no-wrap ⊃ exact preconditions; all bit-identical).
+    // Checked once per pack; a hand-built NetParamsData that fails a
+    // precondition falls back, keeping outputs identical either way.
+    WeightMode mode = WeightMode::kExact;
   };
+
+  // The resident output tensor for (layer, image), reconstructed only on
+  // a dims/order change (counted in tensor_growths_).
+  Tensor3<Fixed16>& slot(std::size_t layer, std::size_t image,
+                         const MapDims& dims);
 
   const Network& net_;
   AcceleratorConfig config_;
   NetworkModelResult model_;
   std::vector<PackedLayer> packed_;  // indexed by LayerId
-  std::vector<Tensor3<Fixed16>> outputs_;
+  // outputs_[layer][image] — never shrunk, rewritten every batch.
+  std::vector<std::vector<Tensor3<Fixed16>>> outputs_;
+  GemmScratch scratch_;
+  // Reused pointer staging for the batched layer calls.
+  std::vector<const Tensor3<Fixed16>*> in_ptrs_;
+  std::vector<Tensor3<Fixed16>*> out_ptrs_;
+  i64 intra_jobs_ = 1;
+  i64 tensor_growths_ = 0;
   bool params_loaded_ = false;
 };
 

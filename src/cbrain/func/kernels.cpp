@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "cbrain/common/check.hpp"
+#include "cbrain/common/thread_pool.hpp"
 #include "cbrain/ref/arith_traits.hpp"
 #include "cbrain/simd/simd.hpp"
 
@@ -14,34 +16,105 @@ static_assert(sizeof(Fixed16) == sizeof(std::int16_t),
 
 namespace {
 
-// Weight rows handed to one dot_s16_multi call. Matches the simulator's
+// Weight rows handed to one multi-RHS call. Matches the simulator's
 // lane-group width (kMultiRows in the scheme executors): a band of ~16
-// rows × a few-hundred-word patch stays L2-resident while the patch
-// streams.
+// rows × a few-hundred-word patch stays L2-resident while the patches
+// stream.
 constexpr i64 kRowChunk = 16;
 
+// Patch columns per multi-RHS call: each weight chunk loaded into
+// registers is amortized over this many right-hand sides. 8 keeps the
+// accumulator tile (16×8 int64) within a stack cache line budget and
+// matches the AVX2 kernels' 2×2 register blocking.
+constexpr i64 kColChunk = 8;
+
 // Elements (int16) per im2row band buffer: bounds the gather scratch at
-// ~2 MB and amortizes each weight chunk over thousands of pixels.
+// ~2 MB and amortizes each weight chunk over thousands of columns.
 constexpr i64 kBandElems = i64{1} << 20;
 
-i64 pixels_per_band(i64 krow, i64 cols) {
-  const i64 by_mem = std::max<i64>(i64{1}, kBandElems / std::max<i64>(
-                                               i64{1}, krow));
+// How many columns of `col_elems` int16 each fit in one band.
+i64 cols_per_band(i64 col_elems, i64 cols) {
+  const i64 by_mem =
+      std::max<i64>(i64{1}, kBandElems / std::max<i64>(i64{1}, col_elems));
   return std::min(cols, by_mem);
+}
+
+using MrhsFn = void (*)(const std::int16_t*, i64, i64, const std::int16_t*,
+                        i64, i64, i64, Fixed16::acc_t*, i64);
+
+MrhsFn mrhs_kernel(WeightMode m) {
+  switch (m) {
+    case WeightMode::kDeepWindow:
+      return simd::dot_s16_mrhs_dw;
+    case WeightMode::kNoWrap:
+      return simd::dot_s16_mrhs_nw;
+    case WeightMode::kExact:
+      break;
+  }
+  return simd::dot_s16_mrhs;
 }
 
 }  // namespace
 
+const char* weight_mode_name(WeightMode m) {
+  switch (m) {
+    case WeightMode::kNoWrap:
+      return "no_wrap";
+    case WeightMode::kDeepWindow:
+      return "deep_window";
+    case WeightMode::kExact:
+      break;
+  }
+  return "exact";
+}
+
+WeightMode classify_weights(const std::int16_t* weights, i64 rows,
+                            i64 row_len) {
+  // A -32768 weight can wrap the biased pmaddwd pair sums, so its
+  // presence forces the full-range kernel regardless of magnitudes.
+  const i64 total = rows * row_len;
+  for (i64 i = 0; i < total; ++i)
+    if (weights[i] == std::numeric_limits<std::int16_t>::min())
+      return WeightMode::kExact;
+  if (simd::deep_window_ok(weights, row_len, rows, row_len))
+    return WeightMode::kDeepWindow;
+  return WeightMode::kNoWrap;
+}
+
+std::vector<Fixed16::acc_t> promote_bias(const std::vector<Fixed16>& bias,
+                                         i64 dout) {
+  using Tr = ArithTraits<Fixed16>;
+  CBRAIN_CHECK(bias.empty() || static_cast<i64>(bias.size()) == dout,
+               "bias size mismatch");
+  std::vector<Fixed16::acc_t> acc(static_cast<std::size_t>(dout), 0);
+  for (std::size_t o = 0; o < bias.size(); ++o)
+    acc[o] = Tr::from_value(bias[o]);
+  return acc;
+}
+
+std::int16_t* GemmScratch::ensure_band(i64 elems) {
+  if (static_cast<i64>(band.size()) < elems) {
+    band.resize(static_cast<std::size_t>(elems));
+    ++growths;
+  }
+  return band.data();
+}
+
+std::int16_t* GemmScratch::ensure_flat(i64 elems) {
+  if (static_cast<i64>(flat.size()) < elems) {
+    flat.resize(static_cast<std::size_t>(elems));
+    ++growths;
+  }
+  return flat.data();
+}
+
 void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
                 const ConvParams& p, i64 pix0, i64 npix,
-                std::int16_t* patches) {
+                std::int16_t* patches, i64 patch_stride) {
   const MapDims in = input.dims();
   const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
   const i64 krow = din_count * p.k * p.k;
-  // Zero first: padded taps then contribute exact zero products, the same
-  // value at_padded() feeds the golden loop nest.
-  std::fill(patches, patches + npix * krow, std::int16_t{0});
-
+  CBRAIN_CHECK(patch_stride >= krow, "im2row patch stride below row length");
   const Fixed16* base = input.raw_data();
   for (i64 t = 0; t < npix; ++t) {
     const i64 pix = pix0 + t;
@@ -53,7 +126,16 @@ void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
     const i64 ky_hi = std::min(p.k, in.h - base_y);
     const i64 kx_lo = std::max<i64>(i64{0}, -base_x);
     const i64 kx_hi = std::min(p.k, in.w - base_x);
-    std::int16_t* patch = patches + t * krow;
+    std::int16_t* patch = patches + t * patch_stride;
+    // Interior pixels overwrite every patch byte with row copies below;
+    // only clipped (padded) windows need the zero fill that makes padded
+    // taps contribute exact zero products — the same value at_padded()
+    // feeds the golden loop nest. The SIMD-alignment tail always zeroes
+    // (its products pair padded weight zeros, contributing nothing).
+    if (ky_lo > 0 || ky_hi < p.k || kx_lo > 0 || kx_hi < p.k)
+      std::fill(patch, patch + krow, std::int16_t{0});
+    if (patch_stride > krow)
+      std::fill(patch + krow, patch + patch_stride, std::int16_t{0});
     for (i64 id = 0; id < din_count; ++id) {
       const Fixed16* plane =
           base + (din_begin + id) * in.h * in.w;
@@ -70,63 +152,214 @@ void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
   }
 }
 
-Tensor3<Fixed16> conv2d_func(const Tensor3<Fixed16>& input,
-                             const std::vector<std::int16_t>& packed_weights,
-                             const std::vector<Fixed16>& bias,
-                             const ConvParams& p, bool no_wrap_weights) {
+void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
+                       const std::vector<std::int16_t>& packed_weights,
+                       const std::vector<Fixed16::acc_t>& bias_acc,
+                       const ConvParams& p, WeightMode mode, i64 intra_jobs,
+                       GemmScratch& scratch,
+                       const std::vector<Tensor3<Fixed16>*>& outputs) {
   using Tr = ArithTraits<Fixed16>;
-  CBRAIN_CHECK(input.order() == DataOrder::kSpatialMajor,
-               "conv2d_func expects spatial-major input");
-  const MapDims in = input.dims();
+  const i64 batch = static_cast<i64>(inputs.size());
+  CBRAIN_CHECK(batch > 0 && outputs.size() == inputs.size(),
+               "conv2d_func_batch needs matching input/output slots");
+  const MapDims in = inputs[0]->dims();
   const i64 din_g = p.din_per_group(in.d);
   const i64 dout_g = p.dout_per_group();
   const i64 krow = din_g * p.k * p.k;
-  CBRAIN_CHECK(static_cast<i64>(packed_weights.size()) == p.dout * krow,
-               "packed weight size mismatch");
-  CBRAIN_CHECK(bias.empty() || static_cast<i64>(bias.size()) == p.dout,
-               "bias size mismatch");
-
+  const i64 krow_s = gemm_row_stride(krow);
+  CBRAIN_CHECK(static_cast<i64>(packed_weights.size()) == p.dout * krow_s,
+               "packed weight size mismatch (expect gemm_row_stride rows)");
+  CBRAIN_CHECK(static_cast<i64>(bias_acc.size()) == p.dout,
+               "bias_acc size mismatch");
   const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
   const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
   const i64 cols = oh * ow;
-  Tensor3<Fixed16> out({p.dout, oh, ow}, DataOrder::kSpatialMajor);
-  Fixed16* oraw = out.raw_data();
+  const MapDims od{p.dout, oh, ow};
+  for (std::size_t b = 0; b < inputs.size(); ++b) {
+    CBRAIN_CHECK(inputs[b]->order() == DataOrder::kSpatialMajor &&
+                     inputs[b]->dims() == in,
+                 "conv2d_func_batch inputs must share one spatial-major "
+                 "shape");
+    CBRAIN_CHECK(outputs[b]->order() == DataOrder::kSpatialMajor &&
+                     outputs[b]->dims() == od,
+                 "conv2d_func_batch output tensor not pre-shaped");
+  }
 
-  // Bias promoted once to accumulator (Q16.16) scale; adding it after the
-  // product sum is the same integer as seeding the accumulator with it.
-  std::vector<Fixed16::acc_t> bias_acc(static_cast<std::size_t>(p.dout), 0);
-  if (!bias.empty())
-    for (i64 o = 0; o < p.dout; ++o)
-      bias_acc[static_cast<std::size_t>(o)] =
-          Tr::from_value(bias[static_cast<std::size_t>(o)]);
-
-  const i64 pix_block = pixels_per_band(krow, cols);
-  std::vector<std::int16_t> band(
-      static_cast<std::size_t>(pix_block * krow));
-  Fixed16::acc_t accs[kRowChunk];
-  const auto dot_multi =
-      no_wrap_weights ? simd::dot_s16_multi_nw : simd::dot_s16_multi;
+  // Band columns are (image, pixel) pairs: column b*npix + t holds image
+  // b's patch for pixel pix0+t, so one packed weight chunk streams
+  // through registers once per batch-wide column block.
+  const i64 pix_block = cols_per_band(krow_s * batch, cols);
+  std::int16_t* band = scratch.ensure_band(batch * pix_block * krow_s);
+  const MrhsFn mrhs = mrhs_kernel(mode);
+  const i64 row_chunks = ceil_div(dout_g, kRowChunk);
 
   for (i64 g = 0; g < p.groups; ++g) {
     for (i64 pix0 = 0; pix0 < cols; pix0 += pix_block) {
       const i64 npix = std::min(pix_block, cols - pix0);
-      im2row_s16(input, g * din_g, din_g, p, pix0, npix, band.data());
-      for (i64 od0 = 0; od0 < dout_g; od0 += kRowChunk) {
-        const i64 rows = std::min(kRowChunk, dout_g - od0);
-        const std::int16_t* wchunk =
-            packed_weights.data() + (g * dout_g + od0) * krow;
-        for (i64 t = 0; t < npix; ++t) {
-          dot_multi(band.data() + t * krow, wchunk, krow, rows, krow, accs);
-          for (i64 l = 0; l < rows; ++l) {
-            const i64 dout_abs = g * dout_g + od0 + l;
-            oraw[dout_abs * cols + pix0 + t] = Tr::finalize(
-                accs[l] + bias_acc[static_cast<std::size_t>(dout_abs)],
-                p.relu);
-          }
-        }
-      }
+      // Gather: batch × pslices disjoint slices of the patch matrix.
+      const i64 pslices =
+          intra_jobs > 1 ? std::min(intra_jobs, npix) : i64{1};
+      parallel::parallel_for(
+          batch * pslices,
+          [&](i64 item) {
+            const i64 b = item / pslices;
+            const i64 s = item % pslices;
+            const i64 t0 = s * npix / pslices;
+            const i64 t1 = (s + 1) * npix / pslices;
+            im2row_s16(*inputs[static_cast<std::size_t>(b)], g * din_g,
+                       din_g, p, pix0 + t0, t1 - t0,
+                       band + (b * npix + t0) * krow_s, krow_s);
+          },
+          intra_jobs);
+      // GEMM: output-row chunks are the parallel grain; every output
+      // element is one exact dot finalized by exactly one task.
+      const i64 totcols = batch * npix;
+      parallel::parallel_for(
+          row_chunks,
+          [&](i64 chunk) {
+            const i64 od0 = chunk * kRowChunk;
+            const i64 rows = std::min(kRowChunk, dout_g - od0);
+            const std::int16_t* wchunk =
+                packed_weights.data() + (g * dout_g + od0) * krow_s;
+            Fixed16::acc_t accs[kRowChunk * kColChunk];
+            for (i64 c0 = 0; c0 < totcols; c0 += kColChunk) {
+              const i64 nc = std::min(kColChunk, totcols - c0);
+              mrhs(band + c0 * krow_s, krow_s, nc, wchunk, krow_s, rows,
+                   krow_s, accs, kColChunk);
+              for (i64 l = 0; l < rows; ++l) {
+                const i64 dout_abs = g * dout_g + od0 + l;
+                const Fixed16::acc_t bias =
+                    bias_acc[static_cast<std::size_t>(dout_abs)];
+                // A column block may straddle an image boundary; walk the
+                // (image, pixel) pair incrementally — a divide per output
+                // element is measurable against the GEMM itself.
+                i64 b = c0 / npix;
+                i64 t = c0 - b * npix;
+                Fixed16* out_row = outputs[static_cast<std::size_t>(b)]
+                                       ->raw_data() +
+                                   dout_abs * cols + pix0;
+                for (i64 cc = 0; cc < nc; ++cc) {
+                  out_row[t] =
+                      Tr::finalize(accs[l * kColChunk + cc] + bias, p.relu);
+                  if (++t == npix) {
+                    t = 0;
+                    ++b;
+                    if (cc + 1 < nc)
+                      out_row = outputs[static_cast<std::size_t>(b)]
+                                    ->raw_data() +
+                                dout_abs * cols + pix0;
+                  }
+                }
+              }
+            }
+          },
+          intra_jobs);
     }
   }
+}
+
+void fc_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
+                   const std::vector<std::int16_t>& packed_weights,
+                   const std::vector<Fixed16::acc_t>& bias_acc,
+                   const FCParams& p, WeightMode mode, i64 intra_jobs,
+                   GemmScratch& scratch,
+                   const std::vector<Tensor3<Fixed16>*>& outputs) {
+  using Tr = ArithTraits<Fixed16>;
+  const i64 batch = static_cast<i64>(inputs.size());
+  CBRAIN_CHECK(batch > 0 && outputs.size() == inputs.size(),
+               "fc_func_batch needs matching input/output slots");
+  const i64 din = inputs[0]->size();
+  const i64 din_s = gemm_row_stride(din);
+  CBRAIN_CHECK(static_cast<i64>(packed_weights.size()) == p.dout * din_s,
+               "fc packed weight size mismatch (expect gemm_row_stride rows)");
+  CBRAIN_CHECK(static_cast<i64>(bias_acc.size()) == p.dout,
+               "bias_acc size mismatch");
+  const MapDims od{p.dout, 1, 1};
+  for (std::size_t b = 0; b < inputs.size(); ++b) {
+    CBRAIN_CHECK(inputs[b]->order() == DataOrder::kSpatialMajor &&
+                     inputs[b]->size() == din,
+                 "fc_func_batch expects canonical spatial-major flatten "
+                 "order");
+    CBRAIN_CHECK(outputs[b]->order() == DataOrder::kSpatialMajor &&
+                     outputs[b]->dims() == od,
+                 "fc_func_batch output tensor not pre-shaped");
+  }
+
+  // The B×din activation matrix as raw int16: the dout×din weight matrix
+  // (DRAM-bound on the big FC layers) then streams once per column block
+  // of images instead of once per image.
+  std::int16_t* flat = scratch.ensure_flat(batch * din_s);
+  for (i64 b = 0; b < batch; ++b) {
+    std::memcpy(flat + b * din_s,
+                inputs[static_cast<std::size_t>(b)]->raw_data(),
+                static_cast<std::size_t>(din) * sizeof(std::int16_t));
+    if (din_s > din)
+      std::fill(flat + b * din_s + din, flat + (b + 1) * din_s,
+                std::int16_t{0});
+  }
+
+  const MrhsFn mrhs = mrhs_kernel(mode);
+  const i64 row_chunks = ceil_div(p.dout, kRowChunk);
+  parallel::parallel_for(
+      row_chunks,
+      [&](i64 chunk) {
+        const i64 o0 = chunk * kRowChunk;
+        const i64 rows = std::min(kRowChunk, p.dout - o0);
+        Fixed16::acc_t accs[kRowChunk * kColChunk];
+        for (i64 c0 = 0; c0 < batch; c0 += kColChunk) {
+          const i64 nc = std::min(kColChunk, batch - c0);
+          mrhs(flat + c0 * din_s, din_s, nc,
+               packed_weights.data() + o0 * din_s, din_s, rows, din_s, accs,
+               kColChunk);
+          for (i64 l = 0; l < rows; ++l) {
+            const Fixed16::acc_t bias =
+                bias_acc[static_cast<std::size_t>(o0 + l)];
+            for (i64 cc = 0; cc < nc; ++cc)
+              outputs[static_cast<std::size_t>(c0 + cc)]
+                  ->raw_data()[o0 + l] =
+                  Tr::finalize(accs[l * kColChunk + cc] + bias, p.relu);
+          }
+        }
+      },
+      intra_jobs);
+}
+
+namespace {
+
+// Re-packs densely packed rows (the historical wrapper surface) into the
+// zero-padded gemm_row_stride layout the batch kernels expect.
+std::vector<std::int16_t> pad_rows(const std::vector<std::int16_t>& dense,
+                                   i64 rows, i64 row_len) {
+  const i64 stride = gemm_row_stride(row_len);
+  CBRAIN_CHECK(static_cast<i64>(dense.size()) == rows * row_len,
+               "dense packed weight size mismatch");
+  std::vector<std::int16_t> padded(
+      static_cast<std::size_t>(rows * stride), 0);
+  for (i64 r = 0; r < rows; ++r)
+    std::memcpy(padded.data() + r * stride, dense.data() + r * row_len,
+                static_cast<std::size_t>(row_len) * sizeof(std::int16_t));
+  return padded;
+}
+
+}  // namespace
+
+Tensor3<Fixed16> conv2d_func(const Tensor3<Fixed16>& input,
+                             const std::vector<std::int16_t>& packed_weights,
+                             const std::vector<Fixed16>& bias,
+                             const ConvParams& p, bool no_wrap_weights) {
+  CBRAIN_CHECK(input.order() == DataOrder::kSpatialMajor,
+               "conv2d_func expects spatial-major input");
+  const MapDims in = input.dims();
+  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  Tensor3<Fixed16> out({p.dout, oh, ow}, DataOrder::kSpatialMajor);
+  const auto bias_acc = promote_bias(bias, p.dout);
+  GemmScratch scratch;
+  const i64 krow = p.din_per_group(in.d) * p.k * p.k;
+  conv2d_func_batch(
+      {&input}, pad_rows(packed_weights, p.dout, krow), bias_acc, p,
+      no_wrap_weights ? WeightMode::kNoWrap : WeightMode::kExact,
+      /*intra_jobs=*/1, scratch, {&out});
   return out;
 }
 
@@ -134,39 +367,15 @@ Tensor3<Fixed16> fc_func(const Tensor3<Fixed16>& input,
                          const std::vector<std::int16_t>& packed_weights,
                          const std::vector<Fixed16>& bias, const FCParams& p,
                          bool no_wrap_weights) {
-  using Tr = ArithTraits<Fixed16>;
   CBRAIN_CHECK(input.order() == DataOrder::kSpatialMajor,
                "fc_func expects canonical spatial-major flatten order");
-  const i64 din = input.size();
-  CBRAIN_CHECK(static_cast<i64>(packed_weights.size()) == p.dout * din,
-               "fc packed weight size mismatch");
-  CBRAIN_CHECK(bias.empty() || static_cast<i64>(bias.size()) == p.dout,
-               "fc bias size mismatch");
-
-  // The flattened activation vector as raw int16 — one copy, reused by
-  // every output row.
-  std::vector<std::int16_t> flat(static_cast<std::size_t>(din));
-  const Fixed16* in_flat = input.raw_data();
-  for (i64 i = 0; i < din; ++i)
-    flat[static_cast<std::size_t>(i)] =
-        in_flat[static_cast<std::size_t>(i)].raw();
-
   Tensor3<Fixed16> out({p.dout, 1, 1}, DataOrder::kSpatialMajor);
-  Fixed16* oraw = out.raw_data();
-  Fixed16::acc_t accs[kRowChunk];
-  const auto dot_multi =
-      no_wrap_weights ? simd::dot_s16_multi_nw : simd::dot_s16_multi;
-  for (i64 o0 = 0; o0 < p.dout; o0 += kRowChunk) {
-    const i64 rows = std::min(kRowChunk, p.dout - o0);
-    dot_multi(flat.data(), packed_weights.data() + o0 * din, din, rows, din,
-              accs);
-    for (i64 l = 0; l < rows; ++l) {
-      const i64 o = o0 + l;
-      const Fixed16::acc_t b =
-          bias.empty() ? 0 : Tr::from_value(bias[static_cast<std::size_t>(o)]);
-      oraw[o] = Tr::finalize(accs[l] + b, p.relu);
-    }
-  }
+  const auto bias_acc = promote_bias(bias, p.dout);
+  GemmScratch scratch;
+  fc_func_batch({&input}, pad_rows(packed_weights, p.dout, input.size()),
+                bias_acc, p,
+                no_wrap_weights ? WeightMode::kNoWrap : WeightMode::kExact,
+                /*intra_jobs=*/1, scratch, {&out});
   return out;
 }
 

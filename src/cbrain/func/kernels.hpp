@@ -1,27 +1,42 @@
 // cbrain::func — fixed-point functional kernels: the fast-tier execution
-// path behind FuncExecutor (DESIGN.md §12).
+// path behind FuncExecutor (DESIGN.md §12, batched execution §14).
 //
 // The cycle-level simulator computes every layer on simulated buffer
 // contents, which is what makes it an oracle and what makes it slow
 // (~1.5 s per AlexNet inference). These kernels compute the *same*
 // fixed-point arithmetic directly on host memory: im2col ("im2row",
-// patch-major) gathers + a blocked GEMM whose inner product is
-// simd::dot_s16_multi — the identical kernel the simulator's schemes
-// dispatch to — with bias promotion and single-point rounding exactly as
-// in ArithTraits<Fixed16>.
+// patch-major) gathers + a blocked GEMM whose inner product is the
+// simd:: multi-RHS dot kernels — with bias promotion and single-point
+// rounding exactly as in ArithTraits<Fixed16>.
+//
+// Batched execution: the *_batch entry points run B images of one layer
+// as a single GEMM whose column space is (image, pixel) — each packed
+// weight panel streams through cache once per column block instead of
+// once per image, which is where dynamic batching's throughput comes
+// from (FC weights are the extreme case: the whole matrix streams from
+// DRAM once per batch instead of once per request).
 //
 // Bit-exactness: every product is int16*int16 accumulated at int64
 // (Fixed16::acc_t) with no intermediate rounding, so the sum is
 // independent of accumulation order and blocking — identical to
 // conv2d_ref / fc_ref and therefore to the simulator's outputs
 // (tests/test_fidelity.cpp). Zero-padding contributes zero products, so
-// gathering padded zeros into patches changes nothing.
+// gathering padded zeros into patches changes nothing. Each output
+// element is one exact dot computed entirely by one task, so the batch
+// size, the column blocking and the intra-op job count can never change
+// an output bit.
 //
 // Layout contract: inputs and outputs are spatial-major Tensor3 cubes —
 // the canonical order RefExecutor and the simulator's result read-back
-// use. Weights arrive pre-packed as raw int16 rows of length
-// din_g*k*k (conv) or din_total (FC), i.e. exactly the Tensor4 storage
-// order, so weight rows line up with patch vectors by construction.
+// use. Weights arrive pre-packed as raw int16 rows laid out (din, ky,
+// kx) — exactly the Tensor4 storage order, so weight rows line up with
+// patch vectors by construction — at a row stride of
+// gemm_row_stride(row_len): rows whose length is not a multiple of the
+// 16-lane SIMD group are zero-padded up to it, so the multi-RHS kernels
+// never fall into their scalar remainder loop (a measured ~30% of conv1
+// GEMM time at AlexNet's krow=363). The padded tail multiplies 0*0 and
+// contributes nothing, so outputs are bit-identical to the unpadded
+// layout.
 #pragma once
 
 #include <cstdint>
@@ -33,29 +48,93 @@
 
 namespace cbrain::func {
 
+// Which simd multi-RHS kernel a packed weight tensor qualifies for,
+// decided once at pack time (FuncExecutor::load_params):
+//   kExact      — full-range fallback, no weight precondition
+//   kNoWrap     — no -32768 weight: pmaddwd pair sums cannot wrap
+//   kDeepWindow — simd::deep_window_ok holds: 32-bit deep accumulation
+// All three produce bit-identical outputs; they differ only in speed.
+enum class WeightMode { kExact = 0, kNoWrap = 1, kDeepWindow = 2 };
+
+const char* weight_mode_name(WeightMode m);
+
+// GEMM row stride for a logical row of `row_len` int16 elements: rounded
+// up to the 16-lane SIMD group so every row the multi-RHS kernels see is
+// an exact vector multiple (the padding is zeros on both operands).
+// Weight packing (FuncExecutor::load_params), the im2row band and the FC
+// activation matrix all use this stride.
+inline i64 gemm_row_stride(i64 row_len) { return (row_len + 15) & ~i64{15}; }
+
+// Classifies a packed weight buffer of `rows` GEMM rows of length
+// `row_len` (one pass over the weights; run once per load_params).
+WeightMode classify_weights(const std::int16_t* weights, i64 rows,
+                            i64 row_len);
+
+// Promotes a bias vector to accumulator (Q16.16) scale, padded with
+// zeros to `dout` entries; adding the promoted bias after the product
+// sum is the same integer as seeding the accumulator with it.
+std::vector<Fixed16::acc_t> promote_bias(const std::vector<Fixed16>& bias,
+                                         i64 dout);
+
+// Reusable GEMM scratch, owned by the executor (one per session, sized
+// on first use, then stable): the im2row patch matrix and the batched FC
+// activation matrix. `growths` counts reallocation events — zero in the
+// steady state, which tests/test_batch.cpp asserts.
+struct GemmScratch {
+  std::vector<std::int16_t> band;
+  std::vector<std::int16_t> flat;
+  i64 growths = 0;
+
+  std::int16_t* ensure_band(i64 elems);
+  std::int16_t* ensure_flat(i64 elems);
+};
+
 // Patch-major im2col for a band of output pixels [pix0, pix0+npix) of one
 // group: patch t (pixel pix0+t) occupies
-//   patches[t*din_count*k*k ... ] laid out (din, ky, kx)
-// — the same order as a packed weight row. Out-of-bounds taps gather 0.
-// `patches` must hold npix * din_count * k * k elements.
+//   patches[t*patch_stride ... ] laid out (din, ky, kx)
+// — the same order as a packed weight row. Out-of-bounds taps gather 0,
+// and the padded tail [din_count*k*k, patch_stride) is zeroed.
+// `patches` must hold npix * patch_stride elements;
+// patch_stride >= din_count*k*k (normally gemm_row_stride of it).
 void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
                 const ConvParams& p, i64 pix0, i64 npix,
-                std::int16_t* patches);
+                std::int16_t* patches, i64 patch_stride);
 
-// Convolution via im2row + blocked GEMM over simd::dot_s16_multi.
-// `packed_weights` is the raw Tensor4 storage: groups*dout_g rows of
-// din_g*k*k int16 words. Bit-identical to conv2d_ref<Fixed16>.
-// `no_wrap_weights` asserts the weight buffer contains no -32768 (the
-// executor checks once at pack time), unlocking the pmaddwd fast path
-// (simd::dot_s16_multi_nw) — same results, ~3x the GEMM throughput.
+// Batched convolution via im2row + blocked multi-RHS GEMM. All inputs
+// share one shape; `outputs[b]` must be pre-shaped {dout, oh, ow}
+// spatial-major (the executor keeps them resident across inferences).
+// `bias_acc` is promote_bias()'s output (size dout). With intra_jobs > 1
+// the output-row chunks (and the im2row gather) are partitioned over
+// cbrain::parallel — each output element is still one exact dot computed
+// by one task, so results are bit-identical at any intra_jobs and batch
+// size. Allocates nothing beyond `scratch` growth.
+void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
+                       const std::vector<std::int16_t>& packed_weights,
+                       const std::vector<Fixed16::acc_t>& bias_acc,
+                       const ConvParams& p, WeightMode mode, i64 intra_jobs,
+                       GemmScratch& scratch,
+                       const std::vector<Tensor3<Fixed16>*>& outputs);
+
+// Batched fully-connected layer over the flattened (spatial-major) input
+// cubes: one B×din activation matrix against the dout×din weight matrix,
+// so the weight stream (DRAM-bound for large FC layers) is paid once per
+// column block of images instead of once per image. Same contracts as
+// conv2d_func_batch; outputs[b] must be pre-shaped {dout, 1, 1}.
+void fc_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
+                   const std::vector<std::int16_t>& packed_weights,
+                   const std::vector<Fixed16::acc_t>& bias_acc,
+                   const FCParams& p, WeightMode mode, i64 intra_jobs,
+                   GemmScratch& scratch,
+                   const std::vector<Tensor3<Fixed16>*>& outputs);
+
+// Single-image wrappers (historical surface; tests and the reference
+// cross-checks use these). `no_wrap_weights` asserts the weight buffer
+// contains no -32768, selecting WeightMode::kNoWrap.
 Tensor3<Fixed16> conv2d_func(const Tensor3<Fixed16>& input,
                              const std::vector<std::int16_t>& packed_weights,
                              const std::vector<Fixed16>& bias,
                              const ConvParams& p, bool no_wrap_weights = false);
 
-// Fully-connected layer over the flattened (spatial-major) input cube.
-// `packed_weights` is dout rows of din_total int16 words. Bit-identical
-// to fc_ref<Fixed16>. `no_wrap_weights` as in conv2d_func.
 Tensor3<Fixed16> fc_func(const Tensor3<Fixed16>& input,
                          const std::vector<std::int16_t>& packed_weights,
                          const std::vector<Fixed16>& bias, const FCParams& p,

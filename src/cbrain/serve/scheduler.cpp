@@ -169,6 +169,18 @@ std::string LoadStats::to_string() const {
   return os.str();
 }
 
+std::string LoadStats::batch_hist_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t s = 1; s < batch_size_hist.size(); ++s) {
+    if (batch_size_hist[s] == 0) continue;
+    if (!first) os << ' ';
+    os << s << ':' << batch_size_hist[s];
+    first = false;
+  }
+  return os.str();
+}
+
 // ---------------------------------------------------------------------------
 // Scheduler
 
@@ -256,11 +268,14 @@ struct Scheduler::Impl {
   LoadStats stats;
 
   // Execution plan: admitted ids in completion order, grouped later.
+  // `batch` is the dispatch ordinal of the formed batch the request rode
+  // in, so deferred execution can replay the dispatcher's exact batches.
   struct Executed {
     i64 id;
     i64 model;
     Fidelity tier;
     u64 input_seed;
+    i64 batch;
   };
   std::vector<Executed> executed;
 
@@ -521,6 +536,9 @@ struct Scheduler::Impl {
     srv.busy = true;
     srv.members.clear();
     ++stats.batches;
+    if (stats.batch_size_hist.size() <= batch.size())
+      stats.batch_size_hist.resize(batch.size() + 1, 0);
+    ++stats.batch_size_hist[batch.size()];
     stats.server_busy_us += service;
     reg.counter("serve.batches").inc();
     reg.counter("serve.batched_requests").inc(
@@ -546,7 +564,7 @@ struct Scheduler::Impl {
       responses[static_cast<std::size_t>(p.id)] = std::move(r);
       srv.members.push_back(p.id);
       executed.push_back(
-          {p.id, p.req.model, p.tier, p.req.input_seed});
+          {p.id, p.req.model, p.tier, p.req.input_seed, stats.batches});
     }
     events.push({done_at, kServerDone, server, event_seq++});
 
@@ -758,17 +776,21 @@ RunResult Scheduler::run(ClientSource& source, i64 jobs) {
 
   if (config_.execute && !impl.executed.empty()) {
     // Deferred execution of every admitted request through real
-    // weight-resident sessions. Grouped by (model, effective tier) so
-    // each group is one run_many — the same code path a production
-    // dispatch would take — and digested into the responses. Outputs are
-    // byte-identical to direct Session::infer (engine contract), so the
-    // digests are jobs- and history-independent.
+    // weight-resident sessions. Grouped by (model, effective tier), and
+    // within each group the dispatcher's *formed batches* (by dispatch
+    // ordinal) are replayed as engine::run_batches — each batch one
+    // multi-image Session::infer_batch call, the same code path a
+    // production dispatch would take — and digested into the responses.
+    // Outputs are byte-identical to direct Session::infer (engine +
+    // executor contracts), so the digests are jobs-, intra_jobs- and
+    // batch-shape-independent.
     if (config_.collect_outputs)
       out.outputs.resize(out.responses.size());
     std::sort(impl.executed.begin(), impl.executed.end(),
               [](const Impl::Executed& a, const Impl::Executed& b) {
                 if (a.model != b.model) return a.model < b.model;
                 if (a.tier != b.tier) return a.tier < b.tier;
+                if (a.batch != b.batch) return a.batch < b.batch;
                 return a.id < b.id;
               });
     std::size_t i = 0;
@@ -786,11 +808,20 @@ RunResult Scheduler::run(ClientSource& source, i64 jobs) {
       for (std::size_t k = i; k < j; ++k)
         inputs.push_back(random_input<Fixed16>(
             m.input_dims, impl.executed[k].input_seed));
+      // A formed batch is same-(model,tier) by construction, so its
+      // members are contiguous here: runs of equal dispatch ordinal.
+      std::vector<std::vector<i64>> batches;
+      for (std::size_t k = i; k < j; ++k) {
+        if (k == i ||
+            impl.executed[k].batch != impl.executed[k - 1].batch)
+          batches.emplace_back();
+        batches.back().push_back(static_cast<i64>(k - i));
+      }
       std::vector<Status> statuses;
-      auto results =
-          engine_.run_many(m.net, m.policy, params, inputs, jobs,
-                           /*stats=*/nullptr, impl.executed[i].tier,
-                           &statuses);
+      auto results = engine_.run_batches(
+          m.net, m.policy, params, inputs, batches, jobs,
+          /*stats=*/nullptr, impl.executed[i].tier, &statuses,
+          config_.intra_jobs);
       for (std::size_t k = i; k < j; ++k) {
         CBRAIN_CHECK(statuses[k - i].is_ok(),
                      "serve execution failed: "

@@ -82,12 +82,20 @@ struct SchedulerConfig {
   i64 degrade_watermark = 32;  // reroute best-effort cycle -> functional
   i64 shed_watermark = 96;     // refuse/evict best-effort work
 
-  // Execute admitted requests for real through engine::run_many (outputs
-  // digest into Response::output_digest; byte-identical to direct
-  // Session::infer). Off for pure scheduling studies — decisions and
-  // virtual latencies are identical either way.
+  // Execute admitted requests for real through engine::run_batches — the
+  // exact batches the dispatcher formed run as single multi-image
+  // Session::infer_batch calls (outputs digest into
+  // Response::output_digest; byte-identical to direct Session::infer).
+  // Off for pure scheduling studies — decisions and virtual latencies
+  // are identical either way.
   bool execute = true;
   bool collect_outputs = false;  // keep output tensors in RunResult
+
+  // Intra-op worker fan-out inside each layer call of the functional
+  // tier's execution (engine::run_batches intra_jobs). Purely a host
+  // execution knob: outputs, digests and every scheduling decision are
+  // identical at any value.
+  i64 intra_jobs = 1;
 
   ServiceModel service;
 };
@@ -150,6 +158,10 @@ struct LoadStats {
   i64 horizon_us = 0;  // last completion (makespan of the run)
   i64 server_busy_us = 0;
   i64 servers = 0;
+  // Realized batch sizes: batch_size_hist[s] counts dispatched batches
+  // of exactly s members (index 0 unused). A decision-level count, so it
+  // is byte-identical across --jobs like every other field here.
+  std::vector<i64> batch_size_hist;
   std::array<ClassStats, kPriorityClasses> per_class;
 
   const ClassStats& cls(Priority p) const {
@@ -167,6 +179,9 @@ struct LoadStats {
 
   // Stable multi-line rendering — byte-compared by the determinism tests.
   std::string to_string() const;
+  // Compact "size:count" rendering of batch_size_hist ("1:3 4:2 8:17");
+  // empty string when no batch was dispatched.
+  std::string batch_hist_string() const;
 };
 
 struct RunResult {

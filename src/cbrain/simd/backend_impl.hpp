@@ -22,6 +22,15 @@ struct KernelTable {
   void (*dot_s16_multi_nw)(const std::int16_t*, const std::int16_t*,
                            std::int64_t, std::int64_t, std::int64_t,
                            std::int64_t*);
+  void (*dot_s16_mrhs)(const std::int16_t*, std::int64_t, std::int64_t,
+                       const std::int16_t*, std::int64_t, std::int64_t,
+                       std::int64_t, std::int64_t*, std::int64_t);
+  void (*dot_s16_mrhs_nw)(const std::int16_t*, std::int64_t, std::int64_t,
+                          const std::int16_t*, std::int64_t, std::int64_t,
+                          std::int64_t, std::int64_t*, std::int64_t);
+  void (*dot_s16_mrhs_dw)(const std::int16_t*, std::int64_t, std::int64_t,
+                          const std::int16_t*, std::int64_t, std::int64_t,
+                          std::int64_t, std::int64_t*, std::int64_t);
   void (*add_sat_s16)(const std::int16_t*, const std::int16_t*,
                       std::int16_t*, std::int64_t);
   void (*relu_s16)(const std::int16_t*, std::int16_t*, std::int64_t);

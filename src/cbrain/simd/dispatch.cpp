@@ -177,6 +177,59 @@ void dot_s16_multi_nw(const std::int16_t* data, const std::int16_t* weights,
   table()->dot_s16_multi_nw(data, weights, row_stride, rows, n, out);
 }
 
+void dot_s16_mrhs(const std::int16_t* data, i64 data_stride, i64 cols,
+                  const std::int16_t* weights, i64 row_stride, i64 rows,
+                  i64 n, Fixed16::acc_t* out, i64 out_stride) {
+  table()->dot_s16_mrhs(data, data_stride, cols, weights, row_stride, rows, n,
+                        out, out_stride);
+}
+
+void dot_s16_mrhs_nw(const std::int16_t* data, i64 data_stride, i64 cols,
+                     const std::int16_t* weights, i64 row_stride, i64 rows,
+                     i64 n, Fixed16::acc_t* out, i64 out_stride) {
+  table()->dot_s16_mrhs_nw(data, data_stride, cols, weights, row_stride, rows,
+                           n, out, out_stride);
+}
+
+void dot_s16_mrhs_dw(const std::int16_t* data, i64 data_stride, i64 cols,
+                     const std::int16_t* weights, i64 row_stride, i64 rows,
+                     i64 n, Fixed16::acc_t* out, i64 out_stride) {
+  table()->dot_s16_mrhs_dw(data, data_stride, cols, weights, row_stride, rows,
+                           n, out, out_stride);
+}
+
+bool deep_window_ok(const std::int16_t* weights, i64 row_stride, i64 rows,
+                    i64 n) {
+  // Per pmaddwd lane, the pairwise products summed over an aligned window
+  // of kDeepGroups 16-element groups must stay inside int32 for *any*
+  // int16 data, i.e. 32768 * sum(|w_2j| + |w_2j+1|) <= 2^31 - 1, so the
+  // per-lane window abs-sum bound is (2^31 - 1) / 32768 = 65535.
+  constexpr i64 kLaneBound = (i64{1} << 31) / 32768 - 1;  // 65535
+  const i64 groups = n / 16;
+  for (i64 l = 0; l < rows; ++l) {
+    const std::int16_t* row = weights + l * row_stride;
+    i64 lane_sum[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (i64 g = 0; g < groups; ++g) {
+      for (i64 j = 0; j < 8; ++j) {
+        const i64 a = row[g * 16 + 2 * j];
+        const i64 b = row[g * 16 + 2 * j + 1];
+        lane_sum[j] += (a < 0 ? -a : a) + (b < 0 ? -b : b);
+      }
+      // Check at each window boundary (and below, at the final partial
+      // window — the kernel's last flush covers groups % kDeepGroups).
+      if ((g + 1) % kDeepGroups == 0) {
+        for (i64 j = 0; j < 8; ++j) {
+          if (lane_sum[j] > kLaneBound) return false;
+          lane_sum[j] = 0;
+        }
+      }
+    }
+    for (i64 j = 0; j < 8; ++j)
+      if (lane_sum[j] > kLaneBound) return false;
+  }
+  return true;
+}
+
 void add_sat_s16(const std::int16_t* a, const std::int16_t* b,
                  std::int16_t* out, i64 n) {
   table()->add_sat_s16(a, b, out, n);

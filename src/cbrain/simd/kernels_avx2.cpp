@@ -111,6 +111,234 @@ void dot_s16_multi_nw(const int16_t* data, const int16_t* weights,
     out[l] = dot_s16_nw(data, weights + l * row_stride, n);
 }
 
+// Generic (wrap-safe) multi-RHS tile: element-by-element over the exact
+// widening dot. The wrap-safe path only runs for hand-built parameter
+// sets containing -32768, so it stays simple.
+void dot_s16_mrhs(const int16_t* data, int64_t data_stride, int64_t cols,
+                  const int16_t* weights, int64_t row_stride, int64_t rows,
+                  int64_t n, int64_t* out, int64_t out_stride) {
+  for (int64_t l = 0; l < rows; ++l)
+    for (int64_t c = 0; c < cols; ++c)
+      out[l * out_stride + c] =
+          dot_s16(data + c * data_stride, weights + l * row_stride, n);
+}
+
+// Register-blocked 2 rows × 2 columns no-wrap tile: each weight vector is
+// loaded once and madd'ed against both data columns (and vice versa), so
+// the L2/DRAM-resident weight stream is touched half as often per MAC as
+// the 1-RHS kernel — the win that makes batched FC/conv GEMMs cheaper
+// than request-at-a-time ones. Eight i64 accumulator registers (2x2
+// products × lo/hi halves) plus two data, two weight and two constant
+// registers fit the 16-register AVX2 file. Every lane sum is exact, so
+// the result is bit-identical to dot_s16_nw per element.
+inline void mrhs_nw_2x2(const int16_t* d0, const int16_t* d1,
+                        const int16_t* w0, const int16_t* w1, int64_t n,
+                        int64_t* o00, int64_t* o01, int64_t* o10,
+                        int64_t* o11) {
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  __m256i a00l = _mm256_setzero_si256(), a00h = _mm256_setzero_si256();
+  __m256i a01l = _mm256_setzero_si256(), a01h = _mm256_setzero_si256();
+  __m256i a10l = _mm256_setzero_si256(), a10h = _mm256_setzero_si256();
+  __m256i a11l = _mm256_setzero_si256(), a11h = _mm256_setzero_si256();
+  int64_t i = 0;
+  int64_t groups = 0;
+  for (; i + 16 <= n; i += 16, ++groups) {
+    const __m256i vw0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w0 + i));
+    const __m256i vw1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w1 + i));
+    const __m256i vd0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d0 + i));
+    const __m256i vd1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1 + i));
+    __m256i u = _mm256_xor_si256(_mm256_madd_epi16(vd0, vw0), sign);
+    a00l = _mm256_add_epi64(a00l, _mm256_and_si256(u, lo32));
+    a00h = _mm256_add_epi64(a00h, _mm256_srli_epi64(u, 32));
+    u = _mm256_xor_si256(_mm256_madd_epi16(vd1, vw0), sign);
+    a01l = _mm256_add_epi64(a01l, _mm256_and_si256(u, lo32));
+    a01h = _mm256_add_epi64(a01h, _mm256_srli_epi64(u, 32));
+    u = _mm256_xor_si256(_mm256_madd_epi16(vd0, vw1), sign);
+    a10l = _mm256_add_epi64(a10l, _mm256_and_si256(u, lo32));
+    a10h = _mm256_add_epi64(a10h, _mm256_srli_epi64(u, 32));
+    u = _mm256_xor_si256(_mm256_madd_epi16(vd1, vw1), sign);
+    a11l = _mm256_add_epi64(a11l, _mm256_and_si256(u, lo32));
+    a11h = _mm256_add_epi64(a11h, _mm256_srli_epi64(u, 32));
+  }
+  const int64_t bias = groups * (int64_t{8} << 31);
+  alignas(32) int64_t lanes[4];
+  auto reduce = [&lanes](__m256i lo, __m256i hi) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_add_epi64(lo, hi));
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  };
+  int64_t r00 = reduce(a00l, a00h) - bias;
+  int64_t r01 = reduce(a01l, a01h) - bias;
+  int64_t r10 = reduce(a10l, a10h) - bias;
+  int64_t r11 = reduce(a11l, a11h) - bias;
+  for (; i < n; ++i) {
+    r00 += static_cast<int64_t>(d0[i]) * static_cast<int64_t>(w0[i]);
+    r01 += static_cast<int64_t>(d1[i]) * static_cast<int64_t>(w0[i]);
+    r10 += static_cast<int64_t>(d0[i]) * static_cast<int64_t>(w1[i]);
+    r11 += static_cast<int64_t>(d1[i]) * static_cast<int64_t>(w1[i]);
+  }
+  *o00 = r00;
+  *o01 = r01;
+  *o10 = r10;
+  *o11 = r11;
+}
+
+void dot_s16_mrhs_nw(const int16_t* data, int64_t data_stride, int64_t cols,
+                     const int16_t* weights, int64_t row_stride, int64_t rows,
+                     int64_t n, int64_t* out, int64_t out_stride) {
+  int64_t l = 0;
+  for (; l + 2 <= rows; l += 2) {
+    const int16_t* w0 = weights + l * row_stride;
+    const int16_t* w1 = w0 + row_stride;
+    int64_t* out0 = out + l * out_stride;
+    int64_t* out1 = out0 + out_stride;
+    int64_t c = 0;
+    for (; c + 2 <= cols; c += 2)
+      mrhs_nw_2x2(data + c * data_stride, data + (c + 1) * data_stride, w0,
+                  w1, n, out0 + c, out0 + c + 1, out1 + c, out1 + c + 1);
+    for (; c < cols; ++c) {
+      const int16_t* d = data + c * data_stride;
+      out0[c] = dot_s16_nw(d, w0, n);
+      out1[c] = dot_s16_nw(d, w1, n);
+    }
+  }
+  if (l < rows) {
+    const int16_t* w0 = weights + l * row_stride;
+    int64_t* out0 = out + l * out_stride;
+    for (int64_t c = 0; c < cols; ++c)
+      out0[c] = dot_s16_nw(data + c * data_stride, w0, n);
+  }
+}
+
+// --- deep-window path -------------------------------------------------------
+// Under the dot_s16_mrhs_dw contract (simd.hpp) pmaddwd results for up to
+// kDeepGroups consecutive groups can be summed with plain 32-bit adds
+// without wrapping, so the per-group widening chain of the _nw kernels
+// (xor + and + shift + two i64 adds — the vector-ALU bottleneck) is paid
+// once per *window* instead of once per group: the steady state is one
+// load + one madd + one add_epi32 per 16 MACs. Must match
+// simd::kDeepGroups (16 groups × 16 int16 elements).
+constexpr int64_t kDeepElems = 16 * 16;
+
+// Widens the eight i32 lanes of `a` into the 4×i64 accumulator `s`.
+inline __m256i flush_i32(__m256i s, __m256i a) {
+  s = _mm256_add_epi64(s, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(a)));
+  return _mm256_add_epi64(
+      s, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(a, 1)));
+}
+
+inline int64_t reduce_i64(__m256i s) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), s);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+int64_t dot_s16_dw(const int16_t* data, const int16_t* weights, int64_t n) {
+  __m256i s = _mm256_setzero_si256();
+  int64_t i = 0;
+  const int64_t vend = n & ~int64_t{15};
+  while (i < vend) {
+    const int64_t lim = i + kDeepElems < vend ? i + kDeepElems : vend;
+    __m256i a = _mm256_setzero_si256();
+    for (; i < lim; i += 16) {
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+      const __m256i w =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(weights + i));
+      a = _mm256_add_epi32(a, _mm256_madd_epi16(d, w));
+    }
+    s = flush_i32(s, a);
+  }
+  int64_t acc = reduce_i64(s);
+  for (; i < n; ++i)
+    acc += static_cast<int64_t>(data[i]) * static_cast<int64_t>(weights[i]);
+  return acc;
+}
+
+// 2×2 deep tile: the register budget is four i32 window accumulators,
+// four i64 deep accumulators, two weight and two data vectors — 12 of the
+// 16 ymm registers, leaving headroom for the madd temporaries. Weight
+// vectors stream through registers once per column pair (the mrhs
+// amortization) and the inner loop runs at pmaddwd throughput.
+inline void mrhs_dw_2x2(const int16_t* d0, const int16_t* d1,
+                        const int16_t* w0, const int16_t* w1, int64_t n,
+                        int64_t* o00, int64_t* o01, int64_t* o10,
+                        int64_t* o11) {
+  __m256i s00 = _mm256_setzero_si256(), s01 = _mm256_setzero_si256();
+  __m256i s10 = _mm256_setzero_si256(), s11 = _mm256_setzero_si256();
+  int64_t i = 0;
+  const int64_t vend = n & ~int64_t{15};
+  while (i < vend) {
+    const int64_t lim = i + kDeepElems < vend ? i + kDeepElems : vend;
+    __m256i a00 = _mm256_setzero_si256(), a01 = _mm256_setzero_si256();
+    __m256i a10 = _mm256_setzero_si256(), a11 = _mm256_setzero_si256();
+    for (; i < lim; i += 16) {
+      const __m256i vw0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w0 + i));
+      const __m256i vw1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w1 + i));
+      const __m256i vd0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d0 + i));
+      const __m256i vd1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1 + i));
+      a00 = _mm256_add_epi32(a00, _mm256_madd_epi16(vd0, vw0));
+      a01 = _mm256_add_epi32(a01, _mm256_madd_epi16(vd1, vw0));
+      a10 = _mm256_add_epi32(a10, _mm256_madd_epi16(vd0, vw1));
+      a11 = _mm256_add_epi32(a11, _mm256_madd_epi16(vd1, vw1));
+    }
+    s00 = flush_i32(s00, a00);
+    s01 = flush_i32(s01, a01);
+    s10 = flush_i32(s10, a10);
+    s11 = flush_i32(s11, a11);
+  }
+  int64_t r00 = reduce_i64(s00);
+  int64_t r01 = reduce_i64(s01);
+  int64_t r10 = reduce_i64(s10);
+  int64_t r11 = reduce_i64(s11);
+  for (; i < n; ++i) {
+    r00 += static_cast<int64_t>(d0[i]) * static_cast<int64_t>(w0[i]);
+    r01 += static_cast<int64_t>(d1[i]) * static_cast<int64_t>(w0[i]);
+    r10 += static_cast<int64_t>(d0[i]) * static_cast<int64_t>(w1[i]);
+    r11 += static_cast<int64_t>(d1[i]) * static_cast<int64_t>(w1[i]);
+  }
+  *o00 = r00;
+  *o01 = r01;
+  *o10 = r10;
+  *o11 = r11;
+}
+
+void dot_s16_mrhs_dw(const int16_t* data, int64_t data_stride, int64_t cols,
+                     const int16_t* weights, int64_t row_stride, int64_t rows,
+                     int64_t n, int64_t* out, int64_t out_stride) {
+  int64_t l = 0;
+  for (; l + 2 <= rows; l += 2) {
+    const int16_t* w0 = weights + l * row_stride;
+    const int16_t* w1 = w0 + row_stride;
+    int64_t* out0 = out + l * out_stride;
+    int64_t* out1 = out0 + out_stride;
+    int64_t c = 0;
+    for (; c + 2 <= cols; c += 2)
+      mrhs_dw_2x2(data + c * data_stride, data + (c + 1) * data_stride, w0,
+                  w1, n, out0 + c, out0 + c + 1, out1 + c, out1 + c + 1);
+    for (; c < cols; ++c) {
+      const int16_t* d = data + c * data_stride;
+      out0[c] = dot_s16_dw(d, w0, n);
+      out1[c] = dot_s16_dw(d, w1, n);
+    }
+  }
+  if (l < rows) {
+    const int16_t* w0 = weights + l * row_stride;
+    int64_t* out0 = out + l * out_stride;
+    for (int64_t c = 0; c < cols; ++c)
+      out0[c] = dot_s16_dw(data + c * data_stride, w0, n);
+  }
+}
+
 void add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
                  int64_t n) {
   int64_t i = 0;
@@ -167,8 +395,9 @@ void axpy_f32(float a, const float* x, float* y, int64_t n) {
 }
 
 constexpr KernelTable kTable = {
-    dot_s16,     dot_s16_multi, dot_s16_multi_acc, dot_s16_multi_nw,
-    add_sat_s16, relu_s16,      max_s16,           axpy_f32,
+    dot_s16,       dot_s16_multi,   dot_s16_multi_acc, dot_s16_multi_nw,
+    dot_s16_mrhs,  dot_s16_mrhs_nw, dot_s16_mrhs_dw,
+    add_sat_s16,   relu_s16,        max_s16,           axpy_f32,
 };
 
 }  // namespace

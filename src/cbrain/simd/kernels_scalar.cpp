@@ -31,6 +31,15 @@ void s_dot_s16_multi_acc(const int16_t* data, const int16_t* weights,
     out[l] += s_dot_s16(data, weights + l * row_stride, n);
 }
 
+void s_dot_s16_mrhs(const int16_t* data, int64_t data_stride, int64_t cols,
+                    const int16_t* weights, int64_t row_stride, int64_t rows,
+                    int64_t n, int64_t* out, int64_t out_stride) {
+  for (int64_t l = 0; l < rows; ++l)
+    for (int64_t c = 0; c < cols; ++c)
+      out[l * out_stride + c] =
+          s_dot_s16(data + c * data_stride, weights + l * row_stride, n);
+}
+
 void s_add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
                    int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
@@ -56,8 +65,10 @@ void s_axpy_f32(float a, const float* x, float* y, int64_t n) {
 constexpr KernelTable kTable = {
     s_dot_s16,     s_dot_s16_multi, s_dot_s16_multi_acc,
     // The no-wrap contract is a strict subset of full-range inputs, so
-    // the scalar reference serves both entry points unchanged.
+    // the scalar reference serves both entry points unchanged — and both
+    // multi-RHS slots likewise.
     s_dot_s16_multi,
+    s_dot_s16_mrhs, s_dot_s16_mrhs, s_dot_s16_mrhs,
     s_add_sat_s16, s_relu_s16,      s_max_s16,           s_axpy_f32,
 };
 

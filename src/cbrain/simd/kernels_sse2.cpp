@@ -103,6 +103,28 @@ void dot_s16_multi_nw(const int16_t* data, const int16_t* weights,
     out[l] = dot_s16_nw(data, weights + l * row_stride, n);
 }
 
+// Multi-RHS tiles: element-by-element over the exact dot kernels. SSE2 is
+// the compatibility fallback — the register-blocked tile lives in the
+// AVX2 backend; here correctness (each element one exact dot) is the
+// whole contract.
+void dot_s16_mrhs(const int16_t* data, int64_t data_stride, int64_t cols,
+                  const int16_t* weights, int64_t row_stride, int64_t rows,
+                  int64_t n, int64_t* out, int64_t out_stride) {
+  for (int64_t l = 0; l < rows; ++l)
+    for (int64_t c = 0; c < cols; ++c)
+      out[l * out_stride + c] =
+          dot_s16(data + c * data_stride, weights + l * row_stride, n);
+}
+
+void dot_s16_mrhs_nw(const int16_t* data, int64_t data_stride, int64_t cols,
+                     const int16_t* weights, int64_t row_stride, int64_t rows,
+                     int64_t n, int64_t* out, int64_t out_stride) {
+  for (int64_t l = 0; l < rows; ++l)
+    for (int64_t c = 0; c < cols; ++c)
+      out[l * out_stride + c] =
+          dot_s16_nw(data + c * data_stride, weights + l * row_stride, n);
+}
+
 void add_sat_s16(const int16_t* a, const int16_t* b, int16_t* out,
                  int64_t n) {
   int64_t i = 0;
@@ -158,9 +180,14 @@ void axpy_f32(float a, const float* x, float* y, int64_t n) {
   for (; i < n; ++i) y[i] += a * x[i];
 }
 
+// The deep-window slot reuses the no-wrap tile: the deep contract
+// implies every single pmaddwd pair sum fits int32 (a one-pair "window"
+// is a subset of the checked window), so _nw is valid for all dw inputs.
+// The 32-bit-deep accumulation itself is an AVX2-only optimization.
 constexpr KernelTable kTable = {
-    dot_s16,     dot_s16_multi, dot_s16_multi_acc, dot_s16_multi_nw,
-    add_sat_s16, relu_s16,      max_s16,           axpy_f32,
+    dot_s16,       dot_s16_multi,   dot_s16_multi_acc, dot_s16_multi_nw,
+    dot_s16_mrhs,  dot_s16_mrhs_nw, dot_s16_mrhs_nw,
+    add_sat_s16,   relu_s16,        max_s16,           axpy_f32,
 };
 
 }  // namespace

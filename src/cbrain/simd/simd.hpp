@@ -98,6 +98,60 @@ void dot_s16_multi_acc(const std::int16_t* data, const std::int16_t* weights,
 void dot_s16_multi_nw(const std::int16_t* data, const std::int16_t* weights,
                       i64 row_stride, i64 rows, i64 n, Fixed16::acc_t* out);
 
+// Multi-RHS GEMM tile: `cols` data vectors (column c starts at
+// data + c*data_stride) against `rows` weight rows (row l starts at
+// weights + l*row_stride):
+//   out[l*out_stride + c] = dot(data_c, row_l, n)
+// This is the register-blocked inner kernel of the batched functional
+// GEMM: streaming each weight vector once per *block of columns* instead
+// of once per column cuts the L2/DRAM weight traffic per MAC by the
+// column-block factor — the dimension dynamic batching (multiple images)
+// and pixel blocking (one image) both map onto. Every output element is
+// one exact int64 dot, so results are bit-identical to dot_s16 element
+// by element on every backend.
+void dot_s16_mrhs(const std::int16_t* data, i64 data_stride, i64 cols,
+                  const std::int16_t* weights, i64 row_stride, i64 rows,
+                  i64 n, Fixed16::acc_t* out, i64 out_stride);
+
+// dot_s16_mrhs under the no-wrap weight contract of dot_s16_multi_nw.
+void dot_s16_mrhs_nw(const std::int16_t* data, i64 data_stride, i64 cols,
+                     const std::int16_t* weights, i64 row_stride, i64 rows,
+                     i64 n, Fixed16::acc_t* out, i64 out_stride);
+
+// Groups of 16 int16 elements (one pmaddwd vector) per deep-accumulation
+// flush window; the contract below is stated over aligned windows of this
+// many groups.
+inline constexpr i64 kDeepGroups = 16;
+
+// dot_s16_mrhs under the strongest weight contract — the deep-window
+// path. The caller guarantees, for every weight row, every pmaddwd lane
+// j in [0, 8) and every aligned window of kDeepGroups consecutive
+// 16-element groups g:
+//
+//   32768 * sum_{g in window} (|w[g*16 + 2j]| + |w[g*16 + 2j + 1]|) < 2^31
+//
+// i.e. even with every data element at the int16 magnitude extreme, the
+// lane's pairwise products summed across the whole window stay inside
+// int32. That lets the kernel accumulate kDeepGroups pmaddwd results
+// with plain 32-bit adds and widen to int64 once per window instead of
+// once per group — the i32→i64 widening chain (the ALU bottleneck of the
+// _nw kernels) drops ~16x. deep_window_ok() is the exact pack-time
+// checker; fan-in-scaled weights (ref/params.hpp) pass it with orders of
+// magnitude to spare, and any parameter set that fails simply stays on
+// dot_s16_mrhs_nw / dot_s16_mrhs. Every output element is still one
+// exact integer dot, so results are bit-identical to the scalar
+// reference for every input satisfying the contract.
+void dot_s16_mrhs_dw(const std::int16_t* data, i64 data_stride, i64 cols,
+                     const std::int16_t* weights, i64 row_stride, i64 rows,
+                     i64 n, Fixed16::acc_t* out, i64 out_stride);
+
+// Exact checker for the dot_s16_mrhs_dw contract over `rows` weight rows
+// of length n starting at row_stride intervals. O(rows * n); callers run
+// it once per packed weight tensor. Note the contract also rules out the
+// pmaddwd pair wrap, so deep-window-safe weights are no-wrap-safe too.
+bool deep_window_ok(const std::int16_t* weights, i64 row_stride, i64 rows,
+                    i64 n);
+
 // Elementwise saturating int16 add: out[i] = sat(a[i] + b[i]).
 void add_sat_s16(const std::int16_t* a, const std::int16_t* b,
                  std::int16_t* out, i64 n);

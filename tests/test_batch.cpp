@@ -1,10 +1,51 @@
-// Batched-inference model semantics: batch=1 is the identity; compute
-// scales linearly; weight DRAM traffic is amortized; activation traffic
-// is not.
+// Batched-inference semantics, model level and execution level.
+//
+// Model level: batch=1 is the identity; compute scales linearly; weight
+// DRAM traffic is amortized; activation traffic is not.
+//
+// Execution level (the functional tier's multi-image GEMM path):
+// infer_batch is bitwise-identical to sequential infer at any batch
+// size, intra_jobs count and SIMD backend; a malformed input fails only
+// its slot; warm same-shape batches allocate nothing beyond the returned
+// SimResults (pinned with a counting global allocator plus the
+// scratch_growths() hook); Engine::run_batches validates its partition
+// and matches run_many byte for byte.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "cbrain/common/rng.hpp"
+#include "cbrain/engine/engine.hpp"
+#include "cbrain/func/executor.hpp"
+#include "cbrain/func/kernels.hpp"
 #include "cbrain/model/network_model.hpp"
 #include "cbrain/nn/zoo.hpp"
+#include "cbrain/simd/simd.hpp"
+#include "support.hpp"
+
+// Counting global allocator: every operator-new in this binary bumps the
+// counter, so a test can pin "this call allocates exactly as much as the
+// previous identical call" — the steady-state contract — without
+// guessing at internal allocation sites. Frees go through std::free to
+// stay paired at any alignment the default new would have used.
+namespace {
+std::atomic<long long> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cbrain {
 namespace {
@@ -62,6 +103,297 @@ TEST(Batch, ConvOnlyNetworksGainLittle) {
       static_cast<double>(eight.cycles()) / 8.0;
   EXPECT_GT(per_image, 0.80 * static_cast<double>(one.cycles()));
   EXPECT_LE(per_image, static_cast<double>(one.cycles()));
+}
+
+// --- execution level: the batched functional tier ----------------------
+
+// A small net covering every batched-kernel path at once: grouped conv
+// with padding (clipped im2row + group loop), LRN, pool, FC, softmax.
+Network batch_exec_net() {
+  Network net("batch_exec_net");
+  LayerId t = net.add_input({4, 14, 14});
+  t = net.add_conv(t, "conv1", {.dout = 8, .k = 3, .stride = 1, .pad = 1});
+  t = net.add_lrn(t, "norm1");
+  t = net.add_conv(t, "conv2",
+                   {.dout = 8, .k = 3, .stride = 1, .pad = 1, .groups = 2});
+  t = net.add_pool(t, "pool2", {.kind = PoolKind::kMax, .k = 2, .stride = 2});
+  t = net.add_fc(t, "fc3", {.dout = 10, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+struct BackendGuard {
+  ~BackendGuard() { simd::select_backend("auto"); }
+};
+
+// Sequential per-input reference results on the scalar backend at
+// intra_jobs=1 — the canonical answer every batched/parallel/SIMD
+// configuration must reproduce bit for bit.
+std::vector<Tensor3<Fixed16>> sequential_outputs(
+    const Network& net, const CompiledNetwork& compiled,
+    const NetParamsData<Fixed16>& params,
+    const std::vector<Tensor3<Fixed16>>& inputs) {
+  BackendGuard guard;
+  simd::select_backend("scalar");
+  func::FuncExecutor exec(net, compiled, AcceleratorConfig{});
+  exec.load_params(params);
+  std::vector<Tensor3<Fixed16>> outs;
+  for (const auto& in : inputs) outs.push_back(exec.infer(in).final_output);
+  return outs;
+}
+
+TEST(BatchExec, BitwiseIdentityAcrossBackendsIntraJobsAndBatchShapes) {
+  for (const Network& net : {batch_exec_net(), zoo::tiny_cnn()}) {
+    SCOPED_TRACE(net.name());
+    const auto params = init_net_params<Fixed16>(net, 42);
+    auto compiled =
+        compile_network(net, Policy::kAdaptive2, AcceleratorConfig{});
+    ASSERT_TRUE(compiled.is_ok());
+
+    std::vector<Tensor3<Fixed16>> inputs;
+    for (u64 s = 0; s < 9; ++s)
+      inputs.push_back(
+          random_input<Fixed16>(net.layer(0).out_dims, 100 + s));
+    const auto expected =
+        sequential_outputs(net, compiled.value(), params, inputs);
+
+    BackendGuard guard;
+    for (const char* backend : {"scalar", "auto"}) {
+      ASSERT_TRUE(simd::select_backend(backend));
+      for (i64 intra : {i64{1}, i64{4}, i64{16}}) {
+        SCOPED_TRACE(std::string(backend) + " intra_jobs=" +
+                     std::to_string(intra));
+        func::FuncExecutor exec(net, compiled.value(), AcceleratorConfig{});
+        exec.load_params(params);
+        exec.set_intra_jobs(intra);
+        // Batch sizes 9 (ragged vs the 8-wide column block), then 3
+        // (smaller re-batch on warm state), then 1 (degenerate).
+        for (std::size_t lo : {std::size_t{0}, std::size_t{6},
+                               std::size_t{8}}) {
+          std::vector<const Tensor3<Fixed16>*> ptrs;
+          for (std::size_t i = lo; i < inputs.size(); ++i)
+            ptrs.push_back(&inputs[i]);
+          const auto results = exec.infer_batch(ptrs);
+          ASSERT_EQ(results.size(), ptrs.size());
+          for (std::size_t i = 0; i < ptrs.size(); ++i)
+            EXPECT_TRUE(test::tensors_equal(expected[lo + i],
+                                            results[i].final_output))
+                << "slot " << i << " of batch starting at " << lo;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchExec, BadInputFailsOnlyItsSlot) {
+  const Network net = batch_exec_net();
+  const auto params = init_net_params<Fixed16>(net, 7);
+  auto compiled =
+      compile_network(net, Policy::kAdaptive2, AcceleratorConfig{});
+  ASSERT_TRUE(compiled.is_ok());
+
+  std::vector<Tensor3<Fixed16>> inputs;
+  for (u64 s = 0; s < 3; ++s)
+    inputs.push_back(random_input<Fixed16>(net.layer(0).out_dims, 50 + s));
+  const auto expected =
+      sequential_outputs(net, compiled.value(), params,
+                         {inputs[0], inputs[2]});
+
+  func::FuncExecutor exec(net, compiled.value(), AcceleratorConfig{});
+  exec.load_params(params);
+  const Tensor3<Fixed16> wrong({1, 2, 2}, DataOrder::kSpatialMajor);
+
+  // With statuses: the malformed middle slot fails alone.
+  std::vector<Status> statuses;
+  const auto results =
+      exec.infer_batch({&inputs[0], &wrong, &inputs[2]}, &statuses);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(statuses[0].is_ok());
+  EXPECT_FALSE(statuses[1].is_ok());
+  EXPECT_TRUE(statuses[2].is_ok());
+  EXPECT_TRUE(test::tensors_equal(expected[0], results[0].final_output));
+  EXPECT_TRUE(test::tensors_equal(expected[1], results[2].final_output));
+  EXPECT_TRUE(results[1].final_output.empty());
+
+  // Without statuses: historical contract — the whole call throws.
+  EXPECT_THROW(exec.infer_batch({&inputs[0], &wrong}), CheckError);
+}
+
+TEST(BatchExec, WarmBatchesAllocateOnlyTheResults) {
+  const Network net = batch_exec_net();
+  const auto params = init_net_params<Fixed16>(net, 11);
+  auto compiled =
+      compile_network(net, Policy::kAdaptive2, AcceleratorConfig{});
+  ASSERT_TRUE(compiled.is_ok());
+
+  func::FuncExecutor exec(net, compiled.value(), AcceleratorConfig{});
+  exec.load_params(params);
+  std::vector<Tensor3<Fixed16>> inputs;
+  for (u64 s = 0; s < 4; ++s)
+    inputs.push_back(random_input<Fixed16>(net.layer(0).out_dims, 60 + s));
+  std::vector<const Tensor3<Fixed16>*> ptrs;
+  for (const auto& in : inputs) ptrs.push_back(&in);
+
+  // Two warm-up calls size every resident buffer.
+  exec.infer_batch(ptrs);
+  exec.infer_batch(ptrs);
+  const i64 growths_warm = exec.scratch_growths();
+
+  const long long before_a = g_news.load();
+  exec.infer_batch(ptrs);
+  const long long cost_a = g_news.load() - before_a;
+  const long long before_b = g_news.load();
+  exec.infer_batch(ptrs);
+  const long long cost_b = g_news.load() - before_b;
+
+  // No resident buffer regrew, and the per-call allocation bill is
+  // exactly reproducible — i.e. only the returned SimResults.
+  EXPECT_EQ(exec.scratch_growths(), growths_warm);
+  EXPECT_EQ(cost_a, cost_b);
+}
+
+TEST(EngineBatches, RunBatchesMatchesRunManyAndIsRaggedSafe) {
+  const Network net = batch_exec_net();
+  const auto params = init_net_params<Fixed16>(net, 13);
+  std::vector<Tensor3<Fixed16>> inputs;
+  for (u64 s = 0; s < 5; ++s)
+    inputs.push_back(random_input<Fixed16>(net.layer(0).out_dims, 80 + s));
+
+  engine::Engine eng{AcceleratorConfig{}};
+  engine::ServeStats stats;
+  const auto expected =
+      eng.run_many(net, Policy::kAdaptive2, params, inputs, /*jobs=*/1,
+                   &stats, Fidelity::kFunctional);
+
+  for (i64 jobs : {1, 4}) {
+    for (i64 intra : {1, 4}) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                   " intra=" + std::to_string(intra));
+      const auto got = eng.run_batches(
+          net, Policy::kAdaptive2, params, inputs, {{0, 1, 2}, {3, 4}},
+          jobs, &stats, Fidelity::kFunctional, nullptr, intra);
+      ASSERT_EQ(got.size(), 5u);
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(test::tensors_equal(expected[i].final_output,
+                                        got[i].final_output))
+            << "request " << i;
+    }
+  }
+}
+
+TEST(EngineBatches, PartitionIsValidated) {
+  const Network net = zoo::tiny_cnn();
+  const auto params = init_net_params<Fixed16>(net, 1);
+  std::vector<Tensor3<Fixed16>> inputs;
+  for (u64 s = 0; s < 3; ++s)
+    inputs.push_back(random_input<Fixed16>(net.layer(0).out_dims, s));
+
+  engine::Engine eng{AcceleratorConfig{}};
+  const auto run = [&](std::vector<std::vector<i64>> batches) {
+    return eng.run_batches(net, Policy::kAdaptive2, params, inputs,
+                           batches, 1, nullptr, Fidelity::kFunctional);
+  };
+  EXPECT_THROW(run({{0, 1}}), CheckError);           // index 2 unserved
+  EXPECT_THROW(run({{0, 1, 2}, {1}}), CheckError);   // 1 served twice
+  EXPECT_THROW(run({{0, 1, 2}, {}}), CheckError);    // empty batch
+  EXPECT_THROW(run({{0, 1, 3}}), CheckError);        // out of range
+  EXPECT_EQ(run({{2, 0}, {1}}).size(), 3u);          // any order is fine
+}
+
+// --- weight-mode classification and the deep-window bound ---------------
+
+TEST(WeightMode, ClassificationTiers) {
+  using func::WeightMode;
+  // 4 rows spanning one full deep window each: all small → deep-window.
+  const i64 n = 16 * simd::kDeepGroups;
+  std::vector<std::int16_t> w(static_cast<std::size_t>(4 * n), 100);
+  EXPECT_EQ(func::classify_weights(w.data(), 4, n),
+            WeightMode::kDeepWindow);
+  // Three large weights stacked in the same pmaddwd lane push that lane's
+  // window abs-sum past 65535 (a single int16 never can) → no-wrap tier.
+  w[0] = w[16] = w[32] = 30000;
+  EXPECT_EQ(func::classify_weights(w.data(), 4, n), WeightMode::kNoWrap);
+  // A -32768 anywhere forces the exact kernel.
+  w[40] = -32768;
+  EXPECT_EQ(func::classify_weights(w.data(), 4, n), WeightMode::kExact);
+}
+
+TEST(DeepWindow, BoundIsExactAtTheThreshold) {
+  // With every weight equal to v, each pmaddwd lane sums
+  // 2 * kDeepGroups * v in magnitude over one window; the contract needs
+  // 32768 * 2 * kDeepGroups * v < 2^31, i.e. v < 2048 at kDeepGroups=16.
+  const i64 n = 16 * simd::kDeepGroups;  // exactly one full window
+  std::vector<std::int16_t> pass(static_cast<std::size_t>(n), 2047);
+  std::vector<std::int16_t> fail(static_cast<std::size_t>(n), 2048);
+  EXPECT_TRUE(simd::deep_window_ok(pass.data(), n, 1, n));
+  EXPECT_FALSE(simd::deep_window_ok(fail.data(), n, 1, n));
+
+  // At the passing threshold with adversarial extreme data the dw kernel
+  // must still match the exact scalar dot on every backend.
+  std::vector<std::int16_t> data(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    data[static_cast<std::size_t>(i)] = (i % 2 == 0) ? -32768 : 32767;
+  Fixed16::acc_t want = 0;
+  for (i64 i = 0; i < n; ++i)
+    want += static_cast<Fixed16::acc_t>(data[static_cast<std::size_t>(i)]) *
+            2047;
+  BackendGuard guard;
+  for (auto b : {simd::Backend::kScalar, simd::Backend::kSse2,
+                 simd::Backend::kAvx2}) {
+    if (!simd::backend_supported(b)) continue;
+    simd::select_backend(b);
+    Fixed16::acc_t got = 0;
+    simd::dot_s16_mrhs_dw(data.data(), n, 1, pass.data(), n, 1, n, &got, 1);
+    EXPECT_EQ(got, want) << "backend " << static_cast<int>(b);
+  }
+}
+
+TEST(MrhsKernels, AllTiersMatchScalarReferenceAtOddShapes) {
+  Rng rng(99);
+  BackendGuard guard;
+  // Strides deliberately exceed n to prove the kernels honor them.
+  for (i64 n : {i64{5}, i64{16}, i64{37}, i64{256}, i64{363}}) {
+    const i64 ds = n + 3, ws = n + 7;
+    const i64 cols = 3, rows = 5;
+    std::vector<std::int16_t> data(static_cast<std::size_t>(cols * ds));
+    std::vector<std::int16_t> w(static_cast<std::size_t>(rows * ws));
+    for (auto& v : data)
+      v = static_cast<std::int16_t>(
+          static_cast<int>(rng.next_u64() % 65536) - 32768);
+    for (auto& v : w)
+      v = static_cast<std::int16_t>(
+          static_cast<int>(rng.next_u64() % 512) - 256);
+    std::vector<Fixed16::acc_t> want(static_cast<std::size_t>(rows * cols));
+    for (i64 r = 0; r < rows; ++r)
+      for (i64 c = 0; c < cols; ++c) {
+        Fixed16::acc_t acc = 0;
+        for (i64 i = 0; i < n; ++i)
+          acc += static_cast<Fixed16::acc_t>(data[c * ds + i]) * w[r * ws + i];
+        want[static_cast<std::size_t>(r * cols + c)] = acc;
+      }
+    const bool dw_ok = simd::deep_window_ok(w.data(), ws, rows, n);
+    for (auto b : {simd::Backend::kScalar, simd::Backend::kSse2,
+                   simd::Backend::kAvx2}) {
+      if (!simd::backend_supported(b)) continue;
+      simd::select_backend(b);
+      SCOPED_TRACE("n=" + std::to_string(n) + " backend " +
+                   std::to_string(static_cast<int>(b)));
+      std::vector<Fixed16::acc_t> got(want.size());
+      simd::dot_s16_mrhs(data.data(), ds, cols, w.data(), ws, rows, n,
+                         got.data(), cols);
+      EXPECT_EQ(got, want) << "mrhs";
+      std::fill(got.begin(), got.end(), 0);
+      simd::dot_s16_mrhs_nw(data.data(), ds, cols, w.data(), ws, rows, n,
+                            got.data(), cols);
+      EXPECT_EQ(got, want) << "mrhs_nw";
+      if (dw_ok) {
+        std::fill(got.begin(), got.end(), 0);
+        simd::dot_s16_mrhs_dw(data.data(), ds, cols, w.data(), ws, rows, n,
+                              got.data(), cols);
+        EXPECT_EQ(got, want) << "mrhs_dw";
+      }
+    }
+  }
 }
 
 }  // namespace

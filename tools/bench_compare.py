@@ -42,9 +42,13 @@ def wholenet_key(r):
     return ("whole_net", r["net"], r["backend"], r.get("tier", "cycle"))
 
 
+# Batched serving points (the infer_batch ladder) carry "b" (execution
+# batch size) and "intra_jobs" (per-layer worker fan-out); files written
+# before the batched path simply omit both, defaulting to 1 so the
+# unbatched points keep lining up with old baselines.
 def serve_key(r):
     return ("serve", r["net"], r["backend"], r["jobs"],
-            r.get("tier", "cycle"))
+            r.get("tier", "cycle"), r.get("b", 1), r.get("intra_jobs", 1))
 
 
 # serve-load ladder points (from `cbrain_cli serve-load --perf-json`) are
@@ -88,7 +92,10 @@ def fmt_key(key):
     if key[0] == "kernel":
         return f"{key[1]:<14} {key[2]:<6} n={key[3]}"
     if key[0] == "serve":
-        return f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]} [{key[4]}]"
+        s = f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]} [{key[4]}]"
+        if len(key) > 5 and (key[5] != 1 or key[6] != 1):
+            s += f" b={key[5]} ij={key[6]}"
+        return s
     if key[0] == "serve_load":
         return f"load {key[1]:<8} {key[2]}/s{key[3]} @{key[4]:g}qps"
     if key[0] == "serve_load_knee":

@@ -106,6 +106,11 @@ int usage() {
       "the\n"
       "       per-call simulate path and report the session speedup)\n"
       "       --fidelity=both (serve at both tiers, report side by side)\n"
+      "       --batch=N (execute requests as N-image infer_batch calls; "
+      "outputs\n"
+      "        byte-identical to unbatched)  --intra-jobs=N (worker "
+      "fan-out inside\n"
+      "        each layer call of the functional tier)\n"
       "serve-load flags: --qps=a,b,.. (offered ladder; default scales to "
       "capacity)\n"
       "       --duration=S (virtual seconds per point, default 2)  "
@@ -116,7 +121,8 @@ int usage() {
       "--jobs)\n"
       "       --closed-loop --clients=N --think=US (self-throttling "
       "clients instead\n"
-      "        of the open-loop sweep)  --max-batch=N  --batch-wait=US\n"
+      "        of the open-loop sweep)  --max-batch=N  --batch-wait=US  "
+      "--intra-jobs=N\n"
       "       --perf-json=FILE (serve_load curve + knee for "
       "bench_compare.py)\n"
       "fidelity-check: cross-validate the tiers — bit-compare outputs and "
@@ -371,6 +377,12 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
   const i64 requests = std::max<i64>(1, opt.get_i64("requests", 8));
   const auto seed = static_cast<u64>(opt.get_i64("seed", 42));
   const i64 jobs = opt.get_i64("jobs", 0);
+  // --batch=N chunks the request stream into fixed-size groups (ragged
+  // last), each executed as one multi-image Session::infer_batch call
+  // via engine::run_batches. 0 keeps the classic one-infer-per-request
+  // run_many path. Outputs are byte-identical either way.
+  const i64 exec_batch = std::max<i64>(0, opt.get_i64("batch", 0));
+  const i64 intra_jobs = std::max<i64>(1, opt.get_i64("intra-jobs", 1));
 
   const auto params = init_net_params<Fixed16>(net, seed);
   std::vector<Tensor3<Fixed16>> inputs;
@@ -392,14 +404,29 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
   auto serve_tier = [&](Fidelity f) {
     engine.compile(net, *policy, f);  // warm: serving, not compilation
     TierRun run;
-    run.results = engine.run_many(net, *policy, params, inputs, jobs,
-                                  &run.stats, f);
+    if (exec_batch > 0) {
+      std::vector<std::vector<i64>> batches;
+      for (i64 i = 0; i < requests; i += exec_batch) {
+        batches.emplace_back();
+        for (i64 j = i; j < std::min(requests, i + exec_batch); ++j)
+          batches.back().push_back(j);
+      }
+      run.results =
+          engine.run_batches(net, *policy, params, inputs, batches, jobs,
+                             &run.stats, f, nullptr, intra_jobs);
+    } else {
+      run.results = engine.run_many(net, *policy, params, inputs, jobs,
+                                    &run.stats, f, nullptr, intra_jobs);
+    }
     return run;
   };
+  // One request carries one image in this harness, so requests/s and
+  // images/s coincide — both are printed to keep the unit explicit next
+  // to the batched numbers (a batch of B images is still B requests).
   auto print_tier = [](const char* label, const engine::ServeStats& s) {
-    std::printf("%-10s wall %.2f s   %.3f inferences/s   "
+    std::printf("%-10s wall %.2f s   %.3f requests/s (%.3f images/s)   "
                 "latency p50 %.1f ms  p99 %.1f ms\n",
-                label, s.wall_ms / 1e3, s.infer_per_s(),
+                label, s.wall_ms / 1e3, s.infer_per_s(), s.infer_per_s(),
                 s.latency_percentile_ms(0.50),
                 s.latency_percentile_ms(0.99));
   };
@@ -418,11 +445,28 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
   const engine::ServeStats& stats = primary.stats;
   const std::vector<SimResult>& results = primary.results;
 
-  std::printf("requests=%lld jobs=%lld sessions=%lld\n",
+  std::printf("requests=%lld jobs=%lld sessions=%lld",
               static_cast<long long>(requests),
               static_cast<long long>(jobs > 0 ? jobs
                                               : parallel::default_jobs()),
               static_cast<long long>(stats.sessions));
+  if (exec_batch > 0) {
+    // Realized batch sizes under fixed-size chunking: requests/B full
+    // batches plus at most one ragged remainder.
+    const i64 full = requests / exec_batch;
+    const i64 rag = requests % exec_batch;
+    std::string hist;
+    if (rag > 0) hist = std::to_string(rag) + ":1";
+    if (full > 0)
+      hist += (hist.empty() ? std::string() : std::string(" ")) +
+              std::to_string(exec_batch) + ":" + std::to_string(full);
+    std::printf("  batch=%lld intra_jobs=%lld  batch sizes: %s",
+                static_cast<long long>(exec_batch),
+                static_cast<long long>(intra_jobs), hist.c_str());
+  } else if (intra_jobs > 1) {
+    std::printf("  intra_jobs=%lld", static_cast<long long>(intra_jobs));
+  }
+  std::printf("\n");
   if (fid.both) {
     // Side-by-side tier report; the tiers must agree byte-for-byte
     // before any speedup claim means anything.
@@ -600,6 +644,9 @@ int cmd_serve_load(const Network& net, const Options& opt) {
     sc.max_batch = std::max<i64>(1, opt.get_i64("max-batch", 8));
   if (opt.has("batch-wait"))
     sc.batch_wait_us = std::max<i64>(0, opt.get_i64("batch-wait", 2000));
+  // Host execution knob only: fans each layer call of a dispatched batch
+  // across workers; decisions and digests are identical at any value.
+  sc.intra_jobs = std::max<i64>(1, opt.get_i64("intra-jobs", 1));
   serve::Scheduler sched(engine, sc);
   const i64 model = sched.add_model(net, *policy, seed);
 
@@ -650,6 +697,14 @@ int cmd_serve_load(const Network& net, const Options& opt) {
                 static_cast<long long>(clients),
                 static_cast<long long>(opt.get_i64("think", 2 * unit_f)),
                 run.stats.to_string().c_str());
+    const double secs =
+        static_cast<double>(run.stats.horizon_us) / 1e6;
+    const double rps =
+        secs > 0.0 ? static_cast<double>(run.stats.admitted) / secs : 0.0;
+    std::printf("throughput: %.1f requests/s (%.1f images/s)  avg batch "
+                "%.2f  batch sizes: %s\n",
+                rps, rps, run.stats.avg_batch(),
+                run.stats.batch_hist_string().c_str());
     return 0;
   }
 
@@ -687,6 +742,22 @@ int cmd_serve_load(const Network& net, const Options& opt) {
               static_cast<long long>(last.stats.shed_transitions),
               static_cast<long long>(last.stats.evictions),
               static_cast<long long>(last.stats.peak_queue_depth));
+  // Realized batching at the most interesting ladder point (the knee if
+  // one exists, else the heaviest point): what dynamic batch formation
+  // actually delivered to the multi-image execution path.
+  {
+    const serve::SweepPoint& hp =
+        result.knee >= 0
+            ? result.points[static_cast<std::size_t>(result.knee)]
+            : last;
+    const double secs = static_cast<double>(hp.stats.horizon_us) / 1e6;
+    const double rps =
+        secs > 0.0 ? static_cast<double>(hp.stats.admitted) / secs : 0.0;
+    std::printf("at %.1f qps: %.1f requests/s (%.1f images/s)  avg batch "
+                "%.2f  batch sizes: %s\n",
+                hp.offered_qps, rps, rps, hp.stats.avg_batch(),
+                hp.stats.batch_hist_string().c_str());
+  }
 
   if (opt.has("responses")) {
     // Full per-request decision log (determinism diffs byte-compare it

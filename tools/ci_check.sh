@@ -119,6 +119,30 @@ diff /tmp/cbrain_serve_j1.txt /tmp/cbrain_serve_jn.txt
 ./build-ci-tsan/tests/test_serve
 ./build-ci-asan/tests/test_serve
 
+echo "=== batched execution: identity under sanitizers + any-jobs digests ==="
+# Batched multi-image inference shares one im2row band and packed weight
+# matrix across images and fans conv pixel bands out over intra-op
+# workers. --baseline asserts the batched outputs are byte-identical to
+# per-call Session::infer; TSan runs the batched fan-out (inter-request
+# jobs x intra-op jobs) under the race detector, and ASan vets the
+# shared-band indexing and the ragged last batch. test_batch carries the
+# bitwise-identity, bad-slot isolation, and steady-state-allocation
+# tests; the serve-load diff pins digest determinism at any jobs pairing.
+./build-ci-release/tools/cbrain_cli serve-bench tiny_cnn --requests=9 \
+  --batch=4 --intra-jobs="$JOBS" --fidelity=functional --baseline
+./build-ci-tsan/tools/cbrain_cli serve-bench tiny_cnn --requests=9 \
+  --batch=4 --jobs=2 --intra-jobs=2 --fidelity=functional > /dev/null
+./build-ci-asan/tools/cbrain_cli serve-bench tiny_cnn --requests=6 \
+  --batch=4 --intra-jobs=2 --fidelity=functional --baseline
+./build-ci-asan/tests/test_batch
+./build-ci-release/tools/cbrain_cli serve-load tiny_cnn --qps=6000 \
+  --duration=1 --execute --responses --jobs=1 --intra-jobs=1 \
+  > /tmp/cbrain_batched_j1.txt
+./build-ci-release/tools/cbrain_cli serve-load tiny_cnn --qps=6000 \
+  --duration=1 --execute --responses --jobs="$JOBS" --intra-jobs="$JOBS" \
+  > /tmp/cbrain_batched_jn.txt
+diff /tmp/cbrain_batched_j1.txt /tmp/cbrain_batched_jn.txt
+
 echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on
 # shared CI hosts is noisy, so bench_compare never fails the gate; the
