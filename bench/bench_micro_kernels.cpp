@@ -621,6 +621,24 @@ int run_perf_harness(const std::string& path, bool quick) {
     }
   }
 
+  // Modern zoo: ResNet-18 (residual eltwise joins) and MobileNetV1 (13
+  // depthwise layers on the partition scheme) on the best backend. The
+  // functional tier runs always — one warm pass each is cheap — but the
+  // cycle tier only outside --quick (ResNet-18 simulates 1.8G MACs).
+  // Without the paired cycle run speedup_vs_cycle stays 0 and the JSON
+  // omits the comparison fields, which bench_compare treats as a plain
+  // new entry.
+  for (Network (*make)() : {zoo::resnet18, zoo::mobilenetv1}) {
+    const Network mnet = make();
+    double cycle_ms = 0.0;
+    if (!quick) {
+      whole.push_back(measure_whole_net(mnet, backends.back()));
+      cycle_ms = whole.back().wall_ms;
+    }
+    whole.push_back(
+        measure_whole_net_functional(mnet, backends.back(), cycle_ms));
+  }
+
   // Serving: AlexNet through weight-resident sessions on the best
   // backend. jobs=1 carries the per-call comparison (the session-refactor
   // acceptance number); jobs=4 exercises the session pool — a fixed pool

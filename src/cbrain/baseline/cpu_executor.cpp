@@ -139,6 +139,22 @@ CpuTimingResult time_cpu_forward(const Network& net,
       case LayerKind::kSoftmax:
         outputs[idx] = outputs[static_cast<std::size_t>(l.inputs[0])];
         break;
+      case LayerKind::kEltwiseAdd: {
+        const Tensor3<float>& a =
+            outputs[static_cast<std::size_t>(l.inputs[0])];
+        const Tensor3<float>& bsrc =
+            outputs[static_cast<std::size_t>(l.inputs[1])];
+        Tensor3<float> out(l.out_dims);
+        for (i64 d = 0; d < l.out_dims.d; ++d)
+          for (i64 y = 0; y < l.out_dims.h; ++y)
+            for (i64 x = 0; x < l.out_dims.w; ++x) {
+              float v = a.at(d, y, x) + bsrc.at(d, y, x);
+              if (l.eltwise().relu && v < 0.0f) v = 0.0f;
+              out.at(d, y, x) = v;
+            }
+        outputs[idx] = std::move(out);
+        break;
+      }
     }
     const double ms = now_ms() - t0;
     if (l.kind == LayerKind::kInput) continue;

@@ -12,7 +12,8 @@ Scheme scheme_for_layer(const Layer& conv, Policy policy,
                         const AcceleratorConfig& config) {
   const ConvParams& p = conv.conv();
   const i64 din_g = p.din_per_group(conv.in_dims.d);
-  return scheme_for_policy(policy, p.k, p.stride, din_g, config.tin);
+  return scheme_for_policy(policy, p.k, p.stride, din_g, config.tin,
+                           p.dilation);
 }
 
 std::vector<Scheme> assign_schemes(const Network& net, Policy policy,

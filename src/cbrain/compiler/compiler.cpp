@@ -49,6 +49,9 @@ class CodeGen {
         case LayerKind::kSoftmax:
           emit_host(l, HostOpKind::kSoftmax);
           break;
+        case LayerKind::kEltwiseAdd:
+          emit_eltwise(l);
+          break;
       }
       out_.program.end_layer(l.id);
     }
@@ -149,6 +152,7 @@ class CodeGen {
       ci.scheme = scheme;
       ci.k = g.k;
       ci.stride = g.stride;
+      ci.dilation = g.dilation;
       ci.part = g.part;
       ci.out_w = g.out_w;
       ci.out_row0 = t.row0;
@@ -296,6 +300,52 @@ class CodeGen {
         if (fi.last_din_chunk) fi.outs = out_.layout.out_maps[idx];
         fi.tag = l.name;
         push(std::move(fi));
+      }
+    }
+  }
+
+  void emit_eltwise(const Layer& l) {
+    const auto idx = static_cast<std::size_t>(l.id);
+    const EltwiseTilePlan plan = plan_eltwise_tiles(l, config_);
+    const CubeSpec& cube = out_.layout.cube_of(l.id);
+    // The stacked cube is raw spatial-major: operand a at depths [0, d),
+    // operand b at [d, 2d) (layout-planner depth offsets, as for concat).
+    const i64 d = l.out_dims.d;
+    const i64 plane = cube.padded.h * cube.padded.w;
+
+    for (i64 dt = 0; dt < plan.n_d_tiles; ++dt) {
+      const i64 d0 = dt * plan.d_per_tile;
+      const i64 d1 = std::min(d0 + plan.d_per_tile, d);
+      for (i64 b = 0; b < plan.n_bands; ++b) {
+        const i64 r0 = b * plan.rows_per_band;
+        const i64 r1 = std::min(r0 + plan.rows_per_band, plan.out_h);
+        const i64 rows = r1 - r0;
+        const i64 band_words = (d1 - d0) * rows * cube.padded.w;
+        // Operand bands, staged back to back in the input buffer.
+        load(BufferId::kInput, 0,
+             cube.addr + (d0 * cube.padded.h + r0) * cube.padded.w, d1 - d0,
+             rows * cube.padded.w, plane, l.name + " band a");
+        load(BufferId::kInput, band_words,
+             cube.addr + ((d + d0) * cube.padded.h + r0) * cube.padded.w,
+             d1 - d0, rows * cube.padded.w, plane, l.name + " band b");
+        push(BarrierInstr{l.name});
+
+        EltwiseTileInstr ei;
+        ei.layer = l.id;
+        ei.relu = l.eltwise().relu;
+        ei.out_w = l.out_dims.w;
+        ei.out_row0 = r0;
+        ei.out_row1 = r1;
+        ei.d0 = d0;
+        ei.d1 = d1;
+        ei.input_base_a = 0;
+        ei.input_base_b = band_words;
+        ei.band_row0 = r0;
+        ei.band_rows = rows;
+        ei.band_width = cube.padded.w;
+        ei.outs = out_.layout.out_maps[idx];
+        ei.tag = l.name;
+        push(std::move(ei));
       }
     }
   }

@@ -43,7 +43,9 @@ CubeSpec consumed_cube(const Layer& l, Scheme scheme) {
       return c;
     }
     default:
-      // FC (canonical flatten), LRN, softmax, concat bookkeeping: raw
+      // FC (canonical flatten), LRN, softmax, concat bookkeeping, and
+      // eltwise add (whose depth-stacked in_dims stage operand a at
+      // depths [0, d) and b at [d, 2d) via the usual depth offsets): raw
       // spatial-major.
       c.padded = l.in_dims;
       c.order = DataOrder::kSpatialMajor;

@@ -65,33 +65,38 @@ const char* policy_name(Policy policy) {
 }
 
 Scheme select_scheme_adaptive(i64 k, i64 stride, i64 din, i64 tin,
-                              bool improved_inter) {
+                              bool improved_inter, i64 dilation) {
   // Algorithm 2:
   //   1: IF k = s and k != 1 THEN intra-kernel
   //   2: ELSE IF Din < Tin THEN kernel-partition
   //   3: ELSE inter-kernel
-  if (k == stride && k != 1) return Scheme::kIntraSliding;
+  // Line 1 exploits back-to-back windows sharing a contiguous pixel run;
+  // dilated taps are not contiguous, so the case is gated on dilation==1.
+  // Depthwise conv arrives here with din (per group) = 1 < Tin and falls
+  // into kernel partitioning — the scheme built for shallow inputs.
+  if (k == stride && k != 1 && dilation == 1) return Scheme::kIntraSliding;
   if (din < tin) return Scheme::kPartition;
   return improved_inter ? Scheme::kInterImproved : Scheme::kInter;
 }
 
-Scheme scheme_for_policy(Policy policy, i64 k, i64 stride, i64 din,
-                         i64 tin) {
+Scheme scheme_for_policy(Policy policy, i64 k, i64 stride, i64 din, i64 tin,
+                         i64 dilation) {
   switch (policy) {
     case Policy::kFixedInter:
       return Scheme::kInter;
     case Policy::kFixedIntra:
       // The paper's "intra" bar: sliding window where it is legal
-      // (k == s), data unrolling elsewhere (§5.2: "we implemented the
-      // unrolling scheme in this paper").
-      return k == stride ? Scheme::kIntraSliding : Scheme::kIntraUnroll;
+      // (k == s, contiguous taps), data unrolling elsewhere (§5.2: "we
+      // implemented the unrolling scheme in this paper").
+      return (k == stride && dilation == 1) ? Scheme::kIntraSliding
+                                            : Scheme::kIntraUnroll;
     case Policy::kFixedPartition:
       return Scheme::kPartition;
     case Policy::kAdaptive1:
-      return select_scheme_adaptive(k, stride, din, tin, false);
+      return select_scheme_adaptive(k, stride, din, tin, false, dilation);
     case Policy::kAdaptive2:
     case Policy::kIdeal:
-      return select_scheme_adaptive(k, stride, din, tin, true);
+      return select_scheme_adaptive(k, stride, din, tin, true, dilation);
   }
   return Scheme::kInter;
 }

@@ -51,12 +51,16 @@ enum class Policy {
 const char* policy_name(Policy policy);
 
 // Algorithm 2 lines 1-3: pick the scheme for one conv layer. `din` is the
-// per-group input depth (the paper's Table 2 convention).
+// per-group input depth (the paper's Table 2 convention) — 1 for
+// depthwise conv, which therefore always lands in kernel partitioning.
+// Dilated kernels (dilation > 1) have non-contiguous taps, so the
+// sliding-window reuse chain never applies to them.
 Scheme select_scheme_adaptive(i64 k, i64 stride, i64 din, i64 tin,
-                              bool improved_inter);
+                              bool improved_inter, i64 dilation = 1);
 
 // Scheme a policy assigns to a conv layer (kIdeal maps to kInterImproved
 // for traffic purposes; its cycle count is overridden by the model).
-Scheme scheme_for_policy(Policy policy, i64 k, i64 stride, i64 din, i64 tin);
+Scheme scheme_for_policy(Policy policy, i64 k, i64 stride, i64 din, i64 tin,
+                         i64 dilation = 1);
 
 }  // namespace cbrain

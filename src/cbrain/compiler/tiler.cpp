@@ -49,6 +49,7 @@ ConvGeom conv_geom(const Layer& conv, Scheme scheme) {
   g.k = p.k;
   g.stride = p.stride;
   g.pad = p.pad;
+  g.dilation = p.dilation;
   g.part = (scheme == Scheme::kPartition || scheme == Scheme::kIntraSliding)
                ? PartitionSpec::from(p.k, p.stride)
                : PartitionSpec{1, p.k};
@@ -59,11 +60,12 @@ ConvGeom conv_geom(const Layer& conv, Scheme scheme) {
   g.groups = p.groups;
   // Padded input extent: at least the layer's own zero padding; partition
   // additionally pads to the g*ks grid (Fig. 5a: 227 -> 228 for AlexNet
-  // conv1), i.e. to the extent the last output pixel's padded window ends.
+  // conv1), i.e. to the extent the last output pixel's padded (dilated)
+  // window ends.
   g.in_h_pad = std::max(conv.in_dims.h + 2 * p.pad,
-                        (g.out_h - 1) * p.stride + g.kw_eff());
+                        (g.out_h - 1) * p.stride + g.span());
   g.in_w_pad = std::max(conv.in_dims.w + 2 * p.pad,
-                        (g.out_w - 1) * p.stride + g.kw_eff());
+                        (g.out_w - 1) * p.stride + g.span());
   return g;
 }
 
@@ -187,6 +189,41 @@ PoolTilePlan plan_pool_tiles(const Layer& pool,
     d_tile = ceil_div(d_tile, 2);
   }
   CBRAIN_CHECK(rows >= 1, "pool " << pool.name << " band does not fit");
+  plan.rows_per_band = rows;
+  plan.n_bands = ceil_div(plan.out_h, rows);
+  plan.d_per_tile = d_tile;
+  plan.n_d_tiles = ceil_div(d, d_tile);
+  return plan;
+}
+
+EltwiseTilePlan plan_eltwise_tiles(const Layer& add,
+                                   const AcceleratorConfig& config) {
+  EltwiseTilePlan plan;
+  plan.out_h = add.out_dims.h;
+  plan.out_w = add.out_dims.w;
+  const i64 d = add.out_dims.d;
+  // Half the InOut buffer, as for pooling; a band holds both operand
+  // slices (2x the output rows) side by side.
+  const i64 budget = config.inout_buf.size_words() / 2;
+  auto band_words = [&](i64 rows, i64 dd) {
+    return 2 * rows * plan.out_w * dd;
+  };
+  i64 d_tile = d;
+  i64 rows = 0;
+  while (true) {
+    i64 lo = 0, hi = plan.out_h;
+    while (lo < hi) {
+      const i64 mid = (lo + hi + 1) / 2;
+      if (band_words(mid, d_tile) <= budget)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    rows = lo;
+    if (rows >= 1 || d_tile == 1) break;
+    d_tile = ceil_div(d_tile, 2);
+  }
+  CBRAIN_CHECK(rows >= 1, "add " << add.name << " band does not fit");
   plan.rows_per_band = rows;
   plan.n_bands = ceil_div(plan.out_h, rows);
   plan.d_per_tile = d_tile;

@@ -18,17 +18,20 @@ namespace cbrain {
 // materializes the input cube with exactly this padding, so downstream
 // code never handles `pad` explicitly.
 struct ConvGeom {
-  i64 k = 0, stride = 1, pad = 0;
+  i64 k = 0, stride = 1, pad = 0, dilation = 1;
   PartitionSpec part;          // g=1, ks=k for non-partition schemes
   i64 in_h_pad = 0, in_w_pad = 0;
   i64 out_h = 0, out_w = 0;
   i64 din_g = 0, dout_g = 0, groups = 1;
 
-  // Padded-kernel side actually swept (g*ks >= k for partition).
+  // Padded-kernel side actually swept (g*ks >= k for partition), in
+  // kernel coordinates — weight storage is dilation-invariant.
   i64 kw_eff() const { return part.padded_k(); }
+  // Input-pixel span of the swept kernel at this dilation.
+  i64 span() const { return (kw_eff() - 1) * dilation + 1; }
   // Input rows a band of `out_rows` output rows needs.
   i64 band_rows(i64 out_rows) const {
-    return (out_rows - 1) * stride + kw_eff();
+    return (out_rows - 1) * stride + span();
   }
 };
 
@@ -73,6 +76,20 @@ struct PoolTilePlan {
 
 PoolTilePlan plan_pool_tiles(const Layer& pool,
                              const AcceleratorConfig& config);
+
+// Eltwise add: band/depth split like pooling. A band stages the two
+// operand slices of the depth-stacked input cube, so its footprint is
+// twice the output band words.
+struct EltwiseTilePlan {
+  i64 out_h = 0, out_w = 0;
+  i64 rows_per_band = 0;
+  i64 n_bands = 1;
+  i64 d_per_tile = 0;  // output maps per tile
+  i64 n_d_tiles = 1;
+};
+
+EltwiseTilePlan plan_eltwise_tiles(const Layer& add,
+                                   const AcceleratorConfig& config);
 
 // FC: split output neurons so the weight tile fits the weight buffer, and
 // the input vector into chunks that fit the InOut buffer (partial sums

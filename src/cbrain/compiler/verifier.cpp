@@ -114,6 +114,8 @@ class Verifier {
       verify_pool(l, idx, *pool);
     } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
       verify_fc(l, idx, *fc);
+    } else if (const auto* elt = std::get_if<EltwiseTileInstr>(&instr)) {
+      verify_eltwise(l, idx, *elt);
     }
   }
 
@@ -197,6 +199,20 @@ class Verifier {
                     in.last_din_chunk);
   }
 
+  void verify_eltwise(const Layer& l, i64 idx, const EltwiseTileInstr& in) {
+    const i64 dins = in.d1 - in.d0;
+    const i64 band_words = in.band_rows * in.band_width * dins;
+    require_filled("V3", idx, BufferId::kInput, in.input_base_a,
+                   in.input_base_a + band_words, "add band a");
+    require_filled("V3", idx, BufferId::kInput, in.input_base_b,
+                   in.input_base_b + band_words, "add band b");
+    if (2 * band_words > config_.inout_buf.size_words())
+      fail("V4", idx, "add bands exceed the InOut buffer");
+    verify_out_maps("V5", idx, in.outs, in.d0, in.d1, in.out_row0,
+                    in.out_row1, 0, in.out_w);
+    record_coverage(l, in.d0, in.d1, in.out_row0, in.out_row1, true, true);
+  }
+
   void record_coverage(const Layer& l, i64 d0, i64 d1, i64 r0, i64 r1,
                        bool first, bool last) {
     for (i64 d = d0; d < d1; ++d) {
@@ -216,6 +232,7 @@ class Verifier {
         expected = l.out_dims.d * l.out_dims.h;
         break;
       case LayerKind::kPool:
+      case LayerKind::kEltwiseAdd:
         expected = l.out_dims.d * l.out_dims.h;
         break;
       case LayerKind::kFC:

@@ -74,6 +74,7 @@ void mix_layer(Fnv1a& f, const Layer& l) {
       f.mix_i64(p.stride);
       f.mix_i64(p.pad);
       f.mix_i64(p.groups);
+      f.mix_i64(p.dilation);
       f.mix_bool(p.relu);
       break;
     }
@@ -99,6 +100,9 @@ void mix_layer(Fnv1a& f, const Layer& l) {
       f.mix_double(p.bias);
       break;
     }
+    case LayerKind::kEltwiseAdd:
+      f.mix_bool(l.eltwise().relu);
+      break;
     case LayerKind::kConcat:
     case LayerKind::kSoftmax:
       break;  // no parameters beyond wiring and shapes

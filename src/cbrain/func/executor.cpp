@@ -171,12 +171,16 @@ std::vector<SimResult> FuncExecutor::infer_batch(
     // Stage the batch's resident output tensors (and source pointers)
     // for this layer; steady state reconstructs nothing.
     in_ptrs_.clear();
+    in_b_ptrs_.clear();
     out_ptrs_.clear();
     for (std::size_t b : active) {
       out_ptrs_.push_back(&slot(idx, b, l.out_dims));
       if (l.kind != LayerKind::kInput && l.kind != LayerKind::kConcat)
         in_ptrs_.push_back(
             &outputs_[static_cast<std::size_t>(l.inputs[0])][b]);
+      if (l.kind == LayerKind::kEltwiseAdd)
+        in_b_ptrs_.push_back(
+            &outputs_[static_cast<std::size_t>(l.inputs[1])][b]);
     }
     const Clock::time_point t0 = Clock::now();
     switch (l.kind) {
@@ -239,6 +243,10 @@ std::vector<SimResult> FuncExecutor::infer_batch(
         for (i64 i = 0; i < nact; ++i)
           softmax_func_into(*in_ptrs_[static_cast<std::size_t>(i)],
                             *out_ptrs_[static_cast<std::size_t>(i)]);
+        break;
+      case LayerKind::kEltwiseAdd:
+        eltwise_add_func_batch(in_ptrs_, in_b_ptrs_, l.eltwise(),
+                               intra_jobs_, out_ptrs_);
         break;
     }
     // Per-kind host wall time: where the functional tier actually spends

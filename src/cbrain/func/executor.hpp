@@ -125,8 +125,10 @@ class FuncExecutor {
   // outputs_[layer][image] — never shrunk, rewritten every batch.
   std::vector<std::vector<Tensor3<Fixed16>>> outputs_;
   GemmScratch scratch_;
-  // Reused pointer staging for the batched layer calls.
+  // Reused pointer staging for the batched layer calls (in_b_ptrs_ is
+  // the second operand of two-input layers — eltwise add).
   std::vector<const Tensor3<Fixed16>*> in_ptrs_;
+  std::vector<const Tensor3<Fixed16>*> in_b_ptrs_;
   std::vector<Tensor3<Fixed16>*> out_ptrs_;
   i64 intra_jobs_ = 1;
   i64 tensor_growths_ = 0;

@@ -112,10 +112,36 @@ void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
                 const ConvParams& p, i64 pix0, i64 npix,
                 std::int16_t* patches, i64 patch_stride) {
   const MapDims in = input.dims();
-  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
   const i64 krow = din_count * p.k * p.k;
   CBRAIN_CHECK(patch_stride >= krow, "im2row patch stride below row length");
   const Fixed16* base = input.raw_data();
+  if (p.dilation != 1) {
+    // Dilated taps are never contiguous, so there is no row-copy to
+    // exploit: gather per tap, with out-of-bounds taps as exact zeros
+    // (matching at_padded() in the golden loop nest).
+    for (i64 t = 0; t < npix; ++t) {
+      const i64 pix = pix0 + t;
+      const i64 base_y = (pix / ow) * p.stride - p.pad;
+      const i64 base_x = (pix % ow) * p.stride - p.pad;
+      std::int16_t* patch = patches + t * patch_stride;
+      std::fill(patch, patch + patch_stride, std::int16_t{0});
+      for (i64 id = 0; id < din_count; ++id) {
+        const Fixed16* plane = base + (din_begin + id) * in.h * in.w;
+        std::int16_t* dst_plane = patch + id * p.k * p.k;
+        for (i64 ky = 0; ky < p.k; ++ky) {
+          const i64 y = base_y + ky * p.dilation;
+          if (y < 0 || y >= in.h) continue;
+          for (i64 kx = 0; kx < p.k; ++kx) {
+            const i64 x = base_x + kx * p.dilation;
+            if (x < 0 || x >= in.w) continue;
+            dst_plane[ky * p.k + kx] = plane[y * in.w + x].raw();
+          }
+        }
+      }
+    }
+    return;
+  }
   for (i64 t = 0; t < npix; ++t) {
     const i64 pix = pix0 + t;
     const i64 base_y = (pix / ow) * p.stride - p.pad;
@@ -152,6 +178,61 @@ void im2row_s16(const Tensor3<Fixed16>& input, i64 din_begin, i64 din_count,
   }
 }
 
+namespace {
+
+// Depthwise path: one input plane -> one output plane per group. The
+// im2row+GEMM machinery degenerates here (dout_g == 1 means each packed
+// weight panel is a single k*k row, so the multi-RHS kernels amortize
+// nothing), and the per-group loop overhead dominates at groups == din.
+// Direct per-plane loops with the same exact int64 dot per output
+// element are bit-identical and much faster. Parallel grain: one
+// (image, channel) plane per task.
+void depthwise_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
+                          const std::vector<std::int16_t>& packed_weights,
+                          const std::vector<Fixed16::acc_t>& bias_acc,
+                          const ConvParams& p, i64 intra_jobs,
+                          const std::vector<Tensor3<Fixed16>*>& outputs) {
+  using Tr = ArithTraits<Fixed16>;
+  const i64 batch = static_cast<i64>(inputs.size());
+  const MapDims in = inputs[0]->dims();
+  const i64 krow_s = gemm_row_stride(p.k * p.k);
+  const i64 oh = conv_out_extent(in.h, p.k_eff(), p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
+  parallel::parallel_for(
+      batch * p.dout,
+      [&](i64 item) {
+        const i64 b = item / p.dout;
+        const i64 c = item % p.dout;
+        const Fixed16* plane =
+            inputs[static_cast<std::size_t>(b)]->raw_data() + c * in.h * in.w;
+        const std::int16_t* w = packed_weights.data() + c * krow_s;
+        const Fixed16::acc_t bias = bias_acc[static_cast<std::size_t>(c)];
+        Fixed16* out = outputs[static_cast<std::size_t>(b)]->raw_data() +
+                       c * oh * ow;
+        for (i64 oy = 0; oy < oh; ++oy) {
+          const i64 base_y = oy * p.stride - p.pad;
+          for (i64 ox = 0; ox < ow; ++ox) {
+            const i64 base_x = ox * p.stride - p.pad;
+            Fixed16::acc_t acc = bias;
+            for (i64 ky = 0; ky < p.k; ++ky) {
+              const i64 y = base_y + ky * p.dilation;
+              if (y < 0 || y >= in.h) continue;
+              for (i64 kx = 0; kx < p.k; ++kx) {
+                const i64 x = base_x + kx * p.dilation;
+                if (x < 0 || x >= in.w) continue;
+                acc += static_cast<Fixed16::acc_t>(w[ky * p.k + kx]) *
+                       plane[y * in.w + x].raw();
+              }
+            }
+            out[oy * ow + ox] = Tr::finalize(acc, p.relu);
+          }
+        }
+      },
+      intra_jobs);
+}
+
+}  // namespace
+
 void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
                        const std::vector<std::int16_t>& packed_weights,
                        const std::vector<Fixed16::acc_t>& bias_acc,
@@ -171,8 +252,8 @@ void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
                "packed weight size mismatch (expect gemm_row_stride rows)");
   CBRAIN_CHECK(static_cast<i64>(bias_acc.size()) == p.dout,
                "bias_acc size mismatch");
-  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
-  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 oh = conv_out_extent(in.h, p.k_eff(), p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
   const i64 cols = oh * ow;
   const MapDims od{p.dout, oh, ow};
   for (std::size_t b = 0; b < inputs.size(); ++b) {
@@ -183,6 +264,12 @@ void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
     CBRAIN_CHECK(outputs[b]->order() == DataOrder::kSpatialMajor &&
                      outputs[b]->dims() == od,
                  "conv2d_func_batch output tensor not pre-shaped");
+  }
+
+  if (p.depthwise(in.d) && dout_g == 1) {
+    depthwise_func_batch(inputs, packed_weights, bias_acc, p, intra_jobs,
+                         outputs);
+    return;
   }
 
   // Band columns are (image, pixel) pairs: column b*npix + t holds image
@@ -256,6 +343,45 @@ void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
           intra_jobs);
     }
   }
+}
+
+void eltwise_add_func_batch(const std::vector<const Tensor3<Fixed16>*>& a,
+                            const std::vector<const Tensor3<Fixed16>*>& b,
+                            const EltwiseAddParams& p, i64 intra_jobs,
+                            const std::vector<Tensor3<Fixed16>*>& outputs) {
+  using Tr = ArithTraits<Fixed16>;
+  const i64 batch = static_cast<i64>(a.size());
+  CBRAIN_CHECK(batch > 0 && b.size() == a.size() &&
+                   outputs.size() == a.size(),
+               "eltwise_add_func_batch needs matching operand/output slots");
+  const MapDims d = a[0]->dims();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    CBRAIN_CHECK(a[i]->order() == DataOrder::kSpatialMajor &&
+                     b[i]->order() == DataOrder::kSpatialMajor &&
+                     a[i]->dims() == d && b[i]->dims() == d,
+                 "eltwise_add_func_batch operands must share one "
+                 "spatial-major shape");
+    CBRAIN_CHECK(outputs[i]->order() == DataOrder::kSpatialMajor &&
+                     outputs[i]->dims() == d,
+                 "eltwise_add_func_batch output tensor not pre-shaped");
+  }
+  const i64 n = d.count();
+  // Both operands promote to accumulator scale, sum once, and round at
+  // one point — the identical integer sequence to eltwise_add_ref and
+  // the simulator's adder-tree handler, so outputs are bit-identical.
+  parallel::parallel_for(
+      batch,
+      [&](i64 img) {
+        const Fixed16* pa = a[static_cast<std::size_t>(img)]->raw_data();
+        const Fixed16* pb = b[static_cast<std::size_t>(img)]->raw_data();
+        Fixed16* po = outputs[static_cast<std::size_t>(img)]->raw_data();
+        for (i64 i = 0; i < n; ++i) {
+          const Fixed16::acc_t sum =
+              Tr::from_value(pa[i]) + Tr::from_value(pb[i]);
+          po[i] = Tr::finalize(sum, p.relu);
+        }
+      },
+      intra_jobs);
 }
 
 void fc_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
@@ -350,8 +476,8 @@ Tensor3<Fixed16> conv2d_func(const Tensor3<Fixed16>& input,
   CBRAIN_CHECK(input.order() == DataOrder::kSpatialMajor,
                "conv2d_func expects spatial-major input");
   const MapDims in = input.dims();
-  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
-  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 oh = conv_out_extent(in.h, p.k_eff(), p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
   Tensor3<Fixed16> out({p.dout, oh, ow}, DataOrder::kSpatialMajor);
   const auto bias_acc = promote_bias(bias, p.dout);
   GemmScratch scratch;

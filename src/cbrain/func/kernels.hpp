@@ -115,6 +115,16 @@ void conv2d_func_batch(const std::vector<const Tensor3<Fixed16>*>& inputs,
                        GemmScratch& scratch,
                        const std::vector<Tensor3<Fixed16>*>& outputs);
 
+// Batched residual join: out[i] = finalize(a[i] + b[i]) at accumulator
+// scale with one rounding point — the exact integer sequence of
+// eltwise_add_ref and the simulator's adder-tree handler. All operands
+// and outputs share one spatial-major shape; grain is one image per
+// task, so results are bit-identical at any intra_jobs.
+void eltwise_add_func_batch(const std::vector<const Tensor3<Fixed16>*>& a,
+                            const std::vector<const Tensor3<Fixed16>*>& b,
+                            const EltwiseAddParams& p, i64 intra_jobs,
+                            const std::vector<Tensor3<Fixed16>*>& outputs);
+
 // Batched fully-connected layer over the flattened (spatial-major) input
 // cubes: one B×din activation matrix against the dout×din weight matrix,
 // so the weight stream (DRAM-bound for large FC layers) is paid once per

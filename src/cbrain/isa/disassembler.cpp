@@ -21,6 +21,7 @@ struct Disasm {
        << i.out_row0 << "," << i.out_row1 << ") dout[" << i.dout0 << ","
        << i.dout1 << ") din[" << i.din0 << "," << i.din1 << ") k=" << i.k
        << " s=" << i.stride;
+    if (i.dilation != 1) os << " d=" << i.dilation;
     if (i.scheme == Scheme::kPartition || i.scheme == Scheme::kIntraSliding)
       os << " g=" << i.part.g << " ks=" << i.part.ks;
     if (i.first_din_chunk) os << " [init]";
@@ -49,6 +50,12 @@ struct Disasm {
   void operator()(const BarrierInstr& i) {
     os << "BAR";
     if (!i.tag.empty()) os << "   ; " << i.tag;
+  }
+  void operator()(const EltwiseTileInstr& i) {
+    os << "ADD   L" << i.layer << " rows[" << i.out_row0 << ","
+       << i.out_row1 << ") d[" << i.d0 << "," << i.d1 << ")";
+    if (!i.relu) os << " linear";
+    if (!i.tag.empty()) os << "  ; " << i.tag;
   }
 };
 

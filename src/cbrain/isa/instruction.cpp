@@ -24,6 +24,7 @@ const char* instruction_name(const Instruction& instr) {
     const char* operator()(const FcTileInstr&) const { return "FC"; }
     const char* operator()(const HostOpInstr&) const { return "HOST"; }
     const char* operator()(const BarrierInstr&) const { return "BAR"; }
+    const char* operator()(const EltwiseTileInstr&) const { return "ADD"; }
   };
   return std::visit(Visitor{}, instr);
 }

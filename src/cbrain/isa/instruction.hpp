@@ -70,6 +70,7 @@ struct ConvTileInstr {
   // the in-buffer band are pre-padded by the layout planner).
   i64 k = 0;           // original kernel side
   i64 stride = 1;
+  i64 dilation = 1;    // tap spacing in the band (weights stay dense)
   PartitionSpec part;  // g/ks (g=1, ks=k for non-partition schemes)
   i64 out_w = 0;       // full output width of the layer
 
@@ -157,8 +158,28 @@ struct BarrierInstr {
   std::string tag;
 };
 
-using Instruction = std::variant<LoadInstr, ConvTileInstr, PoolTileInstr,
-                                 FcTileInstr, HostOpInstr, BarrierInstr>;
+// One elementwise-add tile (residual join): out rows [out_row0, out_row1)
+// x all columns for maps [d0, d1). The two operand bands sit in the input
+// buffer at input_base_a/input_base_b (same band geometry); lanes stream
+// pixel pairs through the adder tree, no multipliers involved.
+struct EltwiseTileInstr {
+  LayerId layer = -1;
+  bool relu = true;
+  i64 out_w = 0;
+  i64 out_row0 = 0, out_row1 = 0;
+  i64 d0 = 0, d1 = 0;
+  i64 input_base_a = 0;
+  i64 input_base_b = 0;
+  i64 band_row0 = 0, band_rows = 0, band_width = 0;
+  std::vector<OutputMap> outs;
+  std::string tag;
+};
+
+// EltwiseTileInstr is appended at the end so the serialized opcodes of the
+// original six variants stay stable (isa/program.cpp).
+using Instruction =
+    std::variant<LoadInstr, ConvTileInstr, PoolTileInstr, FcTileInstr,
+                 HostOpInstr, BarrierInstr, EltwiseTileInstr>;
 
 const char* instruction_name(const Instruction& instr);
 

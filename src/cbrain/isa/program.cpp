@@ -28,6 +28,8 @@ ProgramStats Program::stats() const {
       ++s.host_ops;
     } else if (std::holds_alternative<BarrierInstr>(instr)) {
       ++s.barriers;
+    } else if (std::holds_alternative<EltwiseTileInstr>(instr)) {
+      ++s.eltwise_tiles;
     }
   }
   return s;
@@ -38,7 +40,8 @@ ProgramStats Program::stats() const {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'B', 'R', 'P'};
-constexpr i64 kVersion = 1;
+// v2: ConvTileInstr gained `dilation`; EltwiseTileInstr added (opcode 6).
+constexpr i64 kVersion = 2;
 
 void put_i64(std::string& out, i64 v) {
   const u64 u = static_cast<u64>(v);
@@ -201,6 +204,7 @@ void put_instr(std::string& out, const Instruction& instr) {
     put_u8(out, static_cast<unsigned>(p->scheme));
     put_i64(out, p->k);
     put_i64(out, p->stride);
+    put_i64(out, p->dilation);
     put_i64(out, p->part.g);
     put_i64(out, p->part.ks);
     put_i64(out, p->out_w);
@@ -264,6 +268,21 @@ void put_instr(std::string& out, const Instruction& instr) {
     put_str(out, p->tag);
   } else if (const auto* p = std::get_if<BarrierInstr>(&instr)) {
     put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<EltwiseTileInstr>(&instr)) {
+    put_i64(out, p->layer);
+    put_bool(out, p->relu);
+    put_i64(out, p->out_w);
+    put_i64(out, p->out_row0);
+    put_i64(out, p->out_row1);
+    put_i64(out, p->d0);
+    put_i64(out, p->d1);
+    put_i64(out, p->input_base_a);
+    put_i64(out, p->input_base_b);
+    put_i64(out, p->band_row0);
+    put_i64(out, p->band_rows);
+    put_i64(out, p->band_width);
+    put_outs(out, p->outs);
+    put_str(out, p->tag);
   }
 }
 
@@ -288,6 +307,7 @@ Instruction get_instr(Reader& r) {
       p.scheme = r.get_enum<Scheme>(5, "Scheme");
       p.k = r.get_i64();
       p.stride = r.get_i64();
+      p.dilation = r.get_i64();
       p.part.g = r.get_i64();
       p.part.ks = r.get_i64();
       p.out_w = r.get_i64();
@@ -362,6 +382,24 @@ Instruction get_instr(Reader& r) {
     }
     case 5: {
       BarrierInstr p;
+      p.tag = r.get_str();
+      return p;
+    }
+    case 6: {
+      EltwiseTileInstr p;
+      p.layer = r.get_i64();
+      p.relu = r.get_bool();
+      p.out_w = r.get_i64();
+      p.out_row0 = r.get_i64();
+      p.out_row1 = r.get_i64();
+      p.d0 = r.get_i64();
+      p.d1 = r.get_i64();
+      p.input_base_a = r.get_i64();
+      p.input_base_b = r.get_i64();
+      p.band_row0 = r.get_i64();
+      p.band_rows = r.get_i64();
+      p.band_width = r.get_i64();
+      p.outs = r.get_outs();
       p.tag = r.get_str();
       return p;
     }

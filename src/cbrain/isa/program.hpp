@@ -19,6 +19,7 @@ struct ProgramStats {
   i64 conv_tiles = 0;
   i64 pool_tiles = 0;
   i64 fc_tiles = 0;
+  i64 eltwise_tiles = 0;
   i64 host_ops = 0;
   i64 barriers = 0;
   i64 load_words = 0;

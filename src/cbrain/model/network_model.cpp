@@ -11,6 +11,7 @@ bool layer_counted(LayerKind kind, const ModelOptions& opt) {
   switch (kind) {
     case LayerKind::kConv:
     case LayerKind::kPool:
+    case LayerKind::kEltwiseAdd:
       return true;
     case LayerKind::kLRN:
       return opt.include_host_ops;
@@ -97,6 +98,8 @@ NetworkModelResult model_network(const Network& net,
         tc = model_pool_tile(*pool, config);
       } else if (const auto* fc = std::get_if<FcTileInstr>(&instr)) {
         tc = model_fc_tile(*fc, config);
+      } else if (const auto* elt = std::get_if<EltwiseTileInstr>(&instr)) {
+        tc = model_eltwise_tile(*elt, config);
       } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
         switch (host->kind) {
           case HostOpKind::kUnroll:

@@ -267,4 +267,25 @@ TrafficCounters model_fc_tile(const FcTileInstr& in,
   return c;
 }
 
+TrafficCounters model_eltwise_tile(const EltwiseTileInstr& in,
+                                   const AcceleratorConfig& cfg) {
+  TrafficCounters c;
+  const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+  const i64 douts = in.d1 - in.d0;
+  const i64 ncons = static_cast<i64>(in.outs.size());
+
+  // Residual join on the adder tree: per lane group, one output pixel
+  // per cycle; both operand words stream per lane (the bands sit at two
+  // InOut-buffer bases, no weights, no partial-sum traffic — the sum
+  // finalizes in the PE and goes straight out).
+  for_lane_groups(douts, cfg.tout, [&](i64 L) {
+    c.compute_cycles += npix;
+    c.input_reads += 2 * npix * L;
+    c.add_ops += npix * L;
+    c.dram_writes += npix * L * ncons;
+  });
+  c.total_cycles = c.compute_cycles;
+  return c;
+}
+
 }  // namespace cbrain

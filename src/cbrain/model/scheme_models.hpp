@@ -38,6 +38,9 @@ TrafficCounters model_pool_tile(const PoolTileInstr& instr,
 TrafficCounters model_fc_tile(const FcTileInstr& instr,
                               const AcceleratorConfig& config);
 
+TrafficCounters model_eltwise_tile(const EltwiseTileInstr& instr,
+                                   const AcceleratorConfig& config);
+
 // Number of sub-windows packed per PE op ("when Tin is bigger than ks*ks
 // we map multiple small windows to PE in one operation", §4.2.1).
 i64 windows_per_op(i64 tin, i64 sub_words);

@@ -28,7 +28,9 @@ std::string node_label(const Layer& l) {
     case LayerKind::kConv: {
       const ConvParams& p = l.conv();
       os << p.k << "x" << p.k << " s" << p.stride;
-      if (p.groups > 1) os << " g" << p.groups;
+      if (p.dilation != 1) os << " d" << p.dilation;
+      if (p.groups > 1)
+        os << (p.depthwise(l.in_dims.d) ? " dw" : " g") << p.groups;
       os << " out=" << l.out_dims.to_string();
       break;
     }
@@ -59,6 +61,8 @@ std::string render(const Network& net, const std::vector<Scheme>* schemes) {
          << scheme_name(s) << "\"";
     } else if (l.kind == LayerKind::kConcat) {
       os << ", shape=invtrapezium";
+    } else if (l.kind == LayerKind::kEltwiseAdd) {
+      os << ", shape=diamond";
     } else if (l.kind == LayerKind::kInput) {
       os << ", shape=ellipse";
     }

@@ -22,6 +22,8 @@ const char* layer_kind_name(LayerKind kind) {
       return "concat";
     case LayerKind::kSoftmax:
       return "softmax";
+    case LayerKind::kEltwiseAdd:
+      return "add";
   }
   return "?";
 }
@@ -44,6 +46,12 @@ const FCParams& Layer::fc() const {
 const LRNParams& Layer::lrn() const {
   CBRAIN_CHECK(kind == LayerKind::kLRN, "layer " << name << " is not lrn");
   return std::get<LRNParams>(params);
+}
+
+const EltwiseAddParams& Layer::eltwise() const {
+  CBRAIN_CHECK(kind == LayerKind::kEltwiseAdd,
+               "layer " << name << " is not add");
+  return std::get<EltwiseAddParams>(params);
 }
 
 KernelDims Layer::weight_dims() const {
@@ -84,6 +92,9 @@ std::string Layer::summary() const {
     const auto& p = conv();
     os << " k=" << p.k << " s=" << p.stride << " pad=" << p.pad;
     if (p.groups != 1) os << " g=" << p.groups;
+    if (p.dilation != 1) os << " d=" << p.dilation;
+  } else if (kind == LayerKind::kEltwiseAdd) {
+    if (!eltwise().relu) os << " linear";
   } else if (kind == LayerKind::kPool) {
     const auto& p = pool();
     os << (p.kind == PoolKind::kMax ? " max" : " avg") << " p=" << p.k

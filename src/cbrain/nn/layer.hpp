@@ -21,6 +21,7 @@ enum class LayerKind {
   kLRN,
   kConcat,
   kSoftmax,
+  kEltwiseAdd,  // residual join: elementwise saturating add of two maps
 };
 
 const char* layer_kind_name(LayerKind kind);
@@ -28,16 +29,27 @@ const char* layer_kind_name(LayerKind kind);
 enum class PoolKind { kMax, kAvg };
 
 struct ConvParams {
-  i64 dout = 0;    // total output maps (across all groups)
-  i64 k = 0;       // square kernel side
+  i64 dout = 0;      // total output maps (across all groups)
+  i64 k = 0;         // square kernel side
   i64 stride = 1;
-  i64 pad = 0;     // symmetric zero padding per side
-  i64 groups = 1;  // AlexNet-style grouped convolution
+  i64 pad = 0;       // symmetric zero padding per side
+  i64 groups = 1;    // grouped conv; groups == din is depthwise
+  i64 dilation = 1;  // tap spacing: effective kernel (k-1)*dilation+1
   bool relu = true;
 
   // Per-group depths, given the layer's input depth.
   i64 din_per_group(i64 din_total) const { return din_total / groups; }
   i64 dout_per_group() const { return dout / groups; }
+
+  // Receptive-field side: the span a k-tap row covers at this dilation.
+  i64 k_eff() const { return (k - 1) * dilation + 1; }
+
+  // Depthwise convolution is the groups == din special case (one input
+  // map per group) — the under-utilization regime kernel partitioning
+  // targets (Din per group = 1 < Tin).
+  bool depthwise(i64 din_total) const {
+    return groups == din_total && groups > 1;
+  }
 };
 
 struct PoolParams {
@@ -66,9 +78,13 @@ struct InputParams {
 struct ConcatParams {};   // concatenates inputs along depth
 struct SoftmaxParams {};  // over the flattened feature vector
 
+struct EltwiseAddParams {
+  bool relu = true;  // ResNet joins apply ReLU after the add
+};
+
 using LayerParams = std::variant<InputParams, ConvParams, PoolParams,
                                  FCParams, LRNParams, ConcatParams,
-                                 SoftmaxParams>;
+                                 SoftmaxParams, EltwiseAddParams>;
 
 using LayerId = i64;
 
@@ -86,6 +102,7 @@ struct Layer {
   const PoolParams& pool() const;
   const FCParams& fc() const;
   const LRNParams& lrn() const;
+  const EltwiseAddParams& eltwise() const;
 
   bool is_conv() const { return kind == LayerKind::kConv; }
   bool is_pool() const { return kind == LayerKind::kPool; }

@@ -35,13 +35,16 @@ LayerId Network::add_conv(LayerId input, const std::string& name,
   const MapDims in = src.out_dims;
   CBRAIN_CHECK(params.dout > 0 && params.k > 0 && params.stride > 0,
                "conv " << name << ": bad parameters");
-  CBRAIN_CHECK(params.pad >= 0 && params.pad < params.k,
-               "conv " << name << ": pad must be in [0, k)");
+  CBRAIN_CHECK(params.dilation > 0,
+               "conv " << name << ": dilation must be positive");
+  const i64 keff = params.k_eff();
+  CBRAIN_CHECK(params.pad >= 0 && params.pad < keff,
+               "conv " << name << ": pad must be in [0, k_eff)");
   CBRAIN_CHECK(params.groups > 0 && in.d % params.groups == 0 &&
                    params.dout % params.groups == 0,
                "conv " << name << ": groups must divide Din and Dout");
-  CBRAIN_CHECK(in.h + 2 * params.pad >= params.k &&
-                   in.w + 2 * params.pad >= params.k,
+  CBRAIN_CHECK(in.h + 2 * params.pad >= keff &&
+                   in.w + 2 * params.pad >= keff,
                "conv " << name << ": kernel larger than padded input");
   Layer l;
   l.name = name;
@@ -50,8 +53,8 @@ LayerId Network::add_conv(LayerId input, const std::string& name,
   l.inputs = {input};
   l.in_dims = in;
   l.out_dims = {params.dout,
-                conv_out_extent(in.h, params.k, params.stride, params.pad),
-                conv_out_extent(in.w, params.k, params.stride, params.pad)};
+                conv_out_extent(in.h, keff, params.stride, params.pad),
+                conv_out_extent(in.w, keff, params.stride, params.pad)};
   return append(std::move(l));
 }
 
@@ -142,6 +145,27 @@ LayerId Network::add_softmax(LayerId input, const std::string& name) {
   l.inputs = {input};
   l.in_dims = src.out_dims;
   l.out_dims = src.out_dims;
+  return append(std::move(l));
+}
+
+LayerId Network::add_eltwise_add(LayerId a, LayerId b,
+                                 const std::string& name,
+                                 const EltwiseAddParams& params) {
+  const MapDims da = checked_input(a).out_dims;
+  const MapDims db = checked_input(b).out_dims;
+  CBRAIN_CHECK(a != b, "add " << name << ": operands must differ");
+  CBRAIN_CHECK(da.d == db.d && da.h == db.h && da.w == db.w,
+               "add " << name << ": operand dims mismatch (" << da.to_string()
+                      << " vs " << db.to_string() << ")");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kEltwiseAdd;
+  l.params = params;
+  l.inputs = {a, b};
+  // Depth-stacked operands, concat-style: the layout planner's depth
+  // offsets then place a at [0, d) and b at [d, 2d) in one input cube.
+  l.in_dims = {2 * da.d, da.h, da.w};
+  l.out_dims = da;
   return append(std::move(l));
 }
 

@@ -41,6 +41,12 @@ class Network {
   LayerId add_concat(const std::vector<LayerId>& inputs,
                      const std::string& name);
   LayerId add_softmax(LayerId input, const std::string& name = "prob");
+  // Residual join: out = relu?(a + b), saturating in Q7.8. Both producers
+  // must have identical dims; in_dims is depth-stacked {2d, h, w} so the
+  // planner stages both operands in one input cube (a at depth offset 0,
+  // b at depth offset d), mirroring concat.
+  LayerId add_eltwise_add(LayerId a, LayerId b, const std::string& name,
+                          const EltwiseAddParams& params = {});
 
   // Validation beyond per-layer checks: exactly one input layer, all maps
   // reachable, every non-input consumed or terminal.

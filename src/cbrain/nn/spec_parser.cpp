@@ -149,15 +149,28 @@ Result<Network> parse_network_spec_impl(const std::string& text) {
         auto k = get_i64(ctx, args, "k", 0, /*required=*/true);
         auto s = get_i64(ctx, args, "s", 1);
         auto pad = get_i64(ctx, args, "pad", 0);
-        auto groups = get_i64(ctx, args, "groups", 1);
+        auto dilation = get_i64(ctx, args, "dilation", 1);
         auto relu = get_i64(ctx, args, "relu", 1);
-        for (const auto* r : {&dout, &k, &s, &pad, &groups, &relu})
+        for (const auto* r : {&dout, &k, &s, &pad, &dilation, &relu})
           if (!r->is_ok()) return r->status();
+        // groups= takes an integer or the shorthand "depthwise" (one
+        // group per input map — the producer's depth, resolved here).
+        i64 groups_v = 1;
+        if (args.has("groups")) {
+          if (to_lower(args.kv.at("groups")) == "depthwise") {
+            groups_v = net->layer(from.value()).out_dims.d;
+          } else {
+            auto groups = parse_i64(ctx, "groups", args.kv.at("groups"));
+            if (!groups.is_ok()) return groups.status();
+            groups_v = groups.value();
+          }
+        }
         p.dout = dout.value();
         p.k = k.value();
         p.stride = s.value();
         p.pad = pad.value();
-        p.groups = groups.value();
+        p.groups = groups_v;
+        p.dilation = dilation.value();
         p.relu = relu.value() != 0;
         id = net->add_conv(from.value(), name, p);
       } else if (kind == "pool") {
@@ -214,6 +227,26 @@ Result<Network> parse_network_spec_impl(const std::string& text) {
           inputs.push_back(it->second);
         }
         id = net->add_concat(inputs, name);
+      } else if (kind == "add") {
+        if (!args.has("inputs"))
+          return ctx.error("add needs inputs=<a,b>");
+        const std::vector<std::string> ins =
+            split(args.kv.at("inputs"), ',');
+        if (ins.size() != 2)
+          return ctx.error("add needs exactly two inputs, got " +
+                           std::to_string(ins.size()));
+        LayerId ops[2];
+        for (int i = 0; i < 2; ++i) {
+          const auto it = ctx.names.find(ins[static_cast<std::size_t>(i)]);
+          if (it == ctx.names.end())
+            return ctx.error("unknown add input '" +
+                             ins[static_cast<std::size_t>(i)] + "'");
+          ops[i] = it->second;
+        }
+        auto relu = get_i64(ctx, args, "relu", 1);
+        if (!relu.is_ok()) return relu.status();
+        id = net->add_eltwise_add(ops[0], ops[1], name,
+                                  {.relu = relu.value() != 0});
       } else if (kind == "softmax") {
         auto from = resolve_input(ctx, args);
         if (!from.is_ok()) return from.status();
@@ -279,8 +312,11 @@ std::string network_to_spec(const Network& net) {
         const ConvParams& p = l.conv();
         os << "conv " << l.name << from(l) << " dout=" << p.dout
            << " k=" << p.k << " s=" << p.stride << " pad=" << p.pad
-           << " groups=" << p.groups << " relu=" << (p.relu ? 1 : 0)
-           << "\n";
+           << " groups=" << p.groups;
+        // Default-valued dilation stays implicit so pre-existing golden
+        // spec strings round-trip unchanged.
+        if (p.dilation != 1) os << " dilation=" << p.dilation;
+        os << " relu=" << (p.relu ? 1 : 0) << "\n";
         break;
       }
       case LayerKind::kPool: {
@@ -307,6 +343,12 @@ std::string network_to_spec(const Network& net) {
       }
       case LayerKind::kSoftmax:
         os << "softmax " << l.name << from(l) << "\n";
+        break;
+      case LayerKind::kEltwiseAdd:
+        os << "add " << l.name << " inputs="
+           << net.layer(l.inputs[0]).name << ","
+           << net.layer(l.inputs[1]).name
+           << " relu=" << (l.eltwise().relu ? 1 : 0) << "\n";
         break;
     }
   }

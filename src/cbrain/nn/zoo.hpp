@@ -33,6 +33,12 @@ Network zfnet();
 // SqueezeNet v1.0: eight fire modules (squeeze 1x1 -> expand 1x1 || 3x3,
 // concatenated) — a concat-heavy DAG with tiny kernels.
 Network squeezenet();
+// ResNet-18: [2,2,2,2] basic blocks — residual eltwise-add joins with
+// identity and 1x1-projection shortcuts (multi-consumer DAG edges).
+Network resnet18();
+// MobileNetV1 (1.0/224): 13 depthwise-separable blocks — groups == Din
+// convs that Algorithm 2 maps to kernel partitioning.
+Network mobilenetv1();
 
 // --- synthetic networks for tests/examples ---
 

@@ -1,0 +1,92 @@
+// Modern-topology networks: ResNet-18 (residual joins — the kEltwiseAdd
+// DAG pattern with identity and 1x1-projection shortcuts) and
+// MobileNetV1 (13 depthwise-separable blocks — groups == Din convs whose
+// per-group depth of 1 forces kernel partitioning under Algorithm 2).
+// Both are inference graphs at the published 224x224x3 ImageNet shapes.
+#include "cbrain/nn/zoo.hpp"
+
+namespace cbrain::zoo {
+namespace {
+
+// One ResNet basic block: two 3x3 convs (second linear) joined with the
+// shortcut by a relu'd eltwise add. `stride` > 1 downsamples via the
+// first conv and a linear 1x1 projection on the shortcut; otherwise the
+// shortcut is the block input itself (identity).
+LayerId add_basic_block(Network& net, LayerId input, const std::string& name,
+                        i64 dout, i64 stride) {
+  LayerId t = net.add_conv(
+      input, name + "/conv1",
+      {.dout = dout, .k = 3, .stride = stride, .pad = 1});
+  t = net.add_conv(t, name + "/conv2",
+                   {.dout = dout, .k = 3, .stride = 1, .pad = 1,
+                    .relu = false});
+  LayerId shortcut = input;
+  if (stride != 1)
+    shortcut = net.add_conv(
+        input, name + "/proj",
+        {.dout = dout, .k = 1, .stride = stride, .relu = false});
+  return net.add_eltwise_add(t, shortcut, name + "/add", {.relu = true});
+}
+
+// One MobileNetV1 separable block: 3x3 depthwise (groups == Din) then a
+// 1x1 pointwise conv to `dout` maps.
+LayerId add_dw_separable(Network& net, LayerId input, const std::string& name,
+                         i64 din, i64 dout, i64 stride) {
+  LayerId t = net.add_conv(input, name + "/dw",
+                           {.dout = din, .k = 3, .stride = stride, .pad = 1,
+                            .groups = din});
+  return net.add_conv(t, name + "/pw", {.dout = dout, .k = 1, .stride = 1});
+}
+
+}  // namespace
+
+Network resnet18() {
+  // He et al., 2015: [2, 2, 2, 2] basic blocks at 64/128/256/512.
+  Network net("resnet18");
+  LayerId t = net.add_input({3, 224, 224});
+  t = net.add_conv(t, "conv1", {.dout = 64, .k = 7, .stride = 2, .pad = 3});
+  // Ceil-mode pooling (the Caffe convention this repo implements): 3x3
+  // s2 unpadded on 112 gives the canonical 56x56.
+  t = net.add_pool(t, "pool1",
+                   {.kind = PoolKind::kMax, .k = 3, .stride = 2});
+  t = add_basic_block(net, t, "conv2_1", 64, 1);
+  t = add_basic_block(net, t, "conv2_2", 64, 1);
+  t = add_basic_block(net, t, "conv3_1", 128, 2);
+  t = add_basic_block(net, t, "conv3_2", 128, 1);
+  t = add_basic_block(net, t, "conv4_1", 256, 2);
+  t = add_basic_block(net, t, "conv4_2", 256, 1);
+  t = add_basic_block(net, t, "conv5_1", 512, 2);
+  t = add_basic_block(net, t, "conv5_2", 512, 1);
+  t = net.add_pool(t, "pool5", {.kind = PoolKind::kAvg, .k = 7, .stride = 1});
+  t = net.add_fc(t, "fc1000", {.dout = 1000, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+Network mobilenetv1() {
+  // Howard et al., 2017, width multiplier 1.0: a full conv front end then
+  // 13 depthwise-separable blocks down to 7x7x1024.
+  Network net("mobilenetv1");
+  LayerId t = net.add_input({3, 224, 224});
+  t = net.add_conv(t, "conv1", {.dout = 32, .k = 3, .stride = 2, .pad = 1});
+  t = add_dw_separable(net, t, "block2", 32, 64, 1);
+  t = add_dw_separable(net, t, "block3", 64, 128, 2);
+  t = add_dw_separable(net, t, "block4", 128, 128, 1);
+  t = add_dw_separable(net, t, "block5", 128, 256, 2);
+  t = add_dw_separable(net, t, "block6", 256, 256, 1);
+  t = add_dw_separable(net, t, "block7", 256, 512, 2);
+  t = add_dw_separable(net, t, "block8", 512, 512, 1);
+  t = add_dw_separable(net, t, "block9", 512, 512, 1);
+  t = add_dw_separable(net, t, "block10", 512, 512, 1);
+  t = add_dw_separable(net, t, "block11", 512, 512, 1);
+  t = add_dw_separable(net, t, "block12", 512, 512, 1);
+  t = add_dw_separable(net, t, "block13", 512, 1024, 2);
+  t = add_dw_separable(net, t, "block14", 1024, 1024, 1);
+  t = net.add_pool(t, "pool14",
+                   {.kind = PoolKind::kAvg, .k = 7, .stride = 1});
+  t = net.add_fc(t, "fc1000", {.dout = 1000, .relu = false});
+  net.add_softmax(t);
+  return net;
+}
+
+}  // namespace cbrain::zoo

@@ -27,8 +27,8 @@ Tensor3<T> conv2d_ref(const Tensor3<T>& input, const Tensor4<T>& weights,
   CBRAIN_CHECK(bias.empty() || static_cast<i64>(bias.size()) == p.dout,
                "bias size mismatch");
 
-  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
-  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 oh = conv_out_extent(in.h, p.k_eff(), p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
   Tensor3<T> out({p.dout, oh, ow}, input.order());
 
   for (i64 g = 0; g < p.groups; ++g) {
@@ -46,8 +46,8 @@ Tensor3<T> conv2d_ref(const Tensor3<T>& input, const Tensor4<T>& weights,
             const i64 din_abs = g * din_g + id;
             for (i64 ky = 0; ky < p.k; ++ky) {
               for (i64 kx = 0; kx < p.k; ++kx) {
-                const T v =
-                    input.at_padded(din_abs, base_y + ky, base_x + kx);
+                const T v = input.at_padded(din_abs, base_y + ky * p.dilation,
+                                            base_x + kx * p.dilation);
                 acc += Tr::mul(v, weights.at(dout_abs, id, ky, kx));
               }
             }

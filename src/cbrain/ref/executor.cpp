@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cbrain/ref/conv_ref.hpp"
+#include "cbrain/ref/eltwise_ref.hpp"
 #include "cbrain/ref/fc_ref.hpp"
 #include "cbrain/ref/lrn_ref.hpp"
 #include "cbrain/ref/pool_ref.hpp"
@@ -91,6 +92,10 @@ const Tensor3<T>& RefExecutor<T>::run(const Tensor3<T>& input) {
       }
       case LayerKind::kSoftmax:
         outputs_[idx] = softmax_ref(output(l.inputs[0]));
+        break;
+      case LayerKind::kEltwiseAdd:
+        outputs_[idx] = eltwise_add_ref(output(l.inputs[0]),
+                                        output(l.inputs[1]), l.eltwise());
         break;
     }
   }

@@ -32,8 +32,8 @@ void sgemm(const float* a, const float* b, float* c, i64 m, i64 n, i64 k,
 void im2col(const Tensor3<float>& input, i64 din_begin, i64 din_count,
             const ConvParams& p, std::vector<float>& col) {
   const MapDims in = input.dims();
-  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
-  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 oh = conv_out_extent(in.h, p.k_eff(), p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
   const i64 cols = oh * ow;
   col.assign(static_cast<std::size_t>(din_count * p.k * p.k * cols), 0.0f);
   i64 row = 0;
@@ -43,9 +43,9 @@ void im2col(const Tensor3<float>& input, i64 din_begin, i64 din_count,
         float* dst = col.data() + row * cols;
         i64 idx = 0;
         for (i64 oy = 0; oy < oh; ++oy) {
-          const i64 y = oy * p.stride - p.pad + ky;
+          const i64 y = oy * p.stride - p.pad + ky * p.dilation;
           for (i64 ox = 0; ox < ow; ++ox, ++idx) {
-            const i64 x = ox * p.stride - p.pad + kx;
+            const i64 x = ox * p.stride - p.pad + kx * p.dilation;
             dst[idx] = input.at_padded(din_begin + d, y, x);
           }
         }
@@ -61,8 +61,8 @@ Tensor3<float> conv2d_im2col(const Tensor3<float>& input,
   const MapDims in = input.dims();
   const i64 din_g = p.din_per_group(in.d);
   const i64 dout_g = p.dout_per_group();
-  const i64 oh = conv_out_extent(in.h, p.k, p.stride, p.pad);
-  const i64 ow = conv_out_extent(in.w, p.k, p.stride, p.pad);
+  const i64 oh = conv_out_extent(in.h, p.k_eff(), p.stride, p.pad);
+  const i64 ow = conv_out_extent(in.w, p.k_eff(), p.stride, p.pad);
   const i64 cols = oh * ow;
   const i64 krows = din_g * p.k * p.k;
 

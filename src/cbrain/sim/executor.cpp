@@ -188,6 +188,9 @@ class Executor {
       pe_filter_ = false;
     } else if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
       exec_host(l, *host);
+    } else if (const auto* elt = std::get_if<EltwiseTileInstr>(&instr)) {
+      // Adder-tree only — no multiplier lanes, so no pe_filter.
+      exec_eltwise(*elt);
     }
   }
 
@@ -287,6 +290,7 @@ class Executor {
       return std::string("conv:") + scheme_name(conv->scheme);
     if (std::holds_alternative<PoolTileInstr>(instr)) return "pool";
     if (std::holds_alternative<FcTileInstr>(instr)) return "fc";
+    if (std::holds_alternative<EltwiseTileInstr>(instr)) return "eltwise";
     if (const auto* host = std::get_if<HostOpInstr>(&instr)) {
       switch (host->kind) {
         case HostOpKind::kUnroll:
@@ -604,8 +608,8 @@ class Executor {
                                    : 0;
           for (i64 ky = 0; ky < in.k; ++ky) {
             for (i64 kx = 0; kx < in.k; ++kx) {
-              const i64 y = oy * in.stride + ky;
-              const i64 x = ox * in.stride + kx;
+              const i64 y = oy * in.stride + ky * in.dilation;
+              const i64 x = ox * in.stride + kx * in.dilation;
               const std::int16_t* wrow =
                   wtile.data() + (ky * in.k + kx) * dins;
               for (i64 c0 = 0; c0 < dins; c0 += tin) {
@@ -699,8 +703,8 @@ class Executor {
               const i64 row_base = (oy - in.out_row0) * in.out_w * douts +
                                    (lane0 - in.dout0);
               for (i64 ox = 0; ox < in.out_w; ++ox) {
-                const i64 y = oy * in.stride + ky;
-                const i64 x = ox * in.stride + kx;
+                const i64 y = oy * in.stride + ky * in.dilation;
+                const i64 x = ox * in.stride + kx * in.dilation;
                 const std::int16_t* data =
                     band +
                     (in_band_addr(in, in.din0 + c0, y, x) - in.input_base);
@@ -774,14 +778,25 @@ class Executor {
                 bias_regs[static_cast<std::size_t>(l)] =
                     bias_to_acc(m_.bias_buf().read(lane0 + l - in.dout0));
             auto read_window = [&](i64 oy, i64 ox) {
-              // One contiguous ks x ks block of the partitioned grid.
+              // One ks x ks block of the partitioned grid: contiguous for
+              // dense kernels, a strided gather at dilation > 1.
               for (i64 dy = 0; dy < ks; ++dy) {
-                const std::int16_t* row =
-                    band + (in_band_addr(in, din,
-                                         oy * in.stride + by * ks + dy,
-                                         ox * in.stride + bx * ks) -
-                            in.input_base);
-                std::copy(row, row + ks, window.data() + dy * ks);
+                const i64 y = oy * in.stride + (by * ks + dy) * in.dilation;
+                if (in.dilation == 1) {
+                  const std::int16_t* row =
+                      band + (in_band_addr(in, din, y,
+                                           ox * in.stride + bx * ks) -
+                              in.input_base);
+                  std::copy(row, row + ks, window.data() + dy * ks);
+                } else {
+                  for (i64 dx = 0; dx < ks; ++dx)
+                    window[static_cast<std::size_t>(dy * ks + dx)] =
+                        band[in_band_addr(
+                                 in, din, y,
+                                 ox * in.stride +
+                                     (bx * ks + dx) * in.dilation) -
+                             in.input_base];
+                }
               }
             };
             if (ss <= tin) {
@@ -1018,6 +1033,48 @@ class Executor {
     }
   }
 
+  void exec_eltwise(const EltwiseTileInstr& in) {
+    const i64 tout = m_.config().tout;
+    const i64 dins = in.d1 - in.d0;
+    const i64 band_words = in.band_rows * in.band_width * dins;
+
+    // Two spatial-major operand bands (depth-blocked) staged back to back.
+    const std::int16_t* a =
+        m_.input_buf().read_span(in.input_base_a, band_words);
+    const std::int16_t* b =
+        m_.input_buf().read_span(in.input_base_b, band_words);
+    auto at = [&](const std::int16_t* base, i64 d, i64 y, i64 x) {
+      const i64 drel = d - in.d0;
+      const i64 yrel = y - in.band_row0;
+      CBRAIN_DCHECK(drel >= 0 && drel < dins && yrel >= 0 &&
+                        yrel < in.band_rows && x >= 0 && x < in.band_width,
+                    "add band access out of range");
+      return base[(drel * in.band_rows + yrel) * in.band_width + x];
+    };
+
+    const i64 npix = (in.out_row1 - in.out_row0) * in.out_w;
+    for (i64 lane0 = in.d0; lane0 < in.d1; lane0 += tout) {
+      const i64 L = std::min(tout, in.d1 - lane0);
+      for (i64 oy = in.out_row0; oy < in.out_row1; ++oy) {
+        for (i64 ox = 0; ox < in.out_w; ++ox) {
+          for (i64 l = 0; l < L; ++l) {
+            // Same arithmetic as eltwise_add_ref: both operands promoted
+            // to Q16.16, one rounding/saturation point at finalize.
+            const acc_t sum = bias_to_acc(at(a, lane0 + l, oy, ox)) +
+                              bias_to_acc(at(b, lane0 + l, oy, ox));
+            store_out(in.outs, lane0 + l, oy, ox,
+                      finalize_value(sum, in.relu));
+          }
+        }
+      }
+      // Batched accounting: one adder-tree cycle per pixel position, L
+      // lanes wide, two operand reads and one add per lane.
+      m_.input_buf().count_reads(2 * npix * L);
+      manual_cycles_ += npix;
+      manual_adds(npix * L);
+    }
+  }
+
   void exec_fc(const FcTileInstr& in) {
     const i64 tin = m_.config().tin;
     const i64 tout = m_.config().tout;
@@ -1079,7 +1136,7 @@ class Executor {
         const Tensor3<Fixed16> raw = read_cube(src, l.in_dims);
         const ConvParams& p = l.conv();
         const ConvGeometry geom{l.in_dims.h, l.in_dims.w, p.k, p.stride,
-                                p.pad};
+                                p.pad, p.dilation};
         const Tensor3<Fixed16> unrolled = unroll_input(raw, geom);
         const CubeSpec& dst = compiled_.layout.unroll_cube[idx];
         i64 a = dst.addr;

@@ -15,9 +15,11 @@ struct ConvGeometry {
   i64 k = 0;
   i64 stride = 1;
   i64 pad = 0;
+  i64 dilation = 1;
 
-  i64 out_h() const { return conv_out_extent(in_h, k, stride, pad); }
-  i64 out_w() const { return conv_out_extent(in_w, k, stride, pad); }
+  i64 k_eff() const { return (k - 1) * dilation + 1; }
+  i64 out_h() const { return conv_out_extent(in_h, k_eff(), stride, pad); }
+  i64 out_w() const { return conv_out_extent(in_w, k_eff(), stride, pad); }
 };
 
 // Equation 1: duplication factor of unrolling relative to the raw map.
@@ -49,8 +51,8 @@ Tensor3<T> unroll_input(const Tensor3<T>& input, const ConvGeometry& g) {
         i64 col = 0;
         for (i64 ky = 0; ky < g.k; ++ky)
           for (i64 kx = 0; kx < g.k; ++kx, ++col)
-            out.at(d, row, col) =
-                input.at_padded(d, base_y + ky, base_x + kx);
+            out.at(d, row, col) = input.at_padded(
+                d, base_y + ky * g.dilation, base_x + kx * g.dilation);
       }
     }
   }

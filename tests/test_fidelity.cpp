@@ -50,6 +50,8 @@ const ZooEntry kZoo[] = {
     {"squeezenet", zoo::squeezenet, true},
     {"googlenet", zoo::googlenet, true},
     {"vgg16", zoo::vgg16, true},
+    {"resnet18", zoo::resnet18, true},
+    {"mobilenetv1", zoo::mobilenetv1, true},
 };
 
 // One cycle-exact simulation per zoo net for the whole binary: the sim

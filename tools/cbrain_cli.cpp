@@ -148,6 +148,8 @@ std::optional<Network> resolve_net(const std::string& name) {
   if (name == "lenet5") return zoo::lenet5();
   if (name == "zfnet") return zoo::zfnet();
   if (name == "squeezenet") return zoo::squeezenet();
+  if (name == "resnet18") return zoo::resnet18();
+  if (name == "mobilenetv1") return zoo::mobilenetv1();
   auto r = load_network_spec_file(name);
   if (!r.is_ok()) {
     std::fprintf(stderr, "error: cannot resolve network '%s': %s\n",
@@ -221,8 +223,8 @@ int cmd_list() {
                with_commas(static_cast<u64>(w.total_weight_words))});
   }
   std::printf("%s", t.to_string().c_str());
-  std::printf("\nextra: lenet5, zfnet, squeezenet; test networks: tiny_cnn, "
-              "scheme_mix, mini_inception\n");
+  std::printf("\nextra: lenet5, zfnet, squeezenet, resnet18, mobilenetv1; "
+              "test networks: tiny_cnn, scheme_mix, mini_inception\n");
   return 0;
 }
 

@@ -143,6 +143,18 @@ echo "=== batched execution: identity under sanitizers + any-jobs digests ==="
   > /tmp/cbrain_batched_jn.txt
 diff /tmp/cbrain_batched_j1.txt /tmp/cbrain_batched_jn.txt
 
+echo "=== modern layers: dilated/depthwise/residual under sanitizers ==="
+# The modern-layer paths are the newest arithmetic (dilated im2row
+# gather, the per-plane depthwise loop that bypasses GEMM, the eltwise
+# adder-tree tile): run their three-tier identity suite under ASan+UBSan
+# so the gather indexing and the widening adds are vetted, not just
+# compared. The TSan leg serves ResNet-18 — a residual multi-consumer
+# DAG — through the functional tier's pooled fan-out to race-check the
+# depth-stacked operand staging under concurrent sessions.
+./build-ci-asan/tests/test_modern_layers
+./build-ci-tsan/tools/cbrain_cli serve-bench resnet18 --requests=2 \
+  --jobs=2 --fidelity=functional > /dev/null
+
 echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on
 # shared CI hosts is noisy, so bench_compare never fails the gate; the
