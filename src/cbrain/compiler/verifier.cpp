@@ -116,6 +116,15 @@ class Verifier {
       verify_fc(l, idx, *fc);
     } else if (const auto* elt = std::get_if<EltwiseTileInstr>(&instr)) {
       verify_eltwise(l, idx, *elt);
+    } else if (const auto* xfer = std::get_if<ChipXferInstr>(&instr)) {
+      // V7: interconnect transfers (multi-chip streams only) must ship a
+      // non-negative word count for a real layer; single-chip compiles
+      // never emit them, so seeing one here with no multichip context is
+      // still well-formed as long as the payload is sane.
+      if (xfer->words < 0)
+        fail("V7", idx, "chip transfer with negative word count");
+      if (xfer->layer < 0)
+        fail("V7", idx, "chip transfer not attributed to a layer");
     }
   }
 

@@ -57,6 +57,16 @@ struct Disasm {
     if (!i.relu) os << " linear";
     if (!i.tag.empty()) os << "  ; " << i.tag;
   }
+  void operator()(const ChipXferInstr& i) {
+    const char* kind = i.kind == ChipXferKind::kSend        ? "send"
+                       : i.kind == ChipXferKind::kRecv      ? "recv"
+                       : i.kind == ChipXferKind::kAllGather ? "allgather"
+                                                            : "bcast";
+    os << "XFER  L" << i.layer << " " << kind;
+    if (i.peer >= 0) os << " chip" << i.peer;
+    os << " " << i.words << "w";
+    if (!i.tag.empty()) os << "  ; " << i.tag;
+  }
 };
 
 }  // namespace

@@ -175,11 +175,30 @@ struct EltwiseTileInstr {
   std::string tag;
 };
 
-// EltwiseTileInstr is appended at the end so the serialized opcodes of the
-// original six variants stay stable (isa/program.cpp).
+// Chip-to-chip transfer over the package interconnect (multichip/). A
+// partitioned per-chip instruction stream uses these at layer boundaries:
+// kSend/kRecv are the point-to-point halves of a pipeline-stage handoff,
+// kAllGather is the bulk-synchronous exchange that reassembles sharded
+// partial maps, kBroadcast replicates one chip's tensor to all peers.
+// Timing and energy come from multichip::InterconnectConfig, not from the
+// single-chip machine: SimExecutor treats the instruction as a barrier-like
+// no-op (a single-chip compile never emits one), and the multichip
+// orchestrator charges the link cost when it schedules the exchange.
+enum class ChipXferKind { kSend, kRecv, kAllGather, kBroadcast };
+
+struct ChipXferInstr {
+  LayerId layer = -1;            // global layer id of the produced tensor
+  ChipXferKind kind = ChipXferKind::kSend;
+  i64 peer = -1;                 // counterpart chip (-1: all, for gathers)
+  i64 words = 0;                 // 16-bit words crossing this link
+  std::string tag;
+};
+
+// EltwiseTileInstr and ChipXferInstr are appended at the end so the
+// serialized opcodes of the earlier variants stay stable (isa/program.cpp).
 using Instruction =
     std::variant<LoadInstr, ConvTileInstr, PoolTileInstr, FcTileInstr,
-                 HostOpInstr, BarrierInstr, EltwiseTileInstr>;
+                 HostOpInstr, BarrierInstr, EltwiseTileInstr, ChipXferInstr>;
 
 const char* instruction_name(const Instruction& instr);
 

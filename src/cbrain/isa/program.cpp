@@ -30,6 +30,9 @@ ProgramStats Program::stats() const {
       ++s.barriers;
     } else if (std::holds_alternative<EltwiseTileInstr>(instr)) {
       ++s.eltwise_tiles;
+    } else if (const auto* xfer = std::get_if<ChipXferInstr>(&instr)) {
+      ++s.chip_xfers;
+      s.xfer_words += xfer->words;
     }
   }
   return s;
@@ -41,7 +44,8 @@ namespace {
 
 constexpr char kMagic[4] = {'C', 'B', 'R', 'P'};
 // v2: ConvTileInstr gained `dilation`; EltwiseTileInstr added (opcode 6).
-constexpr i64 kVersion = 2;
+// v3: ChipXferInstr added (opcode 7) for partitioned multi-chip streams.
+constexpr i64 kVersion = 3;
 
 void put_i64(std::string& out, i64 v) {
   const u64 u = static_cast<u64>(v);
@@ -283,6 +287,12 @@ void put_instr(std::string& out, const Instruction& instr) {
     put_i64(out, p->band_width);
     put_outs(out, p->outs);
     put_str(out, p->tag);
+  } else if (const auto* p = std::get_if<ChipXferInstr>(&instr)) {
+    put_i64(out, p->layer);
+    put_u8(out, static_cast<unsigned>(p->kind));
+    put_i64(out, p->peer);
+    put_i64(out, p->words);
+    put_str(out, p->tag);
   }
 }
 
@@ -400,6 +410,15 @@ Instruction get_instr(Reader& r) {
       p.band_rows = r.get_i64();
       p.band_width = r.get_i64();
       p.outs = r.get_outs();
+      p.tag = r.get_str();
+      return p;
+    }
+    case 7: {
+      ChipXferInstr p;
+      p.layer = r.get_i64();
+      p.kind = r.get_enum<ChipXferKind>(4, "ChipXferKind");
+      p.peer = r.get_i64();
+      p.words = r.get_i64();
       p.tag = r.get_str();
       return p;
     }

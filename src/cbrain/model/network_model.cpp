@@ -90,6 +90,9 @@ NetworkModelResult model_network(const Network& net,
         continue;
       }
       if (std::holds_alternative<BarrierInstr>(instr)) continue;
+      // Interconnect transfers are costed by the multichip planner
+      // (multichip::InterconnectConfig), not by the per-chip machine.
+      if (std::holds_alternative<ChipXferInstr>(instr)) continue;
 
       TrafficCounters tc;
       if (const auto* conv = std::get_if<ConvTileInstr>(&instr)) {

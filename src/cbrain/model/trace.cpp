@@ -74,6 +74,8 @@ ExecutionTrace trace_network(const Network& net,
         continue;
       }
       if (std::holds_alternative<BarrierInstr>(instr)) continue;
+      // Chip-to-chip transfers: costed by the multichip orchestrator.
+      if (std::holds_alternative<ChipXferInstr>(instr)) continue;
 
       i64 compute = 0;
       i64 serial = 0;

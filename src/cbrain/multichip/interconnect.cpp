@@ -1,0 +1,87 @@
+#include "cbrain/multichip/interconnect.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain::multichip {
+
+void Interconnect::charge(i64 src, i64 dst, i64 words) {
+  CBRAIN_CHECK(src >= 0 && src < chips_ && dst >= 0 && dst < chips_,
+               "interconnect: link " << src << "->" << dst
+                                     << " outside a " << chips_
+                                     << "-chip package");
+  LinkStats& link = links_[static_cast<std::size_t>(src * chips_ + dst)];
+  ++link.transfers;
+  link.words += words;
+  ++total_.transfers;
+  total_.words += words;
+}
+
+i64 Interconnect::transfer(i64 src, i64 dst, i64 words) {
+  if (words <= 0 || src == dst) return 0;
+  charge(src, dst, words);
+  const i64 cycles = config_.link_cycles(words);
+  total_cycles_ += cycles;
+  return cycles;
+}
+
+i64 Interconnect::all_gather(const std::vector<i64>& piece_words) {
+  const i64 n = static_cast<i64>(piece_words.size());
+  CBRAIN_CHECK(n == chips_, "all_gather: " << n << " pieces on " << chips_
+                                           << " chips");
+  if (chips_ <= 1) return 0;
+  i64 total = 0;
+  i64 max_piece = 0;
+  for (const i64 w : piece_words) {
+    total += w;
+    max_piece = std::max(max_piece, w);
+  }
+  if (total <= 0) return 0;
+  // Ring traffic: over (chips-1) rounds, the link c -> c+1 carries every
+  // piece except the one chip c+1 already owns.
+  for (i64 c = 0; c < chips_; ++c) {
+    const i64 dst = (c + 1) % chips_;
+    const i64 carried = total - piece_words[static_cast<std::size_t>(dst)];
+    if (carried > 0) charge(c, dst, carried);
+  }
+  const i64 cycles = config_.all_gather_cycles(max_piece, chips_);
+  total_cycles_ += cycles;
+  return cycles;
+}
+
+i64 Interconnect::broadcast(i64 src, i64 words) {
+  if (words <= 0 || chips_ <= 1) return 0;
+  // Binomial tree: round r doubles the set of chips holding the tensor.
+  i64 rounds = 0;
+  for (i64 covered = 1; covered < chips_; covered *= 2) ++rounds;
+  for (i64 dst = 0; dst < chips_; ++dst)
+    if (dst != src) charge(src, dst, words);
+  const i64 cycles = rounds * config_.link_cycles(words);
+  total_cycles_ += cycles;
+  return cycles;
+}
+
+void Interconnect::reset_stats() {
+  std::fill(links_.begin(), links_.end(), LinkStats{});
+  total_ = LinkStats{};
+  total_cycles_ = 0;
+}
+
+std::string Interconnect::to_string() const {
+  std::ostringstream os;
+  for (i64 s = 0; s < chips_; ++s)
+    for (i64 d = 0; d < chips_; ++d) {
+      const LinkStats& l = link(s, d);
+      if (l.transfers == 0) continue;
+      os << "  link " << s << "->" << d << ": " << l.transfers
+         << " transfers, " << l.words << " words\n";
+    }
+  os << "  total: " << total_.transfers << " transfers, " << total_.words
+     << " words, " << total_cycles_ << " cycles, "
+     << total_energy_pj() / 1e6 << " uJ\n";
+  return os.str();
+}
+
+}  // namespace cbrain::multichip

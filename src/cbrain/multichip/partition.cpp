@@ -1,0 +1,681 @@
+#include "cbrain/multichip/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "cbrain/common/check.hpp"
+
+namespace cbrain::multichip {
+
+const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kAuto:
+      return "auto";
+    case PartitionStrategy::kPipeline:
+      return "pipeline";
+    case PartitionStrategy::kShard:
+      return "shard";
+  }
+  return "?";
+}
+
+Result<PartitionStrategy> parse_partition_strategy(const std::string& s) {
+  if (s == "auto") return PartitionStrategy::kAuto;
+  if (s == "pipeline") return PartitionStrategy::kPipeline;
+  if (s == "shard") return PartitionStrategy::kShard;
+  return Status::invalid_argument("unknown partition strategy '" + s +
+                                  "' (auto|pipeline|shard)");
+}
+
+const char* shard_axis_name(ShardAxis a) {
+  switch (a) {
+    case ShardAxis::kReplicate:
+      return "replicate";
+    case ShardAxis::kDout:
+      return "dout";
+    case ShardAxis::kSpatial:
+      return "spatial";
+    case ShardAxis::kHostConcat:
+      return "concat";
+    case ShardAxis::kHostEltwise:
+      return "eltwise";
+  }
+  return "?";
+}
+
+const char* exchange_kind_name(ExchangeKind k) {
+  switch (k) {
+    case ExchangeKind::kNone:
+      return "none";
+    case ExchangeKind::kHalo:
+      return "halo";
+    case ExchangeKind::kAllGather:
+      return "allgather";
+    case ExchangeKind::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+Status validate_chip_count(i64 chips) {
+  if (chips < 1 || chips > kMaxChips)
+    return Status::invalid_argument(
+        "chip count " + std::to_string(chips) + " outside [1, " +
+        std::to_string(kMaxChips) + "]");
+  return Status::ok();
+}
+
+std::vector<std::pair<i64, i64>> balanced_split(i64 n, i64 parts) {
+  std::vector<std::pair<i64, i64>> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const i64 base = parts > 0 ? n / parts : 0;
+  const i64 extra = parts > 0 ? n % parts : 0;
+  i64 at = 0;
+  for (i64 p = 0; p < parts; ++p) {
+    const i64 len = base + (p < extra ? 1 : 0);
+    out.emplace_back(at, at + len);
+    at += len;
+  }
+  return out;
+}
+
+i64 ShardPiece::out_words(const MapDims& full) const {
+  if (!segs.empty()) {
+    i64 maps = 0;
+    for (const DepthSeg& s : segs) maps += s.count;
+    return maps * full.pixels_per_map();
+  }
+  return (row1 - row0) * full.d * full.w;
+}
+
+namespace {
+
+// Appends a copy of `l` to `dst` with its producer ids remapped.
+LayerId append_clone(Network& dst, const Layer& l,
+                     const std::vector<LayerId>& ins) {
+  switch (l.kind) {
+    case LayerKind::kInput:
+      return dst.add_input(l.out_dims, l.name);
+    case LayerKind::kConv:
+      return dst.add_conv(ins[0], l.name, l.conv());
+    case LayerKind::kPool:
+      return dst.add_pool(ins[0], l.name, l.pool());
+    case LayerKind::kFC:
+      return dst.add_fc(ins[0], l.name, l.fc());
+    case LayerKind::kLRN:
+      return dst.add_lrn(ins[0], l.name, l.lrn());
+    case LayerKind::kConcat:
+      return dst.add_concat(ins, l.name);
+    case LayerKind::kSoftmax:
+      return dst.add_softmax(ins[0], l.name);
+    case LayerKind::kEltwiseAdd:
+      return dst.add_eltwise_add(ins[0], ins[1], l.name, l.eltwise());
+  }
+  CBRAIN_CHECK(false, "unknown layer kind");
+  return -1;
+}
+
+// --- pipeline ---------------------------------------------------------------
+
+// A cut before layer `p` is valid iff the only tensor read across it is
+// layer p-1's output — the single-live-tensor condition that lets the
+// stage be a standalone one-input Network.
+bool valid_cut(const Network& net, i64 p) {
+  bool prev_consumed = false;
+  for (const Layer& c : net.layers()) {
+    if (c.id < p) continue;
+    for (const LayerId in : c.inputs) {
+      if (in >= p) continue;
+      if (in != p - 1) return false;
+      prev_consumed = true;
+    }
+  }
+  return prev_consumed;
+}
+
+// Stage subnet over global layers [first, last]; the stage input is the
+// previous layer's output tensor.
+Network make_stage_subnet(const Network& net, LayerId first, LayerId last) {
+  Network sub(net.name() + ":stage" + std::to_string(first));
+  const LayerId in = sub.add_input(net.layer(first - 1).out_dims,
+                                   net.layer(first - 1).name);
+  const auto local = [&](LayerId g) {
+    return g == first - 1 ? in : g - first + 1;
+  };
+  for (LayerId g = first; g <= last; ++g) {
+    const Layer& l = net.layer(g);
+    std::vector<LayerId> ins;
+    ins.reserve(l.inputs.size());
+    for (const LayerId i : l.inputs) ins.push_back(local(i));
+    append_clone(sub, l, ins);
+  }
+  return sub;
+}
+
+std::vector<PipelineStage> plan_pipeline_stages(
+    const Network& net, const std::vector<i64>& layer_cycles,
+    const InterconnectConfig& icc, i64 chips, i64* steady) {
+  const i64 n = net.size();
+  // Candidate cut positions: P[0] = 1 (first computable layer), interior
+  // single-live-tensor cuts, P[m] = n.
+  std::vector<i64> pos{1};
+  for (i64 p = 2; p < n; ++p)
+    if (valid_cut(net, p)) pos.push_back(p);
+  pos.push_back(n);
+  const i64 m = static_cast<i64>(pos.size()) - 1;  // max segments
+  const i64 want = std::min(chips, m);
+
+  std::vector<i64> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (i64 l = 0; l < n; ++l)
+    prefix[static_cast<std::size_t>(l) + 1] =
+        prefix[static_cast<std::size_t>(l)] +
+        layer_cycles[static_cast<std::size_t>(l)];
+  const auto seg_cost = [&](i64 a, i64 b) {  // layers [a, b] inclusive
+    i64 c = prefix[static_cast<std::size_t>(b) + 1] -
+            prefix[static_cast<std::size_t>(a)];
+    if (b < n - 1) c += icc.link_cycles(net.layer(b).out_dims.count());
+    return c;
+  };
+
+  // dp[j][k]: min bottleneck covering layers [1, pos[j]) with k stages.
+  constexpr i64 kInf = std::numeric_limits<i64>::max() / 2;
+  std::vector<std::vector<i64>> dp(
+      pos.size(), std::vector<i64>(static_cast<std::size_t>(want) + 1,
+                                   kInf));
+  std::vector<std::vector<i64>> from(
+      pos.size(), std::vector<i64>(static_cast<std::size_t>(want) + 1, -1));
+  dp[0][0] = 0;
+  for (std::size_t j = 1; j < pos.size(); ++j)
+    for (i64 k = 1; k <= want; ++k)
+      for (std::size_t i = 0; i < j; ++i) {
+        if (dp[i][static_cast<std::size_t>(k - 1)] >= kInf) continue;
+        const i64 cand =
+            std::max(dp[i][static_cast<std::size_t>(k - 1)],
+                     seg_cost(pos[i], pos[j] - 1));
+        if (cand < dp[j][static_cast<std::size_t>(k)]) {
+          dp[j][static_cast<std::size_t>(k)] = cand;
+          from[j][static_cast<std::size_t>(k)] = static_cast<i64>(i);
+        }
+      }
+  i64 best_k = 1;
+  for (i64 k = 1; k <= want; ++k)
+    if (dp.back()[static_cast<std::size_t>(k)] <
+        dp.back()[static_cast<std::size_t>(best_k)])
+      best_k = k;
+  *steady = dp.back()[static_cast<std::size_t>(best_k)];
+
+  // Reconstruct the chosen cuts.
+  std::vector<i64> bounds;  // pos indices, outermost first
+  i64 j = static_cast<i64>(pos.size()) - 1;
+  for (i64 k = best_k; k >= 1; --k) {
+    bounds.push_back(j);
+    j = from[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+  }
+  bounds.push_back(0);
+  std::reverse(bounds.begin(), bounds.end());
+
+  std::vector<PipelineStage> stages;
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    PipelineStage st;
+    st.chip = static_cast<i64>(s);
+    st.first = pos[static_cast<std::size_t>(bounds[s])];
+    st.last = pos[static_cast<std::size_t>(bounds[s + 1])] - 1;
+    st.subnet = make_stage_subnet(net, st.first, st.last);
+    st.est_cycles = prefix[static_cast<std::size_t>(st.last) + 1] -
+                    prefix[static_cast<std::size_t>(st.first)];
+    if (st.last < n - 1) {
+      st.xfer_words = net.layer(st.last).out_dims.count();
+      st.xfer_cycles = icc.link_cycles(st.xfer_words);
+    }
+    stages.push_back(std::move(st));
+  }
+  return stages;
+}
+
+// --- shard ------------------------------------------------------------------
+
+ShardPiece make_conv_dout_piece(const Network& net, const Layer& l, i64 chip,
+                                i64 chips) {
+  const ConvParams& p = l.conv();
+  const i64 din = l.in_dims.d;
+  const i64 din_pg = p.din_per_group(din);
+  const i64 dpg = p.dout_per_group();
+  ShardPiece piece;
+  piece.chip = chip;
+  if (p.groups >= chips) {
+    // Shard across whole groups (depthwise always lands here: one input
+    // map and dpg output maps travel together).
+    const auto [g0, g1] = balanced_split(p.groups, chips)[
+        static_cast<std::size_t>(chip)];
+    if (g0 == g1) return piece;
+    piece.in_d0 = g0 * din_pg;
+    piece.in_d1 = g1 * din_pg;
+    piece.segs.push_back({0, (g1 - g0) * dpg, g0 * dpg});
+    Network sub(net.name() + ":" + l.name + ":g" + std::to_string(g0));
+    const LayerId in = sub.add_input(
+        {piece.in_d1 - piece.in_d0, l.in_dims.h, l.in_dims.w});
+    ConvParams sp = p;
+    sp.dout = (g1 - g0) * dpg;
+    sp.groups = g1 - g0;
+    sub.add_conv(in, l.name, sp);
+    piece.subnet = std::move(sub);
+  } else {
+    // Fewer groups than chips: split each group's output maps. The piece
+    // keeps the full input depth and the grouped wiring; its weight rows
+    // are the [lo, hi) slice of every group.
+    const auto [lo, hi] = balanced_split(dpg, chips)[
+        static_cast<std::size_t>(chip)];
+    if (lo == hi) return piece;
+    piece.in_d0 = 0;
+    piece.in_d1 = din;
+    for (i64 g = 0; g < p.groups; ++g)
+      piece.segs.push_back({g * (hi - lo), hi - lo, g * dpg + lo});
+    Network sub(net.name() + ":" + l.name + ":o" + std::to_string(lo));
+    const LayerId in = sub.add_input(l.in_dims);
+    ConvParams sp = p;
+    sp.dout = p.groups * (hi - lo);
+    sub.add_conv(in, l.name, sp);
+    piece.subnet = std::move(sub);
+  }
+  return piece;
+}
+
+ShardPiece make_conv_spatial_piece(const Network& net, const Layer& l,
+                                   i64 chip, i64 chips) {
+  const ConvParams& p = l.conv();
+  ShardPiece piece;
+  piece.chip = chip;
+  const auto [r0, r1] = balanced_split(l.out_dims.h, chips)[
+      static_cast<std::size_t>(chip)];
+  if (r0 == r1) return piece;
+  piece.row0 = r0;
+  piece.row1 = r1;
+  // The input band covering output rows [r0, r1): rows beyond the image
+  // are the explicit zeros conv padding would have supplied, so the
+  // shard subnet runs pad-free over a pre-padded band (width included).
+  piece.in_row0 = r0 * p.stride - p.pad;
+  piece.in_row1 = (r1 - 1) * p.stride - p.pad + p.k_eff();
+  Network sub(net.name() + ":" + l.name + ":r" + std::to_string(r0));
+  const LayerId in = sub.add_input({l.in_dims.d,
+                                    piece.in_row1 - piece.in_row0,
+                                    l.in_dims.w + 2 * p.pad});
+  ConvParams sp = p;
+  sp.pad = 0;
+  sub.add_conv(in, l.name, sp);
+  piece.subnet = std::move(sub);
+  return piece;
+}
+
+ShardPiece make_pool_piece(const Network& net, const Layer& l, i64 chip,
+                           i64 chips) {
+  // Pool shards on depth only: ceil-mode column/row clamping and the avg
+  // divisor depend on absolute spatial position, which a row band would
+  // shift — depth slices keep every window bit-identical for free.
+  ShardPiece piece;
+  piece.chip = chip;
+  const auto [d0, d1] = balanced_split(l.in_dims.d, chips)[
+      static_cast<std::size_t>(chip)];
+  if (d0 == d1) return piece;
+  piece.in_d0 = d0;
+  piece.in_d1 = d1;
+  piece.segs.push_back({0, d1 - d0, d0});
+  Network sub(net.name() + ":" + l.name + ":d" + std::to_string(d0));
+  const LayerId in = sub.add_input({d1 - d0, l.in_dims.h, l.in_dims.w});
+  sub.add_pool(in, l.name, l.pool());
+  piece.subnet = std::move(sub);
+  return piece;
+}
+
+ShardPiece make_fc_piece(const Network& net, const Layer& l, i64 chip,
+                         i64 chips) {
+  ShardPiece piece;
+  piece.chip = chip;
+  const auto [o0, o1] = balanced_split(l.fc().dout, chips)[
+      static_cast<std::size_t>(chip)];
+  if (o0 == o1) return piece;
+  piece.in_d0 = 0;
+  piece.in_d1 = l.in_dims.d;
+  piece.segs.push_back({0, o1 - o0, o0});
+  Network sub(net.name() + ":" + l.name + ":o" + std::to_string(o0));
+  const LayerId in = sub.add_input(l.in_dims);
+  FCParams fp = l.fc();
+  fp.dout = o1 - o0;
+  sub.add_fc(in, l.name, fp);
+  piece.subnet = std::move(sub);
+  return piece;
+}
+
+ShardPiece make_lrn_piece(const Network& net, const Layer& l, i64 chip,
+                          i64 chips) {
+  // LRN's window runs across depth at one pixel, so a row band is exact
+  // with no halo at all.
+  ShardPiece piece;
+  piece.chip = chip;
+  const auto [r0, r1] = balanced_split(l.in_dims.h, chips)[
+      static_cast<std::size_t>(chip)];
+  if (r0 == r1) return piece;
+  piece.row0 = r0;
+  piece.row1 = r1;
+  piece.in_row0 = r0;
+  piece.in_row1 = r1;
+  Network sub(net.name() + ":" + l.name + ":r" + std::to_string(r0));
+  const LayerId in = sub.add_input({l.in_dims.d, r1 - r0, l.in_dims.w});
+  sub.add_lrn(in, l.name, l.lrn());
+  piece.subnet = std::move(sub);
+  return piece;
+}
+
+ShardPiece make_replicate_piece(const Network& net, const Layer& l) {
+  // Whole layer on chip 0 (softmax: host double math over the full
+  // flattened vector — not divisible without changing the arithmetic).
+  ShardPiece piece;
+  piece.chip = 0;
+  piece.segs.push_back({0, l.out_dims.d, 0});
+  piece.row0 = 0;
+  piece.row1 = l.out_dims.h;
+  Network sub(net.name() + ":" + l.name);
+  const LayerId in = sub.add_input(l.in_dims);
+  switch (l.kind) {
+    case LayerKind::kSoftmax:
+      sub.add_softmax(in, l.name);
+      break;
+    default:
+      CBRAIN_CHECK(false, "replicate piece for unexpected layer kind");
+  }
+  piece.subnet = std::move(sub);
+  return piece;
+}
+
+ShardAxis choose_axis(const Layer& l, i64 chips,
+                      const std::optional<ShardAxis>& force_conv) {
+  switch (l.kind) {
+    case LayerKind::kInput:
+      return ShardAxis::kReplicate;
+    case LayerKind::kConv: {
+      if (force_conv.has_value()) return *force_conv;
+      // Kernel shard keeps the full input resident (no halo) and slices
+      // the weight stream; map shard re-reads halo rows but leaves the
+      // weights whole. The model-level tiebreak: prefer the axis with
+      // the finer balanced split — more active chips means a lower
+      // bottleneck piece — and on a tie prefer kDout (no halo traffic).
+      const ConvParams& p = l.conv();
+      const i64 dout_units = p.groups >= chips ? p.groups
+                                               : p.dout_per_group();
+      const i64 dout_active = std::min(chips, dout_units);
+      const i64 spatial_active = std::min(chips, l.out_dims.h);
+      return spatial_active > dout_active ? ShardAxis::kSpatial
+                                          : ShardAxis::kDout;
+    }
+    case LayerKind::kPool:
+      return ShardAxis::kDout;
+    case LayerKind::kFC:
+      return ShardAxis::kDout;
+    case LayerKind::kLRN:
+      return ShardAxis::kSpatial;
+    case LayerKind::kConcat:
+      return ShardAxis::kHostConcat;
+    case LayerKind::kSoftmax:
+      return ShardAxis::kReplicate;
+    case LayerKind::kEltwiseAdd:
+      return ShardAxis::kHostEltwise;
+  }
+  return ShardAxis::kReplicate;
+}
+
+// Interval helpers for the halo calculation.
+struct Interval {
+  i64 lo = 0, hi = 0;  // [lo, hi)
+  i64 len() const { return std::max<i64>(0, hi - lo); }
+};
+
+i64 missing_rows(const Interval& needed, const Interval& owned) {
+  // |needed \ owned|
+  const Interval clip{std::max(needed.lo, owned.lo),
+                      std::min(needed.hi, owned.hi)};
+  return needed.len() - clip.len();
+}
+
+std::vector<LayerPartition> plan_shard_layers(
+    const Network& net, const std::vector<i64>& layer_cycles,
+    const InterconnectConfig& icc, i64 chips,
+    const std::optional<ShardAxis>& force_conv, i64* steady) {
+  const i64 n = net.size();
+  std::vector<LayerPartition> parts(static_cast<std::size_t>(n));
+
+  // Pass 1: axis + pieces per layer.
+  for (const Layer& l : net.layers()) {
+    LayerPartition& lp = parts[static_cast<std::size_t>(l.id)];
+    lp.layer = l.id;
+    lp.axis = choose_axis(l, chips, force_conv);
+    lp.pieces.resize(static_cast<std::size_t>(chips));
+    for (i64 c = 0; c < chips; ++c) lp.pieces[static_cast<std::size_t>(c)]
+        .chip = c;
+    switch (lp.axis) {
+      case ShardAxis::kReplicate:
+        if (l.kind == LayerKind::kSoftmax)
+          lp.pieces[0] = make_replicate_piece(net, l);
+        // kInput: pieces stay inactive; the input tensor is broadcast.
+        break;
+      case ShardAxis::kDout:
+        for (i64 c = 0; c < chips; ++c)
+          lp.pieces[static_cast<std::size_t>(c)] =
+              l.kind == LayerKind::kConv ? make_conv_dout_piece(net, l, c,
+                                                                chips)
+              : l.kind == LayerKind::kPool
+                  ? make_pool_piece(net, l, c, chips)
+                  : make_fc_piece(net, l, c, chips);
+        break;
+      case ShardAxis::kSpatial:
+        for (i64 c = 0; c < chips; ++c)
+          lp.pieces[static_cast<std::size_t>(c)] =
+              l.kind == LayerKind::kConv
+                  ? make_conv_spatial_piece(net, l, c, chips)
+                  : make_lrn_piece(net, l, c, chips);
+        break;
+      case ShardAxis::kHostEltwise:
+        for (i64 c = 0; c < chips; ++c) {
+          ShardPiece& piece = lp.pieces[static_cast<std::size_t>(c)];
+          const auto [r0, r1] = balanced_split(l.out_dims.h, chips)[
+              static_cast<std::size_t>(c)];
+          piece.row0 = r0;
+          piece.row1 = r1;
+          piece.in_row0 = r0;
+          piece.in_row1 = r1;
+        }
+        break;
+      case ShardAxis::kHostConcat:
+        break;  // local depth-stack copy on every chip, no compute
+    }
+    // Model-proportional per-piece cycles (the planner objective and the
+    // per-chip clock for host-executed pieces).
+    const i64 total_words = l.out_dims.count();
+    for (ShardPiece& piece : lp.pieces)
+      if (piece.active() && total_words > 0)
+        piece.est_cycles = layer_cycles[static_cast<std::size_t>(l.id)] *
+                           piece.out_words(l.out_dims) / total_words;
+  }
+
+  // Pass 2: interconnect exchange after each layer.
+  i64 sum = 0;
+  for (const Layer& l : net.layers()) {
+    LayerPartition& lp = parts[static_cast<std::size_t>(l.id)];
+    std::vector<LayerId> consumers;
+    for (const Layer& c : net.layers())
+      for (const LayerId in : c.inputs)
+        if (in == l.id) consumers.push_back(c.id);
+
+    if (l.kind == LayerKind::kInput) {
+      // The host hands the frame to chip 0, which broadcasts it.
+      lp.exchange = ExchangeKind::kBroadcast;
+      lp.exchange_words = (chips - 1) * l.out_dims.count();
+      i64 rounds = 0;
+      for (i64 covered = 1; covered < chips; covered *= 2) ++rounds;
+      lp.exchange_cycles = rounds * icc.link_cycles(l.out_dims.count());
+    } else if (consumers.empty() || chips <= 1 ||
+               lp.axis == ShardAxis::kHostConcat) {
+      // Terminal layers stay where they were produced (the host reads
+      // the result); concat outputs are assembled locally on every chip
+      // from operands the earlier exchanges already replicated.
+      lp.exchange = ExchangeKind::kNone;
+    } else if (lp.axis == ShardAxis::kReplicate) {
+      lp.exchange = ExchangeKind::kBroadcast;
+      lp.exchange_words = (chips - 1) * l.out_dims.count();
+      i64 rounds = 0;
+      for (i64 covered = 1; covered < chips; covered *= 2) ++rounds;
+      lp.exchange_cycles = rounds * icc.link_cycles(l.out_dims.count());
+    } else if (lp.axis == ShardAxis::kSpatial ||
+               lp.axis == ShardAxis::kHostEltwise) {
+      // Row-sharded producer: if every consumer is row-sharded too, only
+      // the halo rows each chip lacks need to travel; aligned consumers
+      // (an eltwise join of two same-basis spatial shards) need nothing.
+      bool row_consumers = true;
+      for (const LayerId cid : consumers) {
+        const ShardAxis ca = parts[static_cast<std::size_t>(cid)].axis;
+        if (ca != ShardAxis::kSpatial && ca != ShardAxis::kHostEltwise)
+          row_consumers = false;
+      }
+      if (row_consumers) {
+        lp.halo_words.assign(static_cast<std::size_t>(chips), 0);
+        const i64 row_words = l.out_dims.d * l.out_dims.w;
+        for (i64 c = 0; c < chips; ++c) {
+          const ShardPiece& own = lp.pieces[static_cast<std::size_t>(c)];
+          const Interval owned{own.row0, own.row1};
+          i64 miss = 0;
+          for (const LayerId cid : consumers) {
+            const ShardPiece& cp = parts[static_cast<std::size_t>(cid)]
+                                       .pieces[static_cast<std::size_t>(c)];
+            if (!cp.active()) continue;
+            const Interval needed{std::max<i64>(0, cp.in_row0),
+                                  std::min(l.out_dims.h, cp.in_row1)};
+            miss = std::max(miss, missing_rows(needed, owned));
+          }
+          lp.halo_words[static_cast<std::size_t>(c)] = miss * row_words;
+        }
+        i64 max_halo = 0;
+        for (const i64 w : lp.halo_words) {
+          lp.exchange_words += w;
+          max_halo = std::max(max_halo, w);
+        }
+        if (lp.exchange_words > 0) {
+          lp.exchange = ExchangeKind::kHalo;
+          lp.exchange_cycles = icc.link_cycles(max_halo);
+        }
+      } else {
+        lp.exchange = ExchangeKind::kAllGather;
+      }
+    } else {
+      lp.exchange = ExchangeKind::kAllGather;
+    }
+
+    if (lp.exchange == ExchangeKind::kAllGather) {
+      i64 total = 0, max_piece = 0;
+      for (const ShardPiece& piece : lp.pieces) {
+        const i64 w = piece.active() ? piece.out_words(l.out_dims) : 0;
+        total += w;
+        max_piece = std::max(max_piece, w);
+      }
+      lp.exchange_words = (chips - 1) * total;
+      lp.exchange_cycles = icc.all_gather_cycles(max_piece, chips);
+    }
+
+    i64 slowest = 0;
+    for (const ShardPiece& piece : lp.pieces)
+      slowest = std::max(slowest, piece.est_cycles);
+    sum += slowest + lp.exchange_cycles;
+  }
+  *steady = sum;
+  return parts;
+}
+
+std::vector<i64> model_layer_cycles(const Network& net, Policy policy,
+                                    const AcceleratorConfig& config) {
+  ModelOptions opt;
+  opt.include_fc = true;
+  opt.include_host_ops = true;
+  const NetworkModelResult m = model_network(net, policy, config, opt);
+  std::vector<i64> cycles(static_cast<std::size_t>(net.size()), 0);
+  for (const LayerModelResult& lr : m.layers)
+    cycles[static_cast<std::size_t>(lr.id)] = lr.counters.total_cycles;
+  return cycles;
+}
+
+}  // namespace
+
+Result<MultiChipPlan> plan_multichip(const Network& net,
+                                     const AcceleratorConfig& config,
+                                     const PlanOptions& options) {
+  if (Status s = validate_chip_count(options.chips); !s.is_ok()) return s;
+  if (Status s = net.validate(); !s.is_ok()) return s;
+
+  const std::vector<i64> cycles =
+      model_layer_cycles(net, options.policy, config);
+
+  const auto build = [&](PartitionStrategy strategy) {
+    MultiChipPlan plan;
+    plan.network = net.name();
+    plan.chips = options.chips;
+    plan.strategy = strategy;
+    plan.interconnect = options.interconnect;
+    if (strategy == PartitionStrategy::kPipeline) {
+      plan.stages = plan_pipeline_stages(net, cycles, options.interconnect,
+                                         options.chips, &plan.steady_cycles);
+    } else {
+      plan.layers = plan_shard_layers(net, cycles, options.interconnect,
+                                      options.chips,
+                                      options.force_conv_axis,
+                                      &plan.steady_cycles);
+    }
+    return plan;
+  };
+
+  // One chip degenerates to the single-chip engine either way; a single
+  // whole-net pipeline stage is the cheapest embodiment.
+  if (options.chips == 1) return build(PartitionStrategy::kPipeline);
+
+  switch (options.strategy) {
+    case PartitionStrategy::kPipeline:
+      return build(PartitionStrategy::kPipeline);
+    case PartitionStrategy::kShard:
+      return build(PartitionStrategy::kShard);
+    case PartitionStrategy::kAuto: {
+      MultiChipPlan pipe = build(PartitionStrategy::kPipeline);
+      MultiChipPlan shard = build(PartitionStrategy::kShard);
+      return shard.steady_cycles < pipe.steady_cycles ? std::move(shard)
+                                                      : std::move(pipe);
+    }
+  }
+  return Status::invalid_argument("unknown partition strategy");
+}
+
+std::string MultiChipPlan::to_string() const {
+  std::ostringstream os;
+  os << network << ": " << chips << " chips, "
+     << partition_strategy_name(strategy) << ", steady " << steady_cycles
+     << " cycles/image\n";
+  if (strategy == PartitionStrategy::kPipeline) {
+    for (const PipelineStage& st : stages) {
+      os << "  chip " << st.chip << ": L" << st.first << "..L" << st.last
+         << " (" << st.subnet.size() - 1 << " layers, ~" << st.est_cycles
+         << " cycles";
+      if (st.xfer_words > 0)
+        os << ", +" << st.xfer_words << "w -> chip " << st.chip + 1;
+      os << ")\n";
+    }
+  } else {
+    for (const LayerPartition& lp : layers) {
+      i64 active = 0;
+      for (const ShardPiece& piece : lp.pieces)
+        if (piece.active()) ++active;
+      os << "  L" << lp.layer << " " << shard_axis_name(lp.axis) << " x"
+         << active;
+      if (lp.exchange != ExchangeKind::kNone)
+        os << " + " << exchange_kind_name(lp.exchange) << " "
+           << lp.exchange_words << "w/" << lp.exchange_cycles << "cy";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cbrain::multichip

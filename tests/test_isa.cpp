@@ -104,7 +104,40 @@ TEST(Instruction, Names) {
   EXPECT_STREQ(instruction_name(Instruction{LoadInstr{}}), "LOAD");
   EXPECT_STREQ(instruction_name(Instruction{BarrierInstr{}}), "BAR");
   EXPECT_STREQ(instruction_name(Instruction{HostOpInstr{}}), "HOST");
+  EXPECT_STREQ(instruction_name(Instruction{ChipXferInstr{}}), "XFER");
   EXPECT_STREQ(buffer_id_name(BufferId::kWeight), "wgt");
+}
+
+// The interconnect marker (opcode 7, format v3) round-trips field by
+// field — it is the only instruction added since format v2, so pin its
+// encoding explicitly rather than only via the disassembly diff below.
+TEST(ProgramSerialization, ChipXferRoundTripsEveryField) {
+  for (ChipXferKind kind :
+       {ChipXferKind::kSend, ChipXferKind::kRecv, ChipXferKind::kAllGather,
+        ChipXferKind::kBroadcast}) {
+    Program p;
+    p.begin_layer(0);
+    ChipXferInstr x;
+    x.layer = 0;
+    x.kind = kind;
+    x.peer = 5;
+    x.words = 1024;
+    x.tag = "xfer";
+    p.push(x);
+    p.end_layer(0);
+    const auto r = Program::deserialize(p.serialize());
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    ASSERT_EQ(r.value().instructions().size(), 1u);
+    const auto* got =
+        std::get_if<ChipXferInstr>(&r.value().instructions()[0]);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->kind, kind);
+    EXPECT_EQ(got->peer, 5);
+    EXPECT_EQ(got->words, 1024);
+    EXPECT_EQ(got->tag, "xfer");
+    EXPECT_EQ(r.value().stats().chip_xfers, 1);
+    EXPECT_EQ(r.value().stats().xfer_words, 1024);
+  }
 }
 
 // A small hand-built program hitting every instruction kind, non-default
@@ -166,6 +199,13 @@ Program sample_program() {
   host.kind = HostOpKind::kSoftmax;
   host.words = 10;
   p.push(host);
+  ChipXferInstr xfer;
+  xfer.layer = 1;
+  xfer.kind = ChipXferKind::kAllGather;
+  xfer.peer = 3;
+  xfer.words = 240;
+  xfer.tag = "piece gather";
+  p.push(xfer);
   p.push(BarrierInstr{"sync"});
   p.end_layer(1);
   return p;

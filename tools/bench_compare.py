@@ -45,10 +45,21 @@ def wholenet_key(r):
 # Batched serving points (the infer_batch ladder) carry "b" (execution
 # batch size) and "intra_jobs" (per-layer worker fan-out); files written
 # before the batched path simply omit both, defaulting to 1 so the
-# unbatched points keep lining up with old baselines.
+# unbatched points keep lining up with old baselines. Multi-chip serving
+# points additionally carry "chips" and "partition"; missing keys default
+# to the single-chip package (chips=1, partition="single") for the same
+# reason.
 def serve_key(r):
     return ("serve", r["net"], r["backend"], r["jobs"],
-            r.get("tier", "cycle"), r.get("b", 1), r.get("intra_jobs", 1))
+            r.get("tier", "cycle"), r.get("b", 1), r.get("intra_jobs", 1),
+            r.get("chips", 1), r.get("partition", "single"))
+
+
+# Multi-chip scaling points (from `bench_multichip --perf-json`) are pure
+# simulated-cycle measurements: byte-stable across hosts, so a ratio
+# change here is a partitioner/interconnect model change, never noise.
+def multichip_key(r):
+    return ("multichip", r["net"], r["chips"], r["partition"])
 
 
 # serve-load ladder points (from `cbrain_cli serve-load --perf-json`) are
@@ -85,6 +96,10 @@ def index(doc):
     for r in doc.get("serve_load_knee", []):
         if "knee_qps" in r:
             points[serve_knee_key(r)] = ("knee_qps", r["knee_qps"])
+    for r in doc.get("multichip", []):
+        if "sim_images_per_s" in r:
+            points[multichip_key(r)] = ("sim_images_per_s",
+                                        r["sim_images_per_s"])
     return points
 
 
@@ -95,7 +110,11 @@ def fmt_key(key):
         s = f"serve {key[1]:<8} {key[2]:<6} jobs={key[3]} [{key[4]}]"
         if len(key) > 5 and (key[5] != 1 or key[6] != 1):
             s += f" b={key[5]} ij={key[6]}"
+        if len(key) > 7 and key[7] != 1:
+            s += f" chips={key[7]}/{key[8]}"
         return s
+    if key[0] == "multichip":
+        return f"mchip {key[1]:<9} chips={key[2]} {key[3]}"
     if key[0] == "serve_load":
         return f"load {key[1]:<8} {key[2]}/s{key[3]} @{key[4]:g}qps"
     if key[0] == "serve_load_knee":

@@ -7,10 +7,13 @@
 //   cbrain_cli disasm    <net> [--policy=P] [--max=N]
 //   cbrain_cli simulate  <net> [--policy=P] [--seed=N] [--pe=TinxTout]
 //                          [--fidelity=cycle|functional]
+//                          [--chips=N --partition=auto|pipeline|shard]
 //   cbrain_cli serve-bench <net> [--policy=P] [--requests=N] [--jobs=N]
 //                          [--seed=N] [--baseline]
 //                          [--fidelity=cycle|functional|both]
+//                          [--chips=N --partition=auto|pipeline|shard]
 //   cbrain_cli serve-load  <net> [--policy=P] [--qps=a,b,..] [--duration=S]
+//                          [--mix=NET2 (second model served concurrently)]
 //                          [--servers=N] [--jobs=N] [--seed=N] [--execute]
 //                          [--responses] [--closed-loop --clients=N]
 //                          [--perf-json=FILE]
@@ -42,6 +45,7 @@
 #include "cbrain/compiler/verifier.hpp"
 #include "cbrain/isa/disassembler.hpp"
 #include "cbrain/model/trace.hpp"
+#include "cbrain/multichip/executor.hpp"
 #include "cbrain/nn/dot_export.hpp"
 #include "cbrain/nn/spec_parser.hpp"
 #include "cbrain/nn/workload.hpp"
@@ -102,6 +106,10 @@ int usage() {
       "oracle or the\n"
       "        bit-identical fast path with model-estimated counters; "
       "default cycle)\n"
+      "       --chips=N (simulate|serve-bench: scale out across N "
+      "simulated chips;\n"
+      "        outputs stay bit-identical to one chip)  "
+      "--partition=auto|pipeline|shard\n"
       "serve-bench flags: --requests=N (default 8)  --baseline (also time "
       "the\n"
       "       per-call simulate path and report the session speedup)\n"
@@ -125,6 +133,9 @@ int usage() {
       "--intra-jobs=N\n"
       "       --perf-json=FILE (serve_load curve + knee for "
       "bench_compare.py)\n"
+      "       --mix=NET2 (serve a second model concurrently; the spiky "
+      "and batch\n"
+      "        tenants move to it)\n"
       "fidelity-check: cross-validate the tiers — bit-compare outputs and "
       "print the\n"
       "       per-layer model-vs-sim cycle/energy error table (exit 1 on "
@@ -191,6 +202,48 @@ FidelityChoice resolve_fidelity(const Options& opt, bool allow_both = false) {
   c.ok = true;
   c.fidelity = *f;
   return c;
+}
+
+// --chips / --partition (simulate, serve-bench). A bad value is a usage
+// error (exit 2), same as any other malformed flag.
+struct MultiChipChoice {
+  bool ok = false;
+  i64 chips = 1;
+  multichip::PartitionStrategy strategy =
+      multichip::PartitionStrategy::kAuto;
+};
+
+MultiChipChoice resolve_multichip(const Options& opt) {
+  MultiChipChoice c;
+  c.chips = opt.get_i64("chips", 1);
+  if (const Status s = multichip::validate_chip_count(c.chips);
+      !s.is_ok()) {
+    std::fprintf(stderr, "error: --chips: %s\n", s.to_string().c_str());
+    return c;
+  }
+  const auto ps =
+      multichip::parse_partition_strategy(opt.get("partition", "auto"));
+  if (!ps.is_ok()) {
+    std::fprintf(stderr, "error: --partition: %s\n",
+                 ps.status().to_string().c_str());
+    return c;
+  }
+  c.strategy = ps.value();
+  c.ok = true;
+  return c;
+}
+
+multichip::MultiChipOptions multichip_options(const MultiChipChoice& mcc,
+                                              Policy policy,
+                                              Fidelity fidelity,
+                                              const Options& opt) {
+  multichip::MultiChipOptions mo;
+  mo.chips = mcc.chips;
+  mo.strategy = mcc.strategy;
+  mo.policy = policy;
+  mo.fidelity = fidelity;
+  mo.intra_jobs = std::max<i64>(1, opt.get_i64("intra-jobs", 1));
+  return mo;
 }
 
 AcceleratorConfig resolve_config(const Options& opt) {
@@ -337,6 +390,54 @@ int cmd_simulate(const Network& net, const Options& opt) {
                  static_cast<long long>(w.total_macs));
     return 2;
   }
+  const MultiChipChoice mcc = resolve_multichip(opt);
+  if (!mcc.ok) return 2;
+  if (mcc.chips > 1) {
+    // Multi-chip package: same seeds, same bytes as the single-chip run
+    // below — only the partitioning, the clocks and the interconnect
+    // traffic change.
+    const AcceleratorConfig config = resolve_config(opt);
+    engine::Engine engine(config);
+    multichip::MultiChipExecutor mc(
+        engine, net, multichip_options(mcc, *policy, fid.fidelity, opt));
+    const auto seed = static_cast<u64>(opt.get_i64("seed", 42));
+    const auto params = init_net_params<Fixed16>(net, seed);
+    const auto input =
+        random_input<Fixed16>(net.layer(0).out_dims, seed ^ 0x1234);
+    mc.load_params(params);
+    const SimResult r = mc.infer(input);
+    std::printf("%s\n", mc.plan().to_string().c_str());
+    Table t({"layer", "cycles", "buf reads", "buf writes", "dram words"});
+    for (const Layer& l : net.layers()) {
+      if (l.kind == LayerKind::kInput) continue;
+      const TrafficCounters& c = r.layer_total(l.id);
+      t.add_row({l.name, with_commas(static_cast<u64>(c.total_cycles)),
+                 with_commas(static_cast<u64>(c.buffer_reads())),
+                 with_commas(static_cast<u64>(c.buffer_writes())),
+                 with_commas(static_cast<u64>(c.dram_words()))});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    const multichip::MultiChipStats st = mc.stats();
+    for (std::size_t c = 0; c < st.chips.size(); ++c)
+      std::printf("chip %zu: compute %s cy, xfer %s cy\n", c,
+                  with_commas(static_cast<u64>(st.chips[c].compute_cycles))
+                      .c_str(),
+                  with_commas(static_cast<u64>(st.chips[c].xfer_cycles))
+                      .c_str());
+    std::printf("makespan %s cycles (plan steady %s); interconnect:\n%s",
+                with_commas(static_cast<u64>(st.makespan_cycles)).c_str(),
+                with_commas(static_cast<u64>(st.steady_cycles)).c_str(),
+                mc.interconnect().to_string().c_str());
+    std::printf("final output (%s):",
+                r.final_output.dims().to_string().c_str());
+    const i64 n = std::min<i64>(10, r.final_output.size());
+    for (i64 i = 0; i < n; ++i)
+      std::printf(" %.4f",
+                  r.final_output.storage()[static_cast<std::size_t>(i)]
+                      .to_double());
+    std::printf("%s\n", r.final_output.size() > n ? " ..." : "");
+    return 0;
+  }
   CBrain brain(resolve_config(opt));
   const SimResult r = brain.simulate(net, *policy, opt.get_i64("seed", 42),
                                      fid.fidelity);
@@ -395,6 +496,81 @@ int cmd_serve_bench(const Network& net, const Options& opt) {
         (seed ^ 0x1234) + 0x9E3779B97F4A7C15ull * static_cast<u64>(i)));
 
   engine::Engine engine(config);
+
+  const MultiChipChoice mcc = resolve_multichip(opt);
+  if (!mcc.ok) return 2;
+  if (mcc.chips > 1) {
+    // N-chip package serving the same request stream. Pipeline plans
+    // overlap images across stages; shard plans gang all chips on each
+    // image. With --baseline the single-chip session path runs too and
+    // the outputs are byte-compared.
+    if (fid.both) {
+      std::fprintf(stderr,
+                   "error: --chips combines with one tier at a time, not "
+                   "--fidelity=both\n");
+      return 2;
+    }
+    using Clock2 = std::chrono::steady_clock;
+    multichip::MultiChipExecutor mc(
+        engine, net, multichip_options(mcc, *policy, fid.fidelity, opt));
+    mc.load_params(params);
+    const auto t0 = Clock2::now();
+    const std::vector<SimResult> results = mc.infer_many(inputs, jobs);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock2::now() - t0)
+            .count();
+    const multichip::MultiChipStats st = mc.stats();
+    std::printf("serve-bench %s under %s on %s\n", net.name().c_str(),
+                policy_name(*policy), config.to_string().c_str());
+    std::printf("%s", mc.plan().to_string().c_str());
+    const double sim_tput =
+        st.makespan_cycles > 0
+            ? static_cast<double>(requests) /
+                  config.cycles_to_ms(st.makespan_cycles) * 1e3
+            : 0.0;
+    std::printf("chips=%lld requests=%lld  wall %.2f s  makespan %s "
+                "cycles  %.1f images/s simulated\n",
+                static_cast<long long>(mcc.chips),
+                static_cast<long long>(requests), wall_ms / 1e3,
+                with_commas(static_cast<u64>(st.makespan_cycles)).c_str(),
+                sim_tput);
+    std::printf("interconnect: %s words, %.2f uJ\n",
+                with_commas(static_cast<u64>(st.xfer_words)).c_str(),
+                st.xfer_energy_pj / 1e6);
+    if (opt.has("baseline")) {
+      const std::vector<SimResult> single = engine.run_many(
+          net, *policy, params, inputs, jobs, nullptr, fid.fidelity,
+          nullptr, intra_jobs);
+      i64 single_cycles = 0;
+      for (const TrafficCounters& c : single.front().per_layer)
+        single_cycles += c.total_cycles;
+      for (i64 i = 0; i < requests; ++i) {
+        const auto& a =
+            single[static_cast<std::size_t>(i)].final_output.storage();
+        const auto& b = results[static_cast<std::size_t>(i)]
+                            .final_output.storage();
+        if (a.size() != b.size() ||
+            std::memcmp(a.data(), b.data(),
+                        a.size() * sizeof(Fixed16)) != 0) {
+          std::fprintf(stderr,
+                       "error: %lld-chip output diverges from the "
+                       "single-chip oracle at request %lld\n",
+                       static_cast<long long>(mcc.chips),
+                       static_cast<long long>(i));
+          return 1;
+        }
+      }
+      const double scaling =
+          st.steady_cycles > 0
+              ? static_cast<double>(single_cycles) /
+                    static_cast<double>(st.steady_cycles)
+              : 0.0;
+      std::printf("single-chip oracle: outputs byte-identical; "
+                  "steady-state speedup %.2fx over 1 chip\n",
+                  scaling);
+    }
+    return 0;
+  }
 
   // One tier through the session pool. Per-tier latency percentiles come
   // from the batch's own ServeStats, not the (cumulative, tier-mixing)
@@ -652,20 +828,45 @@ int cmd_serve_load(const Network& net, const Options& opt) {
   serve::Scheduler sched(engine, sc);
   const i64 model = sched.add_model(net, *policy, seed);
 
+  // --mix=NET2: a second model served concurrently from the same fleet.
+  // The spiky and batch tenants move onto it (deadlines rescaled to its
+  // own service times) while prod and scavenger stay on the primary —
+  // the mixed-model contention scenario.
+  std::optional<Network> mix;
+  if (opt.has("mix")) {
+    mix = resolve_net(opt.get("mix", ""));
+    if (!mix) return 3;
+  }
+
   const i64 unit_f = sched.unit_us(model, Fidelity::kFunctional);
   const i64 unit_c = sched.unit_us(model, Fidelity::kCycle);
 
   auto loads = mixed_scenario(sched, model, sc);
+  const std::string scenario = mix ? "mixed2" : "mixed";
+  if (mix) {
+    const i64 model2 = sched.add_model(*mix, *policy, seed + 1);
+    const i64 unit2 = sched.unit_us(model2, Fidelity::kFunctional);
+    const i64 slack2 =
+        sc.batch_wait_us +
+        static_cast<i64>(sc.service.batch_overhead_us) +
+        sc.max_batch * unit2;
+    loads[1].model = model2;  // spiky
+    loads[1].deadline_us = slack2 + 10 * unit2;
+    loads[2].model = model2;  // batch
+    loads[2].deadline_us = slack2 + 20 * unit2;
+  }
   const double capacity = scenario_capacity_qps(sched, loads, sc);
   loads[1].config.quota_qps = std::max(1.0, 0.25 * capacity);
   for (const serve::TenantLoad& t : loads) sched.add_tenant(t.config);
 
-  std::printf("serve-load %s under %s: servers=%lld unit=%lldus (cycle "
-              "%lldus)  capacity~%.1f qps  scenario=mixed\n",
-              net.name().c_str(), policy_name(*policy),
+  std::printf("serve-load %s%s%s under %s: servers=%lld unit=%lldus "
+              "(cycle %lldus)  capacity~%.1f qps  scenario=%s\n",
+              net.name().c_str(), mix ? " + " : "",
+              mix ? mix->name().c_str() : "", policy_name(*policy),
               static_cast<long long>(sc.servers),
               static_cast<long long>(unit_f),
-              static_cast<long long>(unit_c), capacity);
+              static_cast<long long>(unit_c), capacity,
+              scenario.c_str());
   for (std::size_t i = 0; i < loads.size(); ++i) {
     const serve::TenantLoad& t = loads[i];
     std::printf("  tenant %-9s %-11s share=%.2f tier=%s deadline=%lldus"
@@ -779,7 +980,8 @@ int cmd_serve_load(const Network& net, const Options& opt) {
     for (const serve::SweepPoint& p : result.points) {
       w.begin_object();
       w.kv("net", net.name());
-      w.kv("scenario", std::string("mixed"));
+      w.kv("scenario", scenario);
+      if (mix) w.kv("mix_net", mix->name());
       w.kv("policy", std::string(policy_name(*policy)));
       w.kv("servers", sc.servers);
       w.kv("offered_qps", p.offered_qps);
@@ -799,7 +1001,8 @@ int cmd_serve_load(const Network& net, const Options& opt) {
           result.points[static_cast<std::size_t>(result.knee)];
       w.begin_object();
       w.kv("net", net.name());
-      w.kv("scenario", std::string("mixed"));
+      w.kv("scenario", scenario);
+      if (mix) w.kv("mix_net", mix->name());
       w.kv("servers", sc.servers);
       w.kv("knee_qps", k.offered_qps);
       w.kv("p999_us", k.p999_us);

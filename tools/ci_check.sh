@@ -155,6 +155,28 @@ echo "=== modern layers: dilated/depthwise/residual under sanitizers ==="
 ./build-ci-tsan/tools/cbrain_cli serve-bench resnet18 --requests=2 \
   --jobs=2 --fidelity=functional > /dev/null
 
+echo "=== multi-chip: package identity + sanitizers + trace determinism ==="
+# The multi-chip executor's contract is bit-identity with the single-chip
+# oracle at any chip count, partition strategy and --jobs (DESIGN.md
+# §16). test_multichip carries the identity/halo/verifier suites — run it
+# under ASan+UBSan so the slice/scatter indexing and the piece-parameter
+# copies are vetted. The TSan leg runs an N-chip serve-bench (piece
+# fan-out via the shared pool) under the race detector, and the
+# determinism diff pins the chip-partitioned trace: per-chip tracks,
+# spans and interconnect meters must be byte-identical at any --jobs.
+./build-ci-asan/tests/test_multichip
+./build-ci-tsan/tools/cbrain_cli serve-bench tiny_cnn --requests=4 \
+  --chips=2 --jobs=2 --fidelity=functional > /dev/null
+./build-ci-release/tools/cbrain_cli serve-bench tiny_cnn --requests=6 \
+  --chips=4 --partition=shard --fidelity=functional --baseline
+./build-ci-release/tools/cbrain_cli simulate tiny_cnn --chips=4 \
+  --partition=shard --jobs=1 \
+  --trace-out=/tmp/cbrain_mc_trace_j1.json > /dev/null
+./build-ci-release/tools/cbrain_cli simulate tiny_cnn --chips=4 \
+  --partition=shard --jobs="$JOBS" \
+  --trace-out=/tmp/cbrain_mc_trace_jn.json > /dev/null
+diff /tmp/cbrain_mc_trace_j1.json /tmp/cbrain_mc_trace_jn.json
+
 echo "=== perf harness: kernel + whole-net + serve throughput (informational) ==="
 # Quick harness run diffed against the committed baseline. Wall-clock on
 # shared CI hosts is noisy, so bench_compare never fails the gate; the
